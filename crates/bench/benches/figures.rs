@@ -1,0 +1,189 @@
+//! Criterion benches running scaled-down versions of the paper's
+//! experiments end to end. One bench per table/figure family — these are
+//! the "does the whole pipeline still simulate at speed" checks (the
+//! full-resolution series come from the `fig*` binaries).
+
+use comm::{LinkProfile, NodeId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fragvisor::{checkpoint, scenarios, Distribution, HypervisorProfile};
+use hypervisor::VmMemory;
+use scheduler::{ArrivalTrace, ConsolidationPolicy, DatacenterSim};
+use sim_core::rng::DetRng;
+use sim_core::time::SimTime;
+use sim_core::units::{Bandwidth, ByteSize};
+use workloads::{LempConfig, NpbClass, NpbKernel, SharingMode};
+
+fn fig01_sharing(c: &mut Criterion) {
+    c.bench_function("fig01/omp_sharing_ratio", |b| {
+        b.iter(|| {
+            let mut sim = scenarios::npb_omp(
+                0.4,
+                2,
+                SimTime::from_millis(5),
+                HypervisorProfile::fragvisor(),
+                &Distribution::OneVcpuPerNode,
+            );
+            black_box(sim.run())
+        })
+    });
+}
+
+fn fig04_fault_overhead(c: &mut Criterion) {
+    c.bench_function("fig04/true_sharing_loop", |b| {
+        b.iter(|| {
+            let mut sim = scenarios::sharing_loop(
+                SharingMode::TrueSharing,
+                4,
+                200,
+                HypervisorProfile::fragvisor(),
+            );
+            black_box(sim.run())
+        })
+    });
+}
+
+fn fig05_concurrent_writes(c: &mut Criterion) {
+    c.bench_function("fig05/max_sharing_window", |b| {
+        b.iter(|| {
+            let (mut sim, counts) = scenarios::concurrent_writes(
+                &[0, 0, 0, 0],
+                SimTime::from_millis(2),
+                HypervisorProfile::fragvisor(),
+                &Distribution::OneVcpuPerNode,
+            );
+            let _ = sim.run();
+            black_box(counts.iter().map(|c| c.get()).sum::<u64>())
+        })
+    });
+}
+
+fn fig06_net_delegation(c: &mut Criterion) {
+    c.bench_function("fig06/delegated_static_server", |b| {
+        b.iter(|| {
+            let mut sim =
+                scenarios::net_delegation(1, ByteSize::kib(64), 20, HypervisorProfile::fragvisor());
+            black_box(sim.run_client())
+        })
+    });
+}
+
+fn fig07_storage(c: &mut Criterion) {
+    c.bench_function("fig07/delegated_blk_stream", |b| {
+        b.iter(|| {
+            let mut sim = scenarios::storage_delegation(
+                1,
+                ByteSize::mib(8),
+                false,
+                false,
+                HypervisorProfile::fragvisor(),
+            );
+            black_box(sim.run())
+        })
+    });
+}
+
+fn fig08_fig09_npb(c: &mut Criterion) {
+    c.bench_function("fig08/is_aggregate_4v", |b| {
+        b.iter(|| {
+            let mut sim = scenarios::npb_multiprocess(
+                NpbKernel::Is,
+                NpbClass::Sim,
+                4,
+                HypervisorProfile::fragvisor(),
+                &Distribution::OneVcpuPerNode,
+            );
+            black_box(sim.run())
+        })
+    });
+    c.bench_function("fig09/is_giantvm_4v", |b| {
+        b.iter(|| {
+            let mut sim = scenarios::npb_multiprocess(
+                NpbKernel::Is,
+                NpbClass::Sim,
+                4,
+                HypervisorProfile::giantvm(),
+                &Distribution::OneVcpuPerNode,
+            );
+            black_box(sim.run())
+        })
+    });
+}
+
+fn fig11_checkpoint(c: &mut Criterion) {
+    c.bench_function("fig11/checkpoint_20gib", |b| {
+        let profile = HypervisorProfile::fragvisor();
+        let mut mem = VmMemory::new(&profile, 4, ByteSize::gib(22), NodeId::new(0));
+        for n in 0..4 {
+            let _ =
+                mem.register_resident_dataset(&format!("d{n}"), ByteSize::gib(5), NodeId::new(n));
+        }
+        b.iter(|| {
+            black_box(checkpoint(
+                &mem,
+                NodeId::new(0),
+                Bandwidth::mb_per_sec(500.0),
+                LinkProfile::infiniband_56g(),
+            ))
+        })
+    });
+}
+
+fn fig12_lemp(c: &mut Criterion) {
+    c.bench_function("fig12/lemp_100ms_4v", |b| {
+        b.iter(|| {
+            let mut sim = scenarios::lemp(
+                LempConfig::paper(100, 4),
+                HypervisorProfile::fragvisor(),
+                &Distribution::OneVcpuPerNode,
+                10,
+            );
+            black_box(sim.run_client())
+        })
+    });
+}
+
+fn fig13_faas(c: &mut Criterion) {
+    c.bench_function("fig13/faas_4_workers", |b| {
+        b.iter(|| {
+            let (mut sim, _) = scenarios::faas(
+                4,
+                1,
+                HypervisorProfile::fragvisor(),
+                &Distribution::OneVcpuPerNode,
+            );
+            black_box(sim.run())
+        })
+    });
+}
+
+fn fig14_scheduler(c: &mut Criterion) {
+    c.bench_function("fig14/datacenter_100_arrivals", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(7);
+            let trace = ArrivalTrace::generate(
+                &mut rng,
+                100,
+                SimTime::from_secs(1),
+                SimTime::from_secs(40),
+            );
+            let report = DatacenterSim::new(
+                4,
+                cluster::MachineSpec::fig14(),
+                ConsolidationPolicy::MinFragmentation,
+                trace,
+            )
+            .observe_first_aggregate(4)
+            .run();
+            black_box(report.migrations)
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig01_sharing, fig04_fault_overhead, fig05_concurrent_writes,
+        fig06_net_delegation, fig07_storage, fig08_fig09_npb,
+        fig11_checkpoint, fig12_lemp, fig13_faas, fig14_scheduler
+}
+criterion_main!(figures);

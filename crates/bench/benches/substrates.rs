@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks of the substrate crates: how fast does the
+//! simulator itself run? These guard the harness against performance
+//! regressions (the figure binaries run millions of these operations).
+
+use comm::{Fabric, LinkProfile, MsgClass, NodeId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsm::{Access, Dsm, DsmConfig, PageId};
+use sim_core::pscpu::PsCpu;
+use sim_core::rng::DetRng;
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+use sim_core::{Ctx, Engine, World};
+
+struct PingWorld {
+    remaining: u64,
+}
+
+impl World for PingWorld {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(SimTime::from_nanos(100), ev + 1);
+        }
+    }
+}
+
+fn engine_events(c: &mut Criterion) {
+    c.bench_function("engine/100k_events", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            engine.schedule_at(SimTime::ZERO, 0u32);
+            let mut world = PingWorld { remaining: 100_000 };
+            engine.run_to_completion(&mut world);
+            black_box(engine.now())
+        })
+    });
+}
+
+fn dsm_protocol(c: &mut Criterion) {
+    c.bench_function("dsm/local_hits_10k", |b| {
+        let mut d = Dsm::new(DsmConfig::fragvisor());
+        d.ensure_page(PageId::new(1), NodeId::new(0), dsm::PageClass::Private);
+        b.iter(|| {
+            for _ in 0..10_000 {
+                black_box(d.access(NodeId::new(0), PageId::new(1), Access::Read));
+            }
+        })
+    });
+    c.bench_function("dsm/write_pingpong_10k", |b| {
+        b.iter(|| {
+            let mut d = Dsm::new(DsmConfig::fragvisor());
+            d.ensure_page(PageId::new(1), NodeId::new(0), dsm::PageClass::AppShared);
+            for i in 0..10_000u32 {
+                black_box(d.access(NodeId::new(i % 4), PageId::new(1), Access::Write));
+            }
+        })
+    });
+    c.bench_function("dsm/first_touch_10k_pages", |b| {
+        b.iter(|| {
+            let mut d = Dsm::new(DsmConfig::fragvisor());
+            for i in 0..10_000u32 {
+                black_box(d.access(NodeId::new(0), PageId::new(i), Access::Write));
+            }
+        })
+    });
+}
+
+fn pscpu_model(c: &mut Criterion) {
+    c.bench_function("pscpu/add_complete_cycle_10k", |b| {
+        b.iter(|| {
+            let mut cpu = PsCpu::new(1.0);
+            let mut now = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                let done = cpu.add(now, i, SimTime::from_micros(10));
+                now = done.at;
+                black_box(cpu.on_completion_event(now, done.epoch));
+            }
+        })
+    });
+}
+
+fn fabric_sends(c: &mut Criterion) {
+    c.bench_function("fabric/send_10k", |b| {
+        b.iter(|| {
+            let mut f = Fabric::homogeneous(4, LinkProfile::infiniband_56g());
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000u32 {
+                let d = f.send(
+                    t,
+                    NodeId::new(i % 4),
+                    NodeId::new((i + 1) % 4),
+                    ByteSize::kib(4),
+                    MsgClass::Dsm,
+                );
+                t = t.max(d.deliver_at.saturating_sub(SimTime::from_micros(5)));
+            }
+            black_box(f.messages_sent())
+        })
+    });
+}
+
+fn rng_streams(c: &mut Criterion) {
+    c.bench_function("rng/exp_100k", |b| {
+        let mut rng = DetRng::new(42);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.exp(1.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    substrates,
+    engine_events,
+    dsm_protocol,
+    pscpu_model,
+    fabric_sends,
+    rng_streams
+);
+criterion_main!(substrates);

@@ -1,0 +1,5 @@
+//! Regenerates one figure of the paper; see `DESIGN.md` §4.
+
+fn main() {
+    bench_harness::experiments::fig10_guest_opts().print();
+}

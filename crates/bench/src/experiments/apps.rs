@@ -1,0 +1,154 @@
+//! Figures 12 and 13: the LEMP and OpenLambda macro-benchmarks.
+
+use fragvisor::scenarios;
+use fragvisor::{Distribution, HypervisorProfile};
+use sim_core::time::SimTime;
+use workloads::LempConfig;
+
+use crate::report::{f2, ratio, Table};
+
+fn lemp_throughput(
+    config: LempConfig,
+    profile: HypervisorProfile,
+    dist: &Distribution,
+    requests: u64,
+) -> f64 {
+    let mut sim = scenarios::lemp(config, profile, dist, requests);
+    let t = sim.run_client();
+    sim.world.stats.requests_per_sec(t)
+}
+
+/// Figure 12: LEMP throughput vs request processing time, normalized to
+/// overcommitment on one pCPU; FragVisor and GiantVM.
+pub fn fig12_lemp() -> Table {
+    let mut t = Table::new(
+        "Figure 12",
+        "LEMP throughput normalized to 1-pCPU overcommit",
+        &[
+            "processing",
+            "vCPUs",
+            "fragvisor",
+            "giantvm",
+            "fragvisor/giantvm",
+        ],
+    );
+    let requests = 40;
+    for proc_ms in [25u64, 40, 100, 250, 500] {
+        for vcpus in [2usize, 3, 4] {
+            let config = LempConfig::paper(proc_ms, vcpus);
+            let over = lemp_throughput(
+                config,
+                HypervisorProfile::single_machine(),
+                &Distribution::Packed { pcpus: 1 },
+                requests,
+            );
+            let frag = lemp_throughput(
+                config,
+                HypervisorProfile::fragvisor(),
+                &Distribution::OneVcpuPerNode,
+                requests,
+            );
+            let giant = lemp_throughput(
+                config,
+                HypervisorProfile::giantvm(),
+                &Distribution::OneVcpuPerNode,
+                requests,
+            );
+            t.row(vec![
+                format!("{proc_ms}ms"),
+                vcpus.to_string(),
+                ratio(frag / over),
+                ratio(giant / over),
+                f2(frag / giant),
+            ]);
+        }
+    }
+    t.note(
+        "Paper: FragVisor loses below ~40ms (guest-local socket cost \
+         across machines), crosses over at ~40ms, reaches 3.5x at 4 vCPUs \
+         / 500ms; FragVisor/GiantVM is ~0.35 at 25ms, ~0.79 at 40ms, \
+         1.23x at 250ms, 1.27x at 500ms.",
+    );
+    t
+}
+
+/// Figure 13: the OpenLambda pipeline phase breakdown, FragVisor and
+/// GiantVM normalized to overcommitment.
+pub fn fig13_openlambda() -> Table {
+    let mut t = Table::new(
+        "Figure 13",
+        "OpenLambda serverless: phase times and overall speedup",
+        &[
+            "vCPUs",
+            "system",
+            "download",
+            "extract",
+            "detect",
+            "total speedup vs overcommit",
+        ],
+    );
+    for vcpus in [2usize, 3, 4] {
+        let mut results: Vec<(&str, SimTime, [f64; 3])> = Vec::new();
+        for (name, profile, dist) in [
+            (
+                "overcommit",
+                HypervisorProfile::single_machine(),
+                Distribution::Packed { pcpus: 1 },
+            ),
+            (
+                "fragvisor",
+                HypervisorProfile::fragvisor(),
+                Distribution::OneVcpuPerNode,
+            ),
+            (
+                "giantvm",
+                HypervisorProfile::giantvm(),
+                Distribution::OneVcpuPerNode,
+            ),
+        ] {
+            let (mut sim, phases) = scenarios::faas(vcpus, 1, profile, &dist);
+            let total = sim.run();
+            // Average phase times across workers.
+            let mut sums = [0.0f64; 3];
+            let mut n = 0.0f64;
+            for p in &phases {
+                for ph in p.borrow().iter() {
+                    sums[0] += ph.download.as_millis_f64();
+                    sums[1] += ph.extract.as_millis_f64();
+                    sums[2] += ph.detect.as_millis_f64();
+                    n += 1.0;
+                }
+            }
+            for s in &mut sums {
+                *s /= n.max(1.0);
+            }
+            results.push((name, total, sums));
+        }
+        let t_over = results[0].1;
+        for (name, total, phases) in &results {
+            t.row(vec![
+                vcpus.to_string(),
+                name.to_string(),
+                format!("{:.1}ms", phases[0]),
+                format!("{:.1}ms", phases[1]),
+                format!("{:.1}ms", phases[2]),
+                ratio(t_over.as_secs_f64() / total.as_secs_f64()),
+            ]);
+        }
+        let frag_total = results[1].1;
+        let giant_total = results[2].1;
+        t.note(format!(
+            "{vcpus} vCPUs: FragVisor over GiantVM = {:.2}x (paper: 2.17x \
+             at 2 vCPUs to 2.64x at 4); download ratio = {:.1}x (paper: up \
+             to 13x).",
+            giant_total.as_secs_f64() / frag_total.as_secs_f64(),
+            results[2].2[0] / f64::max(results[1].2[0], 1e-9),
+        ));
+    }
+    t.note(
+        "Paper: overall FragVisor beats overcommit by 1.9x (2 vCPUs) to \
+         3.26x (4 vCPUs); detect dominates and is up to 3.3x faster; \
+         FragVisor is faster than GiantVM in every phase (claim C2).",
+    );
+    t
+}

@@ -1,0 +1,43 @@
+//! One function per paper figure.
+//!
+//! See `DESIGN.md` §4 for the experiment index. All functions are pure
+//! (deterministic, seed-fixed) and return a [`crate::report::Table`].
+
+mod apps;
+mod extensions;
+mod io;
+mod micro;
+mod npb;
+mod resilience;
+mod sched;
+
+pub use apps::{fig12_lemp, fig13_openlambda};
+pub use extensions::{
+    ablation_study, interference_study, memory_borrowing_study, provisioning_study,
+    reliability_study,
+};
+pub use io::{fig06_net_delegation, fig07_storage_delegation};
+pub use micro::{fig01_sharing_study, fig04_dsm_fault_overhead, fig05_concurrent_writes};
+pub use npb::{fig08_npb_overcommit, fig09_npb_giantvm, fig10_guest_opts};
+pub use resilience::fig11_checkpoint;
+pub use sched::fig14_sched_migration;
+
+use crate::report::Table;
+
+/// Runs every figure experiment, in paper order.
+pub fn all() -> Vec<Table> {
+    vec![
+        fig01_sharing_study(),
+        fig04_dsm_fault_overhead(),
+        fig05_concurrent_writes(),
+        fig06_net_delegation(),
+        fig07_storage_delegation(),
+        fig08_npb_overcommit(),
+        fig09_npb_giantvm(),
+        fig10_guest_opts(),
+        fig11_checkpoint(),
+        fig12_lemp(),
+        fig13_openlambda(),
+        fig14_sched_migration(),
+    ]
+}

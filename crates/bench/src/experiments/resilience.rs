@@ -1,0 +1,77 @@
+//! §7.1 "Distributed Checkpoint/Restart": checkpoint time vs dataset size
+//! and vCPU count.
+
+use comm::{LinkProfile, NodeId};
+use fragvisor::{checkpoint, HypervisorProfile};
+use hypervisor::VmMemory;
+use sim_core::units::{Bandwidth, ByteSize};
+
+use crate::report::{f2, secs, Table};
+
+fn memory_with_dataset(dataset_gib: u64, nodes: u32) -> VmMemory {
+    let profile = HypervisorProfile::fragvisor();
+    let mut mem = VmMemory::new(
+        &profile,
+        nodes as usize,
+        ByteSize::gib(dataset_gib + 2),
+        NodeId::new(0),
+    );
+    let per_node = ByteSize::bytes(ByteSize::gib(dataset_gib).as_u64() / u64::from(nodes));
+    for n in 0..nodes {
+        let _ = mem.register_resident_dataset(&format!("is-c.{n}"), per_node, NodeId::new(n));
+    }
+    mem
+}
+
+/// Checkpoint experiment: 10/20/30 GB datasets over 2/3/4 vCPUs (one
+/// slice per node), vs a single-machine (vanilla) checkpoint.
+pub fn fig11_checkpoint() -> Table {
+    let mut t = Table::new(
+        "Checkpoint (§7.1)",
+        "distributed checkpoint time (NPB IS-style resident sets, 500 MB/s SSD)",
+        &[
+            "dataset",
+            "vCPUs/nodes",
+            "fragvisor",
+            "vanilla (1 node)",
+            "overhead",
+            "remote pages",
+        ],
+    );
+    let disk = Bandwidth::mb_per_sec(500.0);
+    let link = LinkProfile::infiniband_56g();
+    for dataset in [10u64, 20, 30] {
+        for nodes in [2u32, 3, 4] {
+            let distributed = memory_with_dataset(dataset, nodes);
+            let d = checkpoint(&distributed, NodeId::new(0), disk, link);
+            let single = memory_with_dataset(dataset, 1);
+            let s = checkpoint(&single, NodeId::new(0), disk, link);
+            let overhead = d.duration.as_secs_f64() / s.duration.as_secs_f64() - 1.0;
+            t.row(vec![
+                format!("{dataset} GiB"),
+                nodes.to_string(),
+                secs(d.duration),
+                secs(s.duration),
+                format!("{:.1}%", overhead * 100.0),
+                d.remote_pages.to_string(),
+            ]);
+        }
+    }
+    t.note(
+        "Paper: the SATA SSD (~500 MB/s) is the bottleneck; fetching \
+         remote memory over 56 Gbps InfiniBand overlaps with disk writes, \
+         keeping FragVisor's overhead at or below 10% of a vanilla \
+         single-machine checkpoint, at every dataset size.",
+    );
+    // Restore side (consolidation/fault-tolerance path).
+    for dataset in [10u64, 30] {
+        let restore4 = fragvisor::restore(ByteSize::gib(dataset), 4, disk, link);
+        t.note(format!(
+            "restore {dataset} GiB onto 4 slices: {} (disk-bound, {}).",
+            secs(restore4),
+            f2(dataset as f64 * 1.073_741_824 / restore4.as_secs_f64() * 1000.0 / 1000.0)
+                + " GB/s effective",
+        ));
+    }
+    t
+}

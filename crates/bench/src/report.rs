@@ -1,0 +1,160 @@
+//! Tabular experiment output.
+
+use serde::Serialize;
+
+/// A rendered experiment result: a titled table plus free-form notes
+/// (paper-vs-measured comparisons, caveats).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier, e.g. "Figure 8".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row data (same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Notes appended below the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the table for the terminal.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Renders the table as GitHub Markdown (for `EXPERIMENTS.md`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}: {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        for n in &self.notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a ratio with two decimals and an `x` suffix.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats milliseconds.
+pub fn ms(t: sim_core::time::SimTime) -> String {
+    format!("{:.2}ms", t.as_millis_f64())
+}
+
+/// Formats seconds.
+pub fn secs(t: sim_core::time::SimTime) -> String {
+    format!("{:.2}s", t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_markdown() {
+        let mut t = Table::new("Figure 0", "demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let r = t.render();
+        assert!(r.contains("Figure 0"));
+        assert!(r.contains("note: hello"));
+        let md = t.to_markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("> hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", "y", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(1.5), "1.50x");
+        assert_eq!(f2(0.333), "0.33");
+        assert_eq!(ms(sim_core::time::SimTime::from_micros(1500)), "1.50ms");
+        assert_eq!(secs(sim_core::time::SimTime::from_millis(2500)), "2.50s");
+    }
+}

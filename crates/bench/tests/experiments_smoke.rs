@@ -1,0 +1,159 @@
+//! Smoke tests for the experiment harness: every (affordable) figure
+//! function must produce a well-formed, non-empty table whose headline
+//! shape matches the paper. Figure 1 is exercised indirectly (its
+//! workloads are covered by `tests/claims.rs`; the full sweep takes a
+//! minute and stays in the binaries).
+
+use bench_harness::experiments;
+
+fn parse_ratio(cell: &str) -> f64 {
+    cell.trim_end_matches('x')
+        .parse()
+        .unwrap_or_else(|_| panic!("not a ratio cell: {cell}"))
+}
+
+#[test]
+fn fig04_table_shape() {
+    let t = experiments::fig04_dsm_fault_overhead();
+    assert_eq!(t.rows.len(), 3);
+    for row in &t.rows {
+        // no-sharing column is the 1.00x baseline.
+        assert_eq!(row[1], "1.00x");
+        // false == true sharing at page granularity.
+        assert_eq!(row[2], row[3]);
+        assert!(parse_ratio(&row[2]) > 1.0);
+    }
+    // Overhead grows with node count.
+    let r2 = parse_ratio(&t.rows[0][3]);
+    let r4 = parse_ratio(&t.rows[2][3]);
+    assert!(r4 > r2);
+}
+
+#[test]
+fn fig05_table_shape() {
+    let t = experiments::fig05_concurrent_writes();
+    assert_eq!(t.rows.len(), 4);
+    let ops = |i: usize, col: usize| -> u64 { t.rows[i][col].parse().unwrap() };
+    // Overcommit flat across sharing levels (within rounding).
+    let over0 = ops(0, 2);
+    for i in 1..4 {
+        let o = ops(i, 2);
+        assert!((o as f64 - over0 as f64).abs() / (over0 as f64) < 0.05);
+    }
+    // FragVisor: no-sharing ~4x overcommit; max-sharing collapses.
+    assert!(ops(0, 1) > over0 * 3);
+    assert!(ops(3, 1) < over0 / 10);
+}
+
+#[test]
+fn fig06_fig07_delegation_shapes() {
+    let t6 = experiments::fig06_net_delegation();
+    assert!(t6.rows.len() >= 8);
+    // Throughput ratio stays ~1.0 with bypass at every size.
+    for row in t6.rows.iter().take(5) {
+        let r = parse_ratio(&row[3]);
+        assert!((0.95..=1.05).contains(&r), "{row:?}");
+    }
+    let t7 = experiments::fig07_storage_delegation();
+    // SSD rows are bounded by the disk.
+    for row in t7.rows.iter().filter(|r| r[0].contains("SSD")) {
+        let mbps: f64 = row[3].parse().unwrap();
+        assert!(mbps <= 510.0, "{row:?}");
+    }
+}
+
+#[test]
+fn fig08_fig09_npb_shapes() {
+    let t8 = experiments::fig08_npb_overcommit();
+    assert_eq!(t8.rows.len(), 24); // 8 kernels x 3 vCPU counts.
+    let mut is_4v = None;
+    let mut ep_4v = None;
+    for row in &t8.rows {
+        if row[1] == "4" {
+            let speedup = parse_ratio(&row[2]);
+            assert!(
+                (1.2..4.2).contains(&speedup),
+                "absurd speedup in {row:?}"
+            );
+            if row[0] == "IS" {
+                is_4v = Some(speedup);
+            }
+            if row[0] == "EP" {
+                ep_4v = Some(speedup);
+            }
+        }
+    }
+    // IS is the sublinear extreme; EP near-linear (paper Figure 8).
+    assert!(is_4v.unwrap() < ep_4v.unwrap() - 1.0);
+
+    let t9 = experiments::fig09_npb_giantvm();
+    assert_eq!(t9.rows.len(), 8);
+    for row in &t9.rows {
+        for cell in &row[1..] {
+            let r = parse_ratio(cell);
+            assert!((1.0..4.0).contains(&r), "{row:?}");
+        }
+    }
+}
+
+#[test]
+fn fig10_guest_opts_shape() {
+    let t = experiments::fig10_guest_opts();
+    for row in &t.rows {
+        let gain = parse_ratio(&row[3]);
+        assert!(gain >= 0.99, "optimized guest must not lose: {row:?}");
+        if row[0] == "IS" {
+            assert!(gain > 1.05, "IS gains from the padded layout: {row:?}");
+        }
+        if row[0] == "EP" {
+            assert!(gain < 1.02, "EP is compute-only: {row:?}");
+        }
+    }
+}
+
+#[test]
+fn fig11_checkpoint_shape() {
+    let t = experiments::fig11_checkpoint();
+    assert_eq!(t.rows.len(), 9);
+    for row in &t.rows {
+        let overhead: f64 = row[4].trim_end_matches('%').parse().unwrap();
+        assert!(overhead <= 10.0, "paper bound violated: {row:?}");
+    }
+}
+
+#[test]
+fn fig12_lemp_shape() {
+    let t = experiments::fig12_lemp();
+    assert_eq!(t.rows.len(), 15);
+    for row in &t.rows {
+        let frag = parse_ratio(&row[2]);
+        let vs_giant: f64 = row[4].parse().unwrap();
+        match row[0].as_str() {
+            "25ms" => {
+                assert!(frag < 1.0, "aggregate must lose at 25ms: {row:?}");
+                assert!(vs_giant < 1.0, "GiantVM wins short requests: {row:?}");
+            }
+            "500ms" => {
+                if row[1] == "4" {
+                    assert!(frag > 2.0, "big win at 500ms/4v: {row:?}");
+                }
+                assert!(vs_giant > 1.1, "FragVisor wins long requests: {row:?}");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn extension_tables_exist() {
+    let t = experiments::reliability_study();
+    assert_eq!(t.rows.len(), 4);
+    let t = experiments::memory_borrowing_study();
+    assert!(t.rows.len() >= 5);
+    // Slowdown grows with the borrowed fraction.
+    let s25 = parse_ratio(&t.rows[1][2]);
+    let s100 = parse_ratio(&t.rows[4][2]);
+    assert!(s100 > s25);
+    let t = experiments::interference_study();
+    assert_eq!(t.rows.len(), 3);
+}

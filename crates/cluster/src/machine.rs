@@ -1,0 +1,408 @@
+//! Machines and the cluster allocator.
+
+use std::collections::BTreeMap;
+
+use comm::NodeId;
+use sim_core::units::ByteSize;
+
+use crate::VmId;
+
+/// A class of physical device a machine can host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// Network interface card.
+    Nic,
+    /// Block storage (the testbed's SATA SSD).
+    Disk,
+    /// An accelerator (GPU/TPU); modelled for completeness of the design,
+    /// the prototype (like the paper's) does not exercise it.
+    Accelerator,
+}
+
+/// Static description of one server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Number of pCPUs available to VMs.
+    pub cpus: u32,
+    /// Amount of RAM available to VMs.
+    pub ram: ByteSize,
+    /// Devices physically attached to this machine.
+    pub devices: Vec<DeviceKind>,
+}
+
+impl MachineSpec {
+    /// The paper's testbed server: Xeon E5-2620 v4 (8 cores / 16 threads),
+    /// 32 GiB RAM, one NIC, one SSD. The evaluation pins vCPUs to cores,
+    /// so we expose 16 schedulable pCPUs.
+    pub fn testbed() -> Self {
+        MachineSpec {
+            cpus: 16,
+            ram: ByteSize::gib(32),
+            devices: vec![DeviceKind::Nic, DeviceKind::Disk],
+        }
+    }
+
+    /// The Figure-14 configuration: 12 pCPUs usable by VMs (4 reserved for
+    /// management tasks).
+    pub fn fig14() -> Self {
+        MachineSpec {
+            cpus: 12,
+            ram: ByteSize::gib(32),
+            devices: vec![DeviceKind::Nic, DeviceKind::Disk],
+        }
+    }
+}
+
+/// A resource request: what one VM (or one slice of it) needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceRequest {
+    /// Number of vCPUs (each pinned to one pCPU).
+    pub cpus: u32,
+    /// Guest RAM.
+    pub ram: ByteSize,
+}
+
+impl ResourceRequest {
+    /// Convenience constructor.
+    pub fn new(cpus: u32, ram: ByteSize) -> Self {
+        ResourceRequest { cpus, ram }
+    }
+}
+
+/// One server and its current allocations.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: MachineSpec,
+    /// Per-VM allocations on this machine.
+    allocs: BTreeMap<VmId, ResourceRequest>,
+}
+
+impl Machine {
+    /// Creates an empty machine.
+    pub fn new(spec: MachineSpec) -> Self {
+        Machine {
+            spec,
+            allocs: BTreeMap::new(),
+        }
+    }
+
+    /// The machine's static spec.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// pCPUs currently allocated.
+    pub fn used_cpus(&self) -> u32 {
+        self.allocs.values().map(|r| r.cpus).sum()
+    }
+
+    /// RAM currently allocated.
+    pub fn used_ram(&self) -> ByteSize {
+        ByteSize::bytes(self.allocs.values().map(|r| r.ram.as_u64()).sum())
+    }
+
+    /// Free pCPUs.
+    pub fn free_cpus(&self) -> u32 {
+        self.spec.cpus - self.used_cpus()
+    }
+
+    /// Free RAM.
+    pub fn free_ram(&self) -> ByteSize {
+        self.spec.ram - self.used_ram()
+    }
+
+    /// Whether `req` fits in the free capacity.
+    pub fn fits(&self, req: ResourceRequest) -> bool {
+        self.free_cpus() >= req.cpus && self.free_ram().as_u64() >= req.ram.as_u64()
+    }
+
+    /// Whether this machine hosts a device of the given kind.
+    pub fn has_device(&self, kind: DeviceKind) -> bool {
+        self.spec.devices.contains(&kind)
+    }
+
+    /// The VMs with an allocation here, in id order.
+    pub fn resident_vms(&self) -> impl Iterator<Item = (VmId, ResourceRequest)> + '_ {
+        self.allocs.iter().map(|(&vm, &r)| (vm, r))
+    }
+
+    /// The allocation of a specific VM on this machine, if any.
+    pub fn allocation_of(&self, vm: VmId) -> Option<ResourceRequest> {
+        self.allocs.get(&vm).copied()
+    }
+}
+
+/// The cluster: a set of machines plus an allocation ledger.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    machines: Vec<Machine>,
+}
+
+/// Errors returned by the cluster allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The requested machine lacks capacity for the request.
+    Insufficient {
+        /// The machine that could not satisfy the request.
+        node: NodeId,
+    },
+    /// The VM has no allocation on the given machine.
+    NotAllocated {
+        /// The machine that holds no allocation for the VM.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Insufficient { node } => {
+                write!(f, "insufficient capacity on {node}")
+            }
+            AllocError::NotAllocated { node } => {
+                write!(f, "no allocation on {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl Cluster {
+    /// Creates a cluster of `n` identical machines.
+    pub fn homogeneous(n: usize, spec: MachineSpec) -> Self {
+        Cluster {
+            machines: (0..n).map(|_| Machine::new(spec.clone())).collect(),
+        }
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Returns true if the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Immutable access to one machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn machine(&self, node: NodeId) -> &Machine {
+        &self.machines[node.index()]
+    }
+
+    /// Iterates machines in node order.
+    pub fn machines(&self) -> impl Iterator<Item = (NodeId, &Machine)> {
+        self.machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (NodeId::from_usize(i), m))
+    }
+
+    /// Allocates `req` for `vm` on `node`; requests for a VM that already
+    /// has an allocation there are *added* to it (used when a slice grows).
+    pub fn allocate(
+        &mut self,
+        node: NodeId,
+        vm: VmId,
+        req: ResourceRequest,
+    ) -> Result<(), AllocError> {
+        let m = &mut self.machines[node.index()];
+        if m.free_cpus() < req.cpus || m.free_ram().as_u64() < req.ram.as_u64() {
+            return Err(AllocError::Insufficient { node });
+        }
+        let entry = m
+            .allocs
+            .entry(vm)
+            .or_insert(ResourceRequest::new(0, ByteSize::ZERO));
+        entry.cpus += req.cpus;
+        entry.ram += req.ram;
+        Ok(())
+    }
+
+    /// Releases part of a VM's allocation on `node`.
+    ///
+    /// Releasing everything removes the ledger entry.
+    pub fn release(
+        &mut self,
+        node: NodeId,
+        vm: VmId,
+        req: ResourceRequest,
+    ) -> Result<(), AllocError> {
+        let m = &mut self.machines[node.index()];
+        let Some(entry) = m.allocs.get_mut(&vm) else {
+            return Err(AllocError::NotAllocated { node });
+        };
+        if entry.cpus < req.cpus || entry.ram.as_u64() < req.ram.as_u64() {
+            return Err(AllocError::NotAllocated { node });
+        }
+        entry.cpus -= req.cpus;
+        entry.ram = entry.ram - req.ram;
+        if entry.cpus == 0 && entry.ram.as_u64() == 0 {
+            m.allocs.remove(&vm);
+        }
+        Ok(())
+    }
+
+    /// Releases every allocation of `vm` across the cluster; returns the
+    /// nodes that held a piece of it.
+    pub fn release_vm(&mut self, vm: VmId) -> Vec<NodeId> {
+        let mut nodes = Vec::new();
+        for (i, m) in self.machines.iter_mut().enumerate() {
+            if m.allocs.remove(&vm).is_some() {
+                nodes.push(NodeId::from_usize(i));
+            }
+        }
+        nodes
+    }
+
+    /// Moves part of a VM's allocation from one node to another (the
+    /// allocator-side effect of a slice migration).
+    pub fn migrate(
+        &mut self,
+        vm: VmId,
+        from: NodeId,
+        to: NodeId,
+        req: ResourceRequest,
+    ) -> Result<(), AllocError> {
+        // Validate the source first so a failed destination leaves state
+        // untouched.
+        let src = &self.machines[from.index()];
+        let Some(have) = src.allocs.get(&vm) else {
+            return Err(AllocError::NotAllocated { node: from });
+        };
+        if have.cpus < req.cpus || have.ram.as_u64() < req.ram.as_u64() {
+            return Err(AllocError::NotAllocated { node: from });
+        }
+        self.allocate(to, vm, req)?;
+        self.release(from, vm, req)
+            .expect("validated source allocation");
+        Ok(())
+    }
+
+    /// Total free pCPUs across the cluster.
+    pub fn total_free_cpus(&self) -> u32 {
+        self.machines.iter().map(Machine::free_cpus).sum()
+    }
+
+    /// The nodes on which a VM currently holds resources, in node order.
+    pub fn nodes_of(&self, vm: VmId) -> Vec<NodeId> {
+        self.machines()
+            .filter(|(_, m)| m.allocation_of(vm).is_some())
+            .map(|(n, _)| n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_req(cpus: u32) -> ResourceRequest {
+        ResourceRequest::new(cpus, ByteSize::gib(1))
+    }
+
+    #[test]
+    fn allocate_and_release() {
+        let mut c = Cluster::homogeneous(2, MachineSpec::testbed());
+        let vm = VmId::new(1);
+        c.allocate(NodeId::new(0), vm, small_req(4)).unwrap();
+        assert_eq!(c.machine(NodeId::new(0)).free_cpus(), 12);
+        assert_eq!(c.machine(NodeId::new(0)).used_ram(), ByteSize::gib(1));
+        c.release(NodeId::new(0), vm, small_req(4)).unwrap();
+        assert_eq!(c.machine(NodeId::new(0)).free_cpus(), 16);
+        assert!(c.machine(NodeId::new(0)).allocation_of(vm).is_none());
+    }
+
+    #[test]
+    fn over_allocation_rejected() {
+        let mut c = Cluster::homogeneous(1, MachineSpec::testbed());
+        let vm = VmId::new(1);
+        let r = c.allocate(NodeId::new(0), vm, small_req(17));
+        assert_eq!(
+            r,
+            Err(AllocError::Insufficient {
+                node: NodeId::new(0)
+            })
+        );
+        // RAM limits too.
+        let r = c.allocate(
+            NodeId::new(0),
+            vm,
+            ResourceRequest::new(1, ByteSize::gib(33)),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn allocations_accumulate_per_vm() {
+        let mut c = Cluster::homogeneous(1, MachineSpec::testbed());
+        let vm = VmId::new(3);
+        c.allocate(NodeId::new(0), vm, small_req(2)).unwrap();
+        c.allocate(NodeId::new(0), vm, small_req(2)).unwrap();
+        assert_eq!(
+            c.machine(NodeId::new(0)).allocation_of(vm),
+            Some(ResourceRequest::new(4, ByteSize::gib(2)))
+        );
+    }
+
+    #[test]
+    fn release_more_than_held_fails() {
+        let mut c = Cluster::homogeneous(1, MachineSpec::testbed());
+        let vm = VmId::new(1);
+        c.allocate(NodeId::new(0), vm, small_req(2)).unwrap();
+        assert!(c.release(NodeId::new(0), vm, small_req(3)).is_err());
+        // State unchanged.
+        assert_eq!(c.machine(NodeId::new(0)).free_cpus(), 14);
+    }
+
+    #[test]
+    fn migrate_moves_allocation() {
+        let mut c = Cluster::homogeneous(2, MachineSpec::testbed());
+        let vm = VmId::new(1);
+        c.allocate(NodeId::new(0), vm, small_req(4)).unwrap();
+        c.migrate(vm, NodeId::new(0), NodeId::new(1), small_req(2))
+            .unwrap();
+        assert_eq!(c.machine(NodeId::new(0)).allocation_of(vm).unwrap().cpus, 2);
+        assert_eq!(c.machine(NodeId::new(1)).allocation_of(vm).unwrap().cpus, 2);
+        assert_eq!(c.nodes_of(vm), vec![NodeId::new(0), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn migrate_to_full_node_leaves_state_untouched() {
+        let mut c = Cluster::homogeneous(2, MachineSpec::testbed());
+        let a = VmId::new(1);
+        let b = VmId::new(2);
+        c.allocate(NodeId::new(1), b, small_req(16)).unwrap();
+        c.allocate(NodeId::new(0), a, small_req(4)).unwrap();
+        assert!(c
+            .migrate(a, NodeId::new(0), NodeId::new(1), small_req(2))
+            .is_err());
+        assert_eq!(c.machine(NodeId::new(0)).allocation_of(a).unwrap().cpus, 4);
+    }
+
+    #[test]
+    fn release_vm_clears_everywhere() {
+        let mut c = Cluster::homogeneous(3, MachineSpec::testbed());
+        let vm = VmId::new(9);
+        c.allocate(NodeId::new(0), vm, small_req(1)).unwrap();
+        c.allocate(NodeId::new(2), vm, small_req(1)).unwrap();
+        let nodes = c.release_vm(vm);
+        assert_eq!(nodes, vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(c.total_free_cpus(), 48);
+    }
+
+    #[test]
+    fn device_inventory() {
+        let c = Cluster::homogeneous(1, MachineSpec::testbed());
+        assert!(c.machine(NodeId::new(0)).has_device(DeviceKind::Nic));
+        assert!(c.machine(NodeId::new(0)).has_device(DeviceKind::Disk));
+        assert!(!c
+            .machine(NodeId::new(0))
+            .has_device(DeviceKind::Accelerator));
+    }
+}

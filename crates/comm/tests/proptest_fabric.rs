@@ -1,0 +1,99 @@
+//! Property tests for the message fabric.
+
+use comm::{Fabric, LinkProfile, MsgClass, NodeId};
+use proptest::prelude::*;
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+fn profiles() -> Vec<LinkProfile> {
+    vec![
+        LinkProfile::infiniband_56g(),
+        LinkProfile::infiniband_56g_user_tcp(),
+        LinkProfile::ethernet_1g(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Messages sent in time order on one directed link are delivered in
+    /// order (FIFO), and never earlier than the link's floor latency.
+    #[test]
+    fn fifo_and_floor(
+        profile_idx in 0usize..3,
+        msgs in proptest::collection::vec((0u64..1_000_000, 1u64..65_536), 1..50),
+    ) {
+        let profile = profiles()[profile_idx];
+        let mut fabric = Fabric::homogeneous(2, profile);
+        let mut sorted = msgs.clone();
+        sorted.sort();
+        let mut last_delivery = SimTime::ZERO;
+        for (at_us, size) in sorted {
+            let now = SimTime::from_micros(at_us);
+            let d = fabric.send(
+                now,
+                NodeId::new(0),
+                NodeId::new(1),
+                ByteSize::bytes(size),
+                MsgClass::Dsm,
+            );
+            prop_assert!(d.deliver_at >= last_delivery, "reordering");
+            prop_assert!(
+                d.deliver_at >= now + profile.wire_latency,
+                "faster than the wire"
+            );
+            last_delivery = d.deliver_at;
+        }
+    }
+
+    /// Traffic accounting is exact.
+    #[test]
+    fn stats_account_every_byte(
+        msgs in proptest::collection::vec(1u64..100_000, 1..60),
+    ) {
+        let mut fabric = Fabric::homogeneous(3, LinkProfile::infiniband_56g());
+        let mut expect = 0u64;
+        for (i, &size) in msgs.iter().enumerate() {
+            let src = NodeId::new(i as u32 % 3);
+            let dst = NodeId::new((i as u32 + 1) % 3);
+            let _ = fabric.send(SimTime::ZERO, src, dst, ByteSize::bytes(size), MsgClass::Io);
+            expect += size;
+        }
+        prop_assert_eq!(fabric.stats().get(&MsgClass::Io).bytes, expect);
+        prop_assert_eq!(fabric.messages_sent(), msgs.len() as u64);
+    }
+
+    /// An idle link's latency is monotone in message size.
+    #[test]
+    fn latency_monotone_in_size(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let (small, large) = (a.min(b), a.max(b));
+        let profile = LinkProfile::ethernet_1g();
+        let t_small = profile.one_way(ByteSize::bytes(small));
+        let t_large = profile.one_way(ByteSize::bytes(large));
+        prop_assert!(t_small <= t_large);
+    }
+
+    /// A burst's last delivery is bounded below by pure serialization:
+    /// total bytes at link bandwidth.
+    #[test]
+    fn burst_respects_bandwidth(
+        sizes in proptest::collection::vec(1_000u64..100_000, 2..40),
+    ) {
+        let profile = LinkProfile::infiniband_56g();
+        let mut fabric = Fabric::homogeneous(2, profile);
+        let mut last = SimTime::ZERO;
+        let total: u64 = sizes.iter().sum();
+        for &s in &sizes {
+            let d = fabric.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                ByteSize::bytes(s),
+                MsgClass::Dsm,
+            );
+            last = last.max(d.deliver_at);
+        }
+        let floor = profile.bandwidth.transfer_time(ByteSize::bytes(total));
+        prop_assert!(last >= floor, "last={last} floor={floor}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Distributed shared memory for the Aggregate VM's pseudo-physical space.
+//!
+//! FragVisor keeps the guest's pseudo-physical memory coherent across VM
+//! slices with a kernel-space, page-granularity DSM inherited from Popcorn
+//! Linux. This crate reproduces that protocol as a *pure state machine*:
+//! a directory-based MSI (write-invalidate) protocol over 4 KiB pages.
+//!
+//! [`Dsm::access`] classifies every guest memory access as a local hit or a
+//! fault, and for faults returns a [`FaultPlan`] — the exact message
+//! choreography (fetch, invalidate, ownership transfer) the hypervisor must
+//! play out on the [`comm::Fabric`]. Directory state transitions are applied
+//! eagerly at fault initiation; the *latency* of the transaction is charged
+//! by the executor, and per-page transaction serialization is modelled with
+//! a busy-until watermark ([`Dsm::busy_until`]/[`Dsm::set_busy`]).
+//!
+//! Two optimizations from the paper are modelled as configuration:
+//!
+//! * **Contextual DSM** — page-table updates are piggybacked on the TLB
+//!   shootdown IPIs the guest already sends, eliding the separate
+//!   invalidation round for [`PageClass::PageTable`] pages.
+//! * **EPT dirty-bit tracking** — vanilla KVM writes dirty bits through the
+//!   EPT, generating redundant DSM traffic; FragVisor disables it. When
+//!   enabled, every write fault carries an extra bookkeeping message.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod stats;
+
+pub use protocol::{Access, Dsm, DsmConfig, FaultKind, FaultPlan, Mode, PageClass, Resolution};
+pub use stats::DsmStats;
+
+sim_core::define_id!(
+    /// Index of a 4 KiB page in a VM's pseudo-physical address space.
+    PageId,
+    "pfn"
+);

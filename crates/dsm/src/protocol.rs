@@ -1,0 +1,707 @@
+//! The directory-based MSI page-coherence protocol.
+
+use std::collections::{BTreeSet, HashMap};
+
+use comm::NodeId;
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+use crate::stats::DsmStats;
+use crate::PageId;
+
+/// Semantic class of a guest page.
+///
+/// The hypervisor "knows a lot about the content of the guest physical
+/// address space" (§5.1); contextual DSM and the guest-kernel optimizations
+/// key off this classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageClass {
+    /// Application private data (the common case).
+    Private,
+    /// Application memory shared between threads.
+    AppShared,
+    /// Guest kernel text — read-only, replicated freely.
+    KernelText,
+    /// Guest kernel mutable data (runqueues, slab, counters).
+    KernelData,
+    /// Guest page tables — targets of the contextual-DSM optimization.
+    PageTable,
+    /// VirtIO ring buffers living in guest RAM.
+    DeviceRing,
+}
+
+/// Kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// Coherence mode of a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exactly one copy, writable by its owner.
+    Exclusive,
+    /// One or more read-only copies; the owner retains the master copy.
+    Shared,
+}
+
+/// Directory entry for one page.
+#[derive(Debug, Clone)]
+struct PageEntry {
+    owner: NodeId,
+    mode: Mode,
+    /// Nodes holding a valid copy (always includes the owner).
+    sharers: BTreeSet<NodeId>,
+    class: PageClass,
+    /// Completion time of the last transaction touching this page.
+    busy_until: SimTime,
+}
+
+/// The protocol action a fault requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fetch a read-only copy from the owner.
+    ReadRemote {
+        /// Current owner holding the master copy.
+        owner: NodeId,
+    },
+    /// The faulting node owns the page but must invalidate other sharers
+    /// before writing.
+    Upgrade {
+        /// Sharers to invalidate (never contains the faulting node).
+        invalidate: Vec<NodeId>,
+    },
+    /// Fetch the page with ownership; the old owner invalidates sharers.
+    WriteRemote {
+        /// Previous owner.
+        owner: NodeId,
+        /// Sharers the old owner must invalidate (excludes the faulting
+        /// node and the old owner itself).
+        invalidate: Vec<NodeId>,
+    },
+}
+
+/// A fault and everything the executor needs to cost it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faulting page.
+    pub page: PageId,
+    /// Message choreography required.
+    pub kind: FaultKind,
+    /// Class of the page (affects contextual-DSM handling).
+    pub class: PageClass,
+    /// Whether the contextual-DSM shortcut applies (invalidation round
+    /// piggybacked on an already-sent TLB-shootdown IPI).
+    pub contextual: bool,
+    /// Whether an extra dirty-bit bookkeeping message is required.
+    pub dirty_bit_msg: bool,
+    /// Additional pages piggybacked on the same response (read prefetch).
+    pub prefetched: Vec<PageId>,
+}
+
+/// Outcome of a guest memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// The access hits a valid local mapping; no protocol action.
+    Hit,
+    /// The access faults; the executor must play out the plan.
+    Fault(FaultPlan),
+}
+
+/// DSM configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsmConfig {
+    /// Page size (4 KiB everywhere in the paper).
+    pub page_size: ByteSize,
+    /// Contextual DSM: elide invalidation rounds for page-table pages.
+    pub contextual: bool,
+    /// EPT dirty-bit tracking (vanilla KVM). FragVisor disables it because
+    /// the DSM already tracks dirtiness, making the EPT traffic redundant.
+    pub dirty_bit_tracking: bool,
+    /// Sequential read prefetch: on a read fault, up to this many
+    /// following pages with the same owner ride the same response
+    /// (an extension beyond the paper; 0 disables).
+    pub read_prefetch: u32,
+}
+
+impl DsmConfig {
+    /// FragVisor's configuration: contextual DSM on, dirty-bit traffic off.
+    pub fn fragvisor() -> Self {
+        DsmConfig {
+            page_size: ByteSize::kib(4),
+            contextual: true,
+            dirty_bit_tracking: false,
+            read_prefetch: 0,
+        }
+    }
+
+    /// An unoptimized configuration (GiantVM-like / vanilla guest).
+    pub fn unoptimized() -> Self {
+        DsmConfig {
+            page_size: ByteSize::kib(4),
+            contextual: false,
+            dirty_bit_tracking: true,
+            read_prefetch: 0,
+        }
+    }
+}
+
+/// The per-VM DSM directory.
+#[derive(Debug, Clone)]
+pub struct Dsm {
+    config: DsmConfig,
+    pages: HashMap<PageId, PageEntry>,
+    /// Bulk-registered resident pages per home node: datasets that exist
+    /// (and are checkpointed, migrated, etc.) but are never accessed
+    /// individually by a program. Keeps multi-GiB guests cheap to model.
+    bulk: std::collections::BTreeMap<NodeId, u64>,
+    stats: DsmStats,
+}
+
+impl Dsm {
+    /// Creates an empty directory.
+    pub fn new(config: DsmConfig) -> Self {
+        Dsm {
+            config,
+            pages: HashMap::new(),
+            bulk: std::collections::BTreeMap::new(),
+            stats: DsmStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> DsmConfig {
+        self.config
+    }
+
+    /// Declares a page, backed on `home` (first-touch allocation). A page
+    /// that already exists is left untouched.
+    pub fn ensure_page(&mut self, page: PageId, home: NodeId, class: PageClass) {
+        self.pages.entry(page).or_insert_with(|| PageEntry {
+            owner: home,
+            mode: Mode::Exclusive,
+            sharers: BTreeSet::from([home]),
+            class,
+            busy_until: SimTime::ZERO,
+        });
+    }
+
+    /// Returns whether the page is known to the directory.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.pages.contains_key(&page)
+    }
+
+    /// Current owner of a page, if allocated.
+    pub fn owner(&self, page: PageId) -> Option<NodeId> {
+        self.pages.get(&page).map(|e| e.owner)
+    }
+
+    /// Current mode of a page, if allocated.
+    pub fn mode(&self, page: PageId) -> Option<Mode> {
+        self.pages.get(&page).map(|e| e.mode)
+    }
+
+    /// Class of a page, if allocated.
+    pub fn class(&self, page: PageId) -> Option<PageClass> {
+        self.pages.get(&page).map(|e| e.class)
+    }
+
+    /// Whether `node` holds a valid copy of `page`.
+    pub fn is_cached(&self, page: PageId, node: NodeId) -> bool {
+        self.pages
+            .get(&page)
+            .is_some_and(|e| e.sharers.contains(&node))
+    }
+
+    /// Completion time of the last transaction on this page; a new fault
+    /// must queue behind it (directory serialization).
+    pub fn busy_until(&self, page: PageId) -> SimTime {
+        self.pages
+            .get(&page)
+            .map(|e| e.busy_until)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Records the completion time of an executed transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown.
+    pub fn set_busy(&mut self, page: PageId, until: SimTime) {
+        let e = self.pages.get_mut(&page).expect("set_busy on unknown page");
+        e.busy_until = e.busy_until.max(until);
+    }
+
+    /// Classifies an access by `node` to `page`, applying the directory
+    /// transition for faults eagerly.
+    ///
+    /// Unknown pages are first-touch allocated on the accessing node
+    /// (a zero-fill mapping, free of DSM traffic) and report a [`Resolution::Hit`].
+    pub fn access(&mut self, node: NodeId, page: PageId, access: Access) -> Resolution {
+        self.access_classified(node, page, access, PageClass::Private)
+    }
+
+    /// Like [`Dsm::access`], but first-touch allocations take the given
+    /// class instead of [`PageClass::Private`].
+    pub fn access_classified(
+        &mut self,
+        node: NodeId,
+        page: PageId,
+        access: Access,
+        class_on_alloc: PageClass,
+    ) -> Resolution {
+        let entry = match self.pages.get_mut(&page) {
+            Some(e) => e,
+            None => {
+                // First touch: allocate locally, no protocol traffic.
+                self.ensure_page(page, node, class_on_alloc);
+                self.stats.first_touches += 1;
+                return Resolution::Hit;
+            }
+        };
+        let class = entry.class;
+        match access {
+            Access::Read => {
+                if entry.sharers.contains(&node) {
+                    self.stats.hits += 1;
+                    return Resolution::Hit;
+                }
+                // Fetch a shared copy from the owner.
+                let owner = entry.owner;
+                entry.mode = Mode::Shared;
+                entry.sharers.insert(node);
+                self.stats.read_faults += 1;
+                self.stats.per_class.record(class, 1);
+                let prefetched = self.prefetch_reads(node, page, owner);
+                Resolution::Fault(FaultPlan {
+                    page,
+                    kind: FaultKind::ReadRemote { owner },
+                    class,
+                    contextual: false,
+                    dirty_bit_msg: false,
+                    prefetched,
+                })
+            }
+            Access::Write => {
+                let is_owner = entry.owner == node;
+                if is_owner && entry.mode == Mode::Exclusive {
+                    self.stats.hits += 1;
+                    return Resolution::Hit;
+                }
+                let contextual = self.config.contextual && class == PageClass::PageTable;
+                let dirty_bit_msg = self.config.dirty_bit_tracking;
+                let plan = if is_owner {
+                    // Owner upgrades a shared page: invalidate other copies.
+                    let invalidate: Vec<NodeId> = entry
+                        .sharers
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != node)
+                        .collect();
+                    self.stats.invalidations += invalidate.len() as u64;
+                    FaultPlan {
+                        page,
+                        kind: FaultKind::Upgrade { invalidate },
+                        class,
+                        contextual,
+                        dirty_bit_msg,
+                        prefetched: Vec::new(),
+                    }
+                } else {
+                    let owner = entry.owner;
+                    let invalidate: Vec<NodeId> = entry
+                        .sharers
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != node && s != owner)
+                        .collect();
+                    self.stats.invalidations += (invalidate.len() + 1) as u64;
+                    FaultPlan {
+                        page,
+                        kind: FaultKind::WriteRemote { owner, invalidate },
+                        class,
+                        contextual,
+                        dirty_bit_msg,
+                        prefetched: Vec::new(),
+                    }
+                };
+                entry.owner = node;
+                entry.mode = Mode::Exclusive;
+                entry.sharers.clear();
+                entry.sharers.insert(node);
+                self.stats.write_faults += 1;
+                self.stats.per_class.record(class, 1);
+                Resolution::Fault(plan)
+            }
+        }
+    }
+
+    /// Registers `pages` resident pages homed on `node` without creating
+    /// per-page directory entries.
+    ///
+    /// Use for large at-rest datasets (multi-GiB checkpointing workloads)
+    /// that contribute to footprint accounting but are never accessed
+    /// through [`Dsm::access`].
+    pub fn register_bulk(&mut self, home: NodeId, pages: u64) {
+        *self.bulk.entry(home).or_insert(0) += pages;
+    }
+
+    /// Transitions up to `read_prefetch` pages following `page` (same
+    /// owner, not yet cached by `node`) to shared-with-`node`, returning
+    /// them so the executor can piggyback their data on the response.
+    fn prefetch_reads(&mut self, node: NodeId, page: PageId, owner: NodeId) -> Vec<PageId> {
+        let n = self.config.read_prefetch;
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 1..=n {
+            let next = PageId::new(page.0 + i);
+            let Some(e) = self.pages.get_mut(&next) else {
+                break;
+            };
+            if e.owner != owner || e.sharers.contains(&node) {
+                break;
+            }
+            e.mode = Mode::Shared;
+            e.sharers.insert(node);
+            out.push(next);
+            self.stats.prefetched += 1;
+        }
+        out
+    }
+
+    /// Number of pages whose master copy lives on `node`.
+    pub fn pages_owned_by(&self, node: NodeId) -> u64 {
+        self.pages.values().filter(|e| e.owner == node).count() as u64
+            + self.bulk.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Number of pages `node` holds a valid copy of (owned or shared).
+    pub fn pages_cached_on(&self, node: NodeId) -> u64 {
+        self.pages
+            .values()
+            .filter(|e| e.sharers.contains(&node))
+            .count() as u64
+    }
+
+    /// Total pages allocated in the directory (including bulk).
+    pub fn total_pages(&self) -> u64 {
+        self.pages.len() as u64 + self.bulk.values().sum::<u64>()
+    }
+
+    /// Evicts `node` from the directory: pages it owns move to `new_home`
+    /// (master-copy transfer — e.g. slice consolidation or pre-failure
+    /// drain); shared copies it held are dropped. Returns the number of
+    /// pages whose master copy moved.
+    pub fn drain_node(&mut self, node: NodeId, new_home: NodeId) -> u64 {
+        let mut moved = 0;
+        if let Some(b) = self.bulk.remove(&node) {
+            *self.bulk.entry(new_home).or_insert(0) += b;
+            moved += b;
+        }
+        for e in self.pages.values_mut() {
+            if e.owner == node {
+                e.owner = new_home;
+                e.sharers.remove(&node);
+                e.sharers.insert(new_home);
+                moved += 1;
+            } else {
+                e.sharers.remove(&node);
+            }
+        }
+        moved
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &DsmStats {
+        &self.stats
+    }
+
+    /// Resets statistics (directory state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = DsmStats::default();
+    }
+
+    /// Checks the protocol invariants; used by tests and debug assertions.
+    ///
+    /// Invariants: every page's owner is among its sharers; exclusive pages
+    /// have exactly one sharer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&page, e) in &self.pages {
+            if !e.sharers.contains(&e.owner) {
+                return Err(format!("{page}: owner {} not a sharer", e.owner));
+            }
+            if e.mode == Mode::Exclusive && e.sharers.len() != 1 {
+                return Err(format!(
+                    "{page}: exclusive with {} sharers",
+                    e.sharers.len()
+                ));
+            }
+            if e.sharers.is_empty() {
+                return Err(format!("{page}: no sharers"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn p(i: u32) -> PageId {
+        PageId::new(i)
+    }
+
+    fn dsm() -> Dsm {
+        Dsm::new(DsmConfig::fragvisor())
+    }
+
+    #[test]
+    fn first_touch_is_free_and_local() {
+        let mut d = dsm();
+        assert_eq!(d.access(n(0), p(1), Access::Write), Resolution::Hit);
+        assert_eq!(d.owner(p(1)), Some(n(0)));
+        assert_eq!(d.mode(p(1)), Some(Mode::Exclusive));
+        assert_eq!(d.stats().first_touches, 1);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn local_reads_and_writes_hit() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        assert_eq!(d.access(n(0), p(1), Access::Read), Resolution::Hit);
+        assert_eq!(d.access(n(0), p(1), Access::Write), Resolution::Hit);
+        assert_eq!(d.stats().hits, 2);
+        assert_eq!(d.stats().read_faults + d.stats().write_faults, 0);
+    }
+
+    #[test]
+    fn remote_read_fetches_from_owner() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        let r = d.access(n(1), p(1), Access::Read);
+        match r {
+            Resolution::Fault(plan) => {
+                assert_eq!(plan.kind, FaultKind::ReadRemote { owner: n(0) });
+            }
+            Resolution::Hit => panic!("expected fault"),
+        }
+        assert_eq!(d.mode(p(1)), Some(Mode::Shared));
+        assert!(d.is_cached(p(1), n(0)));
+        assert!(d.is_cached(p(1), n(1)));
+        // Second read by the same node hits.
+        assert_eq!(d.access(n(1), p(1), Access::Read), Resolution::Hit);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn owner_write_after_sharing_upgrades() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        let _ = d.access(n(1), p(1), Access::Read);
+        let r = d.access(n(0), p(1), Access::Write);
+        match r {
+            Resolution::Fault(plan) => {
+                assert_eq!(
+                    plan.kind,
+                    FaultKind::Upgrade {
+                        invalidate: vec![n(1)]
+                    }
+                );
+            }
+            Resolution::Hit => panic!("expected upgrade fault"),
+        }
+        assert_eq!(d.mode(p(1)), Some(Mode::Exclusive));
+        assert!(!d.is_cached(p(1), n(1)));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remote_write_transfers_ownership_and_invalidates() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        let _ = d.access(n(1), p(1), Access::Read);
+        let _ = d.access(n(2), p(1), Access::Read);
+        let r = d.access(n(3), p(1), Access::Write);
+        match r {
+            Resolution::Fault(plan) => match plan.kind {
+                FaultKind::WriteRemote { owner, invalidate } => {
+                    assert_eq!(owner, n(0));
+                    assert_eq!(invalidate, vec![n(1), n(2)]);
+                }
+                k => panic!("unexpected {k:?}"),
+            },
+            Resolution::Hit => panic!("expected fault"),
+        }
+        assert_eq!(d.owner(p(1)), Some(n(3)));
+        assert_eq!(d.mode(p(1)), Some(Mode::Exclusive));
+        for i in 0..3 {
+            assert!(!d.is_cached(p(1), n(i)));
+        }
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_ping_pong_alternates_ownership() {
+        // The Figure 4/5 microbenchmark pattern: two nodes writing the same
+        // page take a write fault each time.
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::AppShared);
+        for round in 0..10 {
+            let node = n(round % 2 + 1);
+            let r = d.access(node, p(1), Access::Write);
+            assert!(matches!(r, Resolution::Fault(_)), "round {round}");
+            assert_eq!(d.owner(p(1)), Some(node));
+        }
+        assert_eq!(d.stats().write_faults, 10);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn contextual_dsm_applies_to_page_tables_only() {
+        let mut d = Dsm::new(DsmConfig::fragvisor());
+        d.ensure_page(p(1), n(0), PageClass::PageTable);
+        d.ensure_page(p(2), n(0), PageClass::KernelData);
+        let r1 = d.access(n(1), p(1), Access::Write);
+        let r2 = d.access(n(1), p(2), Access::Write);
+        let (Resolution::Fault(f1), Resolution::Fault(f2)) = (r1, r2) else {
+            panic!("expected faults");
+        };
+        assert!(f1.contextual);
+        assert!(!f2.contextual);
+
+        // With contextual DSM off, page tables get no special treatment.
+        let mut d = Dsm::new(DsmConfig::unoptimized());
+        d.ensure_page(p(1), n(0), PageClass::PageTable);
+        let Resolution::Fault(f) = d.access(n(1), p(1), Access::Write) else {
+            panic!("expected fault");
+        };
+        assert!(!f.contextual);
+    }
+
+    #[test]
+    fn dirty_bit_tracking_flags_write_faults() {
+        let mut d = Dsm::new(DsmConfig::unoptimized());
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        let Resolution::Fault(f) = d.access(n(1), p(1), Access::Write) else {
+            panic!("expected fault");
+        };
+        assert!(f.dirty_bit_msg);
+        let mut d = Dsm::new(DsmConfig::fragvisor());
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        let Resolution::Fault(f) = d.access(n(1), p(1), Access::Write) else {
+            panic!("expected fault");
+        };
+        assert!(!f.dirty_bit_msg);
+    }
+
+    #[test]
+    fn busy_window_tracks_max() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        assert_eq!(d.busy_until(p(1)), SimTime::ZERO);
+        d.set_busy(p(1), SimTime::from_micros(30));
+        d.set_busy(p(1), SimTime::from_micros(10));
+        assert_eq!(d.busy_until(p(1)), SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn drain_node_moves_master_copies() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        d.ensure_page(p(2), n(1), PageClass::Private);
+        let _ = d.access(n(1), p(1), Access::Read); // n1 shares p1.
+        let moved = d.drain_node(n(1), n(0));
+        assert_eq!(moved, 1); // p2's master copy moved.
+        assert_eq!(d.owner(p(2)), Some(n(0)));
+        assert!(!d.is_cached(p(1), n(1)));
+        assert!(!d.is_cached(p(2), n(1)));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ownership_counts() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        d.ensure_page(p(2), n(0), PageClass::Private);
+        d.ensure_page(p(3), n(1), PageClass::Private);
+        let _ = d.access(n(1), p(1), Access::Read);
+        assert_eq!(d.pages_owned_by(n(0)), 2);
+        assert_eq!(d.pages_owned_by(n(1)), 1);
+        assert_eq!(d.pages_cached_on(n(1)), 2);
+        assert_eq!(d.total_pages(), 3);
+    }
+
+    #[test]
+    fn read_prefetch_piggybacks_sequential_pages() {
+        let mut d = Dsm::new(DsmConfig {
+            read_prefetch: 4,
+            ..DsmConfig::fragvisor()
+        });
+        for i in 0..8 {
+            d.ensure_page(p(i), n(0), PageClass::Private);
+        }
+        let Resolution::Fault(f) = d.access(n(1), p(0), Access::Read) else {
+            panic!("expected fault");
+        };
+        assert_eq!(f.prefetched, vec![p(1), p(2), p(3), p(4)]);
+        // The prefetched pages are now cached: no further faults.
+        for i in 1..=4 {
+            assert_eq!(d.access(n(1), p(i), Access::Read), Resolution::Hit);
+        }
+        // Page 5 was beyond the window: it faults (and prefetches onward).
+        assert!(matches!(
+            d.access(n(1), p(5), Access::Read),
+            Resolution::Fault(_)
+        ));
+        assert_eq!(d.stats().prefetched, 4 + 2);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefetch_stops_at_ownership_boundary() {
+        let mut d = Dsm::new(DsmConfig {
+            read_prefetch: 4,
+            ..DsmConfig::fragvisor()
+        });
+        d.ensure_page(p(0), n(0), PageClass::Private);
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        d.ensure_page(p(2), n(2), PageClass::Private); // Different owner.
+        d.ensure_page(p(3), n(0), PageClass::Private);
+        let Resolution::Fault(f) = d.access(n(1), p(0), Access::Read) else {
+            panic!("expected fault");
+        };
+        // Stops at the ownership boundary, never skipping past it.
+        assert_eq!(f.prefetched, vec![p(1)]);
+    }
+
+    #[test]
+    fn read_then_write_by_same_remote_node() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        let _ = d.access(n(1), p(1), Access::Read);
+        // n1 holds a shared copy but is not owner: write must fault.
+        let Resolution::Fault(f) = d.access(n(1), p(1), Access::Write) else {
+            panic!("expected fault");
+        };
+        match f.kind {
+            FaultKind::WriteRemote { owner, invalidate } => {
+                assert_eq!(owner, n(0));
+                assert!(invalidate.is_empty());
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+        // Now n1 is exclusive owner: writes hit.
+        assert_eq!(d.access(n(1), p(1), Access::Write), Resolution::Hit);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the DSM coherence protocol.
+//!
+//! These drive the directory with arbitrary access sequences and check the
+//! MSI invariants after every step, plus coherence semantics: a writer
+//! becomes the exclusive owner, readers join the sharer set, and no stale
+//! copy survives a write.
+
+use comm::NodeId;
+use dsm::{Access, Dsm, DsmConfig, PageId, Resolution};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Op {
+    node: u32,
+    page: u32,
+    write: bool,
+}
+
+fn op_strategy(nodes: u32, pages: u32) -> impl Strategy<Value = Op> {
+    (0..nodes, 0..pages, any::<bool>()).prop_map(|(node, page, write)| Op { node, page, write })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_access(
+        ops in proptest::collection::vec(op_strategy(4, 8), 1..200),
+        contextual in any::<bool>(),
+        dirty in any::<bool>(),
+    ) {
+        let mut d = Dsm::new(DsmConfig {
+            page_size: sim_core::units::ByteSize::kib(4),
+            contextual,
+            dirty_bit_tracking: dirty,
+            read_prefetch: if dirty { 0 } else { 2 },
+        });
+        for op in &ops {
+            let node = NodeId::new(op.node);
+            let page = PageId::new(op.page);
+            let access = if op.write { Access::Write } else { Access::Read };
+            let _ = d.access(node, page, access);
+            prop_assert!(d.check_invariants().is_ok(), "{:?}", d.check_invariants());
+            // The accessing node must now hold a valid copy.
+            prop_assert!(d.is_cached(page, node));
+            if op.write {
+                // Writers become the exclusive owner.
+                prop_assert_eq!(d.owner(page), Some(node));
+                prop_assert_eq!(d.mode(page), Some(dsm::Mode::Exclusive));
+            }
+        }
+    }
+
+    #[test]
+    fn write_invalidates_all_other_copies(
+        readers in proptest::collection::btree_set(0u32..4, 1..4),
+        writer in 0u32..4,
+    ) {
+        let mut d = Dsm::new(DsmConfig::fragvisor());
+        let page = PageId::new(0);
+        d.ensure_page(page, NodeId::new(0), dsm::PageClass::AppShared);
+        for &r in &readers {
+            let _ = d.access(NodeId::new(r), page, Access::Read);
+        }
+        let _ = d.access(NodeId::new(writer), page, Access::Write);
+        for n in 0..4u32 {
+            let cached = d.is_cached(page, NodeId::new(n));
+            prop_assert_eq!(cached, n == writer, "node {} cached={}", n, cached);
+        }
+    }
+
+    #[test]
+    fn second_access_by_same_node_always_hits(
+        ops in proptest::collection::vec(op_strategy(4, 8), 1..100),
+    ) {
+        let mut d = Dsm::new(DsmConfig::fragvisor());
+        for op in &ops {
+            let node = NodeId::new(op.node);
+            let page = PageId::new(op.page);
+            let access = if op.write { Access::Write } else { Access::Read };
+            let _ = d.access(node, page, access);
+            // Immediately repeating the same access must hit: the fault
+            // transition installed a sufficient mapping.
+            let again = d.access(node, page, access);
+            prop_assert_eq!(again, Resolution::Hit);
+        }
+    }
+
+    #[test]
+    fn fault_count_matches_resolutions(
+        ops in proptest::collection::vec(op_strategy(3, 5), 1..150),
+    ) {
+        let mut d = Dsm::new(DsmConfig::fragvisor());
+        let mut faults = 0u64;
+        for op in &ops {
+            let access = if op.write { Access::Write } else { Access::Read };
+            if matches!(
+                d.access(NodeId::new(op.node), PageId::new(op.page), access),
+                Resolution::Fault(_)
+            ) {
+                faults += 1;
+            }
+        }
+        prop_assert_eq!(d.stats().total_faults(), faults);
+    }
+
+    #[test]
+    fn drain_preserves_invariants(
+        ops in proptest::collection::vec(op_strategy(4, 8), 1..100),
+        drained in 1u32..4,
+    ) {
+        let mut d = Dsm::new(DsmConfig::fragvisor());
+        for op in &ops {
+            let access = if op.write { Access::Write } else { Access::Read };
+            let _ = d.access(NodeId::new(op.node), PageId::new(op.page), access);
+        }
+        let _ = d.drain_node(NodeId::new(drained), NodeId::new(0));
+        prop_assert!(d.check_invariants().is_ok());
+        prop_assert_eq!(d.pages_cached_on(NodeId::new(drained)), 0);
+        prop_assert_eq!(d.pages_owned_by(NodeId::new(drained)), 0);
+    }
+}

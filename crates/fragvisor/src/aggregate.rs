@@ -1,0 +1,263 @@
+//! High-level Aggregate VM construction and consolidation.
+
+use comm::NodeId;
+use hypervisor::program::FixedCompute;
+use hypervisor::{HypervisorProfile, Placement, Program, VcpuId, VmBuilder, VmSim};
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+/// How a VM's vCPUs map onto the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Distribution {
+    /// One vCPU per node — the fully-fragmented Aggregate VM.
+    OneVcpuPerNode,
+    /// All vCPUs packed onto `pcpus` pCPUs of one node (overcommitment
+    /// when `pcpus` is smaller than the vCPU count).
+    Packed {
+        /// Number of pCPUs to time-share.
+        pcpus: u32,
+    },
+    /// Explicit placement per vCPU.
+    Custom(Vec<Placement>),
+}
+
+impl Distribution {
+    /// Expands the distribution into per-vCPU placements.
+    pub fn placements(&self, vcpus: usize) -> Vec<Placement> {
+        match self {
+            Distribution::OneVcpuPerNode => {
+                (0..vcpus).map(|i| Placement::new(i as u32, 0)).collect()
+            }
+            Distribution::Packed { pcpus } => {
+                let pcpus = (*pcpus).max(1);
+                (0..vcpus)
+                    .map(|i| Placement::new(0, i as u32 % pcpus))
+                    .collect()
+            }
+            Distribution::Custom(p) => {
+                assert_eq!(p.len(), vcpus, "custom placement count mismatch");
+                p.clone()
+            }
+        }
+    }
+
+    /// Number of cluster nodes the distribution needs.
+    pub fn nodes_needed(&self, vcpus: usize) -> usize {
+        self.placements(vcpus)
+            .iter()
+            .map(|p| p.node.index() + 1)
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+/// Marker type exposing the [`AggregateVm::spec`] entry point.
+pub struct AggregateVm;
+
+impl AggregateVm {
+    /// Starts building an Aggregate VM specification.
+    pub fn spec() -> AggregateVmSpec {
+        AggregateVmSpec::default()
+    }
+}
+
+/// Builder for an Aggregate VM simulation.
+pub struct AggregateVmSpec {
+    profile: HypervisorProfile,
+    vcpus: usize,
+    ram: ByteSize,
+    distribution: Distribution,
+    programs: Vec<Box<dyn Program>>,
+    net_home: Option<NodeId>,
+    blk_home: Option<NodeId>,
+    seed: u64,
+}
+
+impl Default for AggregateVmSpec {
+    fn default() -> Self {
+        AggregateVmSpec {
+            profile: HypervisorProfile::fragvisor(),
+            vcpus: 2,
+            ram: ByteSize::gib(4),
+            distribution: Distribution::OneVcpuPerNode,
+            programs: Vec::new(),
+            net_home: None,
+            blk_home: None,
+            seed: 42,
+        }
+    }
+}
+
+impl AggregateVmSpec {
+    /// Sets the hypervisor profile (defaults to FragVisor).
+    pub fn profile(mut self, profile: HypervisorProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the vCPU count.
+    pub fn vcpus(mut self, vcpus: usize) -> Self {
+        self.vcpus = vcpus;
+        self
+    }
+
+    /// Sets guest RAM.
+    pub fn ram(mut self, ram: ByteSize) -> Self {
+        self.ram = ram;
+        self
+    }
+
+    /// Sets the vCPU-to-node distribution.
+    pub fn distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Sets the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs one program per vCPU (must be called once per vCPU, in order),
+    /// or use [`AggregateVmSpec::compute_workload`] for a uniform load.
+    pub fn program(mut self, program: Box<dyn Program>) -> Self {
+        self.programs.push(program);
+        self
+    }
+
+    /// Gives every vCPU a fixed compute burst (quickstart helper).
+    pub fn compute_workload(mut self, per_vcpu: SimTime) -> Self {
+        self.programs = (0..self.vcpus)
+            .map(|_| Box::new(FixedCompute::new(per_vcpu)) as Box<dyn Program>)
+            .collect();
+        self
+    }
+
+    /// Attaches a virtio-net device homed on `node`.
+    pub fn with_net(mut self, node: NodeId) -> Self {
+        self.net_home = Some(node);
+        self
+    }
+
+    /// Attaches a virtio-blk device homed on `node`.
+    pub fn with_blk(mut self, node: NodeId) -> Self {
+        self.blk_home = Some(node);
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of programs does not match the vCPU count.
+    pub fn build(self) -> VmSim {
+        assert_eq!(
+            self.programs.len(),
+            self.vcpus,
+            "need exactly one program per vCPU"
+        );
+        let placements = self.distribution.placements(self.vcpus);
+        let nodes = self.distribution.nodes_needed(self.vcpus);
+        let mut b = VmBuilder::new(self.profile, nodes)
+            .ram(self.ram)
+            .seed(self.seed);
+        for (p, prog) in placements.into_iter().zip(self.programs) {
+            b = b.vcpu(p, prog);
+        }
+        if let Some(n) = self.net_home {
+            b = b.with_net(n);
+        }
+        if let Some(n) = self.blk_home {
+            b = b.with_blk(n);
+        }
+        b.build()
+    }
+}
+
+/// Consolidates every vCPU of a running Aggregate VM onto `target`
+/// (pCPU k for vCPU k), the way FragBFF does when a node frees up.
+/// Returns the number of migrations issued.
+pub fn consolidate_onto(sim: &mut VmSim, target: NodeId) -> u32 {
+    let mut moved = 0;
+    for i in 0..sim.world.vcpu_count() {
+        let v = VcpuId::from_usize(i);
+        if sim.world.placement_of(v).node != target {
+            let to = Placement {
+                node: target,
+                pcpu: i as u32,
+            };
+            if sim.migrate_vcpu(v, to) {
+                moved += 1;
+            }
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_expansion() {
+        let d = Distribution::OneVcpuPerNode;
+        let p = d.placements(3);
+        assert_eq!(p[2], Placement::new(2, 0));
+        assert_eq!(d.nodes_needed(3), 3);
+
+        let d = Distribution::Packed { pcpus: 2 };
+        let p = d.placements(4);
+        assert_eq!(p[0], Placement::new(0, 0));
+        assert_eq!(p[1], Placement::new(0, 1));
+        assert_eq!(p[2], Placement::new(0, 0));
+        assert_eq!(d.nodes_needed(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "custom placement count mismatch")]
+    fn custom_distribution_validates_len() {
+        let d = Distribution::Custom(vec![Placement::new(0, 0)]);
+        let _ = d.placements(2);
+    }
+
+    #[test]
+    fn quickstart_builds_and_runs() {
+        let mut sim = AggregateVm::spec()
+            .vcpus(4)
+            .distribution(Distribution::OneVcpuPerNode)
+            .compute_workload(SimTime::from_millis(5))
+            .build();
+        assert_eq!(sim.run(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn packed_distribution_overcommits() {
+        let mut sim = AggregateVm::spec()
+            .vcpus(4)
+            .profile(HypervisorProfile::single_machine())
+            .distribution(Distribution::Packed { pcpus: 1 })
+            .compute_workload(SimTime::from_millis(5))
+            .build();
+        assert_eq!(sim.run(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn consolidation_moves_all_vcpus() {
+        let mut sim = AggregateVm::spec()
+            .vcpus(3)
+            .distribution(Distribution::OneVcpuPerNode)
+            .compute_workload(SimTime::from_millis(50))
+            .build();
+        sim.run_until(SimTime::from_millis(10));
+        let moved = consolidate_onto(&mut sim, NodeId::new(0));
+        assert_eq!(moved, 2);
+        let _ = sim.run();
+        for i in 0..3 {
+            assert_eq!(
+                sim.world.placement_of(VcpuId::from_usize(i)).node,
+                NodeId::new(0)
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Bridging scheduler decisions onto running VMs.
+//!
+//! The scheduler (FragBFF) thinks in *per-node vCPU counts*; the
+//! hypervisor thinks in *per-vCPU placements*. This module converts
+//! between the two and computes minimal migration plans, so
+//! scheduler-driven consolidation (Figure 14) is a reusable operation
+//! rather than experiment-local glue.
+
+use comm::NodeId;
+use hypervisor::{Placement, VcpuId, VmSim};
+
+/// Expands per-node vCPU counts into concrete placements
+/// (vCPU k gets pCPU k on its node, mirroring the artifact's pinning).
+///
+/// # Examples
+///
+/// ```
+/// use fragvisor::deploy::placements_from_counts;
+/// let p = placements_from_counts(&[2, 0, 1, 0]);
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p[2].node.index(), 2);
+/// ```
+pub fn placements_from_counts(counts: &[u32]) -> Vec<Placement> {
+    let mut out = Vec::new();
+    for (node, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            out.push(Placement {
+                node: NodeId::from_usize(node),
+                pcpu: out.len() as u32,
+            });
+        }
+    }
+    out
+}
+
+/// Computes the minimal set of vCPU moves taking `current` per-vCPU node
+/// assignments to the target per-node `counts`.
+///
+/// vCPUs already on nodes that keep their population stay put; surplus
+/// vCPUs move to deficit nodes in index order (deterministic).
+///
+/// # Panics
+///
+/// Panics if the target counts do not sum to the vCPU count.
+pub fn migration_plan(current: &[NodeId], counts: &[u32]) -> Vec<(VcpuId, Placement)> {
+    let total: u32 = counts.iter().sum();
+    assert_eq!(
+        total as usize,
+        current.len(),
+        "target counts must cover every vCPU"
+    );
+    let mut have = vec![0u32; counts.len()];
+    for n in current {
+        have[n.index()] += 1;
+    }
+    let mut moves = Vec::new();
+    for (v, &node) in current.iter().enumerate() {
+        let n = node.index();
+        if have[n] > counts[n] {
+            if let Some(dst) = (0..counts.len()).find(|&d| have[d] < counts[d]) {
+                have[n] -= 1;
+                have[dst] += 1;
+                moves.push((
+                    VcpuId::from_usize(v),
+                    Placement {
+                        node: NodeId::from_usize(dst),
+                        pcpu: v as u32,
+                    },
+                ));
+            }
+        }
+    }
+    moves
+}
+
+/// Applies a target per-node count vector to a running VM by issuing the
+/// minimal migrations; returns how many were issued.
+pub fn apply_counts(sim: &mut VmSim, counts: &[u32]) -> u32 {
+    let current: Vec<NodeId> = (0..sim.world.vcpu_count())
+        .map(|v| sim.world.placement_of(VcpuId::from_usize(v)).node)
+        .collect();
+    let plan = migration_plan(&current, counts);
+    let mut issued = 0;
+    for (vcpu, to) in plan {
+        if sim.migrate_vcpu(vcpu, to) {
+            issued += 1;
+        }
+    }
+    issued
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggregateVm, Distribution};
+    use sim_core::time::SimTime;
+
+    #[test]
+    fn counts_expand_in_node_order() {
+        let p = placements_from_counts(&[0, 2, 0, 2]);
+        let nodes: Vec<usize> = p.iter().map(|p| p.node.index()).collect();
+        assert_eq!(nodes, vec![1, 1, 3, 3]);
+        // pCPUs are distinct.
+        let pcpus: Vec<u32> = p.iter().map(|p| p.pcpu).collect();
+        assert_eq!(pcpus, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn plan_moves_minimum() {
+        let current = vec![NodeId::new(0), NodeId::new(0), NodeId::new(1)];
+        // Consolidate everything onto node 1.
+        let plan = migration_plan(&current, &[0, 3]);
+        assert_eq!(plan.len(), 2);
+        for (_, p) in &plan {
+            assert_eq!(p.node, NodeId::new(1));
+        }
+        // Already-satisfied targets produce no moves.
+        assert!(migration_plan(&current, &[2, 1]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every vCPU")]
+    fn plan_validates_totals() {
+        let _ = migration_plan(&[NodeId::new(0)], &[2, 0]);
+    }
+
+    #[test]
+    fn apply_counts_consolidates_running_vm() {
+        let mut sim = AggregateVm::spec()
+            .vcpus(4)
+            .distribution(Distribution::OneVcpuPerNode)
+            .compute_workload(SimTime::from_millis(50))
+            .build();
+        sim.run_until(SimTime::from_millis(5));
+        let moved = apply_counts(&mut sim, &[4, 0, 0, 0]);
+        assert_eq!(moved, 3);
+        let _ = sim.run();
+        for v in 0..4 {
+            assert_eq!(
+                sim.world.placement_of(VcpuId::from_usize(v)).node,
+                NodeId::new(0)
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! FragVisor: a resource-borrowing hypervisor providing **Aggregate VMs**.
+//!
+//! This is the core crate of the workspace — the public API of the paper's
+//! contribution. An *Aggregate VM* temporarily aggregates fragmented
+//! hardware resources (pCPUs, RAM, I/O devices) from several physical
+//! machines into one VM, as an alternative to overcommitment and to
+//! evictable transient VMs. The enabling mechanisms, re-exported from the
+//! substrate crates, are:
+//!
+//! * a kernel-space page-granularity DSM giving all slices a coherent view
+//!   of the guest pseudo-physical memory ([`dsm`]);
+//! * distributed vCPUs with cross-node IPI forwarding and **live vCPU
+//!   migration** (≈86 µs/vCPU) for consolidation and fault avoidance
+//!   ([`hypervisor::vm`]);
+//! * **delegated VirtIO devices** with multiqueue and DSM-bypass
+//!   ([`virtio`]);
+//! * guest-kernel optimizations and runtime NUMA topology updates
+//!   ([`guest`]);
+//! * distributed checkpoint/restart ([`hypervisor::checkpoint`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fragvisor::{AggregateVm, Distribution};
+//! use sim_core::time::SimTime;
+//!
+//! // Four vCPUs borrowed from four different machines.
+//! let mut sim = AggregateVm::spec()
+//!     .vcpus(4)
+//!     .distribution(Distribution::OneVcpuPerNode)
+//!     .compute_workload(SimTime::from_millis(10))
+//!     .build();
+//! let makespan = sim.run();
+//! assert_eq!(makespan, SimTime::from_millis(10)); // Full parallelism.
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod deploy;
+pub mod scenarios;
+
+pub use aggregate::{AggregateVm, AggregateVmSpec, Distribution};
+pub use hypervisor::checkpoint::{checkpoint, restore, CheckpointReport};
+pub use hypervisor::{
+    ClientConfig, ClientModel, ClientSend, HypervisorProfile, Op, Placement, ProgCtx, Program,
+    VcpuId, VmBuilder, VmSim, VmStats, VmWorld,
+};
+
+/// The FragVisor hypervisor profile (kernel DSM, multiqueue + DSM-bypass,
+/// NUMA updates, optimized guest, mobility).
+pub fn profile() -> HypervisorProfile {
+    HypervisorProfile::fragvisor()
+}
+
+/// FragVisor driving an unmodified (vanilla) guest kernel — the baseline
+/// of the Figure 10 comparison.
+pub fn profile_vanilla_guest() -> HypervisorProfile {
+    HypervisorProfile::fragvisor_vanilla_guest()
+}
+
+/// The single-machine profile used for overcommitment baselines.
+pub fn overcommit_profile() -> HypervisorProfile {
+    HypervisorProfile::single_machine()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct() {
+        assert_eq!(profile().name, "fragvisor");
+        assert_eq!(overcommit_profile().name, "single-machine");
+        assert_eq!(profile_vanilla_guest().name, "fragvisor-vanilla-guest");
+        assert!(profile().mobility);
+    }
+}

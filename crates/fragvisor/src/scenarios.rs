@@ -1,0 +1,505 @@
+//! Canonical experiment scenarios.
+//!
+//! Every figure harness, integration test and example builds its VMs
+//! through these functions, so the exact deployment of each paper
+//! experiment (pinnings, device homes, client links, request counts) is
+//! defined once.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use comm::{LinkProfile, NodeId};
+use dsm::PageId;
+use hypervisor::{ClientConfig, HypervisorProfile, Placement, VcpuId, VmBuilder, VmSim};
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+use workloads::faas::FaasPhases;
+use workloads::{
+    AbClient, BlkStreamer, ConcurrentWriter, DbWorker, FaasWorker, LempConfig, NginxDispatcher,
+    NpbClass, NpbKernel, NpbOmp, NpbSerial, PhpDbWorker, PhpWorker, SharingLoop, SharingMode,
+    StaticServer,
+};
+
+use crate::aggregate::Distribution;
+
+/// Base page for microbenchmark arrays (far above any allocated region).
+const MICRO_BASE: u32 = 2_000_000;
+
+/// Figures 8/9/10: one serial NPB instance per vCPU.
+pub fn npb_multiprocess(
+    kernel: NpbKernel,
+    class: NpbClass,
+    vcpus: usize,
+    profile: HypervisorProfile,
+    dist: &Distribution,
+) -> VmSim {
+    let placements = dist.placements(vcpus);
+    let nodes = dist.nodes_needed(vcpus).max(1);
+    let mut b = VmBuilder::new(profile, nodes)
+        .ram(ByteSize::gib(8))
+        // The guest runs with CONFIG_HZ=250 (the v4.4 default).
+        .with_timer(SimTime::from_millis(4));
+    for (i, p) in placements.into_iter().enumerate() {
+        b = b.vcpu(p, Box::new(NpbSerial::new(kernel, class, i)));
+    }
+    b.build()
+}
+
+/// Figure 1 (OMP side): one shared-memory NPB instance with a given
+/// write-sharing degree per compute chunk.
+pub fn npb_omp(
+    write_share: f64,
+    vcpus: usize,
+    total: SimTime,
+    profile: HypervisorProfile,
+    dist: &Distribution,
+) -> VmSim {
+    let placements = dist.placements(vcpus);
+    let nodes = dist.nodes_needed(vcpus).max(1);
+    let shared = guest::memory::Region {
+        first: PageId::new(MICRO_BASE),
+        pages: 128,
+    };
+    let mut b = VmBuilder::new(profile, nodes).ram(ByteSize::gib(4));
+    for (i, p) in placements.into_iter().enumerate() {
+        b = b.vcpu(
+            p,
+            Box::new(NpbOmp::new(
+                shared,
+                write_share,
+                total,
+                SimTime::from_micros(5),
+                i,
+                vcpus,
+            )),
+        );
+    }
+    b.build()
+}
+
+/// Figure 4: the sharing-level loop, `iters` read+write iterations per
+/// vCPU against the pattern's page assignment. The shared page and the
+/// no-sharing stream ranges are homed so that every iteration pays a
+/// remote fault; the sharing cases additionally contend.
+pub fn sharing_loop(
+    mode: SharingMode,
+    vcpus: usize,
+    iters: u64,
+    profile: HypervisorProfile,
+) -> VmSim {
+    let base = PageId::new(MICRO_BASE);
+    let mut b = VmBuilder::new(profile, vcpus).ram(ByteSize::gib(2));
+    for v in 0..vcpus {
+        b = b.vcpu(
+            Placement::new(v as u32, 0),
+            Box::new(SharingLoop::new(
+                mode,
+                base,
+                v,
+                vcpus,
+                iters,
+                SimTime::from_nanos(50),
+            )),
+        );
+    }
+    let mut sim = b.build();
+    // Home every touched page on the *next* node so even the no-sharing
+    // stream performs one cold remote fetch per iteration (the paper's
+    // normalization baseline).
+    for v in 0..vcpus {
+        let home = NodeId::from_usize((v + 1) % vcpus);
+        let pages: Vec<PageId> = (0..iters)
+            .map(|i| mode.page_for(base, v, vcpus, i))
+            .collect();
+        sim.world
+            .mem
+            .register_pages(&pages, home, dsm::PageClass::AppShared);
+    }
+    sim
+}
+
+/// Figure 5: concurrent writers until `deadline`; `page_groups[i]` is the
+/// page index vCPU `i` writes (same index = same page). Returns the sim
+/// and each writer's completed-write counter.
+pub fn concurrent_writes(
+    page_groups: &[u32],
+    deadline: SimTime,
+    profile: HypervisorProfile,
+    dist: &Distribution,
+) -> (VmSim, Vec<Rc<Cell<u64>>>) {
+    let vcpus = page_groups.len();
+    let placements = dist.placements(vcpus);
+    let nodes = dist.nodes_needed(vcpus).max(1);
+    let mut b = VmBuilder::new(profile, nodes).ram(ByteSize::gib(2));
+    let mut counters = Vec::new();
+    for (i, p) in placements.into_iter().enumerate() {
+        let page = PageId::new(MICRO_BASE + page_groups[i]);
+        let (prog, counter) = ConcurrentWriter::new(page, deadline, SimTime::from_nanos(100));
+        counters.push(counter);
+        b = b.vcpu(p, Box::new(prog));
+    }
+    (b.build(), counters)
+}
+
+/// Figure 6: NGINX static server on `server_node` with the NIC on node 0;
+/// `requests` ApacheBench requests of `response`-sized pages over 1 GbE.
+pub fn net_delegation(
+    server_node: u32,
+    response: ByteSize,
+    requests: u64,
+    profile: HypervisorProfile,
+) -> VmSim {
+    net_delegation_with(server_node, response, requests, 10, false, profile)
+}
+
+/// [`net_delegation`] with explicit client concurrency and content mode.
+pub fn net_delegation_with(
+    server_node: u32,
+    response: ByteSize,
+    requests: u64,
+    concurrency: u64,
+    dynamic: bool,
+    profile: HypervisorProfile,
+) -> VmSim {
+    let nodes = (server_node as usize + 1).max(2);
+    let mut b = VmBuilder::new(profile, nodes).with_net(NodeId::new(0));
+    let server = if dynamic {
+        StaticServer::dynamic(response)
+    } else {
+        StaticServer::new(response)
+    };
+    b = b.vcpu(Placement::new(server_node, 0), Box::new(server));
+    b = b.with_client(ClientConfig {
+        node: NodeId::new(0),
+        link: LinkProfile::ethernet_1g(),
+        model: Box::new(AbClient::new(
+            requests,
+            concurrency,
+            ByteSize::bytes(200),
+            vec![VcpuId::new(0)],
+        )),
+    });
+    b.build()
+}
+
+/// Figure 6 ablation: like [`net_delegation`] but with per-request
+/// regenerated (dynamic) content, so the DSM data path is exercised on
+/// every response rather than only on first touch.
+pub fn net_delegation_dynamic(
+    server_node: u32,
+    response: ByteSize,
+    requests: u64,
+    profile: HypervisorProfile,
+) -> VmSim {
+    net_delegation_with(server_node, response, requests, 10, true, profile)
+}
+
+/// Figure 7: single-threaded sequential storage through virtio-blk, the
+/// disk homed on node 0 and the vCPU on `vcpu_node`.
+pub fn storage_delegation(
+    vcpu_node: u32,
+    total: ByteSize,
+    write: bool,
+    tmpfs: bool,
+    profile: HypervisorProfile,
+) -> VmSim {
+    let nodes = (vcpu_node as usize + 1).max(2);
+    let mut b = VmBuilder::new(profile, nodes).with_blk(NodeId::new(0));
+    b = b.vcpu(
+        Placement::new(vcpu_node, 0),
+        Box::new(BlkStreamer::new(total, ByteSize::mib(1), write, tmpfs)),
+    );
+    b.build()
+}
+
+/// Memory borrowing (§4: "a VM slice can be composed of just memory"):
+/// a single-vCPU VM on node 0 whose dataset is partially homed on a
+/// memory-only slice on node 1. The program sweeps the dataset; the
+/// borrowed fraction is fetched through the DSM on first touch.
+pub fn memory_borrowing(
+    dataset_pages: u64,
+    borrowed_fraction: f64,
+    sweeps: u64,
+    profile: HypervisorProfile,
+) -> VmSim {
+    use dsm::Access;
+    use hypervisor::Op;
+
+    /// Sequentially reads the dataset `sweeps` times with light compute.
+    #[derive(Debug)]
+    struct Sweeper {
+        first: PageId,
+        pages: u64,
+        left: u64,
+        cursor: u64,
+        charge: u64,
+    }
+    impl hypervisor::Program for Sweeper {
+        fn next(&mut self, _cx: &mut hypervisor::ProgCtx<'_>) -> Op {
+            if self.charge > 0 {
+                // ~200ns of compute per page swept in the last batch.
+                let work = SimTime::from_nanos(200 * self.charge);
+                self.charge = 0;
+                return Op::Compute(work);
+            }
+            if self.left == 0 {
+                return Op::Done;
+            }
+            let batch = 64.min(self.pages - self.cursor);
+            let touches: Vec<(PageId, Access)> = (0..batch)
+                .map(|i| {
+                    (
+                        PageId::from_usize(self.first.index() + (self.cursor + i) as usize),
+                        Access::Read,
+                    )
+                })
+                .collect();
+            self.cursor += batch;
+            self.charge = batch;
+            if self.cursor >= self.pages {
+                self.cursor = 0;
+                self.left -= 1;
+            }
+            Op::TouchBatch(touches)
+        }
+        fn label(&self) -> &str {
+            "mem-sweeper"
+        }
+    }
+
+    let first = PageId::new(MICRO_BASE);
+    let mut b = VmBuilder::new(profile, 2).ram(ByteSize::gib(8));
+    b = b.vcpu(
+        Placement::new(0, 0),
+        Box::new(Sweeper {
+            first,
+            pages: dataset_pages,
+            left: sweeps,
+            cursor: 0,
+            charge: 0,
+        }),
+    );
+    let mut sim = b.build();
+    let local_pages = ((1.0 - borrowed_fraction) * dataset_pages as f64) as u64;
+    let local: Vec<PageId> = (0..local_pages)
+        .map(|i| PageId::from_usize(first.index() + i as usize))
+        .collect();
+    let borrowed: Vec<PageId> = (local_pages..dataset_pages)
+        .map(|i| PageId::from_usize(first.index() + i as usize))
+        .collect();
+    sim.world
+        .mem
+        .register_pages(&local, NodeId::new(0), dsm::PageClass::Private);
+    sim.world
+        .mem
+        .register_pages(&borrowed, NodeId::new(1), dsm::PageClass::Private);
+    sim
+}
+
+/// Figure 12: the LEMP stack — NGINX on vCPU0, PHP workers on the rest,
+/// an ApacheBench client over 1 GbE issuing `requests` requests.
+pub fn lemp(
+    config: LempConfig,
+    profile: HypervisorProfile,
+    dist: &Distribution,
+    requests: u64,
+) -> VmSim {
+    let placements = dist.placements(config.vcpus);
+    let nodes = dist.nodes_needed(config.vcpus).max(1);
+    let mut b = VmBuilder::new(profile, nodes).with_net(NodeId::new(0));
+    b = b.vcpu(placements[0], Box::new(NginxDispatcher::new(config)));
+    for (i, &p) in placements.iter().enumerate().skip(1) {
+        b = b.vcpu(p, Box::new(PhpWorker::new(config, i)));
+    }
+    b = b.with_client(ClientConfig {
+        node: NodeId::new(0),
+        link: LinkProfile::ethernet_1g(),
+        model: Box::new(AbClient::new(
+            requests,
+            10,
+            ByteSize::bytes(300),
+            vec![VcpuId::new(0)],
+        )),
+    });
+    b.build()
+}
+
+/// The full LEMP stack including the MySQL tier: NGINX on vCPU0, PHP
+/// workers in the middle, the database on the last vCPU. `vcpus` counts
+/// everything (so `vcpus - 2` PHP workers serve requests).
+pub fn lemp_full_stack(
+    processing_ms: u64,
+    vcpus: usize,
+    profile: HypervisorProfile,
+    dist: &Distribution,
+    requests: u64,
+) -> VmSim {
+    assert!(vcpus >= 3, "full stack needs nginx + php + db");
+    // The dispatcher round-robins over 1..dispatch.vcpus; the DB is extra.
+    let dispatch = LempConfig::paper(processing_ms, vcpus - 1);
+    let db = VcpuId::from_usize(vcpus - 1);
+    let placements = dist.placements(vcpus);
+    let nodes = dist.nodes_needed(vcpus).max(1);
+    let mut b = VmBuilder::new(profile, nodes).with_net(NodeId::new(0));
+    b = b.vcpu(placements[0], Box::new(NginxDispatcher::new(dispatch)));
+    for (i, &p) in placements.iter().enumerate().take(vcpus - 1).skip(1) {
+        b = b.vcpu(p, Box::new(PhpDbWorker::new(dispatch, i, db)));
+    }
+    b = b.vcpu(placements[vcpus - 1], Box::new(DbWorker::new()));
+    b = b.with_client(ClientConfig {
+        node: NodeId::new(0),
+        link: LinkProfile::ethernet_1g(),
+        model: Box::new(AbClient::new(
+            requests,
+            10,
+            ByteSize::bytes(300),
+            vec![VcpuId::new(0)],
+        )),
+    });
+    b.build()
+}
+
+/// Figure 13: OpenLambda — one worker per vCPU, one invocation per worker
+/// in flight, the picture database reachable over the cluster fabric.
+pub fn faas(
+    vcpus: usize,
+    invocations_per_worker: u64,
+    profile: HypervisorProfile,
+    dist: &Distribution,
+) -> (VmSim, Vec<Rc<RefCell<Vec<FaasPhases>>>>) {
+    let placements = dist.placements(vcpus);
+    let nodes = dist.nodes_needed(vcpus).max(1);
+    let mut b = VmBuilder::new(profile, nodes).with_net(NodeId::new(0));
+    let mut phases = Vec::new();
+    let mut targets = Vec::new();
+    let mut archive = ByteSize::mib(4);
+    for (v, p) in placements.into_iter().enumerate() {
+        let (worker, ph) = FaasWorker::new(v, invocations_per_worker);
+        archive = worker.archive_size();
+        phases.push(ph);
+        targets.push(VcpuId::from_usize(v));
+        b = b.vcpu(p, Box::new(worker));
+    }
+    b = b.with_client(ClientConfig {
+        node: NodeId::new(0),
+        link: LinkProfile::infiniband_56g(),
+        model: Box::new(AbClient::new(
+            vcpus as u64 * invocations_per_worker,
+            vcpus as u64,
+            archive,
+            targets,
+        )),
+    });
+    (b.build(), phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn npb_scenario_runs_all_profiles() {
+        for profile in [HypervisorProfile::fragvisor(), HypervisorProfile::giantvm()] {
+            let mut sim = npb_multiprocess(
+                NpbKernel::Ep,
+                NpbClass::Sim,
+                2,
+                profile,
+                &Distribution::OneVcpuPerNode,
+            );
+            assert!(sim.run() > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_group_semantics() {
+        // Max sharing: all four on one page -> heavy faults, few writes.
+        let deadline = SimTime::from_millis(2);
+        let (mut max_sim, max_counts) = concurrent_writes(
+            &[0, 0, 0, 0],
+            deadline,
+            HypervisorProfile::fragvisor(),
+            &Distribution::OneVcpuPerNode,
+        );
+        let _ = max_sim.run();
+        let (mut none_sim, none_counts) = concurrent_writes(
+            &[0, 1, 2, 3],
+            deadline,
+            HypervisorProfile::fragvisor(),
+            &Distribution::OneVcpuPerNode,
+        );
+        let _ = none_sim.run();
+        let max_total: u64 = max_counts.iter().map(|c| c.get()).sum();
+        let none_total: u64 = none_counts.iter().map(|c| c.get()).sum();
+        assert!(
+            none_total > max_total * 10,
+            "no-sharing {none_total} vs max-sharing {max_total}"
+        );
+    }
+
+    #[test]
+    fn net_delegation_scenario() {
+        let mut sim = net_delegation(1, ByteSize::kib(256), 10, HypervisorProfile::fragvisor());
+        let t = sim.run_client();
+        assert!(t > SimTime::ZERO);
+        assert_eq!(sim.world.stats.completed_requests, 10);
+    }
+
+    #[test]
+    fn storage_delegation_scenario() {
+        let mut sim = storage_delegation(
+            1,
+            ByteSize::mib(8),
+            true,
+            false,
+            HypervisorProfile::fragvisor(),
+        );
+        assert!(sim.run() > SimTime::from_millis(16));
+    }
+
+    #[test]
+    fn lemp_and_faas_scenarios_complete() {
+        let mut sim = lemp(
+            LempConfig::paper(100, 2),
+            HypervisorProfile::fragvisor(),
+            &Distribution::OneVcpuPerNode,
+            5,
+        );
+        sim.run_client();
+        assert_eq!(sim.world.stats.completed_requests, 5);
+
+        let (mut sim, phases) = faas(
+            2,
+            1,
+            HypervisorProfile::fragvisor(),
+            &Distribution::OneVcpuPerNode,
+        );
+        let _ = sim.run();
+        assert_eq!(phases[0].borrow().len(), 1);
+    }
+
+    #[test]
+    fn full_stack_lemp_scenario() {
+        let mut sim = lemp_full_stack(
+            50,
+            4,
+            HypervisorProfile::fragvisor(),
+            &Distribution::OneVcpuPerNode,
+            8,
+        );
+        sim.run_client();
+        assert_eq!(sim.world.stats.completed_requests, 8);
+    }
+
+    #[test]
+    fn omp_scenario_runs() {
+        let mut sim = npb_omp(
+            0.2,
+            2,
+            SimTime::from_millis(5),
+            HypervisorProfile::fragvisor(),
+            &Distribution::OneVcpuPerNode,
+        );
+        assert!(sim.run() >= SimTime::from_millis(5));
+    }
+}

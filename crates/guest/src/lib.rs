@@ -1,0 +1,85 @@
+//! Guest operating-system model.
+//!
+//! FragVisor runs an unmodified Linux guest, plus an *optimized* variant
+//! with "minimal modifications" that the paper shows delivering significant
+//! gains (§6.1, Figure 10). What those modifications change is guest
+//! *memory behaviour*, so that is what this crate models:
+//!
+//! * a pseudo-physical **memory layout** ([`memory::RegionAllocator`])
+//!   handing out page ranges for kernel areas, application regions and
+//!   device rings;
+//! * the **kernel hot pages** every vCPU touches when it enters the kernel
+//!   ([`kernel::KernelPages`]): with the vanilla layout, uncorrelated
+//!   structures share pages (false sharing) and every syscall/allocation
+//!   hits globally-shared pages; the optimized layout pads them so most
+//!   kernel work stays on per-vCPU pages;
+//! * **kernel operations** ([`kernel::KernelOp`]) — syscalls, page
+//!   allocation, page-table updates — each expanded into CPU time plus a
+//!   deterministic page-touch trace;
+//! * the **NUMA policy**: with runtime NUMA topology updates the guest
+//!   first-touch-allocates locally and keeps tasks near their memory;
+//!   without them it allocates from the bootstrap node's zones.
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod memory;
+
+pub use kernel::{KernelOp, KernelPages, OpTrace};
+pub use memory::{Region, RegionAllocator};
+
+use comm::NodeId;
+
+/// Guest configuration: which of the paper's guest-side optimizations are
+/// active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestConfig {
+    /// Padded kernel data structures (no false sharing across pages).
+    pub optimized_layout: bool,
+    /// React to the hypervisor's runtime NUMA topology updates.
+    pub numa_aware: bool,
+}
+
+impl GuestConfig {
+    /// The paper's optimized guest kernel.
+    pub fn optimized() -> Self {
+        GuestConfig {
+            optimized_layout: true,
+            numa_aware: true,
+        }
+    }
+
+    /// Vanilla Linux v4.4.137.
+    pub fn vanilla() -> Self {
+        GuestConfig {
+            optimized_layout: false,
+            numa_aware: false,
+        }
+    }
+}
+
+/// Where the guest allocates a fresh page for a task running on
+/// `vcpu_node`.
+///
+/// A NUMA-aware guest allocates from the local node's (virtual) zone; a
+/// vanilla guest draws from the zone list rooted at the bootstrap node.
+pub fn alloc_home(config: GuestConfig, vcpu_node: NodeId, bootstrap: NodeId) -> NodeId {
+    if config.numa_aware {
+        vcpu_node
+    } else {
+        bootstrap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numa_policy_controls_alloc_home() {
+        let b = NodeId::new(0);
+        let local = NodeId::new(2);
+        assert_eq!(alloc_home(GuestConfig::optimized(), local, b), local);
+        assert_eq!(alloc_home(GuestConfig::vanilla(), local, b), b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Guest pseudo-physical memory layout.
+
+use dsm::PageId;
+use sim_core::units::ByteSize;
+
+/// A contiguous range of guest pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First page of the region.
+    pub first: PageId,
+    /// Number of pages.
+    pub pages: u64,
+}
+
+impl Region {
+    /// The `i`-th page of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn page(&self, i: u64) -> PageId {
+        assert!(i < self.pages, "page index out of region");
+        PageId::from_usize(self.first.index() + i as usize)
+    }
+
+    /// Iterates over all pages of the region.
+    pub fn iter(&self) -> impl Iterator<Item = PageId> + '_ {
+        (0..self.pages).map(|i| self.page(i))
+    }
+
+    /// Size of the region in bytes (4 KiB pages).
+    pub fn size(&self) -> ByteSize {
+        ByteSize::bytes(self.pages * 4096)
+    }
+}
+
+/// A bump allocator over the guest pseudo-physical space.
+///
+/// The guest's view of memory never shrinks in our workloads (regions are
+/// reused, not unmapped), so a bump allocator with named regions is enough
+/// and keeps every experiment's layout deterministic.
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    next: u64,
+    limit: u64,
+    allocated: Vec<(String, Region)>,
+}
+
+impl RegionAllocator {
+    /// Creates an allocator over `ram` bytes of pseudo-physical memory.
+    pub fn new(ram: ByteSize) -> Self {
+        RegionAllocator {
+            next: 0,
+            limit: ram.pages_4k(),
+            allocated: Vec::new(),
+        }
+    }
+
+    /// Allocates a named region of `pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guest runs out of pseudo-physical memory — a
+    /// configuration error in an experiment, not a runtime condition.
+    pub fn alloc(&mut self, name: &str, pages: u64) -> Region {
+        assert!(
+            self.next + pages <= self.limit,
+            "guest out of memory allocating {pages} pages for {name} \
+             ({} of {} used)",
+            self.next,
+            self.limit
+        );
+        let region = Region {
+            first: PageId::from_usize(self.next as usize),
+            pages,
+        };
+        self.next += pages;
+        self.allocated.push((name.to_string(), region));
+        region
+    }
+
+    /// Allocates a region sized in bytes (rounded up to whole pages).
+    pub fn alloc_bytes(&mut self, name: &str, size: ByteSize) -> Region {
+        self.alloc(name, size.pages_4k().max(1))
+    }
+
+    /// Pages allocated so far.
+    pub fn used_pages(&self) -> u64 {
+        self.next
+    }
+
+    /// Pages still available.
+    pub fn free_pages(&self) -> u64 {
+        self.limit - self.next
+    }
+
+    /// Looks up a region by name (first match).
+    pub fn find(&self, name: &str) -> Option<Region> {
+        self.allocated
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_contiguous_and_disjoint() {
+        let mut a = RegionAllocator::new(ByteSize::mib(1));
+        let r1 = a.alloc("a", 10);
+        let r2 = a.alloc("b", 20);
+        assert_eq!(r1.first, PageId::new(0));
+        assert_eq!(r2.first, PageId::new(10));
+        assert_eq!(a.used_pages(), 30);
+        assert_eq!(a.free_pages(), 256 - 30);
+    }
+
+    #[test]
+    fn region_paging() {
+        let r = Region {
+            first: PageId::new(5),
+            pages: 3,
+        };
+        assert_eq!(r.page(0), PageId::new(5));
+        assert_eq!(r.page(2), PageId::new(7));
+        assert_eq!(r.iter().count(), 3);
+        assert_eq!(r.size(), ByteSize::kib(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn out_of_region_page_panics() {
+        let r = Region {
+            first: PageId::new(0),
+            pages: 1,
+        };
+        let _ = r.page(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "guest out of memory")]
+    fn oom_panics() {
+        let mut a = RegionAllocator::new(ByteSize::kib(8));
+        let _ = a.alloc("big", 3);
+    }
+
+    #[test]
+    fn alloc_bytes_rounds_up() {
+        let mut a = RegionAllocator::new(ByteSize::mib(1));
+        let r = a.alloc_bytes("x", ByteSize::bytes(1));
+        assert_eq!(r.pages, 1);
+        let r = a.alloc_bytes("y", ByteSize::bytes(4097));
+        assert_eq!(r.pages, 2);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut a = RegionAllocator::new(ByteSize::mib(1));
+        let r = a.alloc("kernel", 4);
+        assert_eq!(a.find("kernel"), Some(r));
+        assert_eq!(a.find("missing"), None);
+    }
+}

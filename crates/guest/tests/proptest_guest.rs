@@ -1,0 +1,108 @@
+//! Property tests for the guest memory layout and kernel-op traces.
+
+use guest::memory::RegionAllocator;
+use guest::{KernelOp, KernelPages};
+use proptest::prelude::*;
+use sim_core::units::ByteSize;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Allocated regions are pairwise disjoint and within the RAM bound.
+    #[test]
+    fn regions_disjoint_and_bounded(
+        sizes in proptest::collection::vec(1u64..512, 1..30),
+    ) {
+        let total: u64 = sizes.iter().sum();
+        let mut a = RegionAllocator::new(ByteSize::bytes(total * 4096));
+        let regions: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| a.alloc(&format!("r{i}"), s))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for r in &regions {
+            for p in r.iter() {
+                prop_assert!(seen.insert(p), "page {p} allocated twice");
+            }
+        }
+        prop_assert_eq!(a.used_pages(), total);
+        prop_assert_eq!(a.free_pages(), 0);
+    }
+
+    /// Kernel op traces are well-formed for any op and vCPU: non-empty
+    /// for state-touching ops, all pages within kernel regions, CPU time
+    /// bounded and monotone in the operation size.
+    #[test]
+    fn op_traces_well_formed(
+        vcpus in 1usize..8,
+        vcpu in 0usize..8,
+        pages in 1u64..4_096,
+        optimized in any::<bool>(),
+    ) {
+        let vcpu = vcpu % vcpus;
+        let mut alloc = RegionAllocator::new(ByteSize::gib(1));
+        let mut kp = KernelPages::layout(&mut alloc, vcpus, optimized);
+        let kernel_limit = alloc.used_pages();
+        for op in [
+            KernelOp::Syscall,
+            KernelOp::AllocPages(pages),
+            KernelOp::FreePages(pages),
+            KernelOp::MapShared(pages),
+            KernelOp::LocalSocketSend(pages * 7),
+            KernelOp::TimerTick,
+            KernelOp::Spawn,
+        ] {
+            let t = kp.op_trace(vcpu, op);
+            prop_assert!(!t.touches.is_empty(), "{op:?} touches nothing");
+            for (page, _) in &t.touches {
+                prop_assert!(
+                    (page.index() as u64) < kernel_limit,
+                    "{op:?} touched non-kernel page {page}"
+                );
+            }
+            prop_assert!(t.cpu.as_nanos() > 0);
+        }
+        // Bigger allocations cost more CPU.
+        let small = kp.op_trace(vcpu, KernelOp::AllocPages(1)).cpu;
+        let large = kp.op_trace(vcpu, KernelOp::AllocPages(pages + 1)).cpu;
+        prop_assert!(large >= small);
+        // Shootdowns only on SMP remaps.
+        let remap = kp.op_trace(vcpu, KernelOp::MapShared(pages));
+        prop_assert_eq!(remap.tlb_shootdown, vcpus > 1);
+    }
+
+    /// The padded layout never increases cross-vCPU page overlap, and the
+    /// allocation path always overlaps on the (truly shared) zone page.
+    #[test]
+    fn padded_layout_reduces_overlap(rounds in 16usize..128) {
+        let overlap = |optimized: bool| -> usize {
+            let mut alloc = RegionAllocator::new(ByteSize::gib(1));
+            let mut kp = KernelPages::layout(&mut alloc, 4, optimized);
+            let mut per_vcpu: Vec<std::collections::HashSet<dsm::PageId>> =
+                vec![Default::default(); 4];
+            for r in 0..rounds {
+                let v = r % 4;
+                for (p, _) in kp.op_trace(v, KernelOp::AllocPages(8)).touches {
+                    per_vcpu[v].insert(p);
+                }
+            }
+            let mut shared = 0;
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    shared += per_vcpu[a].intersection(&per_vcpu[b]).count();
+                }
+            }
+            shared
+        };
+        let vanilla = overlap(false);
+        let padded = overlap(true);
+        prop_assert!(
+            padded <= vanilla,
+            "padded overlap {padded} vs vanilla {vanilla}"
+        );
+        // The buddy/zone page is shared in both layouts.
+        prop_assert!(vanilla > 0, "vanilla must overlap");
+        prop_assert!(padded > 0, "even padded shares the zone page");
+    }
+}

@@ -1,0 +1,412 @@
+//! VM memory: guest layout + DSM + the fault executor.
+//!
+//! [`VmMemory`] binds the guest memory model to the DSM directory and
+//! knows how to *cost* a fault: it plays the [`dsm::FaultPlan`] message
+//! choreography out on the [`comm::Fabric`] (so DSM traffic occupies real
+//! link bandwidth) and returns the completion time.
+
+use comm::{Fabric, MsgClass, NodeId};
+use dsm::{Access, Dsm, FaultKind, FaultPlan, PageClass, PageId, Resolution};
+use guest::memory::{Region, RegionAllocator};
+use guest::{GuestConfig, KernelPages};
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+use crate::profile::HypervisorProfile;
+
+/// Size of a DSM control message (request, invalidation, ack).
+const DSM_CTRL: ByteSize = ByteSize::bytes(64);
+
+/// Page payload message: page plus header.
+const DSM_PAGE: ByteSize = ByteSize::bytes(4096 + 64);
+
+/// Cost of installing a received page/permission into the EPT.
+const INSTALL_COST: SimTime = SimTime::from_nanos(500);
+
+/// Retry backoff when a fault hits a page with an in-flight transaction.
+///
+/// Popcorn's DSM NACKs concurrent ownership requests; the loser backs off
+/// and refaults. Under write contention this dominates the per-operation
+/// cost (it is why the Figure-5 max-sharing traffic is only a few MB/s).
+const CONTENTION_BACKOFF: SimTime = SimTime::from_micros(15);
+
+/// The guest memory subsystem of one VM.
+#[derive(Debug)]
+pub struct VmMemory {
+    /// The coherence directory.
+    pub dsm: Dsm,
+    /// The pseudo-physical region allocator.
+    pub alloc: RegionAllocator,
+    /// The guest kernel's page footprint.
+    pub kernel: KernelPages,
+    guest_config: GuestConfig,
+    bootstrap: NodeId,
+    fault_handler_cpu: SimTime,
+}
+
+impl VmMemory {
+    /// Lays out guest memory for a VM with `vcpus` vCPUs and `ram` bytes,
+    /// booted on `bootstrap`.
+    pub fn new(
+        profile: &HypervisorProfile,
+        vcpus: usize,
+        ram: ByteSize,
+        bootstrap: NodeId,
+    ) -> Self {
+        let mut alloc = RegionAllocator::new(ram);
+        let kernel = KernelPages::layout(&mut alloc, vcpus, profile.guest.optimized_layout);
+        let mut dsm = Dsm::new(profile.dsm);
+        kernel.register(&mut dsm, bootstrap);
+        // A NUMA-aware guest only helps if the hypervisor actually exposes
+        // runtime NUMA topology updates.
+        let mut guest_config = profile.guest;
+        guest_config.numa_aware &= profile.numa_updates;
+        VmMemory {
+            dsm,
+            alloc,
+            kernel,
+            guest_config,
+            bootstrap,
+            fault_handler_cpu: profile.fault_handler_cpu,
+        }
+    }
+
+    /// The node the guest booted on (home of kernel pages).
+    pub fn bootstrap(&self) -> NodeId {
+        self.bootstrap
+    }
+
+    /// The guest configuration in force.
+    pub fn guest_config(&self) -> GuestConfig {
+        self.guest_config
+    }
+
+    /// Allocates an application region and registers its pages, homed
+    /// according to the guest's NUMA policy for a task on `vcpu_node`.
+    pub fn alloc_app_region(
+        &mut self,
+        name: &str,
+        pages: u64,
+        vcpu_node: NodeId,
+        class: PageClass,
+    ) -> Region {
+        let region = self.alloc.alloc(name, pages);
+        let home = guest::alloc_home(self.guest_config, vcpu_node, self.bootstrap);
+        for p in region.iter() {
+            self.dsm.ensure_page(p, home, class);
+        }
+        region
+    }
+
+    /// Registers a large at-rest dataset homed on `node` without creating
+    /// per-page directory entries (bulk accounting only). Use for the
+    /// multi-GiB resident sets of checkpoint experiments.
+    pub fn register_resident_dataset(
+        &mut self,
+        name: &str,
+        bytes: ByteSize,
+        node: NodeId,
+    ) -> Region {
+        let region = self.alloc.alloc_bytes(name, bytes);
+        self.dsm.register_bulk(node, region.pages);
+        region
+    }
+
+    /// Registers pre-existing pages (e.g. device rings) with a class.
+    pub fn register_pages(&mut self, pages: &[PageId], home: NodeId, class: PageClass) {
+        for &p in pages {
+            self.dsm.ensure_page(p, home, class);
+        }
+    }
+
+    /// Performs one access by `node`, playing any fault out on `fabric`.
+    ///
+    /// Returns the completion time (`now` for hits). Unknown pages are
+    /// first-touch allocated per the guest NUMA policy.
+    pub fn access(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        page: PageId,
+        access: Access,
+        fabric: &mut Fabric,
+    ) -> SimTime {
+        if !self.dsm.contains(page) {
+            let home = guest::alloc_home(self.guest_config, node, self.bootstrap);
+            self.dsm.ensure_page(page, home, PageClass::Private);
+            // A non-local first touch immediately faults below.
+        }
+        match self.dsm.access(node, page, access) {
+            Resolution::Hit => now,
+            Resolution::Fault(plan) => self.execute_fault(now, node, &plan, fabric),
+        }
+    }
+
+    /// Performs a batch of accesses back-to-back, returning the final
+    /// completion time.
+    pub fn access_batch(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        touches: &[(PageId, Access)],
+        fabric: &mut Fabric,
+    ) -> SimTime {
+        let mut t = now;
+        for &(page, access) in touches {
+            t = self.access(t, node, page, access, fabric);
+        }
+        t
+    }
+
+    /// Plays out a fault's message choreography; returns completion time.
+    fn execute_fault(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        plan: &FaultPlan,
+        fabric: &mut Fabric,
+    ) -> SimTime {
+        // Serialize behind any in-flight transaction on the same page
+        // (NACK + retry when we lose the race), then charge the local
+        // handler entry.
+        let busy = self.dsm.busy_until(plan.page);
+        let t0 = if now < busy {
+            busy + CONTENTION_BACKOFF + self.fault_handler_cpu
+        } else {
+            now + self.fault_handler_cpu
+        };
+        let done = match &plan.kind {
+            FaultKind::ReadRemote { owner } => {
+                let req = fabric.send(t0, node, *owner, DSM_CTRL, MsgClass::Dsm);
+                let serve = req.deliver_at + remote_handler_of(self.fault_handler_cpu);
+                // Prefetched pages ride the same response message.
+                let resp_size =
+                    ByteSize::bytes(DSM_PAGE.as_u64() + 4096 * plan.prefetched.len() as u64);
+                let resp = fabric.send(serve, *owner, node, resp_size, MsgClass::Dsm);
+                resp.deliver_at + INSTALL_COST
+            }
+            FaultKind::Upgrade { invalidate } => {
+                if invalidate.is_empty() {
+                    t0 + INSTALL_COST
+                } else if plan.contextual {
+                    // Contextual DSM: the invalidation is piggybacked on a
+                    // TLB-shootdown IPI the guest already sends; the
+                    // faulting vCPU does not wait for acks.
+                    for &s in invalidate {
+                        let _ = fabric.send(t0, node, s, DSM_CTRL, MsgClass::Dsm);
+                    }
+                    t0 + INSTALL_COST
+                } else {
+                    // Invalidate every sharer and collect acks.
+                    let mut done = t0;
+                    for &s in invalidate {
+                        let inv = fabric.send(t0, node, s, DSM_CTRL, MsgClass::Dsm);
+                        let ack_at = inv.deliver_at + remote_handler_of(self.fault_handler_cpu);
+                        let ack = fabric.send(ack_at, s, node, DSM_CTRL, MsgClass::Dsm);
+                        done = done.max(ack.deliver_at);
+                    }
+                    done + INSTALL_COST
+                }
+            }
+            FaultKind::WriteRemote { owner, invalidate } => {
+                let req = fabric.send(t0, node, *owner, DSM_CTRL, MsgClass::Dsm);
+                let at_owner = req.deliver_at + remote_handler_of(self.fault_handler_cpu);
+                let ready = if invalidate.is_empty() || plan.contextual {
+                    if plan.contextual {
+                        // Fire-and-forget piggybacked invalidations.
+                        for &s in invalidate {
+                            let _ = fabric.send(at_owner, *owner, s, DSM_CTRL, MsgClass::Dsm);
+                        }
+                    }
+                    at_owner
+                } else {
+                    let mut acks = at_owner;
+                    for &s in invalidate {
+                        let inv = fabric.send(at_owner, *owner, s, DSM_CTRL, MsgClass::Dsm);
+                        let ack_at = inv.deliver_at + remote_handler_of(self.fault_handler_cpu);
+                        let ack = fabric.send(ack_at, s, *owner, DSM_CTRL, MsgClass::Dsm);
+                        acks = acks.max(ack.deliver_at);
+                    }
+                    acks
+                };
+                let resp = fabric.send(ready, *owner, node, DSM_PAGE, MsgClass::Dsm);
+                resp.deliver_at + INSTALL_COST
+            }
+        };
+        let done = if plan.dirty_bit_msg {
+            // Redundant EPT dirty-bit bookkeeping (vanilla guest): one more
+            // control message plus handler work.
+            let target = match &plan.kind {
+                FaultKind::ReadRemote { owner } | FaultKind::WriteRemote { owner, .. } => *owner,
+                FaultKind::Upgrade { .. } => self.bootstrap,
+            };
+            if target != node {
+                let _ = fabric.send(done, node, target, DSM_CTRL, MsgClass::Dsm);
+            }
+            done + SimTime::from_micros(1)
+        } else {
+            done
+        };
+        self.dsm.set_busy(plan.page, done);
+        for &p in &plan.prefetched {
+            self.dsm.set_busy(p, done);
+        }
+        done
+    }
+}
+
+/// Remote-side handler cost from the local handler cost.
+fn remote_handler_of(local: SimTime) -> SimTime {
+    SimTime::from_nanos(local.as_nanos() / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::LinkProfile;
+
+    fn setup(profile: HypervisorProfile) -> (VmMemory, Fabric) {
+        let mem = VmMemory::new(&profile, 4, ByteSize::gib(4), NodeId::new(0));
+        let fabric = Fabric::homogeneous(4, profile.link);
+        (mem, fabric)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn hit_costs_nothing() {
+        let (mut mem, mut fab) = setup(HypervisorProfile::fragvisor());
+        let r = mem.alloc_app_region("a", 4, n(0), PageClass::Private);
+        let t = mem.access(SimTime::ZERO, n(0), r.page(0), Access::Write, &mut fab);
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(fab.messages_sent(), 0);
+    }
+
+    #[test]
+    fn remote_read_fault_cost_in_popcorn_range() {
+        let (mut mem, mut fab) = setup(HypervisorProfile::fragvisor());
+        let r = mem.alloc_app_region("a", 4, n(0), PageClass::Private);
+        let t = mem.access(SimTime::ZERO, n(1), r.page(0), Access::Read, &mut fab);
+        let us = t.as_micros_f64();
+        // Kernel-space DSM read faults are O(10 µs) on this hardware.
+        assert!((5.0..20.0).contains(&us), "fault took {t}");
+        assert_eq!(fab.messages_sent(), 2);
+    }
+
+    #[test]
+    fn giantvm_faults_cost_more() {
+        let (mut mem_f, mut fab_f) = setup(HypervisorProfile::fragvisor());
+        let (mut mem_g, mut fab_g) = setup(HypervisorProfile::giantvm());
+        let rf = mem_f.alloc_app_region("a", 4, n(0), PageClass::Private);
+        let rg = mem_g.alloc_app_region("a", 4, n(0), PageClass::Private);
+        let tf = mem_f.access(SimTime::ZERO, n(1), rf.page(0), Access::Read, &mut fab_f);
+        let tg = mem_g.access(SimTime::ZERO, n(1), rg.page(0), Access::Read, &mut fab_g);
+        assert!(
+            tg.as_nanos() as f64 > tf.as_nanos() as f64 * 2.0,
+            "giantvm {tg} vs fragvisor {tf}"
+        );
+    }
+
+    #[test]
+    fn write_remote_with_sharers_invalidate_round() {
+        let (mut mem, mut fab) = setup(HypervisorProfile::fragvisor());
+        let r = mem.alloc_app_region("a", 1, n(0), PageClass::Private);
+        let p = r.page(0);
+        // Nodes 1 and 2 read-share the page.
+        let t1 = mem.access(SimTime::ZERO, n(1), p, Access::Read, &mut fab);
+        let t2 = mem.access(t1, n(2), p, Access::Read, &mut fab);
+        // Node 3 writes: request → owner(0), invalidate {1,2}, transfer.
+        let base = fab.messages_sent();
+        let t3 = mem.access(t2, n(3), p, Access::Write, &mut fab);
+        // req + 2 inval + 2 ack + page = 6 messages.
+        assert_eq!(fab.messages_sent() - base, 6);
+        assert!(t3 > t2);
+    }
+
+    #[test]
+    fn contextual_dsm_skips_ack_round_for_page_tables() {
+        let profile = HypervisorProfile::fragvisor();
+        let (mut mem, mut fab) = setup(profile);
+        let pt = mem.alloc.alloc("pt-extra", 1);
+        mem.register_pages(&[pt.page(0)], n(0), PageClass::PageTable);
+        let data = mem.alloc.alloc("data-extra", 1);
+        mem.register_pages(&[data.page(0)], n(0), PageClass::KernelData);
+        // Create two sharers of each page.
+        for p in [pt.page(0), data.page(0)] {
+            let _ = mem.access(SimTime::ZERO, n(1), p, Access::Read, &mut fab);
+            let _ = mem.access(SimTime::ZERO, n(2), p, Access::Read, &mut fab);
+        }
+        let t_pt = {
+            let start = SimTime::from_millis(1);
+            mem.access(start, n(0), pt.page(0), Access::Write, &mut fab) - start
+        };
+        let t_data = {
+            let start = SimTime::from_millis(2);
+            mem.access(start, n(0), data.page(0), Access::Write, &mut fab) - start
+        };
+        assert!(
+            t_pt.as_nanos() * 2 < t_data.as_nanos(),
+            "contextual {t_pt} vs regular {t_data}"
+        );
+    }
+
+    #[test]
+    fn first_touch_follows_numa_policy() {
+        // NUMA-aware guest: node 2's first touch lands locally.
+        let (mut mem, mut fab) = setup(HypervisorProfile::fragvisor());
+        let p = PageId::new(900_000);
+        let t = mem.access(SimTime::ZERO, n(2), p, Access::Write, &mut fab);
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(mem.dsm.owner(p), Some(n(2)));
+
+        // Vanilla guest: pages come from the bootstrap node's zones, so a
+        // remote vCPU pays a fault immediately.
+        let (mut mem, mut fab) = setup(HypervisorProfile::giantvm());
+        let p = PageId::new(900_000);
+        let t = mem.access(SimTime::ZERO, n(2), p, Access::Write, &mut fab);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(mem.dsm.owner(p), Some(n(2)));
+    }
+
+    #[test]
+    fn page_transactions_serialize() {
+        let (mut mem, mut fab) = setup(HypervisorProfile::fragvisor());
+        let r = mem.alloc_app_region("a", 1, n(0), PageClass::AppShared);
+        let p = r.page(0);
+        // Two nodes write the same page at the same instant: the second
+        // fault queues behind the first.
+        let t1 = mem.access(SimTime::ZERO, n(1), p, Access::Write, &mut fab);
+        let t2 = mem.access(SimTime::ZERO, n(2), p, Access::Write, &mut fab);
+        assert!(t2 > t1, "t1={t1} t2={t2}");
+        assert!(t2.as_nanos() >= 2 * t1.as_nanos() / 2);
+    }
+
+    #[test]
+    fn batch_accumulates_latency() {
+        let (mut mem, mut fab) = setup(HypervisorProfile::fragvisor());
+        let r = mem.alloc_app_region("a", 8, n(0), PageClass::Private);
+        let touches: Vec<(PageId, Access)> = r.iter().map(|p| (p, Access::Read)).collect();
+        let t = mem.access_batch(SimTime::ZERO, n(1), &touches, &mut fab);
+        let single = {
+            let (mut mem2, mut fab2) = setup(HypervisorProfile::fragvisor());
+            let r2 = mem2.alloc_app_region("a", 8, n(0), PageClass::Private);
+            mem2.access(SimTime::ZERO, n(1), r2.page(0), Access::Read, &mut fab2)
+        };
+        assert!(
+            t.as_nanos() > 6 * single.as_nanos(),
+            "t={t} single={single}"
+        );
+    }
+
+    #[test]
+    fn ethernet_fabric_makes_faults_slower() {
+        let mut profile = HypervisorProfile::fragvisor();
+        profile.link = LinkProfile::ethernet_1g();
+        let (mut mem, mut fab) = setup(profile);
+        let r = mem.alloc_app_region("a", 1, n(0), PageClass::Private);
+        let t = mem.access(SimTime::ZERO, n(1), r.page(0), Access::Read, &mut fab);
+        assert!(t.as_micros_f64() > 60.0, "{t}");
+    }
+}

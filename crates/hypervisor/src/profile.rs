@@ -1,0 +1,169 @@
+//! Hypervisor cost/feature profiles.
+//!
+//! One set of machinery, two profiles: the paper attributes the
+//! FragVisor-vs-GiantVM gap to a handful of concrete differences, each of
+//! which is a field here. Ablation benches flip them one at a time.
+
+use comm::LinkProfile;
+use dsm::DsmConfig;
+use guest::GuestConfig;
+use sim_core::time::SimTime;
+use virtio::IoPathMode;
+
+/// The cost and feature model of a distributed hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HypervisorProfile {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// DSM protocol options (contextual DSM, dirty-bit traffic).
+    pub dsm: DsmConfig,
+    /// Inter-node fabric profile.
+    pub link: LinkProfile,
+    /// Host CPU time to enter/exit the fault handler per DSM fault.
+    ///
+    /// FragVisor handles faults entirely in the host kernel (≈2 µs —
+    /// EPT-violation exit plus kernel handler). GiantVM bounces each fault
+    /// through QEMU in user space: exit, wakeup, copies, re-entry (≈10 µs).
+    pub fault_handler_cpu: SimTime,
+    /// Permanently-runnable helper-thread load per vCPU-hosting pCPU.
+    ///
+    /// The paper observes GiantVM's QEMU helper threads consuming extra
+    /// pCPU time; when co-located with vCPUs they steal cycles. FragVisor
+    /// adds none.
+    pub helper_thread_load: f64,
+    /// VirtIO data-path mode available to the VM.
+    pub io_mode: IoPathMode,
+    /// Runtime NUMA topology updates exposed to the guest.
+    pub numa_updates: bool,
+    /// Guest kernel configuration.
+    pub guest: GuestConfig,
+    /// Cost to wake an idle vCPU on another node (cross-node notification
+    /// through the hypervisor).
+    ///
+    /// FragVisor's kernel messaging must exit the halted vCPU, deliver the
+    /// message to a kthread and go through the host scheduler (≈120 µs for
+    /// an idle vCPU). GiantVM's QEMU helper threads busy-poll and deliver
+    /// in single-digit microseconds — the flip side of the pCPU cycles
+    /// they burn ([`HypervisorProfile::helper_thread_load`]). The paper
+    /// observes exactly this trade: "GiantVM remote vCPU communication is
+    /// faster, which is important for short requests" (§7.2).
+    pub remote_wakeup: SimTime,
+    /// Whether vCPU/slice mobility (live migration) is supported.
+    pub mobility: bool,
+    /// End-to-end cost of migrating one vCPU between nodes (paper: 86 µs).
+    pub vcpu_migration_cost: SimTime,
+    /// Portion of the migration spent dumping registers on the source
+    /// (paper: 38 µs).
+    pub register_dump_cost: SimTime,
+}
+
+impl HypervisorProfile {
+    /// FragVisor: kernel-space DSM and messaging, no helper threads,
+    /// multiqueue + DSM-bypass, NUMA updates, optimized guest, mobility.
+    pub fn fragvisor() -> Self {
+        HypervisorProfile {
+            name: "fragvisor",
+            dsm: DsmConfig::fragvisor(),
+            link: LinkProfile::infiniband_56g(),
+            fault_handler_cpu: SimTime::from_micros(2),
+            helper_thread_load: 0.0,
+            io_mode: IoPathMode::MultiqueueBypass,
+            numa_updates: true,
+            guest: GuestConfig::optimized(),
+            remote_wakeup: SimTime::from_micros(120),
+            mobility: true,
+            vcpu_migration_cost: SimTime::from_micros(86),
+            register_dump_cost: SimTime::from_micros(38),
+        }
+    }
+
+    /// FragVisor with the vanilla (unoptimized) guest kernel — the
+    /// comparison of Figure 10.
+    pub fn fragvisor_vanilla_guest() -> Self {
+        HypervisorProfile {
+            name: "fragvisor-vanilla-guest",
+            guest: GuestConfig::vanilla(),
+            dsm: DsmConfig {
+                // The vanilla guest keeps EPT dirty-bit tracking on.
+                dirty_bit_tracking: true,
+                ..DsmConfig::fragvisor()
+            },
+            ..Self::fragvisor()
+        }
+    }
+
+    /// GiantVM: user-space DSM over IPoIB sockets, QEMU helper threads,
+    /// a single shared ring per device, no NUMA updates, vanilla guest,
+    /// no mobility.
+    pub fn giantvm() -> Self {
+        HypervisorProfile {
+            name: "giantvm",
+            dsm: DsmConfig::unoptimized(),
+            link: LinkProfile::infiniband_56g_user_tcp(),
+            fault_handler_cpu: SimTime::from_micros(7),
+            helper_thread_load: 0.35,
+            io_mode: IoPathMode::SharedRing,
+            numa_updates: false,
+            guest: GuestConfig::vanilla(),
+            remote_wakeup: SimTime::from_micros(8),
+            mobility: false,
+            vcpu_migration_cost: SimTime::MAX,
+            register_dump_cost: SimTime::MAX,
+        }
+    }
+
+    /// A single-machine VM (overcommit baseline). Costs are FragVisor's,
+    /// but none of them matter: with every vCPU on one node there is no
+    /// DSM traffic and no delegation.
+    pub fn single_machine() -> Self {
+        HypervisorProfile {
+            name: "single-machine",
+            ..Self::fragvisor()
+        }
+    }
+
+    /// Ablation helper: returns a renamed copy with the I/O mode replaced.
+    pub fn with_io_mode(self, name: &'static str, io_mode: IoPathMode) -> Self {
+        HypervisorProfile {
+            name,
+            io_mode,
+            ..self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragvisor_beats_giantvm_on_every_cost_axis() {
+        let f = HypervisorProfile::fragvisor();
+        let g = HypervisorProfile::giantvm();
+        assert!(f.fault_handler_cpu < g.fault_handler_cpu);
+        assert!(f.helper_thread_load < g.helper_thread_load);
+        assert!(f.mobility && !g.mobility);
+        // GiantVM's polling helpers wake remote vCPUs faster — the one
+        // axis it wins (paying for it in helper-thread load).
+        assert!(f.remote_wakeup > g.remote_wakeup);
+        assert!(f.numa_updates && !g.numa_updates);
+        assert!(f.guest.optimized_layout && !g.guest.optimized_layout);
+    }
+
+    #[test]
+    fn migration_costs_match_paper() {
+        let f = HypervisorProfile::fragvisor();
+        assert_eq!(f.vcpu_migration_cost, SimTime::from_micros(86));
+        assert_eq!(f.register_dump_cost, SimTime::from_micros(38));
+        assert!(f.register_dump_cost < f.vcpu_migration_cost);
+    }
+
+    #[test]
+    fn ablation_io_mode() {
+        let f = HypervisorProfile::fragvisor().with_io_mode("no-bypass", IoPathMode::Multiqueue);
+        assert_eq!(f.io_mode, IoPathMode::Multiqueue);
+        assert_eq!(f.name, "no-bypass");
+        // Other fields untouched.
+        assert_eq!(f.fault_handler_cpu, SimTime::from_micros(2));
+    }
+}

@@ -1,0 +1,271 @@
+//! The guest-program interface: what workloads look like to a vCPU.
+//!
+//! A [`Program`] is a state machine producing [`Op`]s. The VM world executes
+//! one op at a time per vCPU: compute bursts share the pCPU under processor
+//! sharing, page touches run through the DSM, kernel ops expand into traces
+//! from the guest model, and I/O ops run through the delegated VirtIO
+//! devices. Blocking ops ([`Op::NetRecv`], [`Op::LocalRecv`],
+//! [`Op::WaitIpi`], [`Op::Barrier`]) park the vCPU until the corresponding
+//! wakeup.
+
+use std::collections::VecDeque;
+
+use dsm::{Access, PageId};
+use guest::memory::{Region, RegionAllocator};
+use guest::KernelOp;
+use sim_core::rng::DetRng;
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+use crate::VcpuId;
+
+/// A message visible to guest software on some vCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestMsg {
+    /// A network request/response delivered through virtio-net.
+    Net {
+        /// Connection identifier chosen by the client.
+        conn: u64,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A guest-local message (UNIX socket / pipe) from another vCPU.
+    Local {
+        /// Sending vCPU.
+        from: VcpuId,
+        /// Application-defined tag.
+        tag: u64,
+        /// Payload size.
+        bytes: u64,
+    },
+}
+
+/// One operation issued by a guest program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Burn user-mode CPU for the given reference-core duration.
+    Compute(SimTime),
+    /// Access a single guest page.
+    Touch {
+        /// Page accessed.
+        page: PageId,
+        /// Load or store.
+        access: Access,
+    },
+    /// Access a batch of pages back-to-back (one engine event for all).
+    TouchBatch(Vec<(PageId, Access)>),
+    /// Perform a guest-kernel operation (expands via the guest model).
+    Kernel(KernelOp),
+    /// Send `bytes` to the external network on connection `conn`,
+    /// reading the payload from `payload` pages.
+    NetSend {
+        /// Connection the data belongs to.
+        conn: u64,
+        /// Bytes to send.
+        bytes: ByteSize,
+        /// Guest pages holding the payload.
+        payload: Vec<PageId>,
+    },
+    /// Block until a network message arrives for this vCPU.
+    NetRecv,
+    /// Read or write the block device.
+    BlkIo {
+        /// Transfer size.
+        bytes: ByteSize,
+        /// True for writes.
+        write: bool,
+        /// Use the tmpfs (ramdisk) backend instead of the SSD.
+        tmpfs: bool,
+        /// Guest buffer pages.
+        buffer: Vec<PageId>,
+    },
+    /// Send a guest-local message to another vCPU (UNIX-socket model):
+    /// charges the kernel socket path and wakes the target.
+    LocalSend {
+        /// Destination vCPU.
+        to: VcpuId,
+        /// Application tag.
+        tag: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Block until a guest-local message arrives.
+    LocalRecv,
+    /// Block until *any* message (network or guest-local) arrives;
+    /// dispatcher loops (e.g. an NGINX worker juggling client connections
+    /// and PHP backends) use this as their epoll.
+    RecvAny,
+    /// Write to the serial console (handled by the single PTY worker on
+    /// the bootstrap slice; asynchronous for the guest).
+    ConsoleWrite {
+        /// Bytes written (log line length).
+        bytes: u64,
+    },
+    /// Send an IPI to another vCPU.
+    SendIpi(VcpuId),
+    /// Block until an IPI arrives.
+    WaitIpi,
+    /// Synchronize `parties` vCPUs on barrier `id`.
+    Barrier {
+        /// Barrier identifier (application-chosen).
+        id: u32,
+        /// Number of vCPUs that must arrive.
+        parties: u32,
+    },
+    /// Sleep for a duration (guest timer).
+    Sleep(SimTime),
+    /// The program is finished; the vCPU halts.
+    Done,
+}
+
+/// Context handed to [`Program::next`].
+pub struct ProgCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The vCPU this program runs on.
+    pub vcpu: VcpuId,
+    /// Deterministic randomness (derived per vCPU).
+    pub rng: &'a mut DetRng,
+    /// Message that completed the previous blocking receive, if any.
+    pub delivered: Option<GuestMsg>,
+    /// Pending messages not yet consumed by a receive.
+    pub inbox: &'a VecDeque<GuestMsg>,
+    /// The guest memory allocator, for carving new regions at runtime.
+    pub alloc: &'a mut RegionAllocator,
+}
+
+impl ProgCtx<'_> {
+    /// Allocates a fresh guest region (bookkeeping only — issue
+    /// [`Op::Kernel`] with [`KernelOp::AllocPages`] to charge its cost).
+    pub fn alloc_region(&mut self, name: &str, pages: u64) -> Region {
+        self.alloc.alloc(name, pages)
+    }
+}
+
+/// A guest workload bound to one vCPU.
+pub trait Program {
+    /// Produces the next operation. Called once at start and then each
+    /// time the previous operation completes; for blocking receives,
+    /// `cx.delivered` carries the message that satisfied the wait.
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op;
+
+    /// Short label for reports.
+    fn label(&self) -> &str {
+        "program"
+    }
+}
+
+/// A trivial program that computes for a fixed time and exits. Useful as a
+/// placeholder and in tests.
+#[derive(Debug)]
+pub struct FixedCompute {
+    remaining: Option<SimTime>,
+}
+
+impl FixedCompute {
+    /// A program that computes for `d` and halts.
+    pub fn new(d: SimTime) -> Self {
+        FixedCompute { remaining: Some(d) }
+    }
+}
+
+impl Program for FixedCompute {
+    fn next(&mut self, _cx: &mut ProgCtx<'_>) -> Op {
+        match self.remaining.take() {
+            Some(d) => Op::Compute(d),
+            None => Op::Done,
+        }
+    }
+
+    fn label(&self) -> &str {
+        "fixed-compute"
+    }
+}
+
+/// A program built from a fixed list of ops; convenient in tests.
+#[derive(Debug)]
+pub struct Scripted {
+    ops: VecDeque<Op>,
+}
+
+impl Scripted {
+    /// Creates a program that issues `ops` in order, then [`Op::Done`].
+    pub fn new(ops: impl IntoIterator<Item = Op>) -> Self {
+        Scripted {
+            ops: ops.into_iter().collect(),
+        }
+    }
+}
+
+impl Program for Scripted {
+    fn next(&mut self, _cx: &mut ProgCtx<'_>) -> Op {
+        self.ops.pop_front().unwrap_or(Op::Done)
+    }
+
+    fn label(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_compute_runs_once() {
+        let mut p = FixedCompute::new(SimTime::from_millis(5));
+        let mut rng = DetRng::new(1);
+        let mut alloc = RegionAllocator::new(ByteSize::mib(1));
+        let inbox = VecDeque::new();
+        let mut cx = ProgCtx {
+            now: SimTime::ZERO,
+            vcpu: VcpuId::new(0),
+            rng: &mut rng,
+            delivered: None,
+            inbox: &inbox,
+            alloc: &mut alloc,
+        };
+        assert_eq!(p.next(&mut cx), Op::Compute(SimTime::from_millis(5)));
+        assert_eq!(p.next(&mut cx), Op::Done);
+        assert_eq!(p.next(&mut cx), Op::Done);
+    }
+
+    #[test]
+    fn scripted_replays_ops() {
+        let mut p = Scripted::new([
+            Op::Compute(SimTime::from_micros(1)),
+            Op::Sleep(SimTime::from_micros(2)),
+        ]);
+        let mut rng = DetRng::new(1);
+        let mut alloc = RegionAllocator::new(ByteSize::mib(1));
+        let inbox = VecDeque::new();
+        let mut cx = ProgCtx {
+            now: SimTime::ZERO,
+            vcpu: VcpuId::new(0),
+            rng: &mut rng,
+            delivered: None,
+            inbox: &inbox,
+            alloc: &mut alloc,
+        };
+        assert!(matches!(p.next(&mut cx), Op::Compute(_)));
+        assert!(matches!(p.next(&mut cx), Op::Sleep(_)));
+        assert_eq!(p.next(&mut cx), Op::Done);
+    }
+
+    #[test]
+    fn ctx_alloc_region() {
+        let mut rng = DetRng::new(1);
+        let mut alloc = RegionAllocator::new(ByteSize::mib(1));
+        let inbox = VecDeque::new();
+        let mut cx = ProgCtx {
+            now: SimTime::ZERO,
+            vcpu: VcpuId::new(0),
+            rng: &mut rng,
+            delivered: None,
+            inbox: &inbox,
+            alloc: &mut alloc,
+        };
+        let r = cx.alloc_region("buf", 4);
+        assert_eq!(r.pages, 4);
+    }
+}

@@ -1,0 +1,246 @@
+//! Fault resilience: predicted-failure drains and crash recovery (§4).
+//!
+//! Running one VM across several machines multiplies its exposure to
+//! hardware failures. The paper's §4 sketches two complementary answers,
+//! both of which FragVisor's mobility machinery enables and this module
+//! implements:
+//!
+//! * **Proactive slice drain** — hardware monitoring (Intel MCA/AER-style
+//!   correctable-error trends) predicts a failure; the hypervisor
+//!   force-migrates every vCPU off the suspect node and moves the master
+//!   copies of the pages it owns elsewhere. The VM keeps running; the
+//!   cost is a handful of 86 µs vCPU migrations plus a bulk page
+//!   transfer.
+//! * **Reactive checkpoint/restart** — if the failure was not predicted,
+//!   the VM is restored from its last distributed checkpoint
+//!   ([`crate::checkpoint`]), losing the work since that checkpoint.
+//!
+//! The `exp_reliability` binary in the bench harness quantifies the trade
+//! between the two as a function of checkpoint interval and prediction
+//! lead time.
+
+use comm::{Fabric, LinkProfile, MsgClass, NodeId};
+use sim_core::time::SimTime;
+use sim_core::units::{Bandwidth, ByteSize};
+
+use crate::checkpoint;
+use crate::vm::{Placement, VmSim};
+use crate::VcpuId;
+
+/// Outcome of proactively draining a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrainReport {
+    /// vCPUs migrated off the failing node.
+    pub vcpus_moved: u32,
+    /// Master-copy pages whose home moved.
+    pub pages_moved: u64,
+    /// Time to move the page data over the fabric.
+    pub page_transfer: SimTime,
+    /// Total wall time of the drain (migrations + page transfer overlap).
+    pub duration: SimTime,
+}
+
+/// Proactively evacuates `failing`: migrates its vCPUs to `target`
+/// (pCPU k for vCPU k) and re-homes the master copies it owns.
+///
+/// Returns `None` if the profile lacks mobility (a GiantVM-style static
+/// VM cannot be drained — it must crash and restart).
+pub fn force_drain(sim: &mut VmSim, failing: NodeId, target: NodeId) -> Option<DrainReport> {
+    if !sim.world.profile().mobility {
+        return None;
+    }
+    let mut vcpus_moved = 0;
+    for i in 0..sim.world.vcpu_count() {
+        let v = VcpuId::from_usize(i);
+        if sim.world.placement_of(v).node == failing {
+            let ok = sim.migrate_vcpu(
+                v,
+                Placement {
+                    node: target,
+                    pcpu: i as u32,
+                },
+            );
+            if ok {
+                vcpus_moved += 1;
+            }
+        }
+    }
+    // Re-home the pages the failing node owns: a bulk, pipelined transfer.
+    let pages_moved = sim.world.mem.dsm.pages_owned_by(failing);
+    let bytes = ByteSize::bytes(pages_moved * (4096 + 64));
+    let link = sim.world.profile().link;
+    let page_transfer = link.bandwidth.transfer_time(bytes)
+        + if pages_moved > 0 {
+            link.one_way(ByteSize::bytes(64))
+        } else {
+            SimTime::ZERO
+        };
+    let moved = sim.world.mem.dsm.drain_node(failing, target);
+    debug_assert_eq!(moved, pages_moved);
+    let migration_cost = sim.world.profile().vcpu_migration_cost * u64::from(vcpus_moved.max(1));
+    Some(DrainReport {
+        vcpus_moved,
+        pages_moved,
+        page_transfer,
+        // vCPU migrations and the page stream overlap; the drain is done
+        // when the slower finishes.
+        duration: page_transfer.max(migration_cost),
+    })
+}
+
+/// Parameters of a reactive crash-recovery episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashScenario {
+    /// Wall time between checkpoints.
+    pub checkpoint_interval: SimTime,
+    /// Time from crash to failure detection (heartbeat timeout).
+    pub detection: SimTime,
+    /// Checkpoint image size.
+    pub image: ByteSize,
+    /// Slices the restored VM spans.
+    pub slices: usize,
+    /// Disk holding the checkpoint image.
+    pub disk: Bandwidth,
+    /// Fabric for redistribution.
+    pub link: LinkProfile,
+}
+
+/// Outcome of a crash-recovery episode, averaged over a uniformly random
+/// crash point within the checkpoint interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Expected guest work lost (half the checkpoint interval).
+    pub expected_lost_work: SimTime,
+    /// Restore time from the image.
+    pub restore_time: SimTime,
+    /// Expected total downtime (detection + restore + lost-work replay).
+    pub expected_downtime: SimTime,
+    /// Steady-state overhead: fraction of time spent checkpointing.
+    pub checkpoint_overhead: f64,
+}
+
+/// Computes the cost profile of reactive checkpoint/restart recovery.
+pub fn crash_recovery(s: CrashScenario) -> RecoveryReport {
+    let restore_time = checkpoint::restore(s.image, s.slices, s.disk, s.link);
+    let expected_lost_work = s.checkpoint_interval / 2;
+    // A checkpoint of the same image is taken every interval.
+    let ckpt_time = s.disk.transfer_time(s.image);
+    let checkpoint_overhead =
+        ckpt_time.as_secs_f64() / s.checkpoint_interval.as_secs_f64().max(1e-9);
+    RecoveryReport {
+        expected_lost_work,
+        restore_time,
+        expected_downtime: s.detection + restore_time + expected_lost_work,
+        checkpoint_overhead,
+    }
+}
+
+/// Charges a drain's page stream onto a fabric (so concurrent experiments
+/// observe the bandwidth consumption).
+pub fn charge_drain_traffic(
+    fabric: &mut Fabric,
+    now: SimTime,
+    from: NodeId,
+    to: NodeId,
+    pages: u64,
+) {
+    // One page-sized message per 32 pages models the pipelined bulk
+    // stream without flooding the meter with millions of sends.
+    let batches = pages.div_ceil(32).max(1);
+    let batch_bytes = ByteSize::bytes(32 * (4096 + 64));
+    for _ in 0..batches.min(4096) {
+        let _ = fabric.send(now, from, to, batch_bytes, MsgClass::Migration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::HypervisorProfile;
+    use crate::program::FixedCompute;
+    use crate::vm::VmBuilder;
+    use dsm::PageClass;
+
+    fn build_vm(profile: HypervisorProfile) -> VmSim {
+        let mut b = VmBuilder::new(profile, 3);
+        for i in 0..3 {
+            b = b.vcpu(
+                Placement::new(i, 0),
+                Box::new(FixedCompute::new(SimTime::from_millis(100))),
+            );
+        }
+        let mut sim = b.build();
+        // Give node 2 some owned pages.
+        let _ = sim
+            .world
+            .mem
+            .alloc_app_region("data", 256, NodeId::new(2), PageClass::Private);
+        sim
+    }
+
+    #[test]
+    fn drain_evacuates_vcpus_and_pages() {
+        let mut sim = build_vm(HypervisorProfile::fragvisor());
+        sim.run_until(SimTime::from_millis(10));
+        let before = sim.world.mem.dsm.pages_owned_by(NodeId::new(2));
+        assert!(before >= 256);
+        let r = force_drain(&mut sim, NodeId::new(2), NodeId::new(0)).expect("mobile");
+        assert_eq!(r.vcpus_moved, 1);
+        assert_eq!(r.pages_moved, before);
+        assert_eq!(sim.world.mem.dsm.pages_owned_by(NodeId::new(2)), 0);
+        // The VM finishes normally afterwards.
+        let done = sim.run();
+        assert!(done >= SimTime::from_millis(100));
+        assert_eq!(sim.world.placement_of(VcpuId::new(2)).node, NodeId::new(0));
+    }
+
+    #[test]
+    fn drain_is_fast_relative_to_restart() {
+        let mut sim = build_vm(HypervisorProfile::fragvisor());
+        sim.run_until(SimTime::from_millis(10));
+        let r = force_drain(&mut sim, NodeId::new(2), NodeId::new(0)).unwrap();
+        // A 1 MiB-scale drain takes well under a millisecond on 56 Gbps.
+        assert!(r.duration < SimTime::from_millis(2), "{:?}", r);
+    }
+
+    #[test]
+    fn giantvm_cannot_drain() {
+        let mut sim = build_vm(HypervisorProfile::giantvm());
+        sim.run_until(SimTime::from_millis(10));
+        assert!(force_drain(&mut sim, NodeId::new(2), NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn recovery_cost_scales_with_interval() {
+        let base = CrashScenario {
+            checkpoint_interval: SimTime::from_secs(60),
+            detection: SimTime::from_millis(500),
+            image: ByteSize::gib(10),
+            slices: 4,
+            disk: Bandwidth::mb_per_sec(500.0),
+            link: LinkProfile::infiniband_56g(),
+        };
+        let short = crash_recovery(CrashScenario {
+            checkpoint_interval: SimTime::from_secs(60),
+            ..base
+        });
+        let long = crash_recovery(CrashScenario {
+            checkpoint_interval: SimTime::from_secs(600),
+            ..base
+        });
+        assert!(long.expected_lost_work > short.expected_lost_work);
+        assert!(long.checkpoint_overhead < short.checkpoint_overhead);
+        assert_eq!(short.restore_time, long.restore_time);
+        // 10 GiB at 500 MB/s ≈ 21.5s restore dominates short intervals.
+        assert!(short.expected_downtime > SimTime::from_secs(21));
+    }
+
+    #[test]
+    fn drain_traffic_metered() {
+        let mut f = Fabric::homogeneous(2, LinkProfile::infiniband_56g());
+        charge_drain_traffic(&mut f, SimTime::ZERO, NodeId::new(1), NodeId::new(0), 1024);
+        let m = f.stats().get(&MsgClass::Migration);
+        assert_eq!(m.events, 32);
+        assert!(m.bytes >= 1024 * 4096);
+    }
+}

@@ -1,0 +1,1788 @@
+//! The distributed-VM simulator: vCPUs, devices, client, migration.
+//!
+//! [`VmBuilder`] assembles a VM (profile, placement, RAM, devices, guest
+//! programs, optional external client) into a [`VmSim`] — an engine plus a
+//! [`VmWorld`]. The world executes guest programs op by op:
+//!
+//! * compute bursts share pCPUs under processor sharing ([`sim_core::pscpu`]),
+//!   which is what makes overcommitment slow;
+//! * page touches run through the DSM fault executor ([`crate::memory`]),
+//!   which is what makes distribution slow;
+//! * I/O runs through delegated VirtIO devices, crossing the fabric when the
+//!   submitting vCPU is not on the device's home node;
+//! * vCPU migration pauses a vCPU, transfers its state, and resumes it on
+//!   another node — the mobility mechanism GiantVM lacks.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use comm::{Fabric, LinkProfile, MsgClass, NodeId};
+use dsm::{Access, PageClass, PageId};
+use guest::memory::Region;
+use sim_core::pscpu::PsCpu;
+use sim_core::rng::DetRng;
+use sim_core::time::SimTime;
+use sim_core::units::{Bandwidth, ByteSize};
+use sim_core::{Ctx, Engine, World};
+use virtio::device::{BlkRequest, VirtioBlk, VirtioConsole, VirtioNet};
+use virtio::plan::{BackendWork, IoPlan};
+use virtio::{QueueId, VcpuId};
+
+use crate::memory::VmMemory;
+use crate::profile::HypervisorProfile;
+use crate::program::{GuestMsg, Op, ProgCtx, Program};
+use crate::stats::VmStats;
+
+/// Maximum zero-latency ops processed per engine event (fairness bound).
+const OPS_PER_EVENT: u32 = 256;
+
+/// Latency of a same-node IPI.
+const LOCAL_IPI: SimTime = SimTime::from_nanos(200);
+
+/// Socket-buffer chunk size for guest-local streams (16 KiB, four pages).
+const SOCKET_CHUNK: u64 = 16 * 1024;
+
+/// Same-node task wakeup (futex/scheduler, no hypervisor involvement).
+const LOCAL_WAKEUP: SimTime = SimTime::from_micros(3);
+
+/// Throughput of tmpfs (page-cache memcpy) on the testbed.
+fn tmpfs_bandwidth() -> Bandwidth {
+    Bandwidth::gbit_per_sec(80.0)
+}
+
+/// Throughput of the SATA SSD in the testbed (paper: ~500 MB/s).
+fn ssd_bandwidth() -> Bandwidth {
+    Bandwidth::mb_per_sec(500.0)
+}
+
+/// Where one vCPU runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// Host machine.
+    pub node: NodeId,
+    /// pCPU index on that machine.
+    pub pcpu: u32,
+}
+
+impl Placement {
+    /// Convenience constructor.
+    pub fn new(node: u32, pcpu: u32) -> Self {
+        Placement {
+            node: NodeId::new(node),
+            pcpu,
+        }
+    }
+}
+
+/// One request injection from the external client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientSend {
+    /// Connection identifier (latency is tracked per in-flight conn).
+    pub conn: u64,
+    /// Request payload size.
+    pub bytes: ByteSize,
+    /// The vCPU the request is dispatched to (e.g. the NGINX worker).
+    pub target: VcpuId,
+}
+
+/// External load generator (ApacheBench-style closed loop, FaaS client...).
+pub trait ClientModel {
+    /// Requests to inject at simulation start.
+    fn start(&mut self, now: SimTime) -> Vec<ClientSend>;
+
+    /// Called when a response arrives; returns follow-up requests.
+    fn on_response(&mut self, now: SimTime, conn: u64, bytes: u64) -> Vec<ClientSend>;
+
+    /// True when the client has no more work outstanding or planned.
+    fn is_done(&self) -> bool;
+}
+
+/// Client attachment configuration.
+pub struct ClientConfig {
+    /// The node the client machine occupies in the fabric.
+    pub node: NodeId,
+    /// Link between the client and the VM's NIC-home node (both ways).
+    pub link: LinkProfile,
+    /// The load-generation behaviour.
+    pub model: Box<dyn ClientModel>,
+}
+
+/// What a vCPU is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VcpuStatus {
+    /// Step scheduled or in progress.
+    Ready,
+    /// Running a compute burst on its pCPU.
+    Computing,
+    /// Waiting for a network message.
+    BlockedNet,
+    /// Waiting for a guest-local message.
+    BlockedLocal,
+    /// Waiting for any message (network or local).
+    BlockedAny,
+    /// Waiting for an IPI.
+    BlockedIpi,
+    /// Waiting on a barrier.
+    BlockedBarrier,
+    /// Waiting for a block-I/O completion.
+    BlockedIo,
+    /// Sleeping until a timer fires.
+    Sleeping,
+    /// Mid-migration.
+    Migrating,
+    /// Program finished.
+    Done,
+}
+
+/// What to do after a charged CPU burst completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AfterCpu {
+    /// Continue the program.
+    Continue,
+    /// Deliver a guest-local message, then continue.
+    DeliverLocal {
+        /// Receiving vCPU.
+        to: VcpuId,
+        /// The message.
+        msg: GuestMsg,
+    },
+}
+
+struct VcpuState {
+    node: NodeId,
+    pcpu: u32,
+    program: Box<dyn Program>,
+    status: VcpuStatus,
+    net_inbox: VecDeque<GuestMsg>,
+    local_inbox: VecDeque<GuestMsg>,
+    pending_ipis: u32,
+    delivered: Option<GuestMsg>,
+    after_cpu: AfterCpu,
+    /// Op to re-execute after a transient queue-full backoff.
+    retry_op: Option<Op>,
+    /// Remaining compute stashed while migrating.
+    stashed_work: Option<SimTime>,
+    /// Pre-migration status to restore at MigrationDone.
+    resume_status: VcpuStatus,
+    /// A step/wake event fired while the vCPU was migrating.
+    missed_step: bool,
+    /// A deferred CPU charge fired while migrating.
+    missed_charge: Option<SimTime>,
+    finish: Option<SimTime>,
+    rng: DetRng,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: BTreeSet<u32>,
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// Kick off all vCPUs and the client.
+    Start,
+    /// Advance a vCPU's program.
+    VcpuStep(VcpuId),
+    /// A pCPU completion prediction expires.
+    CpuDone {
+        /// Machine hosting the pCPU.
+        node: NodeId,
+        /// pCPU index.
+        pcpu: u32,
+        /// Prediction epoch (stale epochs are ignored).
+        epoch: u64,
+    },
+    /// Charge a CPU burst to a vCPU (deferred so pCPU timelines stay
+    /// monotonic after synchronous fault latencies).
+    ChargeCpu {
+        /// Target vCPU.
+        vcpu: VcpuId,
+        /// Reference-core work.
+        work: SimTime,
+    },
+    /// An IPI reaches its target vCPU.
+    IpiDeliver {
+        /// Target vCPU.
+        vcpu: VcpuId,
+    },
+    /// A guest-local message reaches its target vCPU.
+    LocalDeliver {
+        /// Target vCPU.
+        vcpu: VcpuId,
+        /// The message.
+        msg: GuestMsg,
+    },
+    /// A device processes a submitted I/O plan (runs on the device node).
+    DevProcess {
+        /// Submitting vCPU.
+        vcpu: VcpuId,
+        /// Queue the request occupies.
+        queue: QueueId,
+        /// True for the net device, false for blk.
+        is_net: bool,
+        /// The plan to execute.
+        plan: Box<IoPlan>,
+        /// Connection id for client-bound transmissions.
+        conn: Option<u64>,
+    },
+    /// An I/O completion interrupt reaches the submitting vCPU.
+    IoComplete {
+        /// Submitting vCPU.
+        vcpu: VcpuId,
+        /// Queue to release.
+        queue: QueueId,
+        /// True for the net device.
+        is_net: bool,
+        /// Used-ring touches performed by the guest on completion.
+        guest_touches: Vec<virtio::plan::PageTouch>,
+    },
+    /// A request from the external client reaches the NIC-home node.
+    ClientRxArrive {
+        /// Connection id.
+        conn: u64,
+        /// Request size.
+        bytes: u64,
+        /// Target vCPU.
+        target: VcpuId,
+    },
+    /// An RX payload/interrupt reaches the target vCPU's slice.
+    NetRxDeliver {
+        /// Target vCPU.
+        vcpu: VcpuId,
+        /// The message to enqueue.
+        msg: GuestMsg,
+        /// RX queue to release.
+        queue: QueueId,
+        /// Guest-side touches to perform on delivery.
+        guest_touches: Vec<virtio::plan::PageTouch>,
+    },
+    /// A response reaches the external client.
+    ClientDeliver {
+        /// Connection id.
+        conn: u64,
+        /// Response size.
+        bytes: u64,
+    },
+    /// A sleeping vCPU's timer fires.
+    WakeVcpu(VcpuId),
+    /// Periodic guest timer tick on a vCPU (scheduler tick, timekeeping).
+    GuestTick {
+        /// The ticking vCPU.
+        vcpu: VcpuId,
+    },
+    /// A vCPU migration completes on the destination.
+    MigrationDone {
+        /// The migrating vCPU.
+        vcpu: VcpuId,
+        /// Destination placement.
+        to: Placement,
+    },
+}
+
+/// The simulated world of one (possibly aggregate) VM.
+pub struct VmWorld {
+    profile: HypervisorProfile,
+    /// The inter-node fabric (plus client link).
+    pub fabric: Fabric,
+    /// Guest memory.
+    pub mem: VmMemory,
+    pcpus: HashMap<(NodeId, u32), PsCpu>,
+    vcpus: Vec<VcpuState>,
+    net: Option<VirtioNet>,
+    blk: Option<VirtioBlk>,
+    console: VirtioConsole,
+    rx_buffers: Option<Region>,
+    rx_cursor: u64,
+    client: Option<ClientConfig>,
+    client_pending: HashMap<u64, SimTime>,
+    barriers: HashMap<u32, BarrierState>,
+    timer_interval: Option<SimTime>,
+    /// Measurement output.
+    pub stats: VmStats,
+}
+
+impl VmWorld {
+    /// Number of vCPUs.
+    pub fn vcpu_count(&self) -> usize {
+        self.vcpus.len()
+    }
+
+    /// Current placement of a vCPU.
+    pub fn placement_of(&self, vcpu: VcpuId) -> Placement {
+        let v = &self.vcpus[vcpu.index()];
+        Placement {
+            node: v.node,
+            pcpu: v.pcpu,
+        }
+    }
+
+    /// True when every guest program has finished and the client (if any)
+    /// is done.
+    pub fn finished(&self) -> bool {
+        self.vcpus.iter().all(|v| v.status == VcpuStatus::Done)
+            && self.client.as_ref().is_none_or(|c| c.model.is_done())
+    }
+
+    /// The hypervisor profile in force.
+    pub fn profile(&self) -> &HypervisorProfile {
+        &self.profile
+    }
+
+    /// Console output meter (the PTY worker lives on the bootstrap slice).
+    pub fn console_out(&self) -> sim_core::stats::Meter {
+        self.console.out
+    }
+
+    /// True when the external client (if any) has completed its load.
+    pub fn client_done(&self) -> bool {
+        self.client.as_ref().is_none_or(|c| c.model.is_done())
+    }
+
+    fn pcpu(&mut self, node: NodeId, pcpu: u32) -> &mut PsCpu {
+        self.pcpus
+            .get_mut(&(node, pcpu))
+            .expect("placement refers to an unknown pCPU")
+    }
+
+    /// Schedules the (new) completion prediction for a pCPU.
+    fn reschedule_cpu(&mut self, ctx: &mut Ctx<'_, Event>, node: NodeId, pcpu: u32) {
+        if let Some(c) = self.pcpu(node, pcpu).next_completion() {
+            ctx.schedule_at(
+                c.at,
+                Event::CpuDone {
+                    node,
+                    pcpu,
+                    epoch: c.epoch,
+                },
+            );
+        }
+    }
+
+    /// Advances a vCPU's program until it blocks, computes, or exhausts the
+    /// per-event op budget.
+    fn step_vcpu(&mut self, ctx: &mut Ctx<'_, Event>, vcpu: VcpuId) {
+        let mut budget = OPS_PER_EVENT;
+        loop {
+            {
+                let v = &self.vcpus[vcpu.index()];
+                if v.status != VcpuStatus::Ready {
+                    return;
+                }
+            }
+            if budget == 0 {
+                ctx.schedule_now(Event::VcpuStep(vcpu));
+                return;
+            }
+            budget -= 1;
+            let retried = self.vcpus[vcpu.index()].retry_op.take();
+            let op = match retried {
+                Some(op) => op,
+                None => {
+                    let v = &mut self.vcpus[vcpu.index()];
+                    let mut cx = ProgCtx {
+                        now: ctx.now,
+                        vcpu,
+                        rng: &mut v.rng,
+                        delivered: v.delivered.take(),
+                        inbox: &v.net_inbox,
+                        alloc: &mut self.mem.alloc,
+                    };
+                    v.program.next(&mut cx)
+                }
+            };
+            if !self.exec_op(ctx, vcpu, op) {
+                return;
+            }
+        }
+    }
+
+    /// Executes one op; returns true if the program can continue in the
+    /// same event.
+    fn exec_op(&mut self, ctx: &mut Ctx<'_, Event>, vcpu: VcpuId, op: Op) -> bool {
+        let now = ctx.now;
+        let node = self.vcpus[vcpu.index()].node;
+        match op {
+            Op::Compute(work) => {
+                self.begin_compute(ctx, vcpu, work, AfterCpu::Continue);
+                false
+            }
+            Op::Touch { page, access } => {
+                let t = self.mem.access(now, node, page, access, &mut self.fabric);
+                self.continue_at(ctx, vcpu, t)
+            }
+            Op::TouchBatch(touches) => {
+                let t = self.mem.access_batch(now, node, &touches, &mut self.fabric);
+                self.continue_at(ctx, vcpu, t)
+            }
+            Op::Kernel(kop) => {
+                let trace = self.mem.kernel.op_trace(vcpu.index(), kop);
+                let t = self
+                    .mem
+                    .access_batch(now, node, &trace.touches, &mut self.fabric);
+                if trace.tlb_shootdown {
+                    self.broadcast_shootdown(now, vcpu);
+                }
+                if trace.cpu.is_zero() {
+                    return self.continue_at(ctx, vcpu, t);
+                }
+                if t == now {
+                    self.begin_compute(ctx, vcpu, trace.cpu, AfterCpu::Continue);
+                } else {
+                    ctx.schedule_at(
+                        t,
+                        Event::ChargeCpu {
+                            vcpu,
+                            work: trace.cpu,
+                        },
+                    );
+                    self.vcpus[vcpu.index()].after_cpu = AfterCpu::Continue;
+                }
+                false
+            }
+            Op::NetSend {
+                conn,
+                bytes,
+                payload,
+            } => {
+                let Some(net) = self.net.as_mut() else {
+                    panic!("NetSend on a VM without a net device");
+                };
+                match net.plan_tx(vcpu, node, &payload, bytes) {
+                    Ok((plan, queue)) => {
+                        self.submit_io(ctx, vcpu, queue, true, plan, Some(conn));
+                        // Transmission is asynchronous for the guest.
+                        true
+                    }
+                    Err(_) => {
+                        // Ring full: socket backpressure. Stash the op and
+                        // retry it once descriptors free up.
+                        self.vcpus[vcpu.index()].retry_op = Some(Op::NetSend {
+                            conn,
+                            bytes,
+                            payload,
+                        });
+                        ctx.schedule_in(SimTime::from_micros(50), Event::VcpuStep(vcpu));
+                        self.stats.tx_drops += 1;
+                        false
+                    }
+                }
+            }
+            Op::NetRecv => {
+                let v = &mut self.vcpus[vcpu.index()];
+                if let Some(msg) = v.net_inbox.pop_front() {
+                    v.delivered = Some(msg);
+                    true
+                } else {
+                    v.status = VcpuStatus::BlockedNet;
+                    false
+                }
+            }
+            Op::BlkIo {
+                bytes,
+                write,
+                tmpfs,
+                buffer,
+            } => {
+                let Some(blk) = self.blk.as_mut() else {
+                    panic!("BlkIo on a VM without a block device");
+                };
+                let req = BlkRequest {
+                    bytes,
+                    write,
+                    tmpfs,
+                };
+                match blk.plan_io(vcpu, node, req, &buffer) {
+                    Ok((plan, queue)) => {
+                        self.submit_io(ctx, vcpu, queue, false, plan, None);
+                        self.vcpus[vcpu.index()].status = VcpuStatus::BlockedIo;
+                        false
+                    }
+                    Err(_) => {
+                        // Queue full: block on the device and reissue the
+                        // same request after the backoff.
+                        self.vcpus[vcpu.index()].retry_op = Some(Op::BlkIo {
+                            bytes,
+                            write,
+                            tmpfs,
+                            buffer,
+                        });
+                        ctx.schedule_in(SimTime::from_micros(50), Event::VcpuStep(vcpu));
+                        false
+                    }
+                }
+            }
+            Op::LocalSend { to, tag, bytes } => {
+                let trace = self
+                    .mem
+                    .kernel
+                    .op_trace(vcpu.index(), guest::KernelOp::LocalSocketSend(bytes));
+                let mut t = self
+                    .mem
+                    .access_batch(now, node, &trace.touches, &mut self.fabric);
+                // Large payloads stream through the bounded socket buffer:
+                // each 16 KiB chunk fills the buffer, wakes the receiver,
+                // and waits for it to drain — a wakeup ping-pong whose cost
+                // dominates cross-node guest IPC (§7.2, Figure 12).
+                let dst_node = self.vcpus[to.index()].node;
+                let chunks = bytes / SOCKET_CHUNK;
+                if chunks > 0 {
+                    let wake = if dst_node == node {
+                        LOCAL_WAKEUP
+                    } else {
+                        self.profile.remote_wakeup
+                    };
+                    let bufs = self.mem.kernel.socket_buffer_pages();
+                    for cursor in 0..chunks as usize {
+                        // Sender refills the (shared) socket buffer page...
+                        let page = bufs[cursor % bufs.len()];
+                        t = self
+                            .mem
+                            .access(t, node, page, Access::Write, &mut self.fabric);
+                        t += wake;
+                        // ...and the receiver drains it.
+                        t = self
+                            .mem
+                            .access(t, dst_node, page, Access::Read, &mut self.fabric);
+                        t += wake;
+                    }
+                }
+                let msg = GuestMsg::Local {
+                    from: vcpu,
+                    tag,
+                    bytes,
+                };
+                ctx.schedule_at(
+                    t,
+                    Event::ChargeCpu {
+                        vcpu,
+                        work: trace.cpu,
+                    },
+                );
+                self.vcpus[vcpu.index()].after_cpu = AfterCpu::DeliverLocal { to, msg };
+                false
+            }
+            Op::LocalRecv => {
+                let v = &mut self.vcpus[vcpu.index()];
+                if let Some(msg) = v.local_inbox.pop_front() {
+                    v.delivered = Some(msg);
+                    true
+                } else {
+                    v.status = VcpuStatus::BlockedLocal;
+                    false
+                }
+            }
+            Op::RecvAny => {
+                let v = &mut self.vcpus[vcpu.index()];
+                if let Some(msg) = v.local_inbox.pop_front() {
+                    v.delivered = Some(msg);
+                    true
+                } else if let Some(msg) = v.net_inbox.pop_front() {
+                    v.delivered = Some(msg);
+                    true
+                } else {
+                    v.status = VcpuStatus::BlockedAny;
+                    false
+                }
+            }
+            Op::ConsoleWrite { bytes } => {
+                // printk is asynchronous: the guest pays a syscall-ish cost
+                // and the PTY worker on the bootstrap slice drains it.
+                if let Some(m) = self.console.plan_write(node, ByteSize::bytes(bytes)) {
+                    let _ = self.fabric.send(now, m.src, m.dst, m.size, m.class);
+                }
+                let t = now + SimTime::from_micros(1);
+                self.continue_at(ctx, vcpu, t)
+            }
+            Op::SendIpi(to) => {
+                self.send_ipi(ctx, node, to);
+                true
+            }
+            Op::WaitIpi => {
+                let v = &mut self.vcpus[vcpu.index()];
+                if v.pending_ipis > 0 {
+                    v.pending_ipis -= 1;
+                    true
+                } else {
+                    v.status = VcpuStatus::BlockedIpi;
+                    false
+                }
+            }
+            Op::Barrier { id, parties } => {
+                let b = self.barriers.entry(id).or_default();
+                b.arrived.insert(vcpu.0);
+                if b.arrived.len() as u32 >= parties {
+                    let woken: Vec<u32> = b.arrived.iter().copied().collect();
+                    self.barriers.remove(&id);
+                    for w in woken {
+                        if w != vcpu.0 {
+                            let peer = &mut self.vcpus[w as usize];
+                            if peer.status == VcpuStatus::Migrating {
+                                // The peer blocked on the barrier and was
+                                // then migrated; replay the wake at
+                                // MigrationDone.
+                                debug_assert_eq!(peer.resume_status, VcpuStatus::BlockedBarrier);
+                                peer.resume_status = VcpuStatus::Ready;
+                                peer.missed_step = true;
+                            } else {
+                                debug_assert_eq!(peer.status, VcpuStatus::BlockedBarrier);
+                                peer.status = VcpuStatus::Ready;
+                                ctx.schedule_now(Event::VcpuStep(VcpuId::new(w)));
+                            }
+                        }
+                    }
+                    true
+                } else {
+                    self.vcpus[vcpu.index()].status = VcpuStatus::BlockedBarrier;
+                    false
+                }
+            }
+            Op::Sleep(d) => {
+                self.vcpus[vcpu.index()].status = VcpuStatus::Sleeping;
+                ctx.schedule_in(d, Event::WakeVcpu(vcpu));
+                false
+            }
+            Op::Done => {
+                let v = &mut self.vcpus[vcpu.index()];
+                v.status = VcpuStatus::Done;
+                v.finish = Some(now);
+                self.stats.vcpu_finish[vcpu.index()] = Some(now);
+                false
+            }
+        }
+    }
+
+    /// Starts a compute burst on the vCPU's pCPU.
+    fn begin_compute(
+        &mut self,
+        ctx: &mut Ctx<'_, Event>,
+        vcpu: VcpuId,
+        work: SimTime,
+        after: AfterCpu,
+    ) {
+        let (node, pcpu) = {
+            let v = &mut self.vcpus[vcpu.index()];
+            v.status = VcpuStatus::Computing;
+            v.after_cpu = after;
+            (v.node, v.pcpu)
+        };
+        let now = ctx.now;
+        let _ = self.pcpu(node, pcpu).add(now, vcpu.0 as u64, work);
+        self.reschedule_cpu(ctx, node, pcpu);
+    }
+
+    /// Continues a program after a synchronous operation ending at `t`.
+    fn continue_at(&mut self, ctx: &mut Ctx<'_, Event>, vcpu: VcpuId, t: SimTime) -> bool {
+        if t <= ctx.now {
+            true
+        } else {
+            ctx.schedule_at(t, Event::VcpuStep(vcpu));
+            false
+        }
+    }
+
+    /// Fire-and-forget TLB shootdown IPIs to all other vCPUs.
+    fn broadcast_shootdown(&mut self, now: SimTime, from: VcpuId) {
+        let src = self.vcpus[from.index()].node;
+        let targets: Vec<NodeId> = self
+            .vcpus
+            .iter()
+            .enumerate()
+            .filter(|&(i, v)| i != from.index() && v.status != VcpuStatus::Done)
+            .map(|(_, v)| v.node)
+            .collect();
+        for dst in targets {
+            self.stats.ipis.record(64);
+            if dst != src {
+                let _ = self
+                    .fabric
+                    .send(now, src, dst, ByteSize::bytes(64), MsgClass::Interrupt);
+            }
+        }
+    }
+
+    /// Routes an IPI to a vCPU via the location table.
+    fn send_ipi(&mut self, ctx: &mut Ctx<'_, Event>, src: NodeId, to: VcpuId) {
+        self.stats.ipis.record(64);
+        let dst = self.vcpus[to.index()].node;
+        if dst == src {
+            ctx.schedule_in(LOCAL_IPI, Event::IpiDeliver { vcpu: to });
+        } else {
+            let d = self
+                .fabric
+                .send(ctx.now, src, dst, ByteSize::bytes(64), MsgClass::Interrupt);
+            ctx.schedule_at(d.deliver_at, Event::IpiDeliver { vcpu: to });
+        }
+    }
+
+    /// Submits an I/O plan: guest-side touches now, then device processing
+    /// after the kick crosses the fabric.
+    fn submit_io(
+        &mut self,
+        ctx: &mut Ctx<'_, Event>,
+        vcpu: VcpuId,
+        queue: QueueId,
+        is_net: bool,
+        plan: IoPlan,
+        conn: Option<u64>,
+    ) {
+        let node = self.vcpus[vcpu.index()].node;
+        let t = self.mem.access_batch(
+            ctx.now,
+            node,
+            &touches_of(&plan.guest_touches),
+            &mut self.fabric,
+        );
+        let process_at = match &plan.notify {
+            Some(m) => {
+                let d = self.fabric.send(t, m.src, m.dst, m.size, m.class);
+                d.deliver_at
+            }
+            None => t + SimTime::from_nanos(500), // local ioeventfd
+        };
+        ctx.schedule_at(
+            process_at.max(ctx.now),
+            Event::DevProcess {
+                vcpu,
+                queue,
+                is_net,
+                plan: Box::new(plan),
+                conn,
+            },
+        );
+    }
+
+    /// Device-side processing of a submitted plan.
+    fn dev_process(
+        &mut self,
+        ctx: &mut Ctx<'_, Event>,
+        vcpu: VcpuId,
+        queue: QueueId,
+        is_net: bool,
+        plan: IoPlan,
+        conn: Option<u64>,
+    ) {
+        let t = self.mem.access_batch(
+            ctx.now,
+            device_node(&plan, self.net.as_ref(), self.blk.as_ref(), is_net),
+            &touches_of(&plan.device_touches),
+            &mut self.fabric,
+        );
+        let t_backend = match plan.backend {
+            BackendWork::None => t,
+            BackendWork::NetTx { bytes } => {
+                // Transmit to the external client over its link.
+                if let (Some(conn), Some(client)) = (conn, self.client.as_ref()) {
+                    let home = self.net.as_ref().expect("net device").home();
+                    let d = self.fabric.send(t, home, client.node, bytes, MsgClass::Io);
+                    ctx.schedule_at(
+                        d.deliver_at,
+                        Event::ClientDeliver {
+                            conn,
+                            bytes: bytes.as_u64(),
+                        },
+                    );
+                    t
+                } else {
+                    // No client attached: the packet leaves the cluster.
+                    t
+                }
+            }
+            BackendWork::NetRx { .. } => t,
+            BackendWork::Disk { bytes, write: _ } => {
+                let dur = ssd_bandwidth().transfer_time(bytes);
+                let start = t.max(self.stats.disk_free_at);
+                self.stats.disk_free_at = start + dur;
+                start + dur
+            }
+            BackendWork::Tmpfs { bytes } => t + tmpfs_bandwidth().transfer_time(bytes),
+        };
+        let complete_at = match &plan.completion.irq_msg {
+            Some(m) => {
+                let d = self.fabric.send(t_backend, m.src, m.dst, m.size, m.class);
+                d.deliver_at
+            }
+            None => t_backend + SimTime::from_nanos(500),
+        };
+        ctx.schedule_at(
+            complete_at.max(ctx.now),
+            Event::IoComplete {
+                vcpu,
+                queue,
+                is_net,
+                guest_touches: plan.completion.guest_touches,
+            },
+        );
+    }
+
+    /// Handles an I/O completion interrupt on the submitter's slice.
+    fn io_complete(
+        &mut self,
+        ctx: &mut Ctx<'_, Event>,
+        vcpu: VcpuId,
+        queue: QueueId,
+        is_net: bool,
+        guest_touches: Vec<virtio::plan::PageTouch>,
+    ) {
+        if is_net {
+            if let Some(net) = self.net.as_mut() {
+                net.complete(queue);
+            }
+        } else if let Some(blk) = self.blk.as_mut() {
+            blk.complete(queue);
+        }
+        let node = self.vcpus[vcpu.index()].node;
+        let _ = self
+            .mem
+            .access_batch(ctx.now, node, &touches_of(&guest_touches), &mut self.fabric);
+        // Block-I/O submitters wait synchronously; wake them.
+        let v = &mut self.vcpus[vcpu.index()];
+        if !is_net && v.status == VcpuStatus::BlockedIo {
+            v.status = VcpuStatus::Ready;
+            ctx.schedule_now(Event::VcpuStep(vcpu));
+        } else if !is_net
+            && v.status == VcpuStatus::Migrating
+            && v.resume_status == VcpuStatus::BlockedIo
+        {
+            v.resume_status = VcpuStatus::Ready;
+            v.missed_step = true;
+        }
+    }
+
+    /// Injects requests from the client model into the fabric.
+    fn inject_client_sends(&mut self, ctx: &mut Ctx<'_, Event>, sends: Vec<ClientSend>) {
+        let Some(client) = self.client.as_ref() else {
+            return;
+        };
+        let client_node = client.node;
+        let home = self
+            .net
+            .as_ref()
+            .expect("client requires a net device")
+            .home();
+        for s in sends {
+            self.client_pending.insert(s.conn, ctx.now);
+            let d = self
+                .fabric
+                .send(ctx.now, client_node, home, s.bytes, MsgClass::Io);
+            ctx.schedule_at(
+                d.deliver_at,
+                Event::ClientRxArrive {
+                    conn: s.conn,
+                    bytes: s.bytes.as_u64(),
+                    target: s.target,
+                },
+            );
+        }
+    }
+
+    /// A client request reached the NIC: run the RX delegation path.
+    fn client_rx_arrive(
+        &mut self,
+        ctx: &mut Ctx<'_, Event>,
+        conn: u64,
+        bytes: u64,
+        target: VcpuId,
+    ) {
+        let node = self.vcpus[target.index()].node;
+        let bufs = self.rx_buffer_pages(bytes);
+        let Some(net) = self.net.as_mut() else {
+            return;
+        };
+        let Ok((plan, queue)) = net.plan_rx(target, node, &bufs, ByteSize::bytes(bytes)) else {
+            // RX ring full: the transport retransmits after a backoff so
+            // closed-loop clients never lose a request permanently.
+            self.stats.rx_drops += 1;
+            ctx.schedule_in(
+                SimTime::from_micros(200),
+                Event::ClientRxArrive {
+                    conn,
+                    bytes,
+                    target,
+                },
+            );
+            return;
+        };
+        // Device-side work happens here on the home node.
+        let t = self.mem.access_batch(
+            ctx.now,
+            plan.device_touches.first().map(|t| t.node).unwrap_or(node),
+            &touches_of(&plan.device_touches),
+            &mut self.fabric,
+        );
+        let deliver_at = match &plan.completion.irq_msg {
+            Some(m) => {
+                self.fabric
+                    .send(t, m.src, m.dst, m.size, m.class)
+                    .deliver_at
+            }
+            None => t + SimTime::from_nanos(500),
+        };
+        ctx.schedule_at(
+            deliver_at.max(ctx.now),
+            Event::NetRxDeliver {
+                vcpu: target,
+                msg: GuestMsg::Net { conn, bytes },
+                queue,
+                guest_touches: plan.completion.guest_touches,
+            },
+        );
+    }
+
+    /// Round-robin guest buffer pages for incoming payloads.
+    fn rx_buffer_pages(&mut self, bytes: u64) -> Vec<PageId> {
+        let Some(region) = self.rx_buffers else {
+            return Vec::new();
+        };
+        let pages = ByteSize::bytes(bytes).pages_4k().max(1).min(region.pages);
+        let mut out = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            out.push(region.page(self.rx_cursor % region.pages));
+            self.rx_cursor += 1;
+        }
+        out
+    }
+
+    /// Starts a vCPU migration; returns false if the profile lacks
+    /// mobility or the vCPU is in a non-migratable state.
+    pub fn request_migration(
+        &mut self,
+        ctx: &mut Ctx<'_, Event>,
+        vcpu: VcpuId,
+        to: Placement,
+    ) -> bool {
+        if !self.profile.mobility {
+            return false;
+        }
+        let v = &mut self.vcpus[vcpu.index()];
+        match v.status {
+            VcpuStatus::Done | VcpuStatus::Migrating => return false,
+            VcpuStatus::Computing => {
+                let (node, pcpu) = (v.node, v.pcpu);
+                v.status = VcpuStatus::Migrating;
+                v.resume_status = VcpuStatus::Ready;
+                v.missed_step = false;
+                let rem = self.pcpu(node, pcpu).cancel(ctx.now, vcpu.0 as u64);
+                self.vcpus[vcpu.index()].stashed_work = Some(rem);
+                self.reschedule_cpu(ctx, node, pcpu);
+            }
+            other => {
+                // Blocked/sleeping/ready vCPUs migrate in place; wakeups
+                // arriving mid-migration are recorded and replayed at
+                // MigrationDone.
+                v.resume_status = other;
+                v.missed_step = false;
+                v.status = VcpuStatus::Migrating;
+            }
+        }
+        // Register dump on the source, then state transfer.
+        let src = self.vcpus[vcpu.index()].node;
+        let dump_done = ctx.now + self.profile.register_dump_cost;
+        let _ = self.fabric.send(
+            dump_done,
+            src,
+            to.node,
+            ByteSize::kib(8),
+            MsgClass::Migration,
+        );
+        // Location-table update broadcast to every other slice.
+        for n in 0..self.fabric.nodes() {
+            let dst = NodeId::from_usize(n);
+            if dst != src && dst != to.node {
+                let _ = self.fabric.send(
+                    dump_done,
+                    src,
+                    dst,
+                    ByteSize::bytes(64),
+                    MsgClass::Migration,
+                );
+            }
+        }
+        let done_at = ctx.now + self.profile.vcpu_migration_cost;
+        ctx.schedule_at(done_at, Event::MigrationDone { vcpu, to });
+        self.stats.migrations += 1;
+        self.stats.migration_time += self.profile.vcpu_migration_cost;
+        true
+    }
+
+    fn migration_done(&mut self, ctx: &mut Ctx<'_, Event>, vcpu: VcpuId, to: Placement) {
+        self.pcpus
+            .entry((to.node, to.pcpu))
+            .or_insert_with(|| PsCpu::new(1.0));
+        let (stashed, resume, missed_step, missed_charge) = {
+            let v = &mut self.vcpus[vcpu.index()];
+            debug_assert_eq!(v.status, VcpuStatus::Migrating);
+            v.node = to.node;
+            v.pcpu = to.pcpu;
+            (
+                v.stashed_work.take(),
+                v.resume_status,
+                std::mem::take(&mut v.missed_step),
+                v.missed_charge.take(),
+            )
+        };
+        if self.profile.helper_thread_load > 0.0 {
+            let load = self.profile.helper_thread_load;
+            let now = ctx.now;
+            self.pcpu(to.node, to.pcpu).set_background_load(now, load);
+        }
+        if let Some(rem) = stashed {
+            self.vcpus[vcpu.index()].status = VcpuStatus::Computing;
+            let now = ctx.now;
+            let _ = self.pcpu(to.node, to.pcpu).add(now, vcpu.0 as u64, rem);
+            self.reschedule_cpu(ctx, to.node, to.pcpu);
+            return;
+        }
+        if let Some(work) = missed_charge {
+            // The deferred CPU charge expired mid-migration: start it now
+            // (after_cpu is still armed on the vCPU).
+            let after =
+                std::mem::replace(&mut self.vcpus[vcpu.index()].after_cpu, AfterCpu::Continue);
+            self.vcpus[vcpu.index()].status = VcpuStatus::Ready;
+            self.begin_compute(ctx, vcpu, work, after);
+            return;
+        }
+        // Restore the pre-migration status; replay a missed step/wakeup.
+        let v = &mut self.vcpus[vcpu.index()];
+        v.status = resume;
+        if missed_step {
+            v.status = VcpuStatus::Ready;
+            ctx.schedule_now(Event::VcpuStep(vcpu));
+        }
+        // For ready vCPUs without a missed step, the original wakeup event
+        // is still queued and will arrive at the new placement.
+    }
+}
+
+/// Extracts `(page, access)` pairs from plan touches.
+fn touches_of(touches: &[virtio::plan::PageTouch]) -> Vec<(PageId, Access)> {
+    touches.iter().map(|t| (t.page, t.access)).collect()
+}
+
+/// The node device-side touches run on (falls back to the device home).
+fn device_node(
+    plan: &IoPlan,
+    net: Option<&VirtioNet>,
+    blk: Option<&VirtioBlk>,
+    is_net: bool,
+) -> NodeId {
+    plan.device_touches
+        .first()
+        .map(|t| t.node)
+        .unwrap_or_else(|| {
+            if is_net {
+                net.map(|d| d.home()).unwrap_or_default()
+            } else {
+                blk.map(|d| d.home()).unwrap_or_default()
+            }
+        })
+}
+
+impl World for VmWorld {
+    type Event = Event;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Event>, ev: Event) {
+        match ev {
+            Event::Start => {
+                for i in 0..self.vcpus.len() {
+                    ctx.schedule_now(Event::VcpuStep(VcpuId::from_usize(i)));
+                    if let Some(interval) = self.timer_interval {
+                        ctx.schedule_in(
+                            interval,
+                            Event::GuestTick {
+                                vcpu: VcpuId::from_usize(i),
+                            },
+                        );
+                    }
+                }
+                if let Some(client) = self.client.as_mut() {
+                    let sends = client.model.start(ctx.now);
+                    self.inject_client_sends(ctx, sends);
+                }
+            }
+            Event::VcpuStep(v) => {
+                let state = &mut self.vcpus[v.index()];
+                if state.status == VcpuStatus::Migrating {
+                    state.missed_step = true;
+                } else {
+                    self.step_vcpu(ctx, v);
+                }
+            }
+            Event::CpuDone { node, pcpu, epoch } => {
+                let done = {
+                    let now = ctx.now;
+                    self.pcpu(node, pcpu).on_completion_event(now, epoch)
+                };
+                if done.is_empty() {
+                    return;
+                }
+                self.reschedule_cpu(ctx, node, pcpu);
+                for task in done {
+                    let vcpu = VcpuId::new(task as u32);
+                    let after = {
+                        let v = &mut self.vcpus[vcpu.index()];
+                        debug_assert_eq!(v.status, VcpuStatus::Computing);
+                        v.status = VcpuStatus::Ready;
+                        std::mem::replace(&mut v.after_cpu, AfterCpu::Continue)
+                    };
+                    match after {
+                        AfterCpu::Continue => {}
+                        AfterCpu::DeliverLocal { to, msg } => {
+                            let src = self.vcpus[vcpu.index()].node;
+                            let dst = self.vcpus[to.index()].node;
+                            if src == dst {
+                                ctx.schedule_in(LOCAL_IPI, Event::LocalDeliver { vcpu: to, msg });
+                            } else {
+                                // The wakeup crosses the fabric as an IPI;
+                                // the payload moves through DSM socket
+                                // buffers already touched on the send side.
+                                let d = self.fabric.send(
+                                    ctx.now,
+                                    src,
+                                    dst,
+                                    ByteSize::bytes(64),
+                                    MsgClass::Interrupt,
+                                );
+                                ctx.schedule_at(
+                                    d.deliver_at,
+                                    Event::LocalDeliver { vcpu: to, msg },
+                                );
+                            }
+                        }
+                    }
+                    self.step_vcpu(ctx, vcpu);
+                }
+            }
+            Event::ChargeCpu { vcpu, work } => {
+                let state = &mut self.vcpus[vcpu.index()];
+                if state.status == VcpuStatus::Migrating {
+                    state.missed_charge = Some(work);
+                    return;
+                }
+                let after =
+                    std::mem::replace(&mut self.vcpus[vcpu.index()].after_cpu, AfterCpu::Continue);
+                self.begin_compute(ctx, vcpu, work, after);
+            }
+            Event::IpiDeliver { vcpu } => {
+                let v = &mut self.vcpus[vcpu.index()];
+                if v.status == VcpuStatus::BlockedIpi {
+                    v.status = VcpuStatus::Ready;
+                    self.step_vcpu(ctx, vcpu);
+                } else if v.status == VcpuStatus::Migrating
+                    && v.resume_status == VcpuStatus::BlockedIpi
+                {
+                    v.resume_status = VcpuStatus::Ready;
+                    v.missed_step = true;
+                } else {
+                    v.pending_ipis += 1;
+                }
+            }
+            Event::LocalDeliver { vcpu, msg } => {
+                let v = &mut self.vcpus[vcpu.index()];
+                // The receiver reads the socket buffer pages.
+                let node = v.node;
+                let bufs = self.mem.kernel.socket_buffer_pages();
+                let touches: Vec<(PageId, Access)> = bufs
+                    .into_iter()
+                    .take(1)
+                    .map(|p| (p, Access::Read))
+                    .collect();
+                let t = self
+                    .mem
+                    .access_batch(ctx.now, node, &touches, &mut self.fabric);
+                let v = &mut self.vcpus[vcpu.index()];
+                v.local_inbox.push_back(msg);
+                if matches!(v.status, VcpuStatus::BlockedLocal | VcpuStatus::BlockedAny) {
+                    let msg = v.local_inbox.pop_front().expect("just pushed");
+                    v.delivered = Some(msg);
+                    v.status = VcpuStatus::Ready;
+                    if t > ctx.now {
+                        ctx.schedule_at(t, Event::VcpuStep(vcpu));
+                    } else {
+                        self.step_vcpu(ctx, vcpu);
+                    }
+                } else if v.status == VcpuStatus::Migrating
+                    && matches!(
+                        v.resume_status,
+                        VcpuStatus::BlockedLocal | VcpuStatus::BlockedAny
+                    )
+                {
+                    let msg = v.local_inbox.pop_front().expect("just pushed");
+                    v.delivered = Some(msg);
+                    v.resume_status = VcpuStatus::Ready;
+                    v.missed_step = true;
+                }
+            }
+            Event::DevProcess {
+                vcpu,
+                queue,
+                is_net,
+                plan,
+                conn,
+            } => self.dev_process(ctx, vcpu, queue, is_net, *plan, conn),
+            Event::IoComplete {
+                vcpu,
+                queue,
+                is_net,
+                guest_touches,
+            } => self.io_complete(ctx, vcpu, queue, is_net, guest_touches),
+            Event::ClientRxArrive {
+                conn,
+                bytes,
+                target,
+            } => self.client_rx_arrive(ctx, conn, bytes, target),
+            Event::NetRxDeliver {
+                vcpu,
+                msg,
+                queue,
+                guest_touches,
+            } => {
+                if let Some(net) = self.net.as_mut() {
+                    net.complete(queue);
+                }
+                let node = self.vcpus[vcpu.index()].node;
+                let t = self.mem.access_batch(
+                    ctx.now,
+                    node,
+                    &touches_of(&guest_touches),
+                    &mut self.fabric,
+                );
+                let v = &mut self.vcpus[vcpu.index()];
+                v.net_inbox.push_back(msg);
+                if matches!(v.status, VcpuStatus::BlockedNet | VcpuStatus::BlockedAny) {
+                    let msg = v.net_inbox.pop_front().expect("just pushed");
+                    v.delivered = Some(msg);
+                    v.status = VcpuStatus::Ready;
+                    if t > ctx.now {
+                        ctx.schedule_at(t, Event::VcpuStep(vcpu));
+                    } else {
+                        self.step_vcpu(ctx, vcpu);
+                    }
+                } else if v.status == VcpuStatus::Migrating
+                    && matches!(
+                        v.resume_status,
+                        VcpuStatus::BlockedNet | VcpuStatus::BlockedAny
+                    )
+                {
+                    let msg = v.net_inbox.pop_front().expect("just pushed");
+                    v.delivered = Some(msg);
+                    v.resume_status = VcpuStatus::Ready;
+                    v.missed_step = true;
+                }
+            }
+            Event::ClientDeliver { conn, bytes } => {
+                if let Some(start) = self.client_pending.remove(&conn) {
+                    let latency = ctx.now - start;
+                    self.stats.request_latency.record_time(latency);
+                    self.stats
+                        .latency_series
+                        .push(ctx.now, latency.as_millis_f64());
+                    self.stats.completed_requests += 1;
+                }
+                if let Some(client) = self.client.as_mut() {
+                    let sends = client.model.on_response(ctx.now, conn, bytes);
+                    self.inject_client_sends(ctx, sends);
+                }
+            }
+            Event::WakeVcpu(vcpu) => {
+                let v = &mut self.vcpus[vcpu.index()];
+                if v.status == VcpuStatus::Sleeping {
+                    v.status = VcpuStatus::Ready;
+                    self.step_vcpu(ctx, vcpu);
+                } else if v.status == VcpuStatus::Migrating
+                    && v.resume_status == VcpuStatus::Sleeping
+                {
+                    v.resume_status = VcpuStatus::Ready;
+                    v.missed_step = true;
+                }
+            }
+            Event::GuestTick { vcpu } => {
+                let v = &self.vcpus[vcpu.index()];
+                if v.status == VcpuStatus::Done {
+                    return;
+                }
+                let node = v.node;
+                // The tick handler touches hot kernel pages; its latency
+                // is absorbed (a tick steals ~microseconds of vCPU time).
+                let trace = self
+                    .mem
+                    .kernel
+                    .op_trace(vcpu.index(), guest::KernelOp::TimerTick);
+                let _ = self
+                    .mem
+                    .access_batch(ctx.now, node, &trace.touches, &mut self.fabric);
+                if let Some(interval) = self.timer_interval {
+                    ctx.schedule_in(interval, Event::GuestTick { vcpu });
+                }
+            }
+            Event::MigrationDone { vcpu, to } => self.migration_done(ctx, vcpu, to),
+        }
+    }
+}
+
+/// Builder for a distributed VM simulation.
+pub struct VmBuilder {
+    profile: HypervisorProfile,
+    nodes: usize,
+    ram: ByteSize,
+    placements: Vec<Placement>,
+    programs: Vec<Box<dyn Program>>,
+    net_home: Option<NodeId>,
+    blk_home: Option<NodeId>,
+    client: Option<ClientConfig>,
+    timer_interval: Option<SimTime>,
+    seed: u64,
+}
+
+impl VmBuilder {
+    /// Starts a builder for a VM on a cluster of `nodes` machines.
+    pub fn new(profile: HypervisorProfile, nodes: usize) -> Self {
+        VmBuilder {
+            profile,
+            nodes,
+            ram: ByteSize::gib(4),
+            placements: Vec::new(),
+            programs: Vec::new(),
+            net_home: None,
+            blk_home: None,
+            client: None,
+            timer_interval: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Enables periodic guest timer ticks (CONFIG_HZ-style) on every
+    /// vCPU. Each tick touches hot kernel pages — background DSM noise
+    /// whose cost depends on the guest kernel layout.
+    pub fn with_timer(mut self, interval: SimTime) -> Self {
+        self.timer_interval = Some(interval);
+        self
+    }
+
+    /// Sets guest RAM.
+    pub fn ram(mut self, ram: ByteSize) -> Self {
+        self.ram = ram;
+        self
+    }
+
+    /// Sets the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a vCPU at `placement` running `program`.
+    pub fn vcpu(mut self, placement: Placement, program: Box<dyn Program>) -> Self {
+        self.placements.push(placement);
+        self.programs.push(program);
+        self
+    }
+
+    /// Attaches a virtio-net device homed on `node`.
+    pub fn with_net(mut self, node: NodeId) -> Self {
+        self.net_home = Some(node);
+        self
+    }
+
+    /// Attaches a virtio-blk device homed on `node`.
+    pub fn with_blk(mut self, node: NodeId) -> Self {
+        self.blk_home = Some(node);
+        self
+    }
+
+    /// Attaches an external client.
+    pub fn with_client(mut self, client: ClientConfig) -> Self {
+        self.client = Some(client);
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no vCPUs were added or a placement is out of range.
+    pub fn build(self) -> VmSim {
+        assert!(!self.placements.is_empty(), "VM needs at least one vCPU");
+        for p in &self.placements {
+            assert!(p.node.index() < self.nodes, "placement out of range");
+        }
+        let bootstrap = self.placements[0].node;
+        let mut fabric = Fabric::homogeneous(
+            self.nodes + usize::from(self.client.is_some()),
+            self.profile.link,
+        );
+        let mut mem = VmMemory::new(&self.profile, self.placements.len(), self.ram, bootstrap);
+
+        // Devices and their ring pages.
+        let queues = self.placements.len();
+        let net = self.net_home.map(|home| {
+            let rings = mem.alloc.alloc("virtio-net.rings", 2 * queues as u64);
+            let dev = VirtioNet::new(home, self.profile.io_mode, queues, rings.first);
+            mem.register_pages(&dev.ring_pages(), home, PageClass::DeviceRing);
+            dev
+        });
+        let blk = self.blk_home.map(|home| {
+            let rings = mem.alloc.alloc("virtio-blk.rings", 2 * queues as u64);
+            let dev = VirtioBlk::new(home, self.profile.io_mode, queues, rings.first);
+            mem.register_pages(&dev.ring_pages(), home, PageClass::DeviceRing);
+            dev
+        });
+        let rx_buffers = net.as_ref().map(|dev| {
+            let r = mem.alloc.alloc("net.rxbuf", 1024);
+            mem.register_pages(
+                &r.iter().collect::<Vec<_>>(),
+                dev.home(),
+                PageClass::Private,
+            );
+            r
+        });
+
+        // Client link overrides.
+        let client = self.client.map(|mut c| {
+            let client_node = NodeId::from_usize(self.nodes);
+            let home = net
+                .as_ref()
+                .map(|d| d.home())
+                .expect("client requires a net device");
+            fabric.set_link(client_node, home, c.link);
+            fabric.set_link(home, client_node, c.link);
+            c.node = client_node;
+            c
+        });
+
+        // pCPUs and helper threads.
+        let mut pcpus: HashMap<(NodeId, u32), PsCpu> = HashMap::new();
+        for p in &self.placements {
+            pcpus
+                .entry((p.node, p.pcpu))
+                .or_insert_with(|| PsCpu::new(1.0));
+        }
+        if self.profile.helper_thread_load > 0.0 {
+            for cpu in pcpus.values_mut() {
+                cpu.set_background_load(SimTime::ZERO, self.profile.helper_thread_load);
+            }
+        }
+
+        let root_rng = DetRng::new(self.seed);
+        let vcpus: Vec<VcpuState> = self
+            .placements
+            .iter()
+            .zip(self.programs)
+            .enumerate()
+            .map(|(i, (p, program))| VcpuState {
+                node: p.node,
+                pcpu: p.pcpu,
+                program,
+                status: VcpuStatus::Ready,
+                net_inbox: VecDeque::new(),
+                local_inbox: VecDeque::new(),
+                pending_ipis: 0,
+                delivered: None,
+                after_cpu: AfterCpu::Continue,
+                retry_op: None,
+                stashed_work: None,
+                resume_status: VcpuStatus::Ready,
+                missed_step: false,
+                missed_charge: None,
+                finish: None,
+                rng: root_rng.derive(i as u64),
+            })
+            .collect();
+
+        let stats = VmStats::new(vcpus.len());
+        let console = VirtioConsole::new(bootstrap);
+        let world = VmWorld {
+            profile: self.profile,
+            fabric,
+            mem,
+            pcpus,
+            vcpus,
+            net,
+            blk,
+            console,
+            rx_buffers,
+            rx_cursor: 0,
+            client,
+            client_pending: HashMap::new(),
+            barriers: HashMap::new(),
+            timer_interval: self.timer_interval,
+            stats,
+        };
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, Event::Start);
+        VmSim { engine, world }
+    }
+}
+
+/// A ready-to-run VM simulation.
+pub struct VmSim {
+    /// The event loop.
+    pub engine: Engine<Event>,
+    /// The VM world.
+    pub world: VmWorld,
+}
+
+impl VmSim {
+    /// Runs until every program finishes (and the client drains);
+    /// returns the completion time of the last vCPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains while programs are still blocked —
+    /// a deadlock in the workload definition.
+    pub fn run(&mut self) -> SimTime {
+        while !self.world.finished() {
+            if !self.engine.step(&mut self.world) {
+                panic!(
+                    "event queue drained but the VM is not finished \
+                     (deadlocked workload?)"
+                );
+            }
+        }
+        self.world
+            .stats
+            .vcpu_finish
+            .iter()
+            .flatten()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Runs until the given horizon (events after it stay queued).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.engine.run_until(&mut self.world, until);
+    }
+
+    /// Runs until the external client completes its load (for VMs whose
+    /// server programs loop forever); returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains before the client finishes, or if
+    /// no client is attached.
+    pub fn run_client(&mut self) -> SimTime {
+        assert!(
+            self.world.client.is_some(),
+            "run_client on a VM without a client"
+        );
+        while !self.world.client_done() {
+            assert!(
+                self.engine.step(&mut self.world),
+                "event queue drained before the client finished"
+            );
+        }
+        self.engine.now()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Requests a vCPU migration at the current time; returns false if the
+    /// profile lacks mobility.
+    pub fn migrate_vcpu(&mut self, vcpu: VcpuId, to: Placement) -> bool {
+        let mut ctx = self.engine.external_ctx();
+        self.world.request_migration(&mut ctx, vcpu, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FixedCompute, Scripted};
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn single_vcpu_compute_runs_at_full_speed() {
+        let mut sim = VmBuilder::new(HypervisorProfile::fragvisor(), 1)
+            .vcpu(Placement::new(0, 0), Box::new(FixedCompute::new(ms(10))))
+            .build();
+        let done = sim.run();
+        assert_eq!(done, ms(10));
+    }
+
+    #[test]
+    fn overcommit_shares_the_pcpu() {
+        // Four equal programs on one pCPU: each takes 4x as long.
+        let mut b = VmBuilder::new(HypervisorProfile::single_machine(), 1);
+        for _ in 0..4 {
+            b = b.vcpu(Placement::new(0, 0), Box::new(FixedCompute::new(ms(10))));
+        }
+        let done = b.build().run();
+        assert_eq!(done, ms(40));
+    }
+
+    #[test]
+    fn distributed_compute_runs_in_parallel() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 4);
+        for i in 0..4 {
+            b = b.vcpu(Placement::new(i, 0), Box::new(FixedCompute::new(ms(10))));
+        }
+        let done = b.build().run();
+        assert_eq!(done, ms(10));
+    }
+
+    #[test]
+    fn giantvm_helper_threads_slow_compute() {
+        let mut b = VmBuilder::new(HypervisorProfile::giantvm(), 2);
+        for i in 0..2 {
+            b = b.vcpu(Placement::new(i, 0), Box::new(FixedCompute::new(ms(10))));
+        }
+        let done = b.build().run();
+        assert!(done > ms(10), "helper threads must steal cycles: {done}");
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2);
+        b = b.vcpu(
+            Placement::new(0, 0),
+            Box::new(Scripted::new([
+                Op::Compute(ms(1)),
+                Op::Barrier { id: 1, parties: 2 },
+                Op::Compute(ms(1)),
+            ])),
+        );
+        b = b.vcpu(
+            Placement::new(1, 0),
+            Box::new(Scripted::new([
+                Op::Compute(ms(5)),
+                Op::Barrier { id: 1, parties: 2 },
+                Op::Compute(ms(1)),
+            ])),
+        );
+        let done = b.build().run();
+        // Slow vCPU reaches the barrier at 5ms; both finish at 6ms.
+        assert_eq!(done, ms(6));
+    }
+
+    #[test]
+    fn ipi_wakeup() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2);
+        b = b.vcpu(
+            Placement::new(0, 0),
+            Box::new(Scripted::new([
+                Op::Compute(ms(2)),
+                Op::SendIpi(VcpuId::new(1)),
+            ])),
+        );
+        b = b.vcpu(Placement::new(1, 0), Box::new(Scripted::new([Op::WaitIpi])));
+        let mut sim = b.build();
+        let done = sim.run();
+        assert!(done >= ms(2));
+        assert_eq!(sim.world.stats.ipis.events, 1);
+    }
+
+    #[test]
+    fn local_send_recv_across_nodes() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2);
+        b = b.vcpu(
+            Placement::new(0, 0),
+            Box::new(Scripted::new([Op::LocalSend {
+                to: VcpuId::new(1),
+                tag: 7,
+                bytes: 4096,
+            }])),
+        );
+        b = b.vcpu(
+            Placement::new(1, 0),
+            Box::new(Scripted::new([Op::LocalRecv])),
+        );
+        let mut sim = b.build();
+        let done = sim.run();
+        assert!(done > SimTime::ZERO);
+        // Socket buffers crossed the DSM: at least one fault occurred.
+        assert!(sim.world.mem.dsm.stats().total_faults() > 0);
+    }
+
+    #[test]
+    fn touch_batch_remote_pages_takes_time() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2);
+        // vCPU0 creates pages; vCPU1 then reads them remotely.
+        let touches: Vec<(PageId, Access)> = (0..32)
+            .map(|i| (PageId::new(500_000 + i), Access::Write))
+            .collect();
+        let reads: Vec<(PageId, Access)> = (0..32)
+            .map(|i| (PageId::new(500_000 + i), Access::Read))
+            .collect();
+        b = b.vcpu(
+            Placement::new(0, 0),
+            Box::new(Scripted::new([
+                Op::TouchBatch(touches),
+                Op::Barrier { id: 1, parties: 2 },
+            ])),
+        );
+        b = b.vcpu(
+            Placement::new(1, 0),
+            Box::new(Scripted::new([
+                Op::Barrier { id: 1, parties: 2 },
+                Op::TouchBatch(reads),
+            ])),
+        );
+        let mut sim = b.build();
+        let done = sim.run();
+        // 32 remote read faults at ~8us each.
+        assert!(done > SimTime::from_micros(200), "{done}");
+        assert_eq!(sim.world.mem.dsm.stats().read_faults, 32);
+    }
+
+    #[test]
+    fn blk_io_roundtrip_local_and_remote() {
+        let run = |vcpu_node: u32| -> SimTime {
+            let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2).with_blk(NodeId::new(0));
+            b = b.vcpu(
+                Placement::new(vcpu_node, 0),
+                Box::new(Scripted::new([Op::BlkIo {
+                    bytes: ByteSize::mib(1),
+                    write: false,
+                    tmpfs: false,
+                    buffer: (0..4).map(|i| PageId::new(600_000 + i)).collect(),
+                }])),
+            );
+            b.build().run()
+        };
+        let local = run(0);
+        let remote = run(1);
+        // 1 MiB at 500 MB/s ≈ 2.1ms dominates; delegation adds overhead.
+        assert!(local > SimTime::from_millis(2), "{local}");
+        assert!(remote > local, "remote {remote} vs local {local}");
+    }
+
+    #[test]
+    fn vcpu_migration_moves_execution() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2);
+        b = b.vcpu(Placement::new(0, 0), Box::new(FixedCompute::new(ms(50))));
+        let mut sim = b.build();
+        sim.run_until(ms(10));
+        assert!(sim.migrate_vcpu(VcpuId::new(0), Placement::new(1, 0)));
+        let done = sim.run();
+        assert_eq!(sim.world.placement_of(VcpuId::new(0)).node, NodeId::new(1));
+        // 10ms before + ~86us migration + 40ms remaining.
+        assert!(done >= ms(50), "{done}");
+        assert!(done < ms(51), "{done}");
+        assert_eq!(sim.world.stats.migrations, 1);
+    }
+
+    #[test]
+    fn giantvm_cannot_migrate() {
+        let mut b = VmBuilder::new(HypervisorProfile::giantvm(), 2);
+        b = b.vcpu(Placement::new(0, 0), Box::new(FixedCompute::new(ms(5))));
+        let mut sim = b.build();
+        sim.run_until(ms(1));
+        assert!(!sim.migrate_vcpu(VcpuId::new(0), Placement::new(1, 0)));
+    }
+
+    #[test]
+    fn sleep_wakes_on_time() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 1);
+        b = b.vcpu(
+            Placement::new(0, 0),
+            Box::new(Scripted::new([Op::Sleep(ms(7)), Op::Compute(ms(1))])),
+        );
+        let done = b.build().run();
+        assert_eq!(done, ms(8));
+    }
+}

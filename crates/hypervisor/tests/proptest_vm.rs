@@ -1,0 +1,179 @@
+//! Property tests for the whole VM simulator: arbitrary (deadlock-free)
+//! programs over arbitrary placements must terminate, stay deterministic,
+//! and survive migrations injected at arbitrary times.
+
+use hypervisor::program::Scripted;
+use hypervisor::{HypervisorProfile, Op, Placement, VcpuId, VmBuilder, VmSim};
+use proptest::prelude::*;
+use sim_core::time::SimTime;
+
+/// A deadlock-free op for the generator: no unmatched blocking receives.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Compute(u64),
+    Touch(u32),
+    Batch(u32, u8),
+    Syscall,
+    Alloc(u8),
+    Sleep(u64),
+    Barrier,
+    Console(u16),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (1u64..2_000).prop_map(GenOp::Compute),
+        (0u32..64).prop_map(GenOp::Touch),
+        (0u32..64, 1u8..16).prop_map(|(p, n)| GenOp::Batch(p, n)),
+        Just(GenOp::Syscall),
+        (1u8..64).prop_map(GenOp::Alloc),
+        (1u64..500).prop_map(GenOp::Sleep),
+        Just(GenOp::Barrier),
+        (1u16..512).prop_map(GenOp::Console),
+    ]
+}
+
+fn materialize(ops: &[GenOp], vcpus: u32, barrier_seq: &mut u32) -> Vec<Op> {
+    ops.iter()
+        .map(|op| match *op {
+            GenOp::Compute(us) => Op::Compute(SimTime::from_micros(us)),
+            GenOp::Touch(p) => Op::Touch {
+                page: dsm::PageId::new(3_000_000 + p),
+                access: dsm::Access::Write,
+            },
+            GenOp::Batch(p, n) => Op::TouchBatch(
+                (0..u32::from(n))
+                    .map(|i| (dsm::PageId::new(3_000_000 + p + i), dsm::Access::Read))
+                    .collect(),
+            ),
+            GenOp::Syscall => Op::Kernel(guest::KernelOp::Syscall),
+            GenOp::Alloc(n) => Op::Kernel(guest::KernelOp::AllocPages(u64::from(n))),
+            GenOp::Sleep(us) => Op::Sleep(SimTime::from_micros(us)),
+            GenOp::Barrier => {
+                *barrier_seq += 1;
+                Op::Barrier {
+                    id: *barrier_seq,
+                    parties: vcpus,
+                }
+            }
+            GenOp::Console(b) => Op::ConsoleWrite {
+                bytes: u64::from(b),
+            },
+        })
+        .collect()
+}
+
+/// Builds a VM where every vCPU runs the same op skeleton (so barriers
+/// always have all parties) on its own node.
+fn build(ops: &[GenOp], vcpus: u32, seed: u64) -> VmSim {
+    let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), vcpus as usize).seed(seed);
+    for v in 0..vcpus {
+        let mut barrier_seq = 0;
+        let script = materialize(ops, vcpus, &mut barrier_seq);
+        b = b.vcpu(Placement::new(v, 0), Box::new(Scripted::new(script)));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated workload terminates, and identical runs agree on
+    /// every observable statistic.
+    #[test]
+    fn terminates_and_is_deterministic(
+        ops in proptest::collection::vec(gen_op(), 1..40),
+        vcpus in 1u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let run = || {
+            let mut sim = build(&ops, vcpus, seed);
+            let makespan = sim.run();
+            (
+                makespan,
+                sim.world.mem.dsm.stats().total_faults(),
+                sim.world.fabric.messages_sent(),
+                sim.engine.delivered(),
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Injecting a migration at an arbitrary point never wedges the VM:
+    /// it still terminates with every vCPU done, and the total virtual
+    /// time only grows.
+    #[test]
+    fn migration_at_any_time_is_safe(
+        ops in proptest::collection::vec(gen_op(), 2..30),
+        vcpus in 2u32..5,
+        cut_us in 1u64..5_000,
+        victim in 0u32..5,
+        seed in 0u64..100,
+    ) {
+        let victim = victim % vcpus;
+        let mut baseline = build(&ops, vcpus, seed);
+        let t_base = baseline.run();
+
+        let mut sim = build(&ops, vcpus, seed);
+        sim.run_until(SimTime::from_micros(cut_us).min(t_base));
+        // Move the victim to the next node (there are `vcpus` nodes).
+        let target = (victim + 1) % vcpus;
+        let _ = sim.migrate_vcpu(
+            VcpuId::new(victim),
+            Placement::new(target, 8),
+        );
+        let t_mig = sim.run();
+        // All programs finished.
+        for v in 0..vcpus {
+            prop_assert!(
+                sim.world.stats.vcpu_finish[v as usize].is_some(),
+                "vCPU {v} never finished after migration"
+            );
+        }
+        // Timing may move either way — consolidating two vCPUs onto one
+        // node *removes* DSM faults between them (the paper's thesis!) —
+        // but it must stay within a sane envelope of the baseline.
+        prop_assert!(
+            t_mig.as_nanos() <= t_base.as_nanos() * 4 + 1_000_000,
+            "migrated run exploded: {t_mig} vs {t_base}"
+        );
+        prop_assert!(t_mig > SimTime::ZERO);
+    }
+
+    /// Overcommitting the same workload on one pCPU is never faster than
+    /// spreading it (the core premise of the paper's comparison).
+    #[test]
+    fn overcommit_is_never_faster(
+        ops in proptest::collection::vec(gen_op(), 1..25),
+        vcpus in 2u32..5,
+    ) {
+        let spread_time = build(&ops, vcpus, 7).run();
+        let mut b = VmBuilder::new(HypervisorProfile::single_machine(), 1).seed(7);
+        for _ in 0..vcpus {
+            let mut barrier_seq = 0;
+            let script = materialize(&ops, vcpus, &mut barrier_seq);
+            b = b.vcpu(Placement::new(0, 0), Box::new(Scripted::new(script)));
+        }
+        let packed_time = b.build().run();
+        // Allow a sliver for rounding: distributed runs pay DSM costs but
+        // gain vcpus-fold CPU capacity; the generated workloads are
+        // compute-dominated enough that packing never wins by more than
+        // the fault overhead... so only assert the weak direction when
+        // compute dominates.
+        let total_compute: u64 = ops
+            .iter()
+            .map(|o| match o {
+                GenOp::Compute(us) => *us,
+                _ => 0,
+            })
+            .sum();
+        if total_compute > 2_000 {
+            prop_assert!(
+                packed_time + SimTime::from_micros(1) >= spread_time,
+                "packed {packed_time} vs spread {spread_time}"
+            );
+        }
+    }
+}

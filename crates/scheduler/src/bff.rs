@@ -1,0 +1,76 @@
+//! Best-Fit-First single-machine placement.
+
+use cluster::{Cluster, ResourceRequest, VmId};
+use comm::NodeId;
+
+/// The baseline scheduler: places each VM on the machine that fits it
+/// with the least free capacity left over (best fit), first match wins
+/// ties deterministically by node id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bff;
+
+impl Bff {
+    /// Picks the best-fit node for `req`, or `None` if no single machine
+    /// fits (the case FragBFF takes over).
+    pub fn pick(&self, cluster: &Cluster, req: ResourceRequest) -> Option<NodeId> {
+        cluster
+            .machines()
+            .filter(|(_, m)| m.fits(req))
+            .min_by_key(|(n, m)| (m.free_cpus() - req.cpus, m.free_ram().as_u64(), n.0))
+            .map(|(n, _)| n)
+    }
+
+    /// Places `vm` via best fit; returns the chosen node.
+    pub fn place(&self, cluster: &mut Cluster, vm: VmId, req: ResourceRequest) -> Option<NodeId> {
+        let node = self.pick(cluster, req)?;
+        cluster
+            .allocate(node, vm, req)
+            .expect("pick() verified capacity");
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::MachineSpec;
+    use sim_core::units::ByteSize;
+
+    fn req(cpus: u32) -> ResourceRequest {
+        ResourceRequest::new(cpus, ByteSize::gib(u64::from(cpus)))
+    }
+
+    #[test]
+    fn best_fit_picks_tightest_machine() {
+        let mut c = Cluster::homogeneous(3, MachineSpec::testbed());
+        // node0: 10 free, node1: 4 free, node2: 16 free.
+        c.allocate(NodeId::new(0), VmId::new(90), req(6)).unwrap();
+        c.allocate(NodeId::new(1), VmId::new(91), req(12)).unwrap();
+        let got = Bff.pick(&c, req(4));
+        assert_eq!(got, Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn returns_none_when_fragmented() {
+        let mut c = Cluster::homogeneous(2, MachineSpec::testbed());
+        c.allocate(NodeId::new(0), VmId::new(90), req(14)).unwrap();
+        c.allocate(NodeId::new(1), VmId::new(91), req(14)).unwrap();
+        // 4 CPUs free in aggregate (2+2) but no single fit.
+        assert_eq!(Bff.pick(&c, req(4)), None);
+        assert_eq!(c.total_free_cpus(), 4);
+    }
+
+    #[test]
+    fn place_allocates() {
+        let mut c = Cluster::homogeneous(1, MachineSpec::testbed());
+        let node = Bff.place(&mut c, VmId::new(1), req(4)).unwrap();
+        assert_eq!(node, NodeId::new(0));
+        assert_eq!(c.machine(node).free_cpus(), 12);
+    }
+
+    #[test]
+    fn tie_breaks_by_node_id() {
+        let c = Cluster::homogeneous(3, MachineSpec::testbed());
+        assert_eq!(Bff.pick(&c, req(2)), Some(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,348 @@
+//! FragBFF: Aggregate-VM placement over fragments, and consolidation.
+
+use cluster::{Cluster, ResourceRequest, VmId};
+use comm::NodeId;
+use sim_core::units::ByteSize;
+
+/// Which objective consolidation (and fragment selection) optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsolidationPolicy {
+    /// Minimize overall cluster fragmentation: prefer consuming the
+    /// smallest free blocks and leaving large blocks intact for future
+    /// single-machine VMs (the policy of the Figure 14 run).
+    MinFragmentation,
+    /// Minimize the number of nodes each Aggregate VM spans at any time.
+    MinNodes,
+}
+
+/// How an Aggregate VM is split across nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceAssignment {
+    /// `(node, vcpus)` parts, in allocation order.
+    pub parts: Vec<(NodeId, u32)>,
+}
+
+impl SliceAssignment {
+    /// Total vCPUs across all parts.
+    pub fn total_cpus(&self) -> u32 {
+        self.parts.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Number of nodes the VM spans.
+    pub fn node_count(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// A commanded slice migration (`cpus` vCPUs from one node to another).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationCmd {
+    /// The VM whose vCPUs move.
+    pub vm: VmId,
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Number of vCPUs to move.
+    pub cpus: u32,
+}
+
+/// The FragBFF scheduler extension.
+#[derive(Debug, Clone, Copy)]
+pub struct FragBff {
+    /// Consolidation objective.
+    pub policy: ConsolidationPolicy,
+}
+
+/// RAM charged per vCPU in a split (the trace's 1 GiB/vCPU shape).
+fn ram_per_cpu(req: ResourceRequest) -> ByteSize {
+    if req.cpus == 0 {
+        return ByteSize::ZERO;
+    }
+    ByteSize::bytes(req.ram.as_u64() / u64::from(req.cpus))
+}
+
+impl FragBff {
+    /// Creates a FragBFF with the given policy.
+    pub fn new(policy: ConsolidationPolicy) -> Self {
+        FragBff { policy }
+    }
+
+    /// Places `vm` as an Aggregate VM across fragmented nodes; `None` when
+    /// the cluster lacks aggregate capacity (the VM must be delayed).
+    pub fn place_aggregate(
+        &self,
+        cluster: &mut Cluster,
+        vm: VmId,
+        req: ResourceRequest,
+    ) -> Option<SliceAssignment> {
+        if cluster.total_free_cpus() < req.cpus {
+            return None;
+        }
+        let per_cpu_ram = ram_per_cpu(req);
+        // Candidate nodes with at least one free CPU and enough RAM for it.
+        let mut candidates: Vec<(NodeId, u32)> = cluster
+            .machines()
+            .filter_map(|(n, m)| {
+                let cpu_cap = m.free_cpus();
+                let ram_cap = if per_cpu_ram.as_u64() == 0 {
+                    u64::from(cpu_cap)
+                } else {
+                    m.free_ram().as_u64() / per_cpu_ram.as_u64()
+                };
+                let usable = cpu_cap.min(u32::try_from(ram_cap).unwrap_or(u32::MAX));
+                (usable > 0).then_some((n, usable))
+            })
+            .collect();
+        match self.policy {
+            // Fewest nodes: consume the largest fragments first.
+            ConsolidationPolicy::MinNodes => {
+                candidates.sort_by_key(|&(n, usable)| (std::cmp::Reverse(usable), n.0));
+            }
+            // Least fragmentation: hoover up the smallest fragments first.
+            ConsolidationPolicy::MinFragmentation => {
+                candidates.sort_by_key(|&(n, usable)| (usable, n.0));
+            }
+        }
+        let mut parts = Vec::new();
+        let mut remaining = req.cpus;
+        for (n, usable) in candidates {
+            if remaining == 0 {
+                break;
+            }
+            let take = usable.min(remaining);
+            parts.push((n, take));
+            remaining -= take;
+        }
+        if remaining > 0 {
+            return None;
+        }
+        for &(n, cpus) in &parts {
+            cluster
+                .allocate(
+                    n,
+                    vm,
+                    ResourceRequest::new(cpus, per_cpu_ram * u64::from(cpus)),
+                )
+                .expect("capacity verified");
+        }
+        Some(SliceAssignment { parts })
+    }
+
+    /// Attempts to consolidate `vm` (an Aggregate VM) after resources were
+    /// freed; applies the moves to the cluster ledger and returns them.
+    ///
+    /// MinNodes consolidates whenever a move reduces the node count.
+    /// MinFragmentation additionally avoids moves that would carve into a
+    /// node's large free block (it only fills gaps no bigger than needed).
+    pub fn consolidate(
+        &self,
+        cluster: &mut Cluster,
+        vm: VmId,
+        req: ResourceRequest,
+    ) -> Vec<MigrationCmd> {
+        let per_cpu_ram = ram_per_cpu(req);
+        let mut cmds = Vec::new();
+        loop {
+            let homes: Vec<(NodeId, u32)> = cluster
+                .nodes_of(vm)
+                .into_iter()
+                .map(|n| {
+                    let cpus = cluster
+                        .machine(n)
+                        .allocation_of(vm)
+                        .map(|r| r.cpus)
+                        .unwrap_or(0);
+                    (n, cpus)
+                })
+                .collect();
+            if homes.len() <= 1 {
+                break;
+            }
+            // Full consolidation: can any current home absorb the rest?
+            let total: u32 = homes.iter().map(|&(_, c)| c).sum();
+            let full_target = homes
+                .iter()
+                .filter(|&&(n, c)| cluster.machine(n).free_cpus() >= total - c)
+                // Tightest fit for MinFragmentation, biggest share for
+                // MinNodes — both deterministic.
+                .min_by_key(|&&(n, c)| match self.policy {
+                    ConsolidationPolicy::MinFragmentation => {
+                        (cluster.machine(n).free_cpus() - (total - c), n.0)
+                    }
+                    ConsolidationPolicy::MinNodes => (u32::MAX - c, n.0),
+                })
+                .map(|&(n, _)| n);
+            if let Some(dst) = full_target {
+                for &(src, cpus) in &homes {
+                    if src == dst || cpus == 0 {
+                        continue;
+                    }
+                    let part = ResourceRequest::new(cpus, per_cpu_ram * u64::from(cpus));
+                    cluster
+                        .migrate(vm, src, dst, part)
+                        .expect("capacity verified");
+                    cmds.push(MigrationCmd {
+                        vm,
+                        from: src,
+                        to: dst,
+                        cpus,
+                    });
+                }
+                break;
+            }
+            // Partial move: pick a destination home node with free
+            // capacity, then shrink the smallest other slice into it.
+            let dst = homes
+                .iter()
+                .filter(|&&(n, _)| cluster.machine(n).free_cpus() > 0)
+                .min_by_key(|&&(n, c)| match self.policy {
+                    // Fill the tightest gap.
+                    ConsolidationPolicy::MinFragmentation => (cluster.machine(n).free_cpus(), n.0),
+                    // Grow the biggest slice.
+                    ConsolidationPolicy::MinNodes => (u32::MAX - c, n.0),
+                })
+                .map(|&(n, _)| n);
+            let Some(dst) = dst else { break };
+            let Some(&(src, src_cpus)) = homes
+                .iter()
+                .filter(|&&(n, c)| n != dst && c > 0)
+                .min_by_key(|&&(n, c)| (c, n.0))
+            else {
+                break;
+            };
+            let movable = src_cpus.min(cluster.machine(dst).free_cpus());
+            if movable == 0 {
+                break;
+            }
+            let part = ResourceRequest::new(movable, per_cpu_ram * u64::from(movable));
+            cluster
+                .migrate(vm, src, dst, part)
+                .expect("capacity verified");
+            cmds.push(MigrationCmd {
+                vm,
+                from: src,
+                to: dst,
+                cpus: movable,
+            });
+            // A partial move may enable a full consolidation next round;
+            // loop until no further move applies.
+            if movable < src_cpus {
+                break;
+            }
+        }
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::MachineSpec;
+
+    fn req(cpus: u32) -> ResourceRequest {
+        ResourceRequest::new(cpus, ByteSize::gib(u64::from(cpus)))
+    }
+
+    fn fragmented_cluster() -> Cluster {
+        // node0: 2 free, node1: 3 free, node2: 1 free.
+        let mut c = Cluster::homogeneous(3, MachineSpec::testbed());
+        c.allocate(NodeId::new(0), VmId::new(90), req(14)).unwrap();
+        c.allocate(NodeId::new(1), VmId::new(91), req(13)).unwrap();
+        c.allocate(NodeId::new(2), VmId::new(92), req(15)).unwrap();
+        c
+    }
+
+    #[test]
+    fn aggregate_placement_min_nodes_uses_largest_fragments() {
+        let mut c = fragmented_cluster();
+        let f = FragBff::new(ConsolidationPolicy::MinNodes);
+        let a = f.place_aggregate(&mut c, VmId::new(1), req(4)).unwrap();
+        assert_eq!(a.total_cpus(), 4);
+        // Largest fragment first: node1 (3) then node0 (1 of 2).
+        assert_eq!(a.parts[0], (NodeId::new(1), 3));
+        assert_eq!(a.parts[1], (NodeId::new(0), 1));
+        assert_eq!(a.node_count(), 2);
+    }
+
+    #[test]
+    fn aggregate_placement_min_frag_hoovers_small_fragments() {
+        let mut c = fragmented_cluster();
+        let f = FragBff::new(ConsolidationPolicy::MinFragmentation);
+        let a = f.place_aggregate(&mut c, VmId::new(1), req(4)).unwrap();
+        // Smallest fragments first: node2 (1), node0 (2), node1 (1 of 3).
+        assert_eq!(a.parts[0], (NodeId::new(2), 1));
+        assert_eq!(a.parts[1], (NodeId::new(0), 2));
+        assert_eq!(a.parts[2], (NodeId::new(1), 1));
+    }
+
+    #[test]
+    fn placement_fails_without_aggregate_capacity() {
+        let mut c = fragmented_cluster();
+        let f = FragBff::new(ConsolidationPolicy::MinNodes);
+        assert!(f.place_aggregate(&mut c, VmId::new(1), req(7)).is_none());
+        // A failed placement leaves no partial allocation behind.
+        assert!(c.nodes_of(VmId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn full_consolidation_when_space_frees() {
+        let mut c = fragmented_cluster();
+        let f = FragBff::new(ConsolidationPolicy::MinNodes);
+        let vm = VmId::new(1);
+        let _ = f.place_aggregate(&mut c, vm, req(4)).unwrap();
+        // The big VM on node1 terminates: 12 CPUs free there.
+        c.release(NodeId::new(1), VmId::new(91), req(13)).unwrap();
+        let cmds = f.consolidate(&mut c, vm, req(4));
+        assert!(!cmds.is_empty());
+        assert_eq!(c.nodes_of(vm).len(), 1);
+        let total: u32 = c
+            .nodes_of(vm)
+            .iter()
+            .map(|&n| c.machine(n).allocation_of(vm).unwrap().cpus)
+            .sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn partial_consolidation_fills_gaps() {
+        // VM split 2+2 over node0/node1; 1 CPU frees on node0.
+        let mut c = Cluster::homogeneous(2, MachineSpec::testbed());
+        c.allocate(NodeId::new(0), VmId::new(90), req(14)).unwrap();
+        c.allocate(NodeId::new(1), VmId::new(91), req(14)).unwrap();
+        let f = FragBff::new(ConsolidationPolicy::MinFragmentation);
+        let vm = VmId::new(1);
+        let a = f.place_aggregate(&mut c, vm, req(4)).unwrap();
+        assert_eq!(a.node_count(), 2);
+        // One co-located CPU frees on node0 — not enough for full
+        // consolidation (need 2), but a partial move uses it.
+        c.release(NodeId::new(0), VmId::new(90), req(1)).unwrap();
+        let cmds = f.consolidate(&mut c, vm, req(4));
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].cpus, 1);
+        // Still on two nodes, but the distribution shifted.
+        assert_eq!(c.nodes_of(vm).len(), 2);
+    }
+
+    #[test]
+    fn consolidation_noop_when_single_node() {
+        let mut c = Cluster::homogeneous(2, MachineSpec::testbed());
+        let f = FragBff::new(ConsolidationPolicy::MinNodes);
+        let vm = VmId::new(1);
+        c.allocate(NodeId::new(0), vm, req(4)).unwrap();
+        assert!(f.consolidate(&mut c, vm, req(4)).is_empty());
+    }
+
+    #[test]
+    fn ledger_consistent_after_consolidation() {
+        let mut c = fragmented_cluster();
+        let f = FragBff::new(ConsolidationPolicy::MinFragmentation);
+        let vm = VmId::new(1);
+        let _ = f.place_aggregate(&mut c, vm, req(4)).unwrap();
+        let before_free = c.total_free_cpus();
+        c.release_vm(VmId::new(92));
+        let _ = f.consolidate(&mut c, vm, req(4));
+        // Consolidation moves, never creates or destroys, allocations.
+        assert_eq!(c.total_free_cpus(), before_free + 15);
+    }
+}

@@ -1,0 +1,32 @@
+//! Cluster scheduling for Aggregate VMs: BFF and FragBFF (§6.5, §7.3).
+//!
+//! The paper extends a Best-Fit-First (BFF) scheduler into **FragBFF**:
+//!
+//! * When BFF cannot place a VM on any single machine, FragBFF searches
+//!   for a set of machines whose *fragmented* resources together satisfy
+//!   the request, and starts an Aggregate VM across them — instead of
+//!   delaying the VM or killing transient VMs.
+//! * When any VM terminates next to an Aggregate VM's slice, FragBFF
+//!   evaluates whether freed resources allow *consolidating* that
+//!   Aggregate VM onto fewer nodes, and triggers vCPU migrations.
+//! * When all of an Aggregate VM's resources reach a single node, the VM
+//!   is handed back to plain BFF.
+//!
+//! Two consolidation policies are implemented, as in the paper: minimize
+//! overall cluster fragmentation, or minimize the number of nodes each
+//! Aggregate VM spans.
+//!
+//! [`datacenter::DatacenterSim`] replays an arrival trace against a
+//! cluster, producing the placement/migration timeline behind Figure 14.
+
+#![warn(missing_docs)]
+
+pub mod bff;
+pub mod datacenter;
+pub mod fragbff;
+pub mod trace;
+
+pub use bff::Bff;
+pub use datacenter::{DatacenterSim, PlacementEvent, SimReport};
+pub use fragbff::{ConsolidationPolicy, FragBff, MigrationCmd, SliceAssignment};
+pub use trace::{ArrivalTrace, VmArrival};

@@ -1,0 +1,132 @@
+//! Arrival-trace generation.
+//!
+//! The paper adopts "VM sizes and VM execution times distributions from
+//! Protean", scaled down by 100 to ease experiments, feeding bursts of
+//! 100 arrivals into the scheduler. Protean reports that the vast
+//! majority of Azure VMs are small (≤4 vCPUs, with 2–4 dominating) and
+//! that lifetimes are heavy-tailed.
+
+use sim_core::rng::DetRng;
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+/// One VM arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmArrival {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Requested vCPUs.
+    pub cpus: u32,
+    /// Requested RAM.
+    pub ram: ByteSize,
+    /// Lifetime after start.
+    pub lifetime: SimTime,
+}
+
+/// A generated arrival trace.
+#[derive(Debug, Clone)]
+pub struct ArrivalTrace {
+    /// Arrivals ordered by time.
+    pub arrivals: Vec<VmArrival>,
+}
+
+/// VM-size mix: (vCPUs, weight). Follows Protean's small-VM dominance:
+/// 2–4 vCPU VMs are "the most common sizes in data centers" (§7.2).
+const SIZE_MIX: &[(u32, f64)] = &[
+    (1, 0.18),
+    (2, 0.30),
+    (3, 0.12),
+    (4, 0.25),
+    (8, 0.11),
+    (12, 0.04),
+];
+
+impl ArrivalTrace {
+    /// Generates `count` arrivals with exponential inter-arrival times of
+    /// the given mean, and lifetimes log-normally distributed around
+    /// `mean_lifetime` (both already scaled for simulation).
+    pub fn generate(
+        rng: &mut DetRng,
+        count: usize,
+        mean_interarrival: SimTime,
+        mean_lifetime: SimTime,
+    ) -> Self {
+        let mut at = SimTime::ZERO;
+        let weights: Vec<f64> = SIZE_MIX.iter().map(|&(_, w)| w).collect();
+        let arrivals = (0..count)
+            .map(|_| {
+                at += SimTime::from_secs_f64(rng.exp(mean_interarrival.as_secs_f64()));
+                let cpus = SIZE_MIX[rng.weighted(&weights)].0;
+                // Lognormal with sigma 1.0 around the mean: heavy tail.
+                let mu = mean_lifetime.as_secs_f64().ln() - 0.5;
+                let lifetime = SimTime::from_secs_f64(rng.lognormal(mu, 1.0).max(0.5));
+                VmArrival {
+                    at,
+                    cpus,
+                    // 1 GiB per vCPU, the common shape.
+                    ram: ByteSize::gib(u64::from(cpus)),
+                    lifetime,
+                }
+            })
+            .collect();
+        ArrivalTrace { arrivals }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(seed: u64) -> ArrivalTrace {
+        let mut rng = DetRng::new(seed);
+        ArrivalTrace::generate(&mut rng, 100, SimTime::from_secs(2), SimTime::from_secs(60))
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_sized() {
+        let t = gen(1);
+        assert_eq!(t.len(), 100);
+        for w in t.arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for a in &t.arrivals {
+            assert!(matches!(a.cpus, 1 | 2 | 3 | 4 | 8 | 12));
+            assert!(a.lifetime >= SimTime::from_millis(500));
+            assert_eq!(a.ram, ByteSize::gib(u64::from(a.cpus)));
+        }
+    }
+
+    #[test]
+    fn small_vms_dominate() {
+        let t = gen(2);
+        let small = t.arrivals.iter().filter(|a| a.cpus <= 4).count();
+        assert!(small > 70, "small = {small}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen(3);
+        let b = gen(3);
+        assert_eq!(a.arrivals, b.arrivals);
+        let c = gen(4);
+        assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn mean_interarrival_roughly_matches() {
+        let t = gen(5);
+        let span = t.arrivals.last().unwrap().at.as_secs_f64();
+        let mean = span / 100.0;
+        assert!((1.0..3.5).contains(&mean), "mean inter-arrival {mean}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the FragBFF scheduler.
+
+use cluster::{Cluster, MachineSpec, ResourceRequest, VmId};
+use comm::NodeId;
+use proptest::prelude::*;
+use scheduler::{Bff, ConsolidationPolicy, FragBff};
+use sim_core::units::ByteSize;
+
+fn req(cpus: u32) -> ResourceRequest {
+    ResourceRequest::new(cpus, ByteSize::gib(u64::from(cpus)))
+}
+
+/// Builds a cluster with the given per-node filler allocations.
+fn cluster_with_load(load: &[u32]) -> Cluster {
+    let mut c = Cluster::homogeneous(load.len(), MachineSpec::testbed());
+    for (i, &used) in load.iter().enumerate() {
+        if used > 0 {
+            c.allocate(NodeId::from_usize(i), VmId::new(1000 + i as u32), req(used))
+                .expect("filler fits");
+        }
+    }
+    c
+}
+
+/// Total CPUs allocated to `vm` across the cluster.
+fn cpus_of(c: &Cluster, vm: VmId) -> u32 {
+    c.nodes_of(vm)
+        .iter()
+        .map(|&n| c.machine(n).allocation_of(vm).map(|r| r.cpus).unwrap_or(0))
+        .sum()
+}
+
+/// No machine may ever hold more allocations than it has CPUs.
+fn assert_no_oversubscription(c: &Cluster) -> Result<(), TestCaseError> {
+    for (n, m) in c.machines() {
+        prop_assert!(
+            m.used_cpus() <= m.spec().cpus,
+            "{n} oversubscribed: {}/{}",
+            m.used_cpus(),
+            m.spec().cpus
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Aggregate placement never oversubscribes and allocates exactly the
+    /// requested CPUs — or leaves the cluster untouched when it fails.
+    #[test]
+    fn placement_is_exact_or_clean(
+        load in proptest::collection::vec(0u32..=16, 2..6),
+        want in 1u32..12,
+        min_nodes in any::<bool>(),
+    ) {
+        let mut c = cluster_with_load(&load);
+        let free_before = c.total_free_cpus();
+        let policy = if min_nodes {
+            ConsolidationPolicy::MinNodes
+        } else {
+            ConsolidationPolicy::MinFragmentation
+        };
+        let vm = VmId::new(1);
+        match FragBff::new(policy).place_aggregate(&mut c, vm, req(want)) {
+            Some(assignment) => {
+                prop_assert_eq!(assignment.total_cpus(), want);
+                prop_assert_eq!(cpus_of(&c, vm), want);
+                prop_assert_eq!(c.total_free_cpus(), free_before - want);
+                prop_assert!(free_before >= want);
+            }
+            None => {
+                prop_assert!(free_before < want, "had capacity but failed");
+                prop_assert_eq!(c.total_free_cpus(), free_before);
+                prop_assert!(c.nodes_of(vm).is_empty());
+            }
+        }
+        assert_no_oversubscription(&c)?;
+    }
+
+    /// MinNodes placement never uses more nodes than MinFragmentation.
+    #[test]
+    fn min_nodes_uses_fewer_or_equal_nodes(
+        load in proptest::collection::vec(0u32..=15, 3..6),
+        want in 2u32..10,
+    ) {
+        let mut c1 = cluster_with_load(&load);
+        let mut c2 = cluster_with_load(&load);
+        let a1 = FragBff::new(ConsolidationPolicy::MinNodes)
+            .place_aggregate(&mut c1, VmId::new(1), req(want));
+        let a2 = FragBff::new(ConsolidationPolicy::MinFragmentation)
+            .place_aggregate(&mut c2, VmId::new(1), req(want));
+        if let (Some(a1), Some(a2)) = (a1, a2) {
+            prop_assert!(a1.node_count() <= a2.node_count());
+        }
+    }
+
+    /// Consolidation preserves the VM's total allocation, never
+    /// oversubscribes, never increases the node count, and terminates.
+    #[test]
+    fn consolidation_preserves_and_reduces(
+        load in proptest::collection::vec(8u32..=15, 3..6),
+        want in 2u32..8,
+        release_node in 0usize..3,
+        release_cpus in 1u32..8,
+        min_nodes in any::<bool>(),
+    ) {
+        let mut c = cluster_with_load(&load);
+        let policy = if min_nodes {
+            ConsolidationPolicy::MinNodes
+        } else {
+            ConsolidationPolicy::MinFragmentation
+        };
+        let f = FragBff::new(policy);
+        let vm = VmId::new(1);
+        prop_assume!(f.place_aggregate(&mut c, vm, req(want)).is_some());
+        let nodes_before = c.nodes_of(vm).len();
+        // A co-located filler VM shrinks, freeing space.
+        let filler = VmId::new(1000 + release_node as u32);
+        let have = c
+            .machine(NodeId::from_usize(release_node))
+            .allocation_of(filler)
+            .map(|r| r.cpus)
+            .unwrap_or(0);
+        let release = release_cpus.min(have);
+        if release > 0 {
+            c.release(NodeId::from_usize(release_node), filler, req(release))
+                .expect("filler holds this much");
+        }
+        let cmds = f.consolidate(&mut c, vm, req(want));
+        prop_assert_eq!(cpus_of(&c, vm), want, "allocation changed");
+        prop_assert!(c.nodes_of(vm).len() <= nodes_before, "node count grew");
+        assert_no_oversubscription(&c)?;
+        // Each command moved at least one vCPU.
+        for cmd in &cmds {
+            prop_assert!(cmd.cpus > 0);
+        }
+    }
+
+    /// BFF picks a machine only when the request truly fits, and always
+    /// the tightest one.
+    #[test]
+    fn bff_best_fit(
+        load in proptest::collection::vec(0u32..=16, 2..6),
+        want in 1u32..16,
+    ) {
+        let mut c = cluster_with_load(&load);
+        match Bff.pick(&c, req(want)) {
+            Some(node) => {
+                let free = c.machine(node).free_cpus();
+                prop_assert!(free >= want);
+                for (_, m) in c.machines() {
+                    if m.fits(req(want)) {
+                        prop_assert!(m.free_cpus() >= free || m.free_cpus() < want);
+                    }
+                }
+                prop_assert!(Bff.place(&mut c, VmId::new(5), req(want)).is_some());
+                assert_no_oversubscription(&c)?;
+            }
+            None => {
+                for (_, m) in c.machines() {
+                    prop_assert!(!m.fits(req(want)));
+                }
+            }
+        }
+    }
+}

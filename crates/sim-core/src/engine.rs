@@ -1,0 +1,370 @@
+//! The discrete-event engine.
+//!
+//! An [`Engine`] owns a time-ordered [`EventQueue`] and repeatedly delivers
+//! the earliest event to a [`World`] implementation. Handlers receive a
+//! [`Ctx`] through which they may schedule further events. Ties are broken
+//! by insertion order (a monotonically increasing sequence number), which —
+//! together with [`crate::rng::DetRng`] — makes runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A world that reacts to events of type `Self::Event`.
+pub trait World {
+    /// The event type delivered by the engine.
+    type Event;
+
+    /// Handles a single event at virtual time `ctx.now`.
+    fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, ev: Self::Event);
+}
+
+/// Handler context: the current virtual time plus scheduling access.
+pub struct Ctx<'a, E> {
+    /// The virtual time of the event being handled.
+    pub now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> Ctx<'_, E> {
+    /// Schedules `ev` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — events cannot be
+    /// scheduled in the past.
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) {
+        assert!(at >= self.now, "event scheduled in the past");
+        self.queue.push(at, ev);
+    }
+
+    /// Schedules `ev` after a relative delay `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, ev: E) {
+        self.queue.push(self.now + delay, ev);
+    }
+
+    /// Schedules `ev` at the current instant (delivered after the current
+    /// handler returns and before any later event).
+    pub fn schedule_now(&mut self, ev: E) {
+        self.queue.push(self.now, ev);
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the `BinaryHeap` (a max-heap) pops the earliest event;
+        // equal times fall back to insertion order for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Pushes `ev` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, ev: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, ev });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.ev))
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The deterministic event loop.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    delivered: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The current virtual time (timestamp of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Schedules an initial event at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) {
+        self.queue.push(at, ev);
+    }
+
+    /// Schedules an initial event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, ev: E) {
+        self.queue.push(self.now + delay, ev);
+    }
+
+    /// Creates a scheduling context at the current time, for injecting
+    /// work from outside an event handler (e.g. an external controller
+    /// issuing a migration command between engine steps).
+    pub fn external_ctx(&mut self) -> Ctx<'_, E> {
+        Ctx {
+            now: self.now,
+            queue: &mut self.queue,
+        }
+    }
+
+    /// Delivers a single event; returns false when the queue is empty.
+    pub fn step<W: World<Event = E>>(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some((at, ev)) => {
+                debug_assert!(at >= self.now, "time went backwards");
+                self.now = at;
+                self.delivered += 1;
+                let mut ctx = Ctx {
+                    now: at,
+                    queue: &mut self.queue,
+                };
+                world.handle(&mut ctx, ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains or `until` is passed; returns the number
+    /// of events delivered.
+    ///
+    /// Events with timestamps strictly greater than `until` remain queued.
+    pub fn run_until<W: World<Event = E>>(&mut self, world: &mut W, until: SimTime) -> u64 {
+        let start = self.delivered;
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step(world);
+        }
+        // Advance the clock to the horizon even if the queue drained early,
+        // so that repeated bounded runs observe monotonic time.
+        if self.now < until {
+            self.now = until;
+        }
+        self.delivered - start
+    }
+
+    /// Runs until the event queue is completely empty.
+    pub fn run_to_completion<W: World<Event = E>>(&mut self, world: &mut W) -> u64 {
+        let start = self.delivered;
+        while self.step(world) {}
+        self.delivered - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+    }
+
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+        bounce: bool,
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+            match ev {
+                Ev::Ping(n) => {
+                    self.log.push((ctx.now, n));
+                    if self.bounce && n < 3 {
+                        ctx.schedule_in(SimTime::from_micros(10), Ev::Ping(n + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_deliver_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_micros(30), Ev::Ping(3));
+        eng.schedule_at(SimTime::from_micros(10), Ev::Ping(1));
+        eng.schedule_at(SimTime::from_micros(20), Ev::Ping(2));
+        let mut w = Recorder {
+            log: vec![],
+            bounce: false,
+        };
+        eng.run_to_completion(&mut w);
+        assert_eq!(
+            w.log,
+            vec![
+                (SimTime::from_micros(10), 1),
+                (SimTime::from_micros(20), 2),
+                (SimTime::from_micros(30), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut eng = Engine::new();
+        let t = SimTime::from_micros(5);
+        eng.schedule_at(t, Ev::Ping(1));
+        eng.schedule_at(t, Ev::Ping(2));
+        eng.schedule_at(t, Ev::Ping(3));
+        let mut w = Recorder {
+            log: vec![],
+            bounce: false,
+        };
+        eng.run_to_completion(&mut w);
+        let order: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::ZERO, Ev::Ping(1));
+        let mut w = Recorder {
+            log: vec![],
+            bounce: true,
+        };
+        eng.run_to_completion(&mut w);
+        assert_eq!(w.log.len(), 3);
+        assert_eq!(w.log[2].0, SimTime::from_micros(20));
+        assert_eq!(eng.delivered(), 3);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_micros(10), Ev::Ping(1));
+        eng.schedule_at(SimTime::from_micros(50), Ev::Ping(2));
+        let mut w = Recorder {
+            log: vec![],
+            bounce: false,
+        };
+        let n = eng.run_until(&mut w, SimTime::from_micros(20));
+        assert_eq!(n, 1);
+        assert_eq!(eng.now(), SimTime::from_micros(20));
+        let n = eng.run_until(&mut w, SimTime::from_micros(100));
+        assert_eq!(n, 1);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn schedule_now_runs_before_later_events() {
+        struct Now {
+            log: Vec<u32>,
+        }
+        impl World for Now {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.log.push(ev);
+                if ev == 1 {
+                    ctx.schedule_now(2);
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_micros(1), 1u32);
+        eng.schedule_at(SimTime::from_micros(2), 9u32);
+        let mut w = Now { log: vec![] };
+        eng.run_to_completion(&mut w);
+        assert_eq!(w.log, vec![1, 2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _ev: ()) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_micros(10), ());
+        eng.run_to_completion(&mut Bad);
+    }
+}

@@ -1,0 +1,85 @@
+//! Strongly-typed identifiers.
+//!
+//! The simulation juggles many small integer identifiers (nodes, vCPUs, VMs,
+//! pages, queues...). Using raw `u32`s invites transposition bugs, so every
+//! subsystem defines a newtype via [`crate::define_id!`].
+
+/// Defines a `u32` newtype identifier with the conventional helpers.
+///
+/// The generated type implements `Copy`, ordering, hashing, `Display` and
+/// exposes `new`/`index` accessors plus a `from_usize` constructor that
+/// panics on overflow (identifiers in this workspace are always small).
+///
+/// # Examples
+///
+/// ```
+/// sim_core::define_id!(ExampleId, "ex");
+/// let id = ExampleId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "ex3");
+/// ```
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the identifier as a `usize` index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an identifier from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx` does not fit in a `u32`.
+            pub fn from_usize(idx: usize) -> Self {
+                Self(u32::try_from(idx).expect("identifier overflow"))
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    define_id!(TestId, "t");
+
+    #[test]
+    fn roundtrip() {
+        let id = TestId::from_usize(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(TestId::new(7), id);
+        assert_eq!(format!("{id}"), "t7");
+    }
+
+    #[test]
+    #[should_panic(expected = "identifier overflow")]
+    fn overflow_panics() {
+        let _ = TestId::from_usize(usize::MAX);
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(TestId::new(1) < TestId::new(2));
+    }
+}

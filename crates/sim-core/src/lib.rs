@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation core for the Aggregate VM
+//! reproduction.
+//!
+//! This crate provides the foundation every other crate in the workspace
+//! builds on:
+//!
+//! * [`time::SimTime`] — virtual time in nanoseconds.
+//! * [`engine::Engine`] — a deterministic event loop generic over the event
+//!   type, driven by a user-supplied [`engine::World`].
+//! * [`rng::DetRng`] — seed-derivable deterministic random numbers, so that
+//!   every simulation run is exactly reproducible.
+//! * [`pscpu::PsCpu`] — a processor-sharing CPU model used to simulate
+//!   overcommitted vCPUs time-sharing a physical core.
+//! * [`stats`] — counters, histograms and time series used by the experiment
+//!   harness.
+//! * [`units`] — bandwidth/size helpers (transfer-time arithmetic).
+//!
+//! The design rule for the whole workspace is that protocol crates (DSM,
+//! VirtIO, ...) are pure state machines returning *actions*, and only the
+//! top-level hypervisor crates own an [`engine::Engine`] and translate
+//! actions into scheduled events.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod ids;
+pub mod pscpu;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use engine::{Ctx, Engine, EventQueue, World};
+pub use rng::DetRng;
+pub use time::SimTime;
+pub use units::{Bandwidth, ByteSize};

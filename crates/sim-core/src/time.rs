@@ -1,0 +1,228 @@
+//! Virtual time.
+//!
+//! All latencies in the simulation are expressed as [`SimTime`] values, an
+//! absolute number of nanoseconds since simulation start. There is no wall
+//! clock anywhere in the workspace; `cargo bench` measures harness speed
+//! while the experiment binaries report *simulated* durations.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant (or span) of virtual time, in nanoseconds.
+///
+/// `SimTime` doubles as a duration type: the difference of two instants is
+/// again a `SimTime`. This mirrors how the simulation treats time — every
+/// event carries an absolute timestamp and latencies are added to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero instant — simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant, used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates a time from a floating-point number of seconds.
+    ///
+    /// Negative inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimTime::ZERO
+        } else {
+            SimTime((s * 1e9).round() as u64)
+        }
+    }
+
+    /// Creates a time from a floating-point number of microseconds.
+    ///
+    /// Negative inputs saturate to zero.
+    pub fn from_micros_f64(us: f64) -> Self {
+        Self::from_secs_f64(us * 1e-6)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as floating-point microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the time as floating-point milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the time as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+
+    /// Returns true if this is the zero instant.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_millis(1_500));
+        assert_eq!(SimTime::from_micros_f64(2.5), SimTime::from_nanos(2_500));
+    }
+
+    #[test]
+    fn negative_float_saturates() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!(a + b, SimTime::from_micros(14));
+        assert_eq!(a - b, SimTime::from_micros(6));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a * 3, SimTime::from_micros(30));
+        assert_eq!(a / 2, SimTime::from_micros(5));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn float_scaling() {
+        let a = SimTime::from_secs(2);
+        assert_eq!(a * 0.5, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", SimTime::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = (1..=4).map(SimTime::from_micros).sum();
+        assert_eq!(total, SimTime::from_micros(10));
+    }
+}

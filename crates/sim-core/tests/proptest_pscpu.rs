@@ -1,0 +1,109 @@
+//! Property tests for the processor-sharing CPU model.
+
+use proptest::prelude::*;
+use sim_core::pscpu::PsCpu;
+use sim_core::time::SimTime;
+
+/// Drives a CPU to completion from a set of same-instant arrivals,
+/// following the completion-event protocol exactly as the hypervisor does.
+fn drain(cpu: &mut PsCpu, mut now: SimTime) -> Vec<(u64, SimTime)> {
+    let mut finished = Vec::new();
+    while let Some(c) = cpu.next_completion() {
+        now = now.max(c.at);
+        for t in cpu.on_completion_event(now, c.epoch) {
+            finished.push((t, now));
+        }
+    }
+    finished
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// All work is eventually delivered, and the total elapsed time equals
+    /// the total work (a single core is work-conserving under PS).
+    #[test]
+    fn work_conservation(works in proptest::collection::vec(1u64..10_000, 1..12)) {
+        let mut cpu = PsCpu::new(1.0);
+        for (i, &w) in works.iter().enumerate() {
+            let _ = cpu.add(SimTime::ZERO, i as u64, SimTime::from_micros(w));
+        }
+        let finished = drain(&mut cpu, SimTime::ZERO);
+        prop_assert_eq!(finished.len(), works.len());
+        let total: u64 = works.iter().sum();
+        let last = finished.iter().map(|&(_, t)| t).max().unwrap();
+        // Rounding is at most 1ns per completion event.
+        let slack = works.len() as u64;
+        prop_assert!(
+            last.as_nanos().abs_diff(total * 1_000) <= slack,
+            "last={last} total={total}us"
+        );
+    }
+
+    /// Under processor sharing, tasks finish in order of their work.
+    #[test]
+    fn shortest_job_finishes_first(works in proptest::collection::vec(1u64..10_000, 2..10)) {
+        let mut cpu = PsCpu::new(1.0);
+        for (i, &w) in works.iter().enumerate() {
+            let _ = cpu.add(SimTime::ZERO, i as u64, SimTime::from_micros(w));
+        }
+        let finished = drain(&mut cpu, SimTime::ZERO);
+        for pair in finished.windows(2) {
+            let (a, ta) = pair[0];
+            let (b, tb) = pair[1];
+            prop_assert!(ta <= tb);
+            prop_assert!(
+                works[a as usize] <= works[b as usize],
+                "task {} (w={}) finished before task {} (w={})",
+                a, works[a as usize], b, works[b as usize]
+            );
+        }
+    }
+
+    /// Cancelling a task returns exactly the work it had left: re-adding
+    /// it produces the same total as never cancelling.
+    #[test]
+    fn cancel_preserves_work(
+        work in 1_000u64..100_000,
+        cancel_frac in 0.05f64..0.95,
+    ) {
+        let work = SimTime::from_micros(work);
+        // Run solo to completion.
+        let mut a = PsCpu::new(1.0);
+        let ca = a.add(SimTime::ZERO, 1, work);
+        // Cancel part-way, then re-add immediately.
+        let mut b = PsCpu::new(1.0);
+        let _ = b.add(SimTime::ZERO, 1, work);
+        let cancel_at = work * cancel_frac;
+        let rem = b.cancel(cancel_at, 1);
+        let cb = b.add(cancel_at, 1, rem);
+        prop_assert!(
+            cb.at.as_nanos().abs_diff(ca.at.as_nanos()) <= 2,
+            "resumed {} vs straight {}", cb.at, ca.at
+        );
+    }
+
+    /// Background load slows tasks by exactly the PS share.
+    #[test]
+    fn background_load_share(load in 1u32..4, work in 1_000u64..50_000) {
+        let mut cpu = PsCpu::new(1.0);
+        cpu.set_background_load(SimTime::ZERO, f64::from(load));
+        let c = cpu.add(SimTime::ZERO, 1, SimTime::from_micros(work));
+        let expected = work * u64::from(load + 1);
+        prop_assert!(
+            c.at.as_nanos().abs_diff(expected * 1_000) <= 2,
+            "got {} expected {}us", c.at, expected
+        );
+    }
+
+    /// Stale completion events never complete anything.
+    #[test]
+    fn stale_epochs_ignored(work in 100u64..10_000) {
+        let mut cpu = PsCpu::new(1.0);
+        let c1 = cpu.add(SimTime::ZERO, 1, SimTime::from_micros(work));
+        let _c2 = cpu.add(SimTime::ZERO, 2, SimTime::from_micros(work));
+        // c1's epoch is stale after the second add.
+        prop_assert!(cpu.on_completion_event(c1.at, c1.epoch).is_empty());
+        prop_assert_eq!(cpu.runnable(), 2);
+    }
+}

@@ -1,0 +1,745 @@
+//! VirtIO device models: virtio-net, virtio-blk, console.
+//!
+//! Each model owns its virtqueue bookkeeping (queue→vCPU mapping, in-flight
+//! limits, ring page ids) and produces [`IoPlan`]s. Ring pages live in guest
+//! pseudo-physical memory, so in the DSM-backed modes they are subject to
+//! the coherence protocol like any other page — which is precisely the
+//! overhead multiqueue and DSM-bypass exist to reduce.
+
+use std::collections::BTreeMap;
+
+use comm::{MsgClass, NodeId};
+use dsm::{Access, PageId};
+use sim_core::stats::Meter;
+use sim_core::units::ByteSize;
+
+use crate::plan::{BackendWork, CompletionPlan, IoPathMode, IoPlan, PageTouch, PlannedMsg};
+use crate::{QueueId, VcpuId};
+
+/// Per-queue ring capacity (descriptors), matching kvmtool's default.
+const QUEUE_DEPTH: u32 = 256;
+
+/// Size of a kick / interrupt / protocol header message.
+const CTRL_MSG: ByteSize = ByteSize::bytes(64);
+
+/// Error returned when a virtqueue has no free descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "virtqueue full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// One TX/RX virtqueue pair.
+#[derive(Debug, Clone)]
+struct QueuePair {
+    tx_ring: PageId,
+    rx_ring: PageId,
+    in_flight: u32,
+}
+
+/// Common queue plumbing shared by net and blk devices.
+#[derive(Debug, Clone)]
+struct QueueSet {
+    home: NodeId,
+    mode: IoPathMode,
+    queues: Vec<QueuePair>,
+    /// Explicit vCPU→queue pins (taskset-style); unpinned vCPUs hash.
+    pins: BTreeMap<VcpuId, QueueId>,
+}
+
+impl QueueSet {
+    fn new(home: NodeId, mode: IoPathMode, num_queues: usize, first_ring_page: PageId) -> Self {
+        assert!(num_queues >= 1, "need at least one queue");
+        let n = if mode == IoPathMode::SharedRing {
+            1
+        } else {
+            num_queues
+        };
+        let queues = (0..n)
+            .map(|i| QueuePair {
+                tx_ring: PageId::from_usize(first_ring_page.index() + 2 * i),
+                rx_ring: PageId::from_usize(first_ring_page.index() + 2 * i + 1),
+                in_flight: 0,
+            })
+            .collect();
+        QueueSet {
+            home,
+            mode,
+            queues,
+            pins: BTreeMap::new(),
+        }
+    }
+
+    fn queue_for(&self, vcpu: VcpuId) -> QueueId {
+        if let Some(&q) = self.pins.get(&vcpu) {
+            return q;
+        }
+        QueueId::from_usize(vcpu.index() % self.queues.len())
+    }
+
+    fn pin(&mut self, vcpu: VcpuId, queue: QueueId) {
+        assert!(queue.index() < self.queues.len(), "queue out of range");
+        self.pins.insert(vcpu, queue);
+    }
+
+    fn reserve(&mut self, q: QueueId) -> Result<(), QueueFull> {
+        let pair = &mut self.queues[q.index()];
+        if pair.in_flight >= QUEUE_DEPTH {
+            return Err(QueueFull);
+        }
+        pair.in_flight += 1;
+        Ok(())
+    }
+
+    fn complete(&mut self, q: QueueId) {
+        let pair = &mut self.queues[q.index()];
+        assert!(pair.in_flight > 0, "completion without submission");
+        pair.in_flight -= 1;
+    }
+
+    /// All ring pages, for guest-memory registration.
+    fn ring_pages(&self) -> Vec<PageId> {
+        self.queues
+            .iter()
+            .flat_map(|q| [q.tx_ring, q.rx_ring])
+            .collect()
+    }
+
+    fn kick(&self, src: NodeId, extra_payload: ByteSize) -> Option<PlannedMsg> {
+        if src == self.home && extra_payload == ByteSize::ZERO {
+            // Local ioeventfd: no fabric message.
+            return None;
+        }
+        Some(PlannedMsg {
+            src,
+            dst: self.home,
+            size: CTRL_MSG + extra_payload,
+            class: MsgClass::Io,
+        })
+    }
+
+    fn irq(&self, dst: NodeId, extra_payload: ByteSize) -> Option<PlannedMsg> {
+        if dst == self.home && extra_payload == ByteSize::ZERO {
+            return None;
+        }
+        Some(PlannedMsg {
+            src: self.home,
+            dst,
+            size: CTRL_MSG + extra_payload,
+            class: if extra_payload == ByteSize::ZERO {
+                MsgClass::Interrupt
+            } else {
+                MsgClass::Io
+            },
+        })
+    }
+}
+
+/// A paravirtualized network device (virtio-net over vhost-net).
+#[derive(Debug, Clone)]
+pub struct VirtioNet {
+    qs: QueueSet,
+    /// Transmitted traffic.
+    pub tx: Meter,
+    /// Received traffic.
+    pub rx: Meter,
+}
+
+impl VirtioNet {
+    /// Creates a net device homed on `home` with `num_queues` queue pairs
+    /// whose rings occupy guest pages starting at `first_ring_page`.
+    pub fn new(home: NodeId, mode: IoPathMode, num_queues: usize, first_ring_page: PageId) -> Self {
+        VirtioNet {
+            qs: QueueSet::new(home, mode, num_queues, first_ring_page),
+            tx: Meter::new(),
+            rx: Meter::new(),
+        }
+    }
+
+    /// The node owning the physical NIC.
+    pub fn home(&self) -> NodeId {
+        self.qs.home
+    }
+
+    /// The data-path mode.
+    pub fn mode(&self) -> IoPathMode {
+        self.qs.mode
+    }
+
+    /// Ring pages to register in guest memory (class
+    /// [`dsm::PageClass::DeviceRing`]).
+    pub fn ring_pages(&self) -> Vec<PageId> {
+        self.qs.ring_pages()
+    }
+
+    /// The queue a vCPU submits on.
+    pub fn queue_for(&self, vcpu: VcpuId) -> QueueId {
+        self.qs.queue_for(vcpu)
+    }
+
+    /// Pins a vCPU to a queue (the artifact's `taskset` pinning).
+    pub fn pin(&mut self, vcpu: VcpuId, queue: QueueId) {
+        self.qs.pin(vcpu, queue);
+    }
+
+    /// Marks a previously planned operation complete, freeing a descriptor.
+    pub fn complete(&mut self, queue: QueueId) {
+        self.qs.complete(queue);
+    }
+
+    /// Plans a packet transmission by `vcpu` running on `vcpu_node`.
+    ///
+    /// `payload_pages` are the guest pages holding the packet; in DSM modes
+    /// the device node must fetch them through the coherence protocol.
+    pub fn plan_tx(
+        &mut self,
+        vcpu: VcpuId,
+        vcpu_node: NodeId,
+        payload_pages: &[PageId],
+        bytes: ByteSize,
+    ) -> Result<(IoPlan, QueueId), QueueFull> {
+        let q = self.qs.queue_for(vcpu);
+        self.qs.reserve(q)?;
+        self.tx.record(bytes.as_u64());
+        let ring = self.qs.queues[q.index()].tx_ring;
+        let home = self.qs.home;
+        let plan = match self.qs.mode {
+            IoPathMode::SharedRing | IoPathMode::Multiqueue => IoPlan {
+                guest_touches: vec![PageTouch {
+                    node: vcpu_node,
+                    page: ring,
+                    access: Access::Write,
+                }],
+                notify: self.qs.kick(vcpu_node, ByteSize::ZERO),
+                device_touches: std::iter::once(PageTouch {
+                    node: home,
+                    page: ring,
+                    access: Access::Read,
+                })
+                .chain(payload_pages.iter().map(|&p| PageTouch {
+                    node: home,
+                    page: p,
+                    access: Access::Read,
+                }))
+                .chain(std::iter::once(PageTouch {
+                    node: home,
+                    page: ring,
+                    access: Access::Write,
+                }))
+                .collect(),
+                backend: BackendWork::NetTx { bytes },
+                completion: CompletionPlan {
+                    irq_msg: self.qs.irq(vcpu_node, ByteSize::ZERO),
+                    guest_touches: vec![PageTouch {
+                        node: vcpu_node,
+                        page: ring,
+                        access: Access::Write,
+                    }],
+                },
+            },
+            IoPathMode::MultiqueueBypass => IoPlan {
+                // Rings are node-local (not DSM-replicated); the payload
+                // rides on the notification itself.
+                guest_touches: Vec::new(),
+                notify: self.qs.kick(vcpu_node, bytes),
+                device_touches: Vec::new(),
+                backend: BackendWork::NetTx { bytes },
+                completion: CompletionPlan {
+                    irq_msg: self.qs.irq(vcpu_node, ByteSize::ZERO),
+                    guest_touches: Vec::new(),
+                },
+            },
+        };
+        Ok((plan, q))
+    }
+
+    /// Plans delivery of a received packet to `vcpu` on `vcpu_node`.
+    ///
+    /// `payload_pages` are the guest buffer pages the packet lands in.
+    pub fn plan_rx(
+        &mut self,
+        vcpu: VcpuId,
+        vcpu_node: NodeId,
+        payload_pages: &[PageId],
+        bytes: ByteSize,
+    ) -> Result<(IoPlan, QueueId), QueueFull> {
+        let q = self.qs.queue_for(vcpu);
+        self.qs.reserve(q)?;
+        self.rx.record(bytes.as_u64());
+        let ring = self.qs.queues[q.index()].rx_ring;
+        let home = self.qs.home;
+        let plan = match self.qs.mode {
+            IoPathMode::SharedRing | IoPathMode::Multiqueue => IoPlan {
+                guest_touches: Vec::new(),
+                notify: None,
+                // vhost writes the payload into guest memory and posts the
+                // used ring on the device node...
+                device_touches: payload_pages
+                    .iter()
+                    .map(|&p| PageTouch {
+                        node: home,
+                        page: p,
+                        access: Access::Write,
+                    })
+                    .chain(std::iter::once(PageTouch {
+                        node: home,
+                        page: ring,
+                        access: Access::Write,
+                    }))
+                    .collect(),
+                backend: BackendWork::NetRx { bytes },
+                completion: CompletionPlan {
+                    irq_msg: self.qs.irq(vcpu_node, ByteSize::ZERO),
+                    // ...and the guest reads both through the DSM.
+                    guest_touches: std::iter::once(PageTouch {
+                        node: vcpu_node,
+                        page: ring,
+                        access: Access::Read,
+                    })
+                    .chain(payload_pages.iter().map(|&p| PageTouch {
+                        node: vcpu_node,
+                        page: p,
+                        access: Access::Read,
+                    }))
+                    .collect(),
+                },
+            },
+            IoPathMode::MultiqueueBypass => IoPlan {
+                guest_touches: Vec::new(),
+                notify: None,
+                device_touches: Vec::new(),
+                backend: BackendWork::NetRx { bytes },
+                completion: CompletionPlan {
+                    // The payload rides on the interrupt message; the slice
+                    // writes it into node-local guest pages.
+                    irq_msg: self.qs.irq(vcpu_node, bytes),
+                    guest_touches: payload_pages
+                        .iter()
+                        .map(|&p| PageTouch {
+                            node: vcpu_node,
+                            page: p,
+                            access: Access::Write,
+                        })
+                        .collect(),
+                },
+            },
+        };
+        Ok((plan, q))
+    }
+}
+
+/// A block I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkRequest {
+    /// Transfer size.
+    pub bytes: ByteSize,
+    /// True for a write (guest → storage).
+    pub write: bool,
+    /// Backed by tmpfs (ramdisk) rather than the physical SSD.
+    pub tmpfs: bool,
+}
+
+/// A paravirtualized block device (virtio-blk over vhost-blk or tmpfs).
+#[derive(Debug, Clone)]
+pub struct VirtioBlk {
+    qs: QueueSet,
+    /// Read traffic.
+    pub reads: Meter,
+    /// Write traffic.
+    pub writes: Meter,
+}
+
+impl VirtioBlk {
+    /// Creates a block device homed on `home`.
+    pub fn new(home: NodeId, mode: IoPathMode, num_queues: usize, first_ring_page: PageId) -> Self {
+        VirtioBlk {
+            qs: QueueSet::new(home, mode, num_queues, first_ring_page),
+            reads: Meter::new(),
+            writes: Meter::new(),
+        }
+    }
+
+    /// The node owning the physical disk.
+    pub fn home(&self) -> NodeId {
+        self.qs.home
+    }
+
+    /// Ring pages to register in guest memory.
+    pub fn ring_pages(&self) -> Vec<PageId> {
+        self.qs.ring_pages()
+    }
+
+    /// The queue a vCPU submits on.
+    pub fn queue_for(&self, vcpu: VcpuId) -> QueueId {
+        self.qs.queue_for(vcpu)
+    }
+
+    /// Marks a previously planned operation complete.
+    pub fn complete(&mut self, queue: QueueId) {
+        self.qs.complete(queue);
+    }
+
+    /// Plans a block request by `vcpu` on `vcpu_node` against guest buffer
+    /// pages `buffer_pages`.
+    pub fn plan_io(
+        &mut self,
+        vcpu: VcpuId,
+        vcpu_node: NodeId,
+        req: BlkRequest,
+        buffer_pages: &[PageId],
+    ) -> Result<(IoPlan, QueueId), QueueFull> {
+        let q = self.qs.queue_for(vcpu);
+        self.qs.reserve(q)?;
+        if req.write {
+            self.writes.record(req.bytes.as_u64());
+        } else {
+            self.reads.record(req.bytes.as_u64());
+        }
+        let ring = self.qs.queues[q.index()].tx_ring;
+        let home = self.qs.home;
+        let backend = if req.tmpfs {
+            BackendWork::Tmpfs { bytes: req.bytes }
+        } else {
+            BackendWork::Disk {
+                bytes: req.bytes,
+                write: req.write,
+            }
+        };
+        let plan = match self.qs.mode {
+            IoPathMode::SharedRing | IoPathMode::Multiqueue => {
+                // Device-side buffer movement: reads fetch guest buffers
+                // for a write; writes fill guest buffers for a read.
+                let buffer_access = if req.write {
+                    Access::Read
+                } else {
+                    Access::Write
+                };
+                IoPlan {
+                    guest_touches: vec![PageTouch {
+                        node: vcpu_node,
+                        page: ring,
+                        access: Access::Write,
+                    }],
+                    notify: self.qs.kick(vcpu_node, ByteSize::ZERO),
+                    device_touches: std::iter::once(PageTouch {
+                        node: home,
+                        page: ring,
+                        access: Access::Read,
+                    })
+                    .chain(buffer_pages.iter().map(|&p| PageTouch {
+                        node: home,
+                        page: p,
+                        access: buffer_access,
+                    }))
+                    .chain(std::iter::once(PageTouch {
+                        node: home,
+                        page: ring,
+                        access: Access::Write,
+                    }))
+                    .collect(),
+                    backend,
+                    completion: CompletionPlan {
+                        irq_msg: self.qs.irq(vcpu_node, ByteSize::ZERO),
+                        guest_touches: if req.write {
+                            vec![PageTouch {
+                                node: vcpu_node,
+                                page: ring,
+                                access: Access::Write,
+                            }]
+                        } else {
+                            // The guest consumes the data it asked for.
+                            std::iter::once(PageTouch {
+                                node: vcpu_node,
+                                page: ring,
+                                access: Access::Write,
+                            })
+                            .chain(buffer_pages.iter().map(|&p| PageTouch {
+                                node: vcpu_node,
+                                page: p,
+                                access: Access::Read,
+                            }))
+                            .collect()
+                        },
+                    },
+                }
+            }
+            IoPathMode::MultiqueueBypass => {
+                let (kick_payload, irq_payload) = if req.write {
+                    (req.bytes, ByteSize::ZERO)
+                } else {
+                    (ByteSize::ZERO, req.bytes)
+                };
+                IoPlan {
+                    guest_touches: Vec::new(),
+                    notify: self.qs.kick(vcpu_node, kick_payload),
+                    device_touches: Vec::new(),
+                    backend,
+                    completion: CompletionPlan {
+                        irq_msg: self.qs.irq(vcpu_node, irq_payload),
+                        guest_touches: if req.write {
+                            Vec::new()
+                        } else {
+                            buffer_pages
+                                .iter()
+                                .map(|&p| PageTouch {
+                                    node: vcpu_node,
+                                    page: p,
+                                    access: Access::Write,
+                                })
+                                .collect()
+                        },
+                    },
+                }
+            }
+        };
+        Ok((plan, q))
+    }
+}
+
+/// A minimal serial console: guest writes become messages to the single
+/// pseudo-terminal worker on the bootstrap node (§6.3 "Serial Console").
+#[derive(Debug, Clone)]
+pub struct VirtioConsole {
+    /// Node running the PTY worker thread.
+    pub home: NodeId,
+    /// Output traffic.
+    pub out: Meter,
+}
+
+impl VirtioConsole {
+    /// Creates a console homed on the bootstrap node.
+    pub fn new(home: NodeId) -> Self {
+        VirtioConsole {
+            home,
+            out: Meter::new(),
+        }
+    }
+
+    /// Plans a console write from `node`.
+    pub fn plan_write(&mut self, node: NodeId, bytes: ByteSize) -> Option<PlannedMsg> {
+        self.out.record(bytes.as_u64());
+        if node == self.home {
+            None
+        } else {
+            Some(PlannedMsg {
+                src: node,
+                dst: self.home,
+                size: bytes + CTRL_MSG,
+                class: MsgClass::Io,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn v(i: u32) -> VcpuId {
+        VcpuId::new(i)
+    }
+
+    fn pages(ids: &[u32]) -> Vec<PageId> {
+        ids.iter().map(|&i| PageId::new(i)).collect()
+    }
+
+    #[test]
+    fn shared_ring_collapses_to_one_queue() {
+        let d = VirtioNet::new(n(0), IoPathMode::SharedRing, 4, PageId::new(100));
+        assert_eq!(d.ring_pages().len(), 2);
+        assert_eq!(d.queue_for(v(0)), d.queue_for(v(3)));
+    }
+
+    #[test]
+    fn multiqueue_spreads_vcpus() {
+        let d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 4, PageId::new(100));
+        assert_eq!(d.ring_pages().len(), 8);
+        let qs: Vec<QueueId> = (0..4).map(|i| d.queue_for(v(i))).collect();
+        let mut uniq = qs.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+    }
+
+    #[test]
+    fn pinning_overrides_hash() {
+        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 4, PageId::new(100));
+        d.pin(v(3), QueueId::new(0));
+        assert_eq!(d.queue_for(v(3)), QueueId::new(0));
+    }
+
+    #[test]
+    fn local_tx_has_no_kick_message() {
+        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(100));
+        let (plan, _) = d
+            .plan_tx(v(0), n(0), &pages(&[1, 2]), ByteSize::kib(8))
+            .unwrap();
+        assert!(plan.notify.is_none());
+        assert!(plan.completion.irq_msg.is_none());
+        // Ring and payload touches still happen, all on node 0.
+        assert!(plan.touch_count() > 0);
+        assert!(plan
+            .guest_touches
+            .iter()
+            .chain(&plan.device_touches)
+            .all(|t| t.node == n(0)));
+    }
+
+    #[test]
+    fn delegated_tx_crosses_the_fabric() {
+        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(100));
+        let (plan, _) = d
+            .plan_tx(v(1), n(1), &pages(&[1, 2]), ByteSize::kib(8))
+            .unwrap();
+        let kick = plan.notify.expect("remote kick");
+        assert_eq!((kick.src, kick.dst), (n(1), n(0)));
+        // Device-side touches run on the NIC's home node: payload pages are
+        // fetched through the DSM.
+        assert!(plan.device_touches.iter().all(|t| t.node == n(0)));
+        assert!(plan
+            .device_touches
+            .iter()
+            .any(|t| t.page == PageId::new(1) && t.access == Access::Read));
+        let irq = plan.completion.irq_msg.expect("remote irq");
+        assert_eq!((irq.src, irq.dst), (n(0), n(1)));
+        assert_eq!(
+            plan.backend,
+            BackendWork::NetTx {
+                bytes: ByteSize::kib(8)
+            }
+        );
+    }
+
+    #[test]
+    fn bypass_tx_skips_dsm_and_carries_payload() {
+        let mut d = VirtioNet::new(n(0), IoPathMode::MultiqueueBypass, 2, PageId::new(100));
+        let (plan, _) = d
+            .plan_tx(v(1), n(1), &pages(&[1, 2]), ByteSize::kib(8))
+            .unwrap();
+        assert_eq!(plan.touch_count(), 0);
+        let kick = plan.notify.expect("kick with payload");
+        assert!(kick.size.as_u64() > ByteSize::kib(8).as_u64());
+    }
+
+    #[test]
+    fn bypass_rx_payload_rides_the_interrupt() {
+        let mut d = VirtioNet::new(n(0), IoPathMode::MultiqueueBypass, 2, PageId::new(100));
+        let (plan, _) = d
+            .plan_rx(v(1), n(1), &pages(&[5]), ByteSize::kib(4))
+            .unwrap();
+        let irq = plan.completion.irq_msg.expect("irq with payload");
+        assert!(irq.size.as_u64() > ByteSize::kib(4).as_u64());
+        assert!(plan.device_touches.is_empty());
+        // The slice writes the payload into local guest pages.
+        assert_eq!(plan.completion.guest_touches.len(), 1);
+        assert_eq!(plan.completion.guest_touches[0].node, n(1));
+    }
+
+    #[test]
+    fn dsm_rx_moves_payload_through_protocol() {
+        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(100));
+        let (plan, _) = d
+            .plan_rx(v(1), n(1), &pages(&[5, 6]), ByteSize::kib(8))
+            .unwrap();
+        // Device writes payload+ring on home; guest reads them on node 1.
+        assert_eq!(plan.device_touches.len(), 3);
+        assert_eq!(plan.completion.guest_touches.len(), 3);
+        assert!(plan.completion.guest_touches.iter().all(|t| t.node == n(1)));
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 1, PageId::new(100));
+        let mut queue = None;
+        for _ in 0..QUEUE_DEPTH {
+            let (_, q) = d.plan_tx(v(0), n(0), &[], ByteSize::kib(1)).unwrap();
+            queue = Some(q);
+        }
+        assert_eq!(
+            d.plan_tx(v(0), n(0), &[], ByteSize::kib(1)).unwrap_err(),
+            QueueFull
+        );
+        d.complete(queue.unwrap());
+        assert!(d.plan_tx(v(0), n(0), &[], ByteSize::kib(1)).is_ok());
+    }
+
+    #[test]
+    fn blk_read_fills_guest_buffers() {
+        let mut d = VirtioBlk::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(200));
+        let req = BlkRequest {
+            bytes: ByteSize::kib(8),
+            write: false,
+            tmpfs: false,
+        };
+        let (plan, _) = d.plan_io(v(1), n(1), req, &pages(&[10, 11])).unwrap();
+        // Device writes the buffers; guest then reads them remotely.
+        assert!(plan
+            .device_touches
+            .iter()
+            .any(|t| t.page == PageId::new(10) && t.access == Access::Write));
+        assert!(plan
+            .completion
+            .guest_touches
+            .iter()
+            .any(|t| t.page == PageId::new(10) && t.access == Access::Read));
+        assert_eq!(
+            plan.backend,
+            BackendWork::Disk {
+                bytes: ByteSize::kib(8),
+                write: false
+            }
+        );
+    }
+
+    #[test]
+    fn blk_write_reads_guest_buffers_on_device_node() {
+        let mut d = VirtioBlk::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(200));
+        let req = BlkRequest {
+            bytes: ByteSize::kib(4),
+            write: true,
+            tmpfs: true,
+        };
+        let (plan, _) = d.plan_io(v(1), n(1), req, &pages(&[10])).unwrap();
+        assert!(plan
+            .device_touches
+            .iter()
+            .any(|t| t.page == PageId::new(10) && t.access == Access::Read));
+        assert_eq!(
+            plan.backend,
+            BackendWork::Tmpfs {
+                bytes: ByteSize::kib(4)
+            }
+        );
+    }
+
+    #[test]
+    fn blk_bypass_write_carries_payload_on_kick() {
+        let mut d = VirtioBlk::new(n(0), IoPathMode::MultiqueueBypass, 2, PageId::new(200));
+        let req = BlkRequest {
+            bytes: ByteSize::kib(16),
+            write: true,
+            tmpfs: false,
+        };
+        let (plan, _) = d.plan_io(v(1), n(1), req, &pages(&[10])).unwrap();
+        assert!(plan.notify.unwrap().size.as_u64() > ByteSize::kib(16).as_u64());
+        assert_eq!(plan.touch_count(), 0);
+    }
+
+    #[test]
+    fn console_local_write_is_free() {
+        let mut c = VirtioConsole::new(n(0));
+        assert!(c.plan_write(n(0), ByteSize::bytes(80)).is_none());
+        let m = c.plan_write(n(2), ByteSize::bytes(80)).unwrap();
+        assert_eq!((m.src, m.dst), (n(2), n(0)));
+        assert_eq!(c.out.events, 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Paravirtualized (VirtIO/vhost) device models with delegation.
+//!
+//! In FragVisor, a virtual device is *owned* by the hypervisor instance on
+//! the node with the physical hardware; guest software on any slice can use
+//! it by **delegation** — the I/O request travels to the owning slice, which
+//! talks to the real device. Three data-path variants are modelled,
+//! matching §5.3/§6.3 of the paper:
+//!
+//! * [`IoPathMode::SharedRing`] — one TX/RX ring pair for the whole VM,
+//!   kept coherent by the DSM. Every vCPU on every node touches the same
+//!   ring pages: maximal DSM contention (this is the GiantVM-style
+//!   baseline).
+//! * [`IoPathMode::Multiqueue`] — one ring pair per vCPU, so ring pages
+//!   ping-pong only between the submitting vCPU's node and the device node.
+//! * [`IoPathMode::MultiqueueBypass`] — multiqueue plus **DSM-bypass**: the
+//!   packet payload is piggybacked on the notification message through the
+//!   communication layer, so the data path skips the DSM entirely.
+//!
+//! Like the `dsm` crate, everything here is a pure state machine: device
+//! methods return an [`IoPlan`] describing page touches, messages and
+//! backend work, and the hypervisor executor plays the plan out against the
+//! DSM and the fabric.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod plan;
+
+pub use device::{BlkRequest, VirtioBlk, VirtioConsole, VirtioNet};
+pub use plan::{BackendWork, IoPathMode, IoPlan, PageTouch, PlannedMsg};
+
+sim_core::define_id!(
+    /// Index of a virtqueue pair within one device.
+    QueueId,
+    "vq"
+);
+
+sim_core::define_id!(
+    /// Identifier of a vCPU (shared convention with the hypervisor crate).
+    VcpuId,
+    "vcpu"
+);

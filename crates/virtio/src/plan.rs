@@ -1,0 +1,145 @@
+//! I/O plan types: what an I/O operation requires from the substrates.
+
+use comm::{MsgClass, NodeId};
+use dsm::{Access, PageId};
+use sim_core::units::ByteSize;
+
+/// Data-path configuration of a delegated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoPathMode {
+    /// A single DSM-coherent ring pair shared by all vCPUs.
+    SharedRing,
+    /// Per-vCPU DSM-coherent ring pairs (virtio multiqueue).
+    Multiqueue,
+    /// Per-vCPU rings with the payload bypassing the DSM (piggybacked on
+    /// the notification message).
+    MultiqueueBypass,
+}
+
+impl IoPathMode {
+    /// Whether this mode replicates ring pages through the DSM.
+    pub fn uses_dsm_rings(self) -> bool {
+        !matches!(self, IoPathMode::MultiqueueBypass)
+    }
+}
+
+/// One page access a plan requires, attributed to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageTouch {
+    /// Node performing the access.
+    pub node: NodeId,
+    /// Page accessed.
+    pub page: PageId,
+    /// Load or store.
+    pub access: Access,
+}
+
+/// One message a plan requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMsg {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload size.
+    pub size: ByteSize,
+    /// Statistics class.
+    pub class: MsgClass,
+}
+
+/// Work performed by the device backend once the request reaches it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendWork {
+    /// No backend work (e.g. console echo).
+    None,
+    /// vhost-net transmit onto an external link.
+    NetTx {
+        /// Bytes leaving on the physical NIC.
+        bytes: ByteSize,
+    },
+    /// vhost-net receive from an external link.
+    NetRx {
+        /// Bytes arriving from the physical NIC.
+        bytes: ByteSize,
+    },
+    /// vhost-blk / SSD transfer.
+    Disk {
+        /// Bytes moved to/from the disk.
+        bytes: ByteSize,
+        /// True for writes.
+        write: bool,
+    },
+    /// tmpfs-backed storage: pure memory movement, no physical device.
+    Tmpfs {
+        /// Bytes copied.
+        bytes: ByteSize,
+    },
+}
+
+/// Completion delivery: the interrupt and guest-side ring reads that let
+/// the submitting vCPU observe the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionPlan {
+    /// Interrupt forwarded to the submitting vCPU's node (None when the
+    /// submitter is on the device node — the irqfd fires locally).
+    pub irq_msg: Option<PlannedMsg>,
+    /// Used-ring touches on the submitter's node.
+    pub guest_touches: Vec<PageTouch>,
+}
+
+/// Everything one I/O operation requires, in execution order:
+/// guest-side ring writes → notification → device-side touches → backend
+/// work → completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoPlan {
+    /// Ring/descriptor writes on the submitting node, before the kick.
+    pub guest_touches: Vec<PageTouch>,
+    /// The kick (ioeventfd): None when submitter and device are co-located
+    /// and the mode does not carry a payload.
+    pub notify: Option<PlannedMsg>,
+    /// Ring reads / payload fetches / used-ring writes on the device node.
+    pub device_touches: Vec<PageTouch>,
+    /// Physical backend work.
+    pub backend: BackendWork,
+    /// Completion delivery.
+    pub completion: CompletionPlan,
+}
+
+impl IoPlan {
+    /// Total DSM page touches the plan implies (guest + device + completion).
+    pub fn touch_count(&self) -> usize {
+        self.guest_touches.len() + self.device_touches.len() + self.completion.guest_touches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_ring_usage() {
+        assert!(IoPathMode::SharedRing.uses_dsm_rings());
+        assert!(IoPathMode::Multiqueue.uses_dsm_rings());
+        assert!(!IoPathMode::MultiqueueBypass.uses_dsm_rings());
+    }
+
+    #[test]
+    fn touch_count_sums_phases() {
+        let t = PageTouch {
+            node: NodeId::new(0),
+            page: PageId::new(1),
+            access: Access::Write,
+        };
+        let plan = IoPlan {
+            guest_touches: vec![t, t],
+            notify: None,
+            device_touches: vec![t],
+            backend: BackendWork::None,
+            completion: CompletionPlan {
+                irq_msg: None,
+                guest_touches: vec![t, t, t],
+            },
+        };
+        assert_eq!(plan.touch_count(), 6);
+    }
+}

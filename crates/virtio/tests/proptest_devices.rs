@@ -1,0 +1,150 @@
+//! Property tests for the VirtIO device models.
+
+use comm::NodeId;
+use dsm::PageId;
+use proptest::prelude::*;
+use sim_core::units::ByteSize;
+use virtio::device::{BlkRequest, VirtioBlk, VirtioNet};
+use virtio::{IoPathMode, VcpuId};
+
+fn modes() -> Vec<IoPathMode> {
+    vec![
+        IoPathMode::SharedRing,
+        IoPathMode::Multiqueue,
+        IoPathMode::MultiqueueBypass,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Submissions and completions balance: any interleaving that
+    /// completes everything it submits never exhausts a queue
+    /// permanently, and per-queue in-flight counts never go negative
+    /// (the device would panic).
+    #[test]
+    fn queue_accounting_balances(
+        mode_idx in 0usize..3,
+        ops in proptest::collection::vec((0u32..4, 1u64..65_536), 1..300),
+    ) {
+        let mode = modes()[mode_idx];
+        let mut dev = VirtioNet::new(NodeId::new(0), mode, 4, PageId::new(100));
+        let mut in_flight: Vec<(virtio::QueueId, usize)> = Vec::new();
+        for (i, &(vcpu, bytes)) in ops.iter().enumerate() {
+            // Alternate: even ops submit, odd ops complete the oldest.
+            if i % 2 == 0 {
+                match dev.plan_tx(
+                    VcpuId::new(vcpu),
+                    NodeId::new(vcpu % 2),
+                    &[],
+                    ByteSize::bytes(bytes),
+                ) {
+                    Ok((_, q)) => in_flight.push((q, i)),
+                    Err(_) => prop_assert!(
+                        in_flight.len() >= 256,
+                        "queue full with only {} in flight",
+                        in_flight.len()
+                    ),
+                }
+            } else if let Some((q, _)) = in_flight.pop() {
+                dev.complete(q);
+            }
+        }
+        // Drain the rest.
+        for (q, _) in in_flight {
+            dev.complete(q);
+        }
+        // The device accepts again on every queue.
+        for v in 0..4u32 {
+            prop_assert!(dev
+                .plan_tx(VcpuId::new(v), NodeId::new(0), &[], ByteSize::bytes(1))
+                .is_ok());
+        }
+    }
+
+    /// Bypass plans never touch guest pages; DSM plans always cover the
+    /// payload pages on the device side.
+    #[test]
+    fn tx_plan_touches_match_mode(
+        mode_idx in 0usize..3,
+        vcpu in 0u32..4,
+        payload in proptest::collection::vec(1_000u32..2_000, 0..16),
+        bytes in 1u64..1_000_000,
+    ) {
+        let mode = modes()[mode_idx];
+        let mut dev = VirtioNet::new(NodeId::new(0), mode, 4, PageId::new(100));
+        let pages: Vec<PageId> = payload.iter().map(|&p| PageId::new(p)).collect();
+        let (plan, _) = dev
+            .plan_tx(VcpuId::new(vcpu), NodeId::new(1), &pages, ByteSize::bytes(bytes))
+            .expect("fresh queue");
+        match mode {
+            IoPathMode::MultiqueueBypass => {
+                prop_assert_eq!(plan.touch_count(), 0);
+                // The payload rides the kick.
+                let kick = plan.notify.expect("remote submitter kicks");
+                prop_assert!(kick.size.as_u64() > bytes);
+            }
+            _ => {
+                for p in &pages {
+                    prop_assert!(
+                        plan.device_touches.iter().any(|t| t.page == *p),
+                        "payload page {p} not fetched by the device"
+                    );
+                }
+                // Ring work happens on both sides.
+                prop_assert!(!plan.guest_touches.is_empty());
+            }
+        }
+    }
+
+    /// Block requests mirror direction: writes read guest buffers on the
+    /// device node; reads write them and the guest consumes after.
+    #[test]
+    fn blk_direction_semantics(
+        write in any::<bool>(),
+        tmpfs in any::<bool>(),
+        bytes in 1u64..10_000_000,
+    ) {
+        let mut dev = VirtioBlk::new(NodeId::new(0), IoPathMode::Multiqueue, 2, PageId::new(50));
+        let buffer = [PageId::new(2_000), PageId::new(2_001)];
+        let (plan, _) = dev
+            .plan_io(
+                VcpuId::new(1),
+                NodeId::new(1),
+                BlkRequest {
+                    bytes: ByteSize::bytes(bytes),
+                    write,
+                    tmpfs,
+                },
+                &buffer,
+            )
+            .expect("fresh queue");
+        let dev_access = plan
+            .device_touches
+            .iter()
+            .find(|t| t.page == buffer[0])
+            .expect("buffer touched on device side");
+        if write {
+            prop_assert_eq!(dev_access.access, dsm::Access::Read);
+        } else {
+            prop_assert_eq!(dev_access.access, dsm::Access::Write);
+            prop_assert!(plan
+                .completion
+                .guest_touches
+                .iter()
+                .any(|t| t.page == buffer[0] && t.access == dsm::Access::Read));
+        }
+        match plan.backend {
+            virtio::BackendWork::Tmpfs { bytes: b } => {
+                prop_assert!(tmpfs);
+                prop_assert_eq!(b.as_u64(), bytes);
+            }
+            virtio::BackendWork::Disk { bytes: b, write: w } => {
+                prop_assert!(!tmpfs);
+                prop_assert_eq!(b.as_u64(), bytes);
+                prop_assert_eq!(w, write);
+            }
+            other => prop_assert!(false, "unexpected backend {other:?}"),
+        }
+    }
+}

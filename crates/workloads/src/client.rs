@@ -1,0 +1,130 @@
+//! Closed-loop external load generators.
+
+use hypervisor::{ClientModel, ClientSend, VcpuId};
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+/// An ApacheBench-style client: `concurrency` connections in flight,
+/// `total` requests overall, each a `request_bytes` request answered by
+/// the server (§7.1/§7.2: `ab -n 1000 -c 10`, `ab -n 100 -c 10`).
+#[derive(Debug)]
+pub struct AbClient {
+    total: u64,
+    concurrency: u64,
+    request_bytes: ByteSize,
+    targets: Vec<VcpuId>,
+    issued: u64,
+    completed: u64,
+    next_conn: u64,
+}
+
+impl AbClient {
+    /// Creates a client issuing `total` requests over `concurrency`
+    /// connections, dispatching round-robin over `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or `concurrency` is zero.
+    pub fn new(
+        total: u64,
+        concurrency: u64,
+        request_bytes: ByteSize,
+        targets: Vec<VcpuId>,
+    ) -> Self {
+        assert!(!targets.is_empty(), "client needs at least one target");
+        assert!(concurrency > 0, "client needs at least one connection");
+        AbClient {
+            total,
+            concurrency,
+            request_bytes,
+            targets,
+            issued: 0,
+            completed: 0,
+            next_conn: 0,
+        }
+    }
+
+    fn make_send(&mut self) -> ClientSend {
+        let conn = self.next_conn;
+        self.next_conn += 1;
+        self.issued += 1;
+        let target = self.targets[(conn as usize) % self.targets.len()];
+        ClientSend {
+            conn,
+            bytes: self.request_bytes,
+            target,
+        }
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+impl ClientModel for AbClient {
+    fn start(&mut self, _now: SimTime) -> Vec<ClientSend> {
+        let n = self.concurrency.min(self.total);
+        (0..n).map(|_| self.make_send()).collect()
+    }
+
+    fn on_response(&mut self, _now: SimTime, _conn: u64, _bytes: u64) -> Vec<ClientSend> {
+        self.completed += 1;
+        if self.issued < self.total {
+            vec![self.make_send()]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.completed >= self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_keeps_concurrency() {
+        let mut c = AbClient::new(10, 3, ByteSize::bytes(200), vec![VcpuId::new(0)]);
+        let first = c.start(SimTime::ZERO);
+        assert_eq!(first.len(), 3);
+        // Each response triggers exactly one follow-up until 10 issued.
+        let mut issued = 3;
+        for conn in 0..10u64 {
+            let next = c.on_response(SimTime::ZERO, conn, 100);
+            if issued < 10 {
+                assert_eq!(next.len(), 1);
+                issued += 1;
+            } else {
+                assert!(next.is_empty());
+            }
+        }
+        assert!(c.is_done());
+        assert_eq!(c.completed(), 10);
+    }
+
+    #[test]
+    fn round_robin_targets() {
+        let targets = vec![VcpuId::new(1), VcpuId::new(2)];
+        let mut c = AbClient::new(4, 4, ByteSize::bytes(100), targets.clone());
+        let sends = c.start(SimTime::ZERO);
+        assert_eq!(sends[0].target, targets[0]);
+        assert_eq!(sends[1].target, targets[1]);
+        assert_eq!(sends[2].target, targets[0]);
+    }
+
+    #[test]
+    fn fewer_requests_than_concurrency() {
+        let mut c = AbClient::new(2, 10, ByteSize::bytes(100), vec![VcpuId::new(0)]);
+        assert_eq!(c.start(SimTime::ZERO).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_targets_panics() {
+        let _ = AbClient::new(1, 1, ByteSize::bytes(1), vec![]);
+    }
+}

@@ -1,0 +1,470 @@
+//! The LEMP stack model (§7.2, Figure 12).
+//!
+//! One NGINX worker runs on vCPU0 and one PHP worker on each remaining
+//! vCPU (the artifact pins them with `taskset`). The client requests a
+//! 2 MB page whose generation costs a configurable *processing time* —
+//! the x-axis of Figure 12 (25–500 ms). NGINX and PHP talk over a
+//! guest-local socket, which is the expensive part when they sit on
+//! different physical machines: the paper's crossover at ~40 ms is the
+//! point where remote compute wins over that communication tax.
+
+use dsm::PageId;
+use hypervisor::{GuestMsg, Op, ProgCtx, Program, VcpuId};
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+/// LEMP deployment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LempConfig {
+    /// PHP processing time per request (25–500 ms in the paper).
+    pub processing: SimTime,
+    /// Served page size (2 MB — the average web page size the paper cites).
+    pub page_size: ByteSize,
+    /// Number of vCPUs (1 NGINX + N−1 PHP workers).
+    pub vcpus: usize,
+}
+
+impl LempConfig {
+    /// The paper's configuration at a given processing time and vCPU count.
+    pub fn paper(processing_ms: u64, vcpus: usize) -> Self {
+        LempConfig {
+            processing: SimTime::from_millis(processing_ms),
+            page_size: ByteSize::mib(2),
+            vcpus,
+        }
+    }
+
+    /// The PHP worker vCPUs (everything but vCPU0).
+    pub fn php_workers(&self) -> Vec<VcpuId> {
+        (1..self.vcpus).map(VcpuId::from_usize).collect()
+    }
+}
+
+/// The NGINX worker: accepts client requests, dispatches them to PHP
+/// workers round-robin, and streams finished pages back to the client.
+#[derive(Debug)]
+pub struct NginxDispatcher {
+    config: LempConfig,
+    payload: Vec<PageId>,
+    payload_region: Option<guest::memory::Region>,
+    rr: usize,
+    /// Continuation: a parsed request waiting to be forwarded.
+    forward: Option<(u64, VcpuId)>,
+    /// Continuation: a finished page waiting to be sent.
+    respond: Option<u64>,
+}
+
+impl NginxDispatcher {
+    /// Creates the dispatcher for `config`.
+    pub fn new(config: LempConfig) -> Self {
+        NginxDispatcher {
+            config,
+            payload: Vec::new(),
+            payload_region: None,
+            rr: 0,
+            forward: None,
+            respond: None,
+        }
+    }
+
+    fn next_worker(&mut self) -> VcpuId {
+        let workers = self.config.php_workers();
+        let w = workers[self.rr % workers.len()];
+        self.rr += 1;
+        w
+    }
+}
+
+impl Program for NginxDispatcher {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        if self.payload_region.is_none() {
+            let pages = self.config.page_size.pages_4k().max(1);
+            let region = cx.alloc_region("nginx.page", pages);
+            self.payload = region.iter().collect();
+            self.payload_region = Some(region);
+        }
+        if let Some((conn, worker)) = self.forward.take() {
+            // Forward the request over the guest-local socket.
+            return Op::LocalSend {
+                to: worker,
+                tag: conn,
+                bytes: 512,
+            };
+        }
+        if let Some(conn) = self.respond.take() {
+            return Op::NetSend {
+                conn,
+                bytes: self.config.page_size,
+                payload: self.payload.clone(),
+            };
+        }
+        match cx.delivered.take() {
+            Some(GuestMsg::Net { conn, .. }) => {
+                // A client request: parse, then forward to a PHP worker.
+                let worker = self.next_worker();
+                self.forward = Some((conn, worker));
+                Op::Compute(SimTime::from_micros(150))
+            }
+            Some(GuestMsg::Local { tag, .. }) => {
+                // A PHP worker finished page `tag`: send it out.
+                self.respond = Some(tag);
+                Op::Kernel(guest::KernelOp::Syscall)
+            }
+            None => Op::RecvAny,
+        }
+    }
+
+    fn label(&self) -> &str {
+        "nginx"
+    }
+}
+
+/// A PHP-FPM worker: receives a request, burns the processing time doing
+/// string manipulation over its working set, and returns the page.
+#[derive(Debug)]
+pub struct PhpWorker {
+    config: LempConfig,
+    /// Working set for the string-manipulation benchmark.
+    workset: Option<guest::memory::Region>,
+    /// Continuation: reply tag after processing.
+    reply: Option<u64>,
+    /// Remaining processing chunks for the current request.
+    chunks_left: u64,
+    touch_cursor: u64,
+    worker_index: usize,
+}
+
+/// Processing is split into 5 ms chunks, each followed by working-set
+/// touches and an occasional allocator call (PHP string churn).
+const PHP_CHUNK: SimTime = SimTime::from_millis(5);
+
+impl PhpWorker {
+    /// Creates worker `worker_index` (1-based position among PHP workers).
+    pub fn new(config: LempConfig, worker_index: usize) -> Self {
+        PhpWorker {
+            config,
+            workset: None,
+            reply: None,
+            chunks_left: 0,
+            touch_cursor: 0,
+            worker_index,
+        }
+    }
+}
+
+impl Program for PhpWorker {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        if self.workset.is_none() {
+            self.workset = Some(cx.alloc_region(&format!("php{}.workset", self.worker_index), 64));
+        }
+        if self.chunks_left > 0 {
+            self.chunks_left -= 1;
+            if self.chunks_left == 0 {
+                // Processing finished: reply to NGINX next.
+                let tag = self.reply.expect("processing implies a request");
+                self.reply = None;
+                return Op::LocalSend {
+                    to: VcpuId::new(0),
+                    tag,
+                    bytes: self.config.page_size.as_u64(),
+                };
+            }
+            // String manipulation: mostly private working-set writes plus
+            // an allocator call every few chunks.
+            if self.chunks_left.is_multiple_of(4) {
+                return Op::Kernel(guest::KernelOp::AllocPages(4));
+            }
+            let ws = self.workset.expect("workset allocated above");
+            let page = ws.page(self.touch_cursor % ws.pages);
+            self.touch_cursor += 1;
+            let _ = page;
+            return Op::Compute(PHP_CHUNK);
+        }
+        match cx.delivered.take() {
+            Some(GuestMsg::Local { tag, .. }) => {
+                self.reply = Some(tag);
+                let chunks = (self.config.processing.as_nanos() / PHP_CHUNK.as_nanos()).max(1);
+                // +1 because the final chunk triggers the reply.
+                self.chunks_left = chunks + 1;
+                // First action: the kernel wakes us (request read syscall).
+                Op::Kernel(guest::KernelOp::Syscall)
+            }
+            _ => Op::LocalRecv,
+        }
+    }
+
+    fn label(&self) -> &str {
+        "php-fpm"
+    }
+}
+
+/// The MySQL tier: a database worker on its own vCPU serving point
+/// queries from the PHP workers (the "M" in the paper's LEMP stack).
+#[derive(Debug)]
+pub struct DbWorker {
+    /// Query execution cost (index lookup + row fetch).
+    query_cost: SimTime,
+    /// Buffer-pool working set.
+    pool: Option<guest::memory::Region>,
+    /// Continuation: reply target after query execution.
+    reply: Option<(VcpuId, u64)>,
+    cursor: u64,
+    run_query: bool,
+}
+
+impl Default for DbWorker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DbWorker {
+    /// Creates a database worker with a 2 ms per-query cost.
+    pub fn new() -> Self {
+        DbWorker {
+            query_cost: SimTime::from_millis(2),
+            pool: None,
+            reply: None,
+            cursor: 0,
+            run_query: false,
+        }
+    }
+}
+
+impl Program for DbWorker {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        if self.pool.is_none() {
+            self.pool = Some(cx.alloc_region("mysql.bufferpool", 256));
+        }
+        if self.run_query {
+            self.run_query = false;
+            return Op::Compute(self.query_cost);
+        }
+        if let Some((to, tag)) = self.reply.take() {
+            // Query done: return an 8 KiB result set.
+            return Op::LocalSend {
+                to,
+                tag,
+                bytes: 8 * 1024,
+            };
+        }
+        match cx.delivered.take() {
+            Some(GuestMsg::Local { from, tag, .. }) => {
+                self.reply = Some((from, tag));
+                self.run_query = true;
+                // Touch the buffer pool (private to the DB's node).
+                let pool = self.pool.expect("allocated above");
+                let page = pool.page(self.cursor % pool.pages);
+                self.cursor += 1;
+                Op::Touch {
+                    page,
+                    access: dsm::Access::Read,
+                }
+            }
+            _ => Op::LocalRecv,
+        }
+    }
+
+    fn label(&self) -> &str {
+        "mysqld"
+    }
+}
+
+/// A PHP worker that issues one database query per request before running
+/// the processing benchmark (the full LEMP pipeline).
+#[derive(Debug)]
+pub struct PhpDbWorker {
+    config: LempConfig,
+    db: VcpuId,
+    /// Requests accepted but not yet started.
+    pending: std::collections::VecDeque<u64>,
+    state: PhpDbState,
+    workset: Option<guest::memory::Region>,
+    worker_index: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhpDbState {
+    Idle,
+    /// Waiting for the DB result of request `tag`.
+    AwaitDb(u64),
+    /// Processing request `tag` with `left` chunks remaining.
+    Work(u64, u64),
+}
+
+impl PhpDbWorker {
+    /// Creates worker `worker_index` querying the DB on vCPU `db`.
+    pub fn new(config: LempConfig, worker_index: usize, db: VcpuId) -> Self {
+        PhpDbWorker {
+            config,
+            db,
+            pending: std::collections::VecDeque::new(),
+            state: PhpDbState::Idle,
+            workset: None,
+            worker_index,
+        }
+    }
+}
+
+impl Program for PhpDbWorker {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        if self.workset.is_none() {
+            self.workset = Some(cx.alloc_region(&format!("php{}.workset", self.worker_index), 64));
+        }
+        // Classify any delivered message first: new requests queue; the
+        // DB result advances the in-flight request.
+        if let Some(GuestMsg::Local { from, tag, .. }) = cx.delivered.take() {
+            if from == self.db {
+                debug_assert_eq!(self.state, PhpDbState::AwaitDb(tag));
+                let chunks = (self.config.processing.as_nanos() / PHP_CHUNK.as_nanos()).max(1);
+                self.state = PhpDbState::Work(tag, chunks);
+            } else {
+                self.pending.push_back(tag);
+            }
+        }
+        match self.state {
+            PhpDbState::Idle => match self.pending.pop_front() {
+                Some(tag) => {
+                    self.state = PhpDbState::AwaitDb(tag);
+                    Op::LocalSend {
+                        to: self.db,
+                        tag,
+                        bytes: 256,
+                    }
+                }
+                None => Op::LocalRecv,
+            },
+            PhpDbState::AwaitDb(_) => Op::LocalRecv,
+            PhpDbState::Work(tag, left) => {
+                if left == 0 {
+                    self.state = PhpDbState::Idle;
+                    return Op::LocalSend {
+                        to: VcpuId::new(0),
+                        tag,
+                        bytes: self.config.page_size.as_u64(),
+                    };
+                }
+                self.state = PhpDbState::Work(tag, left - 1);
+                if left % 4 == 0 {
+                    Op::Kernel(guest::KernelOp::AllocPages(4))
+                } else {
+                    Op::Compute(PHP_CHUNK)
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "php-fpm+db"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::AbClient;
+    use comm::{LinkProfile, NodeId};
+    use hypervisor::{ClientConfig, HypervisorProfile, Placement, VmBuilder, VmSim};
+
+    /// Builds the paper's LEMP deployment.
+    pub fn build_lemp(
+        config: LempConfig,
+        profile: HypervisorProfile,
+        spread: bool,
+        requests: u64,
+    ) -> VmSim {
+        let nodes = config.vcpus;
+        let mut b = VmBuilder::new(profile, nodes.max(1)).with_net(NodeId::new(0));
+        b = b.vcpu(Placement::new(0, 0), Box::new(NginxDispatcher::new(config)));
+        for (i, _w) in config.php_workers().iter().enumerate() {
+            let placement = if spread {
+                Placement::new((i + 1) as u32, 0)
+            } else {
+                Placement::new(0, 0)
+            };
+            b = b.vcpu(placement, Box::new(PhpWorker::new(config, i + 1)));
+        }
+        b = b.with_client(ClientConfig {
+            node: NodeId::new(0),
+            link: LinkProfile::ethernet_1g(),
+            model: Box::new(AbClient::new(
+                requests,
+                10,
+                sim_core::units::ByteSize::bytes(300),
+                vec![hypervisor::VcpuId::new(0)],
+            )),
+        });
+        b.build()
+    }
+
+    #[test]
+    fn lemp_with_db_completes_requests() {
+        // 4 vCPUs: nginx, two PHP workers, one DB. NginxDispatcher
+        // round-robins over `php_workers()` = 1..vcpus, so it is
+        // configured for 3 vCPUs while the DB rides as the 4th.
+        let db = hypervisor::VcpuId::new(3);
+        let dispatch_config = LempConfig::paper(50, 3);
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 4).with_net(NodeId::new(0));
+        b = b.vcpu(
+            Placement::new(0, 0),
+            Box::new(NginxDispatcher::new(dispatch_config)),
+        );
+        for i in 1..3 {
+            b = b.vcpu(
+                Placement::new(i, 0),
+                Box::new(PhpDbWorker::new(dispatch_config, i as usize, db)),
+            );
+        }
+        b = b.vcpu(Placement::new(3, 0), Box::new(DbWorker::new()));
+        b = b.with_client(ClientConfig {
+            node: NodeId::new(0),
+            link: LinkProfile::ethernet_1g(),
+            model: Box::new(AbClient::new(
+                10,
+                4,
+                sim_core::units::ByteSize::bytes(300),
+                vec![hypervisor::VcpuId::new(0)],
+            )),
+        });
+        let mut sim = b.build();
+        let end = sim.run_client();
+        assert!(end > SimTime::ZERO);
+        assert_eq!(sim.world.stats.completed_requests, 10);
+    }
+
+    #[test]
+    fn lemp_completes_requests() {
+        let config = LempConfig::paper(50, 2);
+        let mut sim = build_lemp(config, HypervisorProfile::fragvisor(), true, 10);
+        let end = sim.run_client();
+        assert!(end > SimTime::ZERO);
+        assert_eq!(sim.world.stats.completed_requests, 10);
+    }
+
+    #[test]
+    fn long_requests_favor_distribution() {
+        // At 200ms processing, 4 distributed vCPUs beat 4 overcommitted.
+        let config = LempConfig::paper(200, 4);
+        let mut agg = build_lemp(config, HypervisorProfile::fragvisor(), true, 20);
+        let t_agg = agg.run_client();
+        let mut over = build_lemp(config, HypervisorProfile::single_machine(), false, 20);
+        let t_over = over.run_client();
+        let speedup = t_over.as_secs_f64() / t_agg.as_secs_f64();
+        assert!(speedup > 1.5, "expected clear win, got {speedup:.2}");
+    }
+
+    #[test]
+    fn short_requests_favor_consolidation() {
+        // At 25ms processing the socket tax dominates: overcommit wins.
+        let config = LempConfig::paper(25, 4);
+        let mut agg = build_lemp(config, HypervisorProfile::fragvisor(), true, 20);
+        let t_agg = agg.run_client();
+        let mut over = build_lemp(config, HypervisorProfile::single_machine(), false, 20);
+        let t_over = over.run_client();
+        let ratio = t_over.as_secs_f64() / t_agg.as_secs_f64();
+        assert!(
+            ratio < 1.2,
+            "aggregate should not win big at 25ms: {ratio:.2}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Guest workload models for the Aggregate VM evaluation.
+//!
+//! Each module reproduces one family from the paper's evaluation:
+//!
+//! * [`micro`] — the §7.1 synthetic sharing loops (Figures 4 and 5).
+//! * [`npb`] — NAS Parallel Benchmark models: serial multi-process
+//!   instances (Figures 8/9/10) and OpenMP shared-memory variants
+//!   (Figure 1), parameterized by compute length, allocation-phase weight
+//!   and sharing degree.
+//! * [`servers`] — the static NGINX server of the network-delegation
+//!   microbenchmark (Figure 6) and the single-threaded storage streamer
+//!   (Figure 7).
+//! * [`lemp`] — the LEMP stack: an NGINX dispatcher on vCPU0 and PHP
+//!   workers on the remaining vCPUs (Figure 12).
+//! * [`faas`] — the OpenLambda serverless pipeline: download → extract →
+//!   face-detect (Figure 13).
+//! * [`client`] — closed-loop external load generators (ApacheBench-style).
+//!
+//! All programs are deterministic given their [`sim_core::rng::DetRng`]
+//! stream; compute lengths and memory behaviour are calibrated so the
+//! *ratios* the paper reports (Aggregate VM vs overcommitment vs GiantVM)
+//! emerge from the mechanisms, not from hard-coded outcomes.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod faas;
+pub mod lemp;
+pub mod micro;
+pub mod npb;
+pub mod servers;
+
+pub use client::AbClient;
+pub use faas::{FaasPhases, FaasWorker, FAAS_PHASE_BARRIER};
+pub use lemp::{DbWorker, LempConfig, NginxDispatcher, PhpDbWorker, PhpWorker};
+pub use micro::{ConcurrentWriter, SharingLoop, SharingMode};
+pub use npb::{NpbClass, NpbKernel, NpbOmp, NpbSerial};
+pub use servers::{BlkStreamer, StaticServer};

@@ -1,0 +1,427 @@
+//! NAS Parallel Benchmark models.
+//!
+//! The paper runs NPB two ways:
+//!
+//! * **Serial multi-process** (Figures 8/9/10): one serial instance per
+//!   vCPU. There is no application-level sharing, but each instance's
+//!   allocation phase drives the guest kernel's allocator — whose hot pages
+//!   *are* shared — which is exactly why IS and FT scale sublinearly on
+//!   the Aggregate VM (§7.2).
+//! * **OpenMP** (Figure 1): one multithreaded instance whose threads share
+//!   the dataset, parameterized by a sharing degree.
+//!
+//! Each kernel is characterized by (a) its serial compute time at the
+//! chosen class, (b) the size of its dataset, and (c) how allocation-heavy
+//! its startup is. Values are scaled so a full suite run simulates in
+//! seconds while preserving the compute-to-allocation ratios the paper's
+//! behaviour depends on.
+
+use dsm::{Access, PageId};
+use hypervisor::{Op, ProgCtx, Program};
+use sim_core::time::SimTime;
+
+/// The eight kernels used in the paper's NPB figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NpbKernel {
+    /// Block tri-diagonal solver.
+    Bt,
+    /// Conjugate gradient.
+    Cg,
+    /// Embarrassingly parallel.
+    Ep,
+    /// 3-D FFT (allocation-heavy).
+    Ft,
+    /// Integer sort (allocation-heavy, short compute).
+    Is,
+    /// Lower-upper Gauss-Seidel.
+    Lu,
+    /// Multi-grid.
+    Mg,
+    /// Scalar penta-diagonal solver.
+    Sp,
+}
+
+impl NpbKernel {
+    /// All kernels, in the order the paper's figures list them.
+    pub fn all() -> [NpbKernel; 8] {
+        use NpbKernel::*;
+        [Bt, Cg, Ep, Ft, Is, Lu, Mg, Sp]
+    }
+
+    /// The kernel's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NpbKernel::Bt => "BT",
+            NpbKernel::Cg => "CG",
+            NpbKernel::Ep => "EP",
+            NpbKernel::Ft => "FT",
+            NpbKernel::Is => "IS",
+            NpbKernel::Lu => "LU",
+            NpbKernel::Mg => "MG",
+            NpbKernel::Sp => "SP",
+        }
+    }
+}
+
+/// Problem-class scaling (the paper picks classes giving ≥10 s runs; we
+/// scale down ~100x to keep simulations fast while preserving ratios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NpbClass {
+    /// Scaled-down class for fast simulation (default).
+    Sim,
+    /// Larger class (10x Sim) for soak runs.
+    SimLarge,
+}
+
+/// Per-kernel characteristics: (compute_ms, dataset_pages, alloc_heaviness).
+///
+/// `alloc_heaviness` is the fraction of total time a 1-vCPU run spends in
+/// the allocation phase. IS is the extreme (integer sort: bucket setup
+/// dominates); EP is pure compute.
+fn traits_of(kernel: NpbKernel) -> (u64, u64, f64) {
+    match kernel {
+        NpbKernel::Bt => (180, 3_000, 0.02),
+        NpbKernel::Cg => (120, 4_000, 0.03),
+        NpbKernel::Ep => (150, 200, 0.005),
+        NpbKernel::Ft => (140, 8_000, 0.22),
+        NpbKernel::Is => (100, 11_000, 0.45),
+        NpbKernel::Lu => (200, 3_000, 0.02),
+        NpbKernel::Mg => (130, 6_000, 0.04),
+        NpbKernel::Sp => (190, 3_000, 0.02),
+    }
+}
+
+/// A serial NPB instance (one per vCPU in the multi-process experiments).
+#[derive(Debug)]
+pub struct NpbSerial {
+    kernel: NpbKernel,
+    /// Remaining allocation batches.
+    alloc_batches: u64,
+    pages_per_batch: u64,
+    /// Touches of freshly allocated pages pending per batch.
+    region: Option<guest::memory::Region>,
+    touch_cursor: u64,
+    /// Remaining compute chunks after allocation.
+    compute_chunks: u64,
+    chunk: SimTime,
+    state: SerialState,
+    instance: usize,
+    /// Kernel op to issue after the current compute chunk.
+    pending_kernel: Option<guest::KernelOp>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SerialState {
+    Alloc,
+    TouchPages,
+    Compute,
+    Finished,
+}
+
+impl NpbSerial {
+    /// Creates instance `instance` of `kernel` at `class`.
+    pub fn new(kernel: NpbKernel, class: NpbClass, instance: usize) -> Self {
+        let (compute_ms, dataset_pages, alloc_frac) = traits_of(kernel);
+        let scale = match class {
+            NpbClass::Sim => 1,
+            NpbClass::SimLarge => 10,
+        };
+        let compute = SimTime::from_millis(compute_ms * scale);
+        // Allocation phase time budget is implied by batch count: each
+        // AllocPages(64) costs ~40us of kernel time.
+        let batches = ((compute.as_secs_f64() * alloc_frac) / 40e-6).ceil() as u64;
+        let batches = batches.max(1);
+        // Compute in 1ms chunks with a syscall between chunks.
+        let chunk = SimTime::from_millis(1);
+        NpbSerial {
+            kernel,
+            alloc_batches: batches,
+            pages_per_batch: (dataset_pages * scale / batches).max(1),
+            region: None,
+            touch_cursor: 0,
+            compute_chunks: compute.as_nanos() / chunk.as_nanos(),
+            chunk,
+            state: SerialState::Alloc,
+            instance,
+            pending_kernel: None,
+        }
+    }
+
+    /// The kernel being modelled.
+    pub fn kernel(&self) -> NpbKernel {
+        self.kernel
+    }
+}
+
+impl Program for NpbSerial {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        if let Some(op) = self.pending_kernel.take() {
+            return Op::Kernel(op);
+        }
+        loop {
+            match self.state {
+                SerialState::Alloc => {
+                    if self.alloc_batches == 0 {
+                        self.state = SerialState::Compute;
+                        continue;
+                    }
+                    self.alloc_batches -= 1;
+                    if self.region.is_none() {
+                        // Carve one region per instance; batches fill it.
+                        let total = self.pages_per_batch * (self.alloc_batches + 1);
+                        self.region = Some(cx.alloc_region(
+                            &format!("npb.{}.{}", self.kernel.name(), self.instance),
+                            total,
+                        ));
+                    }
+                    self.state = SerialState::TouchPages;
+                    return Op::Kernel(guest::KernelOp::AllocPages(self.pages_per_batch));
+                }
+                SerialState::TouchPages => {
+                    // First-touch a sample of the freshly allocated batch
+                    // (zeroing already charged; this drives NUMA homing).
+                    let region = self.region.expect("allocated in Alloc state");
+                    let sample = self.pages_per_batch.min(8);
+                    let touches: Vec<(PageId, Access)> = (0..sample)
+                        .map(|i| {
+                            let idx = (self.touch_cursor + i) % region.pages;
+                            (region.page(idx), Access::Write)
+                        })
+                        .collect();
+                    self.touch_cursor += sample;
+                    self.state = SerialState::Alloc;
+                    return Op::TouchBatch(touches);
+                }
+                SerialState::Compute => {
+                    if self.compute_chunks == 0 {
+                        self.state = SerialState::Finished;
+                        return Op::Done;
+                    }
+                    self.compute_chunks -= 1;
+                    // A syscall every 16 chunks (progress output, timing)
+                    // plus the scheduler tick — the steady-state kernel
+                    // noise the padded layout keeps off shared pages.
+                    if self.compute_chunks.is_multiple_of(16) {
+                        self.pending_kernel = Some(guest::KernelOp::Syscall);
+                    } else if self.compute_chunks.is_multiple_of(4) {
+                        self.pending_kernel = Some(guest::KernelOp::TimerTick);
+                    }
+                    return Op::Compute(self.chunk);
+                }
+                SerialState::Finished => return Op::Done,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        self.kernel.name()
+    }
+}
+
+/// An OpenMP NPB thread: compute chunks interleaved with accesses to a
+/// shared dataset, parameterized by sharing degree (Figure 1).
+#[derive(Debug)]
+pub struct NpbOmp {
+    /// Shared dataset pages (same region across all threads).
+    shared: guest::memory::Region,
+    /// Probability that a chunk boundary touches a shared page with a
+    /// write (the "sharing degree").
+    write_share: f64,
+    compute_chunks: u64,
+    chunk: SimTime,
+    thread: usize,
+    threads: usize,
+    cursor: u64,
+    pending_sync: bool,
+}
+
+impl NpbOmp {
+    /// Creates thread `thread` of `threads` over `shared`, computing
+    /// `total` in `chunk`-sized pieces with the given write-sharing
+    /// probability per chunk.
+    pub fn new(
+        shared: guest::memory::Region,
+        write_share: f64,
+        total: SimTime,
+        chunk: SimTime,
+        thread: usize,
+        threads: usize,
+    ) -> Self {
+        NpbOmp {
+            shared,
+            write_share,
+            compute_chunks: total.as_nanos() / chunk.as_nanos(),
+            chunk,
+            thread,
+            threads,
+            cursor: thread as u64 * 13,
+            pending_sync: false,
+        }
+    }
+}
+
+impl Program for NpbOmp {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        if self.pending_sync {
+            self.pending_sync = false;
+            // OpenMP reduction / loop-bound update: a shared write.
+            let page = self.shared.page(self.cursor % self.shared.pages);
+            self.cursor += 7;
+            return Op::Touch {
+                page,
+                access: Access::Write,
+            };
+        }
+        if self.compute_chunks == 0 {
+            return Op::Done;
+        }
+        self.compute_chunks -= 1;
+        self.pending_sync = cx.rng.chance(self.write_share);
+        if !self.pending_sync {
+            // Read-mostly access to the shared dataset.
+            let page = self
+                .shared
+                .page((self.cursor + self.thread as u64) % self.shared.pages);
+            self.cursor += self.threads as u64;
+            let _ = page; // Reads of replicated pages are cheap; fold into compute.
+        }
+        Op::Compute(self.chunk)
+    }
+
+    fn label(&self) -> &str {
+        "NPB-OMP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypervisor::{HypervisorProfile, Placement, VmBuilder, VmSim};
+    use sim_core::units::ByteSize;
+
+    fn build_serial(
+        kernel: NpbKernel,
+        vcpus: usize,
+        placements: &[Placement],
+        profile: HypervisorProfile,
+    ) -> VmSim {
+        let mut b = VmBuilder::new(profile, 4).ram(ByteSize::gib(8));
+        for (i, &p) in placements.iter().take(vcpus).enumerate() {
+            b = b.vcpu(p, Box::new(NpbSerial::new(kernel, NpbClass::Sim, i)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn ep_scales_linearly_on_aggregate_vm() {
+        // 4 distributed instances of EP vs 4 overcommitted on one pCPU.
+        let spread: Vec<Placement> = (0..4).map(|i| Placement::new(i, 0)).collect();
+        let packed: Vec<Placement> = (0..4).map(|_| Placement::new(0, 0)).collect();
+        let t_agg = build_serial(NpbKernel::Ep, 4, &spread, HypervisorProfile::fragvisor()).run();
+        let t_over = build_serial(
+            NpbKernel::Ep,
+            4,
+            &packed,
+            HypervisorProfile::single_machine(),
+        )
+        .run();
+        let speedup = t_over.as_secs_f64() / t_agg.as_secs_f64();
+        assert!(
+            (3.2..4.2).contains(&speedup),
+            "EP speedup should be ~3.9x, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn is_scales_sublinearly() {
+        let spread: Vec<Placement> = (0..4).map(|i| Placement::new(i, 0)).collect();
+        let packed: Vec<Placement> = (0..4).map(|_| Placement::new(0, 0)).collect();
+        let t_agg = build_serial(NpbKernel::Is, 4, &spread, HypervisorProfile::fragvisor()).run();
+        let t_over = build_serial(
+            NpbKernel::Is,
+            4,
+            &packed,
+            HypervisorProfile::single_machine(),
+        )
+        .run();
+        let is_speedup = t_over.as_secs_f64() / t_agg.as_secs_f64();
+        let t_agg_ep =
+            build_serial(NpbKernel::Ep, 4, &spread, HypervisorProfile::fragvisor()).run();
+        let t_over_ep = build_serial(
+            NpbKernel::Ep,
+            4,
+            &packed,
+            HypervisorProfile::single_machine(),
+        )
+        .run();
+        let ep_speedup = t_over_ep.as_secs_f64() / t_agg_ep.as_secs_f64();
+        assert!(
+            is_speedup < ep_speedup,
+            "IS ({is_speedup:.2}) must scale worse than EP ({ep_speedup:.2})"
+        );
+        assert!(
+            is_speedup > 1.5,
+            "IS still beats overcommit: {is_speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn fragvisor_beats_giantvm_on_is() {
+        let spread: Vec<Placement> = (0..4).map(|i| Placement::new(i, 0)).collect();
+        let t_frag = build_serial(NpbKernel::Is, 4, &spread, HypervisorProfile::fragvisor()).run();
+        let t_giant = build_serial(NpbKernel::Is, 4, &spread, HypervisorProfile::giantvm()).run();
+        let ratio = t_giant.as_secs_f64() / t_frag.as_secs_f64();
+        assert!(
+            ratio > 1.3,
+            "FragVisor should clearly beat GiantVM on IS: {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn omp_sharing_degree_drives_slowdown() {
+        let run = |write_share: f64, spread: bool| -> SimTime {
+            let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2).ram(ByteSize::gib(4));
+            // Pre-carve the shared region through a throwaway allocator
+            // clone trick: allocate it in the first program's first call.
+            // Here we instead construct the region coordinates directly.
+            let shared = guest::memory::Region {
+                first: PageId::new(400_000),
+                pages: 64,
+            };
+            for t in 0..2usize {
+                let placement = if spread {
+                    Placement::new(t as u32, 0)
+                } else {
+                    Placement::new(0, 0)
+                };
+                b = b.vcpu(
+                    placement,
+                    Box::new(NpbOmp::new(
+                        shared,
+                        write_share,
+                        SimTime::from_millis(20),
+                        SimTime::from_micros(5),
+                        t,
+                        2,
+                    )),
+                );
+            }
+            b.build().run()
+        };
+        let low = run(0.02, true);
+        let high = run(0.8, true);
+        assert!(
+            high.as_nanos() as f64 > low.as_nanos() as f64 * 1.5,
+            "high sharing {high} vs low {low}"
+        );
+    }
+
+    #[test]
+    fn kernel_traits_cover_all() {
+        for k in NpbKernel::all() {
+            let (c, d, a) = traits_of(k);
+            assert!(c > 0 && d > 0 && (0.0..1.0).contains(&a), "{k:?}");
+        }
+        assert_eq!(NpbKernel::all().len(), 8);
+    }
+}

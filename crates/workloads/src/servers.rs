@@ -1,0 +1,262 @@
+//! Simple guest servers for the delegation microbenchmarks (§7.1).
+
+use dsm::PageId;
+use hypervisor::{GuestMsg, Op, ProgCtx, Program};
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+
+/// A static NGINX worker: answers every request with a fixed-size response
+/// (Figure 6's network-delegation benchmark, `ab` with varying sizes).
+#[derive(Debug)]
+pub struct StaticServer {
+    response: ByteSize,
+    /// Per-request CPU (parsing, headers, sendfile setup).
+    request_cpu: SimTime,
+    /// Dynamic content: the payload is rewritten for every request, so
+    /// remote copies are invalidated each time (exercises the DSM data
+    /// path even for repeated requests).
+    dynamic: bool,
+    payload: Vec<PageId>,
+    payload_region: Option<guest::memory::Region>,
+    state: ServerState,
+    pending_conn: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerState {
+    Warmup,
+    Recv,
+    Syscall,
+    Work,
+    Regen,
+    Send,
+}
+
+impl StaticServer {
+    /// A server answering with `response` bytes per request.
+    pub fn new(response: ByteSize) -> Self {
+        StaticServer {
+            response,
+            request_cpu: SimTime::from_micros(80),
+            dynamic: false,
+            payload: Vec::new(),
+            payload_region: None,
+            state: ServerState::Warmup,
+            pending_conn: 0,
+        }
+    }
+
+    /// A server regenerating the response body on every request.
+    pub fn dynamic(response: ByteSize) -> Self {
+        StaticServer {
+            dynamic: true,
+            ..Self::new(response)
+        }
+    }
+
+    fn ensure_payload(&mut self, cx: &mut ProgCtx<'_>) {
+        if self.payload_region.is_none() {
+            let pages = self.response.pages_4k().clamp(1, 1024);
+            let region = cx.alloc_region("static.payload", pages);
+            self.payload = region.iter().collect();
+            self.payload_region = Some(region);
+        }
+    }
+}
+
+impl Program for StaticServer {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        loop {
+            match self.state {
+                ServerState::Warmup => {
+                    // Populate the page cache with the served file, so the
+                    // payload's master copies live on this worker's node.
+                    self.ensure_payload(cx);
+                    self.state = ServerState::Recv;
+                    return Op::TouchBatch(
+                        self.payload
+                            .iter()
+                            .map(|&p| (p, dsm::Access::Write))
+                            .collect(),
+                    );
+                }
+                ServerState::Recv => {
+                    self.state = ServerState::Syscall;
+                    return Op::NetRecv;
+                }
+                ServerState::Syscall => {
+                    if let Some(GuestMsg::Net { conn, .. }) = cx.delivered {
+                        self.pending_conn = conn;
+                        self.state = ServerState::Work;
+                        return Op::Kernel(guest::KernelOp::Syscall);
+                    }
+                    // Spurious wake: go back to receiving.
+                    self.state = ServerState::Recv;
+                    continue;
+                }
+                ServerState::Work => {
+                    self.ensure_payload(cx);
+                    self.state = if self.dynamic {
+                        ServerState::Regen
+                    } else {
+                        ServerState::Send
+                    };
+                    return Op::Compute(self.request_cpu);
+                }
+                ServerState::Regen => {
+                    self.state = ServerState::Send;
+                    return Op::TouchBatch(
+                        self.payload
+                            .iter()
+                            .map(|&p| (p, dsm::Access::Write))
+                            .collect(),
+                    );
+                }
+                ServerState::Send => {
+                    self.state = ServerState::Recv;
+                    return Op::NetSend {
+                        conn: self.pending_conn,
+                        bytes: self.response,
+                        payload: self.payload.clone(),
+                    };
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "static-server"
+    }
+}
+
+/// A single-threaded sequential storage streamer (Figure 7): reads or
+/// writes `total` bytes through virtio-blk in `chunk`-sized requests.
+#[derive(Debug)]
+pub struct BlkStreamer {
+    total: ByteSize,
+    chunk: ByteSize,
+    write: bool,
+    tmpfs: bool,
+    issued: u64,
+    buffer: Option<guest::memory::Region>,
+}
+
+impl BlkStreamer {
+    /// Streams `total` bytes in `chunk` requests.
+    pub fn new(total: ByteSize, chunk: ByteSize, write: bool, tmpfs: bool) -> Self {
+        BlkStreamer {
+            total,
+            chunk,
+            write,
+            tmpfs,
+            issued: 0,
+            buffer: None,
+        }
+    }
+}
+
+impl Program for BlkStreamer {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        if self.issued * self.chunk.as_u64() >= self.total.as_u64() {
+            return Op::Done;
+        }
+        let buffer = *self
+            .buffer
+            .get_or_insert_with(|| cx.alloc.alloc("blk.buffer", self.chunk.pages_4k().max(1)));
+        self.issued += 1;
+        Op::BlkIo {
+            bytes: self.chunk,
+            write: self.write,
+            tmpfs: self.tmpfs,
+            buffer: buffer.iter().collect(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        "blk-streamer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::AbClient;
+    use comm::{LinkProfile, NodeId};
+    use hypervisor::{ClientConfig, HypervisorProfile, Placement, VcpuId, VmBuilder};
+
+    #[test]
+    fn static_server_answers_all_requests() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2).with_net(NodeId::new(0));
+        b = b.vcpu(
+            Placement::new(0, 0),
+            Box::new(StaticServer::new(ByteSize::kib(64))),
+        );
+        b = b.with_client(ClientConfig {
+            node: NodeId::new(0), // Replaced by the builder.
+            link: LinkProfile::ethernet_1g(),
+            model: Box::new(AbClient::new(
+                20,
+                4,
+                ByteSize::bytes(200),
+                vec![VcpuId::new(0)],
+            )),
+        });
+        let mut sim = b.build();
+        // The server loops forever; run until the client drains.
+        while !sim.world.client_done() {
+            assert!(sim.engine.step(&mut sim.world), "queue drained early");
+        }
+        assert_eq!(sim.world.stats.completed_requests, 20);
+        assert!(sim.world.stats.request_latency.mean() > 0.0);
+    }
+
+    #[test]
+    fn delegated_server_is_slower_than_local() {
+        let run = |server_node: u32| -> f64 {
+            let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2).with_net(NodeId::new(0));
+            b = b.vcpu(
+                Placement::new(server_node, 0),
+                Box::new(StaticServer::new(ByteSize::mib(1))),
+            );
+            b = b.with_client(ClientConfig {
+                node: NodeId::new(0),
+                link: LinkProfile::ethernet_1g(),
+                model: Box::new(AbClient::new(
+                    30,
+                    4,
+                    ByteSize::bytes(200),
+                    vec![VcpuId::new(0)],
+                )),
+            });
+            let mut sim = b.build();
+            while !sim.world.client_done() {
+                assert!(sim.engine.step(&mut sim.world));
+            }
+            sim.now().as_secs_f64()
+        };
+        let local = run(0);
+        let delegated = run(1);
+        assert!(delegated >= local, "delegated {delegated} vs local {local}");
+        // With DSM-bypass the penalty is bounded (paper: delegation is
+        // affordable); well under 2x for 1MiB responses on 1GbE.
+        assert!(delegated / local < 1.6, "penalty {}", delegated / local);
+    }
+
+    #[test]
+    fn blk_streamer_moves_all_bytes() {
+        let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 1).with_blk(NodeId::new(0));
+        b = b.vcpu(
+            Placement::new(0, 0),
+            Box::new(BlkStreamer::new(
+                ByteSize::mib(16),
+                ByteSize::mib(1),
+                false,
+                false,
+            )),
+        );
+        let mut sim = b.build();
+        let done = sim.run();
+        // 16 MiB at 500 MB/s ≈ 33.5 ms minimum.
+        assert!(done.as_millis_f64() > 33.0, "{done}");
+    }
+}

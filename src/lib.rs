@@ -1,0 +1,17 @@
+//! Aggregate VM: umbrella crate re-exporting the whole workspace.
+//!
+//! See [`fragvisor`] for the core API, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the measured reproduction of every
+//! figure in the paper's evaluation.
+
+pub use cluster;
+pub use comm;
+pub use dsm;
+pub use fragvisor;
+pub use giantvm;
+pub use guest;
+pub use hypervisor;
+pub use scheduler;
+pub use sim_core;
+pub use virtio;
+pub use workloads;

@@ -1,0 +1,197 @@
+//! End-to-end checks of the paper's major claims (§1, §A.9).
+//!
+//! These are the workspace's "does the reproduction actually reproduce"
+//! tests: each runs the relevant experiment at reduced scale and asserts
+//! the *shape* the paper reports — who wins and roughly by how much.
+
+use fragvisor::{scenarios, Distribution, HypervisorProfile};
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+use virtio::IoPathMode;
+use workloads::{LempConfig, NpbClass, NpbKernel};
+
+fn lemp_tput(processing_ms: u64, profile: HypervisorProfile, dist: &Distribution) -> f64 {
+    let mut sim = scenarios::lemp(LempConfig::paper(processing_ms, 4), profile, dist, 20);
+    let t = sim.run_client();
+    sim.world.stats.requests_per_sec(t)
+}
+
+/// C1: for long requests, FragVisor's LEMP throughput beats GiantVM's
+/// (and the reverse holds for short requests).
+#[test]
+fn c1_lemp_long_requests_beat_giantvm() {
+    let frag_long = lemp_tput(
+        500,
+        HypervisorProfile::fragvisor(),
+        &Distribution::OneVcpuPerNode,
+    );
+    let giant_long = lemp_tput(
+        500,
+        HypervisorProfile::giantvm(),
+        &Distribution::OneVcpuPerNode,
+    );
+    assert!(
+        frag_long > giant_long * 1.1,
+        "paper: 1.27x at 500ms; got {:.2}",
+        frag_long / giant_long
+    );
+    let frag_short = lemp_tput(
+        25,
+        HypervisorProfile::fragvisor(),
+        &Distribution::OneVcpuPerNode,
+    );
+    let giant_short = lemp_tput(
+        25,
+        HypervisorProfile::giantvm(),
+        &Distribution::OneVcpuPerNode,
+    );
+    assert!(
+        giant_short > frag_short,
+        "paper: GiantVM wins short requests; frag={frag_short:.1} giant={giant_short:.1}"
+    );
+}
+
+/// C2: FragVisor beats GiantVM in *every* phase of the serverless
+/// pipeline.
+#[test]
+fn c2_faas_every_phase_faster() {
+    let (mut frag, frag_phases) = scenarios::faas(
+        4,
+        1,
+        HypervisorProfile::fragvisor(),
+        &Distribution::OneVcpuPerNode,
+    );
+    let t_frag = frag.run();
+    let (mut giant, giant_phases) = scenarios::faas(
+        4,
+        1,
+        HypervisorProfile::giantvm(),
+        &Distribution::OneVcpuPerNode,
+    );
+    let t_giant = giant.run();
+    assert!(t_frag < t_giant, "overall: {t_frag} vs {t_giant}");
+    // Compare average phase times.
+    let avg = |phases: &[std::rc::Rc<std::cell::RefCell<Vec<workloads::FaasPhases>>>]| {
+        let mut sums = [0.0f64; 3];
+        let mut n = 0.0;
+        for p in phases {
+            for ph in p.borrow().iter() {
+                sums[0] += ph.download.as_secs_f64();
+                sums[1] += ph.extract.as_secs_f64();
+                sums[2] += ph.detect.as_secs_f64();
+                n += 1.0;
+            }
+        }
+        sums.map(|s| s / n)
+    };
+    let f = avg(&frag_phases);
+    let g = avg(&giant_phases);
+    for (i, name) in ["download", "extract", "detect"].iter().enumerate() {
+        assert!(
+            f[i] < g[i],
+            "{name}: fragvisor {:.1}ms vs giantvm {:.1}ms",
+            f[i] * 1e3,
+            g[i] * 1e3
+        );
+    }
+}
+
+/// C3: DSM-bypass keeps delegated I/O close to local; the DSM data path
+/// does not.
+#[test]
+fn c3_dsm_bypass_offsets_distribution() {
+    let latency = |node: u32, mode: IoPathMode| -> f64 {
+        let profile = HypervisorProfile::fragvisor().with_io_mode("t", mode);
+        let mut sim = scenarios::net_delegation_with(node, ByteSize::mib(2), 15, 1, true, profile);
+        sim.run_client();
+        sim.world.stats.request_latency.mean() / 1e6
+    };
+    let local = latency(0, IoPathMode::MultiqueueBypass);
+    let bypass = latency(1, IoPathMode::MultiqueueBypass);
+    let dsm_path = latency(1, IoPathMode::Multiqueue);
+    // Bypass within 5% of local; the DSM path is substantially worse.
+    assert!(
+        bypass / local < 1.05,
+        "bypass {bypass:.2}ms vs local {local:.2}ms"
+    );
+    assert!(
+        dsm_path / bypass > 1.2,
+        "dsm {dsm_path:.2}ms vs bypass {bypass:.2}ms"
+    );
+}
+
+/// Headline: compute speedups up to ~3.9x vs overcommitment at 4 vCPUs.
+#[test]
+fn headline_compute_speedup() {
+    let mut agg = scenarios::npb_multiprocess(
+        NpbKernel::Ep,
+        NpbClass::Sim,
+        4,
+        HypervisorProfile::fragvisor(),
+        &Distribution::OneVcpuPerNode,
+    );
+    let t_agg = agg.run();
+    let mut over = scenarios::npb_multiprocess(
+        NpbKernel::Ep,
+        NpbClass::Sim,
+        4,
+        HypervisorProfile::single_machine(),
+        &Distribution::Packed { pcpus: 1 },
+    );
+    let t_over = over.run();
+    let speedup = t_over.as_secs_f64() / t_agg.as_secs_f64();
+    assert!((3.5..4.1).contains(&speedup), "EP speedup {speedup:.2}");
+}
+
+/// Headline: FragVisor up to ~2.5x over GiantVM on compute (IS is the
+/// extreme case).
+#[test]
+fn headline_giantvm_compute_gap() {
+    let run = |profile: HypervisorProfile| {
+        let mut sim = scenarios::npb_multiprocess(
+            NpbKernel::Is,
+            NpbClass::Sim,
+            4,
+            profile,
+            &Distribution::OneVcpuPerNode,
+        );
+        sim.run()
+    };
+    let ratio = run(HypervisorProfile::giantvm()).as_secs_f64()
+        / run(HypervisorProfile::fragvisor()).as_secs_f64();
+    assert!(
+        (1.5..3.5).contains(&ratio),
+        "IS FragVisor-vs-GiantVM ratio {ratio:.2}"
+    );
+}
+
+/// The SLO story of Figure 1: low-sharing workloads are barely penalized
+/// by distribution; high-sharing ones are.
+#[test]
+fn figure1_slo_depends_on_sharing() {
+    let single = Distribution::Custom((0..4).map(|i| fragvisor::Placement::new(0, i)).collect());
+    let ratio_for = |share: f64| -> f64 {
+        let total = SimTime::from_millis(10);
+        let mut dsm_sim = scenarios::npb_omp(
+            share,
+            4,
+            total,
+            HypervisorProfile::fragvisor(),
+            &Distribution::OneVcpuPerNode,
+        );
+        let t_dsm = dsm_sim.run();
+        let mut single_sim = scenarios::npb_omp(
+            share,
+            4,
+            total,
+            HypervisorProfile::single_machine(),
+            &single,
+        );
+        let t_single = single_sim.run();
+        t_single.as_secs_f64() / t_dsm.as_secs_f64()
+    };
+    let low = ratio_for(0.01);
+    let high = ratio_for(0.7);
+    assert!(low > 0.95, "low sharing should be near 1.0: {low:.2}");
+    assert!(high < 0.7, "high sharing should be penalized: {high:.2}");
+}

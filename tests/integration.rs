@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: determinism, migration under load,
+//! checkpointing, and scheduler-driven replay.
+
+use cluster::MachineSpec;
+use comm::{LinkProfile, NodeId};
+use fragvisor::{checkpoint, restore, scenarios, Distribution, HypervisorProfile, VcpuId};
+use hypervisor::{Placement, VmMemory};
+use scheduler::{ArrivalTrace, ConsolidationPolicy, DatacenterSim};
+use sim_core::rng::DetRng;
+use sim_core::time::SimTime;
+use sim_core::units::{Bandwidth, ByteSize};
+use workloads::{LempConfig, NpbClass, NpbKernel};
+
+/// Two runs with the same seed must agree bit-for-bit on every statistic.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mut sim = scenarios::lemp(
+            LempConfig::paper(100, 3),
+            HypervisorProfile::fragvisor(),
+            &Distribution::OneVcpuPerNode,
+            15,
+        );
+        let t = sim.run_client();
+        (
+            t,
+            sim.world.stats.completed_requests,
+            sim.world.stats.request_latency.mean(),
+            sim.world.mem.dsm.stats().total_faults(),
+            sim.world.fabric.messages_sent(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Migrating vCPUs mid-service must not lose requests, and consolidation
+/// must improve latency.
+#[test]
+fn migration_under_load_is_transparent() {
+    let mut sim = scenarios::lemp(
+        LempConfig::paper(100, 4),
+        HypervisorProfile::fragvisor(),
+        &Distribution::OneVcpuPerNode,
+        60,
+    );
+    // Serve a while spread out, then consolidate everything onto node 0.
+    sim.run_until(SimTime::from_secs(1));
+    let before = sim.world.stats.completed_requests;
+    assert!(before > 0, "some requests should have completed");
+    let moved = fragvisor::aggregate::consolidate_onto(&mut sim, NodeId::new(0));
+    assert_eq!(moved, 3);
+    sim.run_client();
+    assert_eq!(sim.world.stats.completed_requests, 60, "no lost requests");
+    // Latency after consolidation should not be worse than while spread
+    // (same node = no socket streaming tax).
+    let points = sim.world.stats.latency_series.points();
+    let spread: Vec<f64> = points
+        .iter()
+        .filter(|(at, _)| *at <= SimTime::from_secs(1))
+        .map(|&(_, v)| v)
+        .collect();
+    let consolidated: Vec<f64> = points
+        .iter()
+        .filter(|(at, _)| *at > SimTime::from_secs(1))
+        .map(|&(_, v)| v)
+        .collect();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        avg(&consolidated) <= avg(&spread) * 1.05,
+        "consolidated {:.1}ms vs spread {:.1}ms",
+        avg(&consolidated),
+        avg(&spread)
+    );
+}
+
+/// Checkpoint + restore round trip preserves footprint accounting and the
+/// disk-bound behaviour.
+#[test]
+fn checkpoint_restore_roundtrip() {
+    let profile = HypervisorProfile::fragvisor();
+    let mut mem = VmMemory::new(&profile, 4, ByteSize::gib(12), NodeId::new(0));
+    for n in 0..4 {
+        let _ = mem.register_resident_dataset(&format!("d{n}"), ByteSize::gib(2), NodeId::new(n));
+    }
+    let disk = Bandwidth::mb_per_sec(500.0);
+    let link = LinkProfile::infiniband_56g();
+    let report = checkpoint(&mem, NodeId::new(0), disk, link);
+    assert_eq!(
+        report.local_pages + report.remote_pages,
+        mem.dsm.total_pages()
+    );
+    assert!(report.remote_pages >= ByteSize::gib(6).pages_4k());
+    // Restore onto the same 4 slices: also disk-bound.
+    let t = restore(report.bytes, 4, disk, link);
+    let expected = disk.transfer_time(report.bytes);
+    assert!(t >= expected);
+    assert!(t < expected + SimTime::from_millis(10));
+}
+
+/// The scheduler's placement decisions replay cleanly on a live VM:
+/// every commanded migration is applied and the final placement matches.
+#[test]
+fn scheduler_commands_apply_to_live_vm() {
+    // Find a seed whose first 4-vCPU aggregate VM consolidates.
+    let mut chosen = None;
+    for seed in 0..32u64 {
+        let mut rng = DetRng::new(seed);
+        let trace =
+            ArrivalTrace::generate(&mut rng, 80, SimTime::from_secs(1), SimTime::from_secs(30));
+        let report = DatacenterSim::new(
+            4,
+            MachineSpec::fig14(),
+            ConsolidationPolicy::MinNodes,
+            trace,
+        )
+        .observe_first_aggregate(4)
+        .run();
+        if report.observed_vm.is_some() && report.migrations > 0 {
+            chosen = Some(report);
+            break;
+        }
+    }
+    let report = chosen.expect("a migrating aggregate VM within 32 seeds");
+
+    // Replay on a live compute VM: apply each epoch's placement.
+    let epochs: Vec<(SimTime, Vec<u32>)> = {
+        let mut out: Vec<(SimTime, Vec<u32>)> = Vec::new();
+        for (at, counts) in &report.observed_slices {
+            if counts.iter().sum::<u32>() == 0 {
+                if !out.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            if out.last().map(|(_, c)| c) != Some(counts) {
+                out.push((*at, counts.clone()));
+            }
+        }
+        out
+    };
+    if epochs.len() < 2 {
+        return; // No placement change to replay for this seed set.
+    }
+    let initial = &epochs[0].1;
+    let mut placements = Vec::new();
+    for (n, &c) in initial.iter().enumerate() {
+        for _ in 0..c {
+            placements.push(Placement::new(n as u32, placements.len() as u32));
+        }
+    }
+    let mut sim = scenarios::npb_multiprocess(
+        NpbKernel::Lu,
+        NpbClass::SimLarge,
+        4,
+        HypervisorProfile::fragvisor(),
+        &Distribution::Custom(placements),
+    );
+    let start = epochs[0].0;
+    let mut nodes_of: Vec<u32> = initial
+        .iter()
+        .enumerate()
+        .flat_map(|(n, &c)| std::iter::repeat_n(n as u32, c as usize))
+        .collect();
+    for (at, counts) in epochs.iter().skip(1) {
+        sim.run_until((*at - start).min(SimTime::from_secs(1)));
+        // Greedy reassignment.
+        let mut have = [0u32; 4];
+        for &n in &nodes_of {
+            have[n as usize] += 1;
+        }
+        for (v, slot) in nodes_of.iter_mut().enumerate() {
+            let n = *slot as usize;
+            if have[n] > counts[n] {
+                if let Some(dst) = (0..4).find(|&d| have[d] < counts[d]) {
+                    have[n] -= 1;
+                    have[dst] += 1;
+                    *slot = dst as u32;
+                    assert!(sim
+                        .migrate_vcpu(VcpuId::from_usize(v), Placement::new(dst as u32, v as u32)));
+                }
+            }
+        }
+    }
+    let _ = sim.run();
+    // Final placement matches the last epoch's counts.
+    let mut got = [0u32; 4];
+    for v in 0..4 {
+        got[sim.world.placement_of(VcpuId::from_usize(v)).node.index()] += 1;
+    }
+    let want: Vec<u32> = epochs.last().unwrap().1.clone();
+    assert_eq!(got.to_vec(), want);
+    assert!(sim.world.stats.migrations > 0);
+}
+
+/// The umbrella crate re-exports compose: giantvm's profile runs through
+/// fragvisor's scenario builders.
+#[test]
+fn crates_compose_via_umbrella() {
+    let mut sim = scenarios::npb_multiprocess(
+        NpbKernel::Mg,
+        NpbClass::Sim,
+        2,
+        giantvm::profile(),
+        &Distribution::OneVcpuPerNode,
+    );
+    assert!(sim.run() > SimTime::ZERO);
+    let _ = aggregate_vm::fragvisor::profile();
+}
