@@ -14,5 +14,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod trace_report;
 
 pub use report::Table;

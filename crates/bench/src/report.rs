@@ -1,10 +1,8 @@
 //! Tabular experiment output.
 
-use serde::Serialize;
-
 /// A rendered experiment result: a titled table plus free-form notes
 /// (paper-vs-measured comparisons, caveats).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment identifier, e.g. "Figure 8".
     pub id: String,
@@ -104,6 +102,64 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Renders the table as a JSON object (machine-readable record).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":{},", json_str(&self.id)));
+        out.push_str(&format!("\"title\":{},", json_str(&self.title)));
+        out.push_str(&format!("\"columns\":{},", json_str_array(&self.columns)));
+        out.push_str("\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str_array(row));
+        }
+        out.push_str("],");
+        out.push_str(&format!("\"notes\":{}", json_str_array(&self.notes)));
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a slice of tables as a pretty-ish JSON array (one table per line).
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[\n");
+    for (i, t) in tables.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&t.to_json());
+        if i + 1 < tables.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// JSON-escapes a string, including the surrounding quotes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(","))
 }
 
 /// Formats a ratio with two decimals and an `x` suffix.
@@ -148,6 +204,22 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", "y", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let mut t = Table::new("Figure 0", "quo\"te", &["a"]);
+        t.row(vec!["line\nbreak".into()]);
+        t.note("back\\slash");
+        let j = t.to_json();
+        assert!(j.contains("\"id\":\"Figure 0\""));
+        assert!(j.contains("quo\\\"te"));
+        assert!(j.contains("line\\nbreak"));
+        assert!(j.contains("back\\\\slash"));
+        let arr = tables_to_json(&[t.clone(), t]);
+        assert!(arr.starts_with("[\n"));
+        assert!(arr.trim_end().ends_with(']'));
+        assert_eq!(arr.matches("\"Figure 0\"").count(), 2);
     }
 
     #[test]

@@ -71,10 +71,7 @@ fn fig08_fig09_npb_shapes() {
     for row in &t8.rows {
         if row[1] == "4" {
             let speedup = parse_ratio(&row[2]);
-            assert!(
-                (1.2..4.2).contains(&speedup),
-                "absurd speedup in {row:?}"
-            );
+            assert!((1.2..4.2).contains(&speedup), "absurd speedup in {row:?}");
             if row[0] == "IS" {
                 is_4v = Some(speedup);
             }

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use sim_core::stats::MeterSet;
 use sim_core::time::SimTime;
+use sim_core::trace::{TraceEvent, Tracer};
 use sim_core::units::ByteSize;
 
 use crate::profile::LinkProfile;
@@ -25,6 +26,20 @@ pub enum MsgClass {
     Checkpoint,
     /// Cluster control plane (scheduler commands, heartbeats).
     Control,
+}
+
+impl MsgClass {
+    /// Stable label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Dsm => "dsm",
+            MsgClass::Interrupt => "interrupt",
+            MsgClass::Io => "io",
+            MsgClass::Migration => "migration",
+            MsgClass::Checkpoint => "checkpoint",
+            MsgClass::Control => "control",
+        }
+    }
 }
 
 /// The outcome of submitting a message to the fabric.
@@ -60,6 +75,7 @@ pub struct Fabric {
     links: BTreeMap<(NodeId, NodeId), Link>,
     stats: MeterSet<MsgClass>,
     messages_sent: u64,
+    tracer: Tracer,
 }
 
 impl Fabric {
@@ -74,7 +90,14 @@ impl Fabric {
             links: BTreeMap::new(),
             stats: MeterSet::new(),
             messages_sent: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace sink; every send emits a
+    /// [`TraceEvent::FabricSend`].
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of nodes the fabric connects.
@@ -92,6 +115,10 @@ impl Fabric {
         self.overrides.insert((src, dst), profile);
         // Forget any cached queue state built with the old profile.
         self.links.remove(&(src, dst));
+        self.tracer.emit_with(|| TraceEvent::FabricLinkReset {
+            src: src.0,
+            dst: dst.0,
+        });
     }
 
     /// Returns the profile a given directed pair would use.
@@ -140,6 +167,15 @@ impl Fabric {
             + link.profile.stack.per_message_latency();
         self.stats.record(class, size.as_u64());
         self.messages_sent += 1;
+        self.tracer.emit_with(|| TraceEvent::FabricSend {
+            at: now.as_nanos(),
+            src: src.0,
+            dst: dst.0,
+            class: class.label(),
+            bytes: size.as_u64(),
+            queued_ns: (start - now).as_nanos(),
+            deliver_at: deliver_at.as_nanos(),
+        });
         Delivery {
             deliver_at,
             sender_cpu: link.profile.stack.sender_cpu(),

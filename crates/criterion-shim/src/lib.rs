@@ -1,0 +1,138 @@
+//! A tiny micro-benchmark harness exposing the subset of the `criterion`
+//! API the workspace benches use (`Criterion::bench_function`, `Bencher::iter`,
+//! `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! The build environment is fully offline, so the real criterion crate cannot
+//! be fetched; this shim keeps `cargo bench` working with the same bench
+//! sources. It measures wall-clock time per iteration and prints a one-line
+//! summary (min / mean) per benchmark — enough to spot order-of-magnitude
+//! regressions, without criterion's statistical machinery.
+
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark registry + configuration (sample count).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark: calls `f` with a [`Bencher`], then prints a
+    /// one-line timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            nanos: Vec::new(),
+        };
+        f(&mut b);
+        if b.nanos.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        b.nanos.sort_unstable();
+        let min = b.nanos[0];
+        let mean = b.nanos.iter().sum::<u128>() / b.nanos.len() as u128;
+        println!(
+            "{name:<40} min {:>12} ns   mean {:>12} ns   ({} samples)",
+            min,
+            mean,
+            b.nanos.len()
+        );
+        self
+    }
+}
+
+/// Per-benchmark timing driver handed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.nanos.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Declares a benchmark group function (criterion-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        quick();
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            nanos: Vec::new(),
+        };
+        b.iter(|| black_box(42));
+        assert_eq!(b.nanos.len(), 5);
+    }
+}

@@ -4,6 +4,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use comm::NodeId;
 use sim_core::time::SimTime;
+use sim_core::trace::{TraceEvent, Tracer};
 use sim_core::units::ByteSize;
 
 use crate::stats::DsmStats;
@@ -159,6 +160,11 @@ pub struct Dsm {
     /// individually by a program. Keeps multi-GiB guests cheap to model.
     bulk: std::collections::BTreeMap<NodeId, u64>,
     stats: DsmStats,
+    tracer: Tracer,
+    /// Clock hint stamped on trace events. The directory itself is untimed
+    /// (transitions apply eagerly); the fault executor updates this via
+    /// [`Dsm::set_clock`] so traces carry the triggering access's time.
+    clock: SimTime,
 }
 
 impl Dsm {
@@ -169,7 +175,19 @@ impl Dsm {
             pages: HashMap::new(),
             bulk: std::collections::BTreeMap::new(),
             stats: DsmStats::default(),
+            tracer: Tracer::disabled(),
+            clock: SimTime::ZERO,
         }
+    }
+
+    /// Attaches a trace sink; directory transitions emit typed events.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Updates the clock hint stamped on subsequent trace events.
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.clock = now;
     }
 
     /// The configuration in force.
@@ -180,13 +198,24 @@ impl Dsm {
     /// Declares a page, backed on `home` (first-touch allocation). A page
     /// that already exists is left untouched.
     pub fn ensure_page(&mut self, page: PageId, home: NodeId, class: PageClass) {
-        self.pages.entry(page).or_insert_with(|| PageEntry {
-            owner: home,
-            mode: Mode::Exclusive,
-            sharers: BTreeSet::from([home]),
-            class,
-            busy_until: SimTime::ZERO,
+        if self.pages.contains_key(&page) {
+            return;
+        }
+        self.tracer.emit_with(|| TraceEvent::DsmAlloc {
+            at: self.clock.as_nanos(),
+            page: u64::from(page.0),
+            home: home.0,
         });
+        self.pages.insert(
+            page,
+            PageEntry {
+                owner: home,
+                mode: Mode::Exclusive,
+                sharers: BTreeSet::from([home]),
+                class,
+                busy_until: SimTime::ZERO,
+            },
+        );
     }
 
     /// Returns whether the page is known to the directory.
@@ -263,10 +292,18 @@ impl Dsm {
             }
         };
         let class = entry.class;
+        let at = self.clock.as_nanos();
+        let pg = u64::from(page.0);
         match access {
             Access::Read => {
                 if entry.sharers.contains(&node) {
                     self.stats.hits += 1;
+                    self.tracer.emit_with(|| TraceEvent::DsmHit {
+                        at,
+                        page: pg,
+                        node: node.0,
+                        write: false,
+                    });
                     return Resolution::Hit;
                 }
                 // Fetch a shared copy from the owner.
@@ -275,6 +312,18 @@ impl Dsm {
                 entry.sharers.insert(node);
                 self.stats.read_faults += 1;
                 self.stats.per_class.record(class, 1);
+                self.tracer.emit_with(|| TraceEvent::DsmFault {
+                    at,
+                    page: pg,
+                    node: node.0,
+                    kind: "read_remote",
+                });
+                self.tracer.emit_with(|| TraceEvent::DsmGrant {
+                    at,
+                    page: pg,
+                    node: node.0,
+                    exclusive: false,
+                });
                 let prefetched = self.prefetch_reads(node, page, owner);
                 Resolution::Fault(FaultPlan {
                     page,
@@ -289,6 +338,12 @@ impl Dsm {
                 let is_owner = entry.owner == node;
                 if is_owner && entry.mode == Mode::Exclusive {
                     self.stats.hits += 1;
+                    self.tracer.emit_with(|| TraceEvent::DsmHit {
+                        at,
+                        page: pg,
+                        node: node.0,
+                        write: true,
+                    });
                     return Resolution::Hit;
                 }
                 let contextual = self.config.contextual && class == PageClass::PageTable;
@@ -302,6 +357,19 @@ impl Dsm {
                         .filter(|&s| s != node)
                         .collect();
                     self.stats.invalidations += invalidate.len() as u64;
+                    self.tracer.emit_with(|| TraceEvent::DsmFault {
+                        at,
+                        page: pg,
+                        node: node.0,
+                        kind: "upgrade",
+                    });
+                    for &s in &invalidate {
+                        self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                            at,
+                            page: pg,
+                            node: s.0,
+                        });
+                    }
                     FaultPlan {
                         page,
                         kind: FaultKind::Upgrade { invalidate },
@@ -319,6 +387,31 @@ impl Dsm {
                         .filter(|&s| s != node && s != owner)
                         .collect();
                     self.stats.invalidations += (invalidate.len() + 1) as u64;
+                    self.tracer.emit_with(|| TraceEvent::DsmFault {
+                        at,
+                        page: pg,
+                        node: node.0,
+                        kind: "write_remote",
+                    });
+                    for &s in &invalidate {
+                        self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                            at,
+                            page: pg,
+                            node: s.0,
+                        });
+                    }
+                    // The old owner gives up its copy along with ownership.
+                    self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                        at,
+                        page: pg,
+                        node: owner.0,
+                    });
+                    self.tracer.emit_with(|| TraceEvent::DsmOwnerTransfer {
+                        at,
+                        page: pg,
+                        from: owner.0,
+                        to: node.0,
+                    });
                     FaultPlan {
                         page,
                         kind: FaultKind::WriteRemote { owner, invalidate },
@@ -334,6 +427,12 @@ impl Dsm {
                 entry.sharers.insert(node);
                 self.stats.write_faults += 1;
                 self.stats.per_class.record(class, 1);
+                self.tracer.emit_with(|| TraceEvent::DsmGrant {
+                    at,
+                    page: pg,
+                    node: node.0,
+                    exclusive: true,
+                });
                 Resolution::Fault(plan)
             }
         }
@@ -357,6 +456,7 @@ impl Dsm {
         if n == 0 {
             return Vec::new();
         }
+        let at = self.clock.as_nanos();
         let mut out = Vec::new();
         for i in 1..=n {
             let next = PageId::new(page.0 + i);
@@ -368,10 +468,32 @@ impl Dsm {
             }
             e.mode = Mode::Shared;
             e.sharers.insert(node);
+            self.tracer.emit_with(|| TraceEvent::DsmPrefetch {
+                at,
+                page: u64::from(next.0),
+                node: node.0,
+                owner: owner.0,
+            });
             out.push(next);
             self.stats.prefetched += 1;
         }
         out
+    }
+
+    /// The attached trace sink (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Per-node count of pages whose master copy lives there (including
+    /// bulk-registered pages), ascending by node id. Nodes owning nothing
+    /// are omitted.
+    pub fn owned_distribution(&self) -> Vec<(NodeId, u64)> {
+        let mut map = self.bulk.clone();
+        for e in self.pages.values() {
+            *map.entry(e.owner).or_insert(0) += 1;
+        }
+        map.into_iter().filter(|&(_, c)| c > 0).collect()
     }
 
     /// Number of pages whose master copy lives on `node`.
@@ -398,22 +520,87 @@ impl Dsm {
     /// drain); shared copies it held are dropped. Returns the number of
     /// pages whose master copy moved.
     pub fn drain_node(&mut self, node: NodeId, new_home: NodeId) -> u64 {
+        // Draining a node onto itself is a no-op: nothing actually moves,
+        // and counting every owned page as "moved" would be bogus.
+        if node == new_home {
+            return 0;
+        }
+        let at = self.clock.as_nanos();
         let mut moved = 0;
         if let Some(b) = self.bulk.remove(&node) {
             *self.bulk.entry(new_home).or_insert(0) += b;
             moved += b;
         }
-        for e in self.pages.values_mut() {
+        for (&page, e) in self.pages.iter_mut() {
+            let pg = u64::from(page.0);
             if e.owner == node {
                 e.owner = new_home;
                 e.sharers.remove(&node);
                 e.sharers.insert(new_home);
                 moved += 1;
-            } else {
-                e.sharers.remove(&node);
+                let exclusive = e.mode == Mode::Exclusive;
+                self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                    at,
+                    page: pg,
+                    node: node.0,
+                });
+                self.tracer.emit_with(|| TraceEvent::DsmOwnerTransfer {
+                    at,
+                    page: pg,
+                    from: node.0,
+                    to: new_home.0,
+                });
+                self.tracer.emit_with(|| TraceEvent::DsmGrant {
+                    at,
+                    page: pg,
+                    node: new_home.0,
+                    exclusive,
+                });
+            } else if e.sharers.remove(&node) {
+                self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                    at,
+                    page: pg,
+                    node: node.0,
+                });
             }
         }
         moved
+    }
+
+    /// Deliberately corrupts the directory: grants `node` exclusive
+    /// ownership of `page` WITHOUT invalidating the other copies, leaving
+    /// two nodes believing they hold writable data.
+    ///
+    /// Exists only so tests can prove the trace auditor catches coherence
+    /// violations; never call it from protocol code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown.
+    #[doc(hidden)]
+    pub fn corrupt_grant_exclusive(&mut self, page: PageId, node: NodeId) {
+        let at = self.clock.as_nanos();
+        let pg = u64::from(page.0);
+        let e = self
+            .pages
+            .get_mut(&page)
+            .expect("corrupt_grant_exclusive on unknown page");
+        let from = e.owner;
+        e.owner = node;
+        e.mode = Mode::Exclusive;
+        e.sharers.insert(node);
+        self.tracer.emit_with(|| TraceEvent::DsmOwnerTransfer {
+            at,
+            page: pg,
+            from: from.0,
+            to: node.0,
+        });
+        self.tracer.emit_with(|| TraceEvent::DsmGrant {
+            at,
+            page: pg,
+            node: node.0,
+            exclusive: true,
+        });
     }
 
     /// Protocol statistics.
@@ -630,6 +817,20 @@ mod tests {
     }
 
     #[test]
+    fn drain_node_onto_itself_is_a_noop() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        d.ensure_page(p(2), n(0), PageClass::Private);
+        let _ = d.access(n(1), p(1), Access::Read); // n1 shares p1.
+        let moved = d.drain_node(n(0), n(0));
+        assert_eq!(moved, 0, "self-drain must not report moved pages");
+        assert_eq!(d.owner(p(1)), Some(n(0)));
+        assert_eq!(d.owner(p(2)), Some(n(0)));
+        assert!(d.is_cached(p(1), n(1)), "sharer copies must survive");
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
     fn ownership_counts() {
         let mut d = dsm();
         d.ensure_page(p(1), n(0), PageClass::Private);
@@ -683,6 +884,48 @@ mod tests {
         };
         // Stops at the ownership boundary, never skipping past it.
         assert_eq!(f.prefetched, vec![p(1)]);
+    }
+
+    #[test]
+    fn traced_transitions_audit_clean() {
+        use sim_core::trace::Tracer;
+        let tracer = Tracer::ring(4096);
+        let mut d = Dsm::new(DsmConfig {
+            read_prefetch: 2,
+            ..DsmConfig::fragvisor()
+        });
+        d.attach_tracer(tracer.clone());
+        for i in 0..6 {
+            d.ensure_page(p(i), n(0), PageClass::Private);
+        }
+        d.set_clock(SimTime::from_micros(1));
+        let _ = d.access(n(1), p(0), Access::Read);
+        let _ = d.access(n(2), p(0), Access::Read);
+        let _ = d.access(n(1), p(0), Access::Write);
+        let _ = d.access(n(0), p(0), Access::Read);
+        let _ = d.access(n(0), p(0), Access::Write);
+        let _ = d.access(n(0), p(0), Access::Write); // Write hit.
+        d.drain_node(n(1), n(0));
+        assert!(!tracer.is_empty());
+        sim_core::audit::assert_clean(&tracer.snapshot());
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn corrupted_directory_is_caught_by_auditor() {
+        use sim_core::trace::Tracer;
+        let tracer = Tracer::ring(256);
+        let mut d = dsm();
+        d.attach_tracer(tracer.clone());
+        d.ensure_page(p(0), n(0), PageClass::Private);
+        let _ = d.access(n(1), p(0), Access::Read);
+        // Hand node 2 exclusivity without invalidating nodes 0 and 1.
+        d.corrupt_grant_exclusive(p(0), n(2));
+        let v = sim_core::audit::audit(&tracer.snapshot());
+        assert!(
+            v.iter().any(|v| v.rule == "dsm-second-exclusive-owner"),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use comm::{LinkProfile, NodeId};
 use sim_core::time::SimTime;
+use sim_core::trace::TraceEvent;
 use sim_core::units::{Bandwidth, ByteSize};
 
 use crate::memory::VmMemory;
@@ -61,6 +62,20 @@ pub fn checkpoint(
             SimTime::ZERO
         };
     let duration = disk_time.max(fetch_time) + PAUSE_RESUME;
+    // Trace one event per slice. The image streams in node order, so a
+    // slice's stream completes at its cumulative share of the pipeline
+    // (times are relative to checkpoint start).
+    let stream = disk_time.max(fetch_time);
+    let mut cum = 0u64;
+    for (owner, pages) in mem.dsm.owned_distribution() {
+        cum += pages;
+        let done_ns = (stream.as_nanos() as f64 * cum as f64 / total_pages as f64).round() as u64;
+        mem.dsm.tracer().emit_with(|| TraceEvent::Checkpoint {
+            at: done_ns,
+            node: owner.0,
+            bytes: pages * 4096,
+        });
+    }
     CheckpointReport {
         duration,
         bytes,
@@ -173,6 +188,37 @@ mod tests {
             LinkProfile::ethernet_1g(),
         );
         assert!(r.fetch_time > r.disk_time);
+    }
+
+    #[test]
+    fn checkpoint_traces_one_event_per_slice() {
+        use sim_core::trace::{TraceEvent, Tracer};
+        let mut mem = setup(8, 4);
+        let tracer = Tracer::ring(64);
+        mem.dsm.attach_tracer(tracer.clone());
+        let r = checkpoint(
+            &mem,
+            NodeId::new(0),
+            Bandwidth::mb_per_sec(500.0),
+            LinkProfile::infiniband_56g(),
+        );
+        let events = tracer.snapshot();
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Checkpoint { .. }))
+            .collect();
+        assert_eq!(slices.len(), 4);
+        let total: u64 = slices
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Checkpoint { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, r.bytes.as_u64());
+        // The last slice's stream completes when the pipeline drains.
+        let last = slices.last().unwrap().at();
+        assert_eq!(last, (r.duration - PAUSE_RESUME).as_nanos());
     }
 
     #[test]

@@ -131,6 +131,9 @@ impl VmMemory {
         access: Access,
         fabric: &mut Fabric,
     ) -> SimTime {
+        // The directory is untimed; stamp its trace events with the
+        // triggering access's time.
+        self.dsm.set_clock(now);
         if !self.dsm.contains(page) {
             let home = guest::alloc_home(self.guest_config, node, self.bootstrap);
             self.dsm.ensure_page(page, home, PageClass::Private);

@@ -21,6 +21,7 @@ use guest::memory::Region;
 use sim_core::pscpu::PsCpu;
 use sim_core::rng::DetRng;
 use sim_core::time::SimTime;
+use sim_core::trace::{TraceEvent, Tracer};
 use sim_core::units::{Bandwidth, ByteSize};
 use sim_core::{Ctx, Engine, World};
 use virtio::device::{BlkRequest, VirtioBlk, VirtioConsole, VirtioNet};
@@ -297,8 +298,15 @@ pub struct VmWorld {
     client_pending: HashMap<u64, SimTime>,
     barriers: HashMap<u32, BarrierState>,
     timer_interval: Option<SimTime>,
+    tracer: Tracer,
     /// Measurement output.
     pub stats: VmStats,
+}
+
+/// Stable trace id for a pCPU: packs `(node, pcpu)` so every physical core
+/// in the cluster gets a distinct stream in the audit.
+fn cpu_trace_id(node: NodeId, pcpu: u32) -> u32 {
+    node.0 * 256 + pcpu
 }
 
 impl VmWorld {
@@ -336,6 +344,18 @@ impl VmWorld {
     /// True when the external client (if any) has completed its load.
     pub fn client_done(&self) -> bool {
         self.client.as_ref().is_none_or(|c| c.model.is_done())
+    }
+
+    /// Attaches a trace sink to every instrumented component of the world:
+    /// the fabric, the DSM directory, and all pCPUs (including those lazily
+    /// created by later migrations).
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.fabric.attach_tracer(tracer.clone());
+        self.mem.dsm.attach_tracer(tracer.clone());
+        for (&(node, pcpu), cpu) in self.pcpus.iter_mut() {
+            cpu.attach_tracer(tracer.clone(), cpu_trace_id(node, pcpu));
+        }
+        self.tracer = tracer;
     }
 
     fn pcpu(&mut self, node: NodeId, pcpu: u32) -> &mut PsCpu {
@@ -683,15 +703,21 @@ impl VmWorld {
     /// Fire-and-forget TLB shootdown IPIs to all other vCPUs.
     fn broadcast_shootdown(&mut self, now: SimTime, from: VcpuId) {
         let src = self.vcpus[from.index()].node;
-        let targets: Vec<NodeId> = self
+        let targets: Vec<(usize, NodeId)> = self
             .vcpus
             .iter()
             .enumerate()
             .filter(|&(i, v)| i != from.index() && v.status != VcpuStatus::Done)
-            .map(|(_, v)| v.node)
+            .map(|(i, v)| (i, v.node))
             .collect();
-        for dst in targets {
+        for (vcpu, dst) in targets {
             self.stats.ipis.record(64);
+            self.tracer.emit_with(|| TraceEvent::Ipi {
+                at: now.as_nanos(),
+                src_node: src.0,
+                to_vcpu: vcpu as u32,
+                kind: "shootdown",
+            });
             if dst != src {
                 let _ = self
                     .fabric
@@ -703,6 +729,12 @@ impl VmWorld {
     /// Routes an IPI to a vCPU via the location table.
     fn send_ipi(&mut self, ctx: &mut Ctx<'_, Event>, src: NodeId, to: VcpuId) {
         self.stats.ipis.record(64);
+        self.tracer.emit_with(|| TraceEvent::Ipi {
+            at: ctx.now.as_nanos(),
+            src_node: src.0,
+            to_vcpu: to.0,
+            kind: "ipi",
+        });
         let dst = self.vcpus[to.index()].node;
         if dst == src {
             ctx.schedule_in(LOCAL_IPI, Event::IpiDeliver { vcpu: to });
@@ -976,6 +1008,12 @@ impl VmWorld {
         }
         // Register dump on the source, then state transfer.
         let src = self.vcpus[vcpu.index()].node;
+        self.tracer.emit_with(|| TraceEvent::VcpuMigrateStart {
+            at: ctx.now.as_nanos(),
+            vcpu: vcpu.0,
+            from_node: src.0,
+            to_node: to.node.0,
+        });
         let dump_done = ctx.now + self.profile.register_dump_cost;
         let _ = self.fabric.send(
             dump_done,
@@ -1005,9 +1043,17 @@ impl VmWorld {
     }
 
     fn migration_done(&mut self, ctx: &mut Ctx<'_, Event>, vcpu: VcpuId, to: Placement) {
-        self.pcpus
-            .entry((to.node, to.pcpu))
-            .or_insert_with(|| PsCpu::new(1.0));
+        self.tracer.emit_with(|| TraceEvent::VcpuMigrateDone {
+            at: ctx.now.as_nanos(),
+            vcpu: vcpu.0,
+            node: to.node.0,
+        });
+        let tracer = self.tracer.clone();
+        self.pcpus.entry((to.node, to.pcpu)).or_insert_with(|| {
+            let mut cpu = PsCpu::new(1.0);
+            cpu.attach_tracer(tracer, cpu_trace_id(to.node, to.pcpu));
+            cpu
+        });
         let (stashed, resume, missed_step, missed_charge) = {
             let v = &mut self.vcpus[vcpu.index()];
             debug_assert_eq!(v.status, VcpuStatus::Migrating);
@@ -1505,6 +1551,7 @@ impl VmBuilder {
             client_pending: HashMap::new(),
             barriers: HashMap::new(),
             timer_interval: self.timer_interval,
+            tracer: Tracer::disabled(),
             stats,
         };
         let mut engine = Engine::new();
@@ -1583,6 +1630,15 @@ impl VmSim {
     pub fn migrate_vcpu(&mut self, vcpu: VcpuId, to: Placement) -> bool {
         let mut ctx = self.engine.external_ctx();
         self.world.request_migration(&mut ctx, vcpu, to)
+    }
+
+    /// Turns on structured tracing with a ring buffer of `capacity` events
+    /// and returns a handle sharing the sink (snapshot/export from it after
+    /// the run).
+    pub fn enable_tracing(&mut self, capacity: usize) -> Tracer {
+        let tracer = Tracer::ring(capacity);
+        self.world.attach_tracer(tracer.clone());
+        tracer
     }
 }
 

@@ -262,8 +262,7 @@ fn queue_full_sends_are_retried_not_lost() {
             payload: vec![],
         })
         .collect();
-    let mut b =
-        VmBuilder::new(HypervisorProfile::fragvisor(), 2).with_net(comm::NodeId::new(0));
+    let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 2).with_net(comm::NodeId::new(0));
     b = b.vcpu(Placement::new(1, 0), Box::new(Scripted::new(ops)));
     let mut sim = b.build();
     let _ = sim.run();
@@ -273,7 +272,11 @@ fn queue_full_sends_are_retried_not_lost() {
     );
     // Every send produced a kick on the fabric (none silently lost).
     let io = sim.world.fabric.stats().get(&comm::MsgClass::Io);
-    assert!(io.events >= sends, "only {} kicks for {sends} sends", io.events);
+    assert!(
+        io.events >= sends,
+        "only {} kicks for {sends} sends",
+        io.events
+    );
 }
 
 #[test]

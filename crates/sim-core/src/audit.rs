@@ -1,0 +1,645 @@
+//! Trace-replay invariant auditor.
+//!
+//! [`audit`] replays a [`TraceEvent`](crate::trace::TraceEvent) stream and
+//! checks the cross-crate invariants no single crate's unit tests can see:
+//!
+//! * **DSM coherence** — at most one exclusive owner per page, ownership
+//!   only transfers from the current owner, exclusive grants require every
+//!   other copy to have been invalidated first, and nodes never hit
+//!   ("read") a copy they do not validly hold.
+//! * **Sim-time monotonicity per component** — each pCPU's event stream and
+//!   each vCPU's migration lifecycle move forward in time.
+//! * **Work conservation** — a processor-sharing CPU never reports more
+//!   delivered work than `busy_time × speed`, and is never busier than
+//!   elapsed virtual time.
+//! * **Per-link FIFO** — a fabric link delivers messages in submission
+//!   order (modulo explicit queue resets when a link profile is replaced).
+//!
+//! The auditor is deliberately tolerant of *truncated* traces (the sink is
+//! a ring buffer): DSM events for pages whose allocation fell out of the
+//! window are ignored rather than misreported.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::trace::TraceEvent;
+
+/// Slack (ns) allowed on work-conservation comparisons: delivered totals
+/// are f64 accumulators rounded to whole nanoseconds at the trace boundary.
+const ROUNDING_SLACK_NS: f64 = 2.0;
+
+/// One invariant violation found during replay.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Index of the offending event in the audited slice.
+    pub index: usize,
+    /// Time field of the offending event (ns).
+    pub at: u64,
+    /// Which invariant was broken.
+    pub rule: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] t={}ns {}: {}",
+            self.index, self.at, self.rule, self.detail
+        )
+    }
+}
+
+/// Shadow DSM directory state for one page.
+#[derive(Debug)]
+struct ShadowPage {
+    owner: u32,
+    sharers: BTreeSet<u32>,
+    exclusive: bool,
+}
+
+/// Per-link FIFO shadow state.
+#[derive(Debug, Default)]
+struct ShadowLink {
+    last_deliver: u64,
+}
+
+/// Per-CPU accounting shadow state.
+#[derive(Debug, Default)]
+struct ShadowCpu {
+    last_at: u64,
+}
+
+/// Per-vCPU migration shadow state.
+#[derive(Debug, Default)]
+struct ShadowVcpu {
+    migrating: bool,
+    last_at: u64,
+}
+
+/// Replays a trace and returns every invariant violation found.
+pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut pages: BTreeMap<u64, ShadowPage> = BTreeMap::new();
+    let mut links: BTreeMap<(u32, u32), ShadowLink> = BTreeMap::new();
+    let mut cpus: BTreeMap<u32, ShadowCpu> = BTreeMap::new();
+    let mut vcpus: BTreeMap<u32, ShadowVcpu> = BTreeMap::new();
+
+    let mut flag = |index: usize, at: u64, rule: &'static str, detail: String| {
+        violations.push(Violation {
+            index,
+            at,
+            rule,
+            detail,
+        });
+    };
+
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            TraceEvent::DsmAlloc { at, page, home } => {
+                if pages.contains_key(&page) {
+                    flag(i, at, "dsm-realloc", format!("page {page} allocated twice"));
+                }
+                pages.insert(
+                    page,
+                    ShadowPage {
+                        owner: home,
+                        sharers: BTreeSet::from([home]),
+                        exclusive: true,
+                    },
+                );
+            }
+            TraceEvent::DsmHit {
+                at,
+                page,
+                node,
+                write,
+            } => {
+                let Some(p) = pages.get(&page) else { continue };
+                if !p.sharers.contains(&node) {
+                    flag(
+                        i,
+                        at,
+                        "dsm-stale-read",
+                        format!("node {node} hit page {page} without a valid copy"),
+                    );
+                }
+                if write && (p.owner != node || !p.exclusive) {
+                    flag(
+                        i,
+                        at,
+                        "dsm-stale-write",
+                        format!(
+                            "node {node} write-hit page {page} (owner {}, exclusive {})",
+                            p.owner, p.exclusive
+                        ),
+                    );
+                }
+            }
+            TraceEvent::DsmFault { .. } => {
+                // The transition itself arrives as invalidate/transfer/grant
+                // events; the fault is context for debugging.
+            }
+            TraceEvent::DsmInvalidate { at, page, node } => {
+                let Some(p) = pages.get_mut(&page) else {
+                    continue;
+                };
+                if !p.sharers.remove(&node) {
+                    flag(
+                        i,
+                        at,
+                        "dsm-phantom-invalidate",
+                        format!("node {node} invalidated on page {page} without a copy"),
+                    );
+                }
+            }
+            TraceEvent::DsmOwnerTransfer { at, page, from, to } => {
+                let Some(p) = pages.get_mut(&page) else {
+                    continue;
+                };
+                if p.owner != from {
+                    flag(
+                        i,
+                        at,
+                        "dsm-transfer-from-non-owner",
+                        format!(
+                            "page {page} transferred from {from} but owner is {}",
+                            p.owner
+                        ),
+                    );
+                }
+                p.owner = to;
+            }
+            TraceEvent::DsmGrant {
+                at,
+                page,
+                node,
+                exclusive,
+            } => {
+                let Some(p) = pages.get_mut(&page) else {
+                    continue;
+                };
+                if exclusive {
+                    let others: Vec<u32> =
+                        p.sharers.iter().copied().filter(|&s| s != node).collect();
+                    if !others.is_empty() {
+                        flag(
+                            i,
+                            at,
+                            "dsm-second-exclusive-owner",
+                            format!(
+                                "exclusive grant of page {page} to node {node} while {others:?} \
+                                 still hold copies"
+                            ),
+                        );
+                    }
+                    if p.owner != node {
+                        flag(
+                            i,
+                            at,
+                            "dsm-exclusive-non-owner",
+                            format!(
+                                "exclusive grant of page {page} to node {node} but owner is {}",
+                                p.owner
+                            ),
+                        );
+                    }
+                }
+                p.sharers.insert(node);
+                p.exclusive = exclusive;
+                if !p.sharers.contains(&p.owner) {
+                    flag(
+                        i,
+                        at,
+                        "dsm-owner-not-sharer",
+                        format!("page {page} owner {} holds no valid copy", p.owner),
+                    );
+                }
+            }
+            TraceEvent::DsmPrefetch {
+                at,
+                page,
+                node,
+                owner,
+            } => {
+                let Some(p) = pages.get_mut(&page) else {
+                    continue;
+                };
+                // The piggyback source downgrades its own exclusive copy as
+                // it serves the data, so prefetching an exclusive page is
+                // fine — but only the owner holds data valid to serve.
+                if p.owner != owner {
+                    flag(
+                        i,
+                        at,
+                        "dsm-prefetch-from-non-owner",
+                        format!(
+                            "page {page} prefetched by {node} from {owner} but owner is {}",
+                            p.owner
+                        ),
+                    );
+                }
+                p.sharers.insert(node);
+                p.exclusive = false;
+            }
+            TraceEvent::FabricSend {
+                at,
+                src,
+                dst,
+                queued_ns,
+                deliver_at,
+                ..
+            } => {
+                let link = links.entry((src, dst)).or_default();
+                if deliver_at < link.last_deliver {
+                    flag(
+                        i,
+                        at,
+                        "fabric-fifo",
+                        format!(
+                            "link {src}->{dst} delivers at {deliver_at} before earlier \
+                             message at {}",
+                            link.last_deliver
+                        ),
+                    );
+                }
+                link.last_deliver = link.last_deliver.max(deliver_at);
+                if deliver_at < at + queued_ns {
+                    flag(
+                        i,
+                        at,
+                        "fabric-time-travel",
+                        format!(
+                            "link {src}->{dst} delivery {deliver_at} precedes \
+                             submission {at} + queueing {queued_ns}"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::FabricLinkReset { src, dst } => {
+                links.remove(&(src, dst));
+            }
+            TraceEvent::CpuAdd { at, cpu, .. } => {
+                let c = cpus.entry(cpu).or_default();
+                if at < c.last_at {
+                    flag(
+                        i,
+                        at,
+                        "cpu-time-regression",
+                        format!("cpu {cpu} event at {at} after {}", c.last_at),
+                    );
+                }
+                c.last_at = c.last_at.max(at);
+            }
+            TraceEvent::CpuCancel {
+                at,
+                cpu,
+                delivered_ns,
+                busy_ns,
+                speed,
+                ..
+            }
+            | TraceEvent::CpuDone {
+                at,
+                cpu,
+                delivered_ns,
+                busy_ns,
+                speed,
+                ..
+            } => {
+                let c = cpus.entry(cpu).or_default();
+                if at < c.last_at {
+                    flag(
+                        i,
+                        at,
+                        "cpu-time-regression",
+                        format!("cpu {cpu} event at {at} after {}", c.last_at),
+                    );
+                }
+                c.last_at = c.last_at.max(at);
+                if delivered_ns as f64 > busy_ns as f64 * speed + ROUNDING_SLACK_NS {
+                    flag(
+                        i,
+                        at,
+                        "cpu-work-conservation",
+                        format!(
+                            "cpu {cpu} delivered {delivered_ns}ns > busy {busy_ns}ns \
+                             x speed {speed}"
+                        ),
+                    );
+                }
+                if busy_ns as f64 > at as f64 + ROUNDING_SLACK_NS {
+                    flag(
+                        i,
+                        at,
+                        "cpu-busy-exceeds-elapsed",
+                        format!("cpu {cpu} busy {busy_ns}ns > elapsed {at}ns"),
+                    );
+                }
+            }
+            TraceEvent::VcpuMigrateStart {
+                at,
+                vcpu,
+                from_node,
+                to_node,
+            } => {
+                let v = vcpus.entry(vcpu).or_default();
+                if v.migrating {
+                    flag(
+                        i,
+                        at,
+                        "vcpu-migration-overlap",
+                        format!(
+                            "vcpu {vcpu} commanded {from_node}->{to_node} while a \
+                             migration is in flight"
+                        ),
+                    );
+                }
+                if at < v.last_at {
+                    flag(
+                        i,
+                        at,
+                        "vcpu-time-regression",
+                        format!("vcpu {vcpu} event at {at} after {}", v.last_at),
+                    );
+                }
+                v.migrating = true;
+                v.last_at = v.last_at.max(at);
+            }
+            TraceEvent::VcpuMigrateDone { at, vcpu, .. } => {
+                let v = vcpus.entry(vcpu).or_default();
+                if !v.migrating {
+                    flag(
+                        i,
+                        at,
+                        "vcpu-migration-unsolicited",
+                        format!("vcpu {vcpu} completed a migration that never started"),
+                    );
+                }
+                if at < v.last_at {
+                    flag(
+                        i,
+                        at,
+                        "vcpu-time-regression",
+                        format!("vcpu {vcpu} event at {at} after {}", v.last_at),
+                    );
+                }
+                v.migrating = false;
+                v.last_at = v.last_at.max(at);
+            }
+            TraceEvent::Ipi { .. } | TraceEvent::Checkpoint { .. } => {
+                // Routing/checkpoint events carry no auditable shadow state
+                // yet; they exist for debugging context.
+            }
+        }
+    }
+    violations
+}
+
+/// Audits a trace and panics with a readable report if any invariant is
+/// violated. Intended for integration tests.
+///
+/// # Panics
+///
+/// Panics when [`audit`] reports at least one violation.
+pub fn assert_clean(events: &[TraceEvent]) {
+    let violations = audit(events);
+    if !violations.is_empty() {
+        let mut msg = format!("trace audit found {} violation(s):\n", violations.len());
+        for v in violations.iter().take(20) {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        if violations.len() > 20 {
+            msg.push_str(&format!("  ... and {} more\n", violations.len() - 20));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent as E;
+
+    #[test]
+    fn clean_read_fault_sequence_passes() {
+        let events = [
+            E::DsmAlloc {
+                at: 0,
+                page: 1,
+                home: 0,
+            },
+            E::DsmFault {
+                at: 10,
+                page: 1,
+                node: 1,
+                kind: "read_remote",
+            },
+            E::DsmGrant {
+                at: 10,
+                page: 1,
+                node: 1,
+                exclusive: false,
+            },
+            E::DsmHit {
+                at: 20,
+                page: 1,
+                node: 1,
+                write: false,
+            },
+        ];
+        assert!(audit(&events).is_empty());
+    }
+
+    #[test]
+    fn two_exclusive_owners_is_flagged() {
+        let events = [
+            E::DsmAlloc {
+                at: 0,
+                page: 1,
+                home: 0,
+            },
+            // Node 1 claims exclusivity without node 0 being invalidated.
+            E::DsmOwnerTransfer {
+                at: 5,
+                page: 1,
+                from: 0,
+                to: 1,
+            },
+            E::DsmGrant {
+                at: 5,
+                page: 1,
+                node: 1,
+                exclusive: true,
+            },
+        ];
+        let v = audit(&events);
+        assert!(
+            v.iter().any(|v| v.rule == "dsm-second-exclusive-owner"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn stale_read_is_flagged() {
+        let events = [
+            E::DsmAlloc {
+                at: 0,
+                page: 1,
+                home: 0,
+            },
+            E::DsmGrant {
+                at: 1,
+                page: 1,
+                node: 2,
+                exclusive: false,
+            },
+            E::DsmInvalidate {
+                at: 2,
+                page: 1,
+                node: 2,
+            },
+            // Node 2 reads again without refetching.
+            E::DsmHit {
+                at: 3,
+                page: 1,
+                node: 2,
+                write: false,
+            },
+        ];
+        let v = audit(&events);
+        assert!(v.iter().any(|v| v.rule == "dsm-stale-read"), "{v:?}");
+    }
+
+    #[test]
+    fn transfer_from_non_owner_is_flagged() {
+        let events = [
+            E::DsmAlloc {
+                at: 0,
+                page: 1,
+                home: 0,
+            },
+            E::DsmOwnerTransfer {
+                at: 1,
+                page: 1,
+                from: 3,
+                to: 2,
+            },
+        ];
+        let v = audit(&events);
+        assert!(
+            v.iter().any(|v| v.rule == "dsm-transfer-from-non-owner"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn fifo_violation_is_flagged() {
+        let events = [
+            E::FabricSend {
+                at: 0,
+                src: 0,
+                dst: 1,
+                class: "dsm",
+                bytes: 64,
+                queued_ns: 0,
+                deliver_at: 100,
+            },
+            E::FabricSend {
+                at: 10,
+                src: 0,
+                dst: 1,
+                class: "dsm",
+                bytes: 64,
+                queued_ns: 0,
+                deliver_at: 90,
+            },
+        ];
+        let v = audit(&events);
+        assert!(v.iter().any(|v| v.rule == "fabric-fifo"), "{v:?}");
+    }
+
+    #[test]
+    fn link_reset_forgives_reordered_delivery() {
+        let events = [
+            E::FabricSend {
+                at: 0,
+                src: 0,
+                dst: 1,
+                class: "io",
+                bytes: 64,
+                queued_ns: 0,
+                deliver_at: 100,
+            },
+            E::FabricLinkReset { src: 0, dst: 1 },
+            E::FabricSend {
+                at: 10,
+                src: 0,
+                dst: 1,
+                class: "io",
+                bytes: 64,
+                queued_ns: 0,
+                deliver_at: 90,
+            },
+        ];
+        assert!(audit(&events).is_empty());
+    }
+
+    #[test]
+    fn work_conservation_violation_is_flagged() {
+        let events = [E::CpuDone {
+            at: 1000,
+            cpu: 0,
+            task: 1,
+            delivered_ns: 900,
+            busy_ns: 500,
+            speed: 1.0,
+        }];
+        let v = audit(&events);
+        assert!(v.iter().any(|v| v.rule == "cpu-work-conservation"), "{v:?}");
+    }
+
+    #[test]
+    fn overlapping_migrations_are_flagged() {
+        let events = [
+            E::VcpuMigrateStart {
+                at: 0,
+                vcpu: 1,
+                from_node: 0,
+                to_node: 1,
+            },
+            E::VcpuMigrateStart {
+                at: 10,
+                vcpu: 1,
+                from_node: 1,
+                to_node: 2,
+            },
+        ];
+        let v = audit(&events);
+        assert!(
+            v.iter().any(|v| v.rule == "vcpu-migration-overlap"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_trace_without_alloc_is_tolerated() {
+        let events = [E::DsmHit {
+            at: 3,
+            page: 99,
+            node: 2,
+            write: true,
+        }];
+        assert!(audit(&events).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "trace audit found")]
+    fn assert_clean_panics_on_violation() {
+        assert_clean(&[E::VcpuMigrateDone {
+            at: 0,
+            vcpu: 0,
+            node: 1,
+        }]);
+    }
+}

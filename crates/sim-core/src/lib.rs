@@ -14,6 +14,10 @@
 //! * [`stats`] — counters, histograms and time series used by the experiment
 //!   harness.
 //! * [`units`] — bandwidth/size helpers (transfer-time arithmetic).
+//! * [`trace`] — a typed, zero-cost-when-disabled structured event sink the
+//!   upper crates emit into.
+//! * [`audit`] — a trace-replay auditor checking cross-crate invariants
+//!   (coherence, FIFO delivery, work conservation).
 //!
 //! The design rule for the whole workspace is that protocol crates (DSM,
 //! VirtIO, ...) are pure state machines returning *actions*, and only the
@@ -22,15 +26,18 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod ids;
 pub mod pscpu;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod units;
 
 pub use engine::{Ctx, Engine, EventQueue, World};
 pub use rng::DetRng;
 pub use time::SimTime;
+pub use trace::{TraceEvent, Tracer};
 pub use units::{Bandwidth, ByteSize};

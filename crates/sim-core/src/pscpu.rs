@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use crate::time::SimTime;
+use crate::trace::{TraceEvent, Tracer};
 
 /// Completion-work remainder below which a task is considered done.
 ///
@@ -55,6 +56,10 @@ pub struct PsCpu {
     delivered_ns: f64,
     /// Total virtual nanoseconds during which at least one task was runnable.
     busy_ns: f64,
+    /// Structured trace sink (disabled by default).
+    tracer: Tracer,
+    /// Id this CPU reports in trace events.
+    trace_id: u32,
 }
 
 impl PsCpu {
@@ -73,7 +78,15 @@ impl PsCpu {
             epoch: 0,
             delivered_ns: 0.0,
             busy_ns: 0.0,
+            tracer: Tracer::disabled(),
+            trace_id: 0,
         }
+    }
+
+    /// Attaches a trace sink; this CPU's events will report `id`.
+    pub fn attach_tracer(&mut self, tracer: Tracer, id: u32) {
+        self.tracer = tracer;
+        self.trace_id = id;
     }
 
     /// Sets a permanent background load (in runnable task-equivalents).
@@ -99,12 +112,14 @@ impl PsCpu {
 
     /// Total useful work delivered so far, in reference nanoseconds.
     pub fn delivered(&self) -> SimTime {
-        SimTime::from_nanos(self.delivered_ns as u64)
+        // Round, don't truncate: fractional nanoseconds accumulate across
+        // re-scalings and truncation would leak up to 1 ns per read.
+        SimTime::from_nanos(self.delivered_ns.round() as u64)
     }
 
     /// Total time the CPU was non-idle, as of the last update.
     pub fn busy(&self) -> SimTime {
-        SimTime::from_nanos(self.busy_ns as u64)
+        SimTime::from_nanos(self.busy_ns.round() as u64)
     }
 
     /// Instantaneous per-task speed under the current load.
@@ -149,6 +164,12 @@ impl PsCpu {
         let prev = self.tasks.insert(task, work.as_nanos() as f64);
         assert!(prev.is_none(), "task {task} already on CPU");
         self.epoch += 1;
+        self.tracer.emit_with(|| TraceEvent::CpuAdd {
+            at: now.as_nanos(),
+            cpu: self.trace_id,
+            task,
+            work_ns: work.as_nanos(),
+        });
         self.next_completion()
             .expect("just added a task; a completion must exist")
     }
@@ -166,7 +187,17 @@ impl PsCpu {
             .remove(&task)
             .unwrap_or_else(|| panic!("task {task} not on CPU"));
         self.epoch += 1;
-        SimTime::from_nanos(rem.max(0.0) as u64)
+        let rounded = rem.max(0.0).round() as u64;
+        self.tracer.emit_with(|| TraceEvent::CpuCancel {
+            at: now.as_nanos(),
+            cpu: self.trace_id,
+            task,
+            rem_ns: rounded,
+            delivered_ns: self.delivered_ns.round() as u64,
+            busy_ns: self.busy_ns.round() as u64,
+            speed: self.speed,
+        });
+        SimTime::from_nanos(rounded)
     }
 
     /// Predicts the next completion under the current load.
@@ -207,6 +238,14 @@ impl PsCpu {
         if !done.is_empty() {
             for t in &done {
                 self.tasks.remove(t);
+                self.tracer.emit_with(|| TraceEvent::CpuDone {
+                    at: now.as_nanos(),
+                    cpu: self.trace_id,
+                    task: *t,
+                    delivered_ns: self.delivered_ns.round() as u64,
+                    busy_ns: self.busy_ns.round() as u64,
+                    speed: self.speed,
+                });
             }
             self.epoch += 1;
         }
@@ -314,6 +353,36 @@ mod tests {
         cpu.advance(us(200));
         assert_eq!(cpu.busy(), us(100));
         assert_eq!(cpu.delivered(), us(100));
+    }
+
+    #[test]
+    fn cancel_after_uneven_share_rounds_to_nearest() {
+        let mut cpu = PsCpu::new(1.0);
+        let _ = cpu.add(SimTime::ZERO, 1, SimTime::from_nanos(100));
+        let _ = cpu.add(SimTime::ZERO, 2, SimTime::from_nanos(100));
+        let _ = cpu.add(SimTime::ZERO, 3, SimTime::from_nanos(100));
+        // 10ns of 3-way sharing delivers 3⅓ns per task, leaving 96⅔ns.
+        // Nearest nanosecond is 97; truncation used to report 96.
+        let rem = cpu.cancel(SimTime::from_nanos(10), 1);
+        assert_eq!(rem, SimTime::from_nanos(97));
+    }
+
+    #[test]
+    fn accounting_rounds_accumulated_tiny_slices() {
+        // Accumulate thousands of 1ns slices that each deliver a fractional
+        // amount of work (⅔ns: one task + 0.5 background load). The running
+        // f64 total lands a hair under the exact value, and the old `as u64`
+        // truncation reported one nanosecond short.
+        let mut cpu = PsCpu::new(1.0);
+        cpu.set_background_load(SimTime::ZERO, 0.5);
+        let _ = cpu.add(SimTime::ZERO, 1, us(10));
+        let mut now = SimTime::ZERO;
+        for _ in 0..3000 {
+            now += SimTime::from_nanos(1);
+            cpu.advance(now);
+        }
+        assert_eq!(cpu.delivered(), SimTime::from_nanos(2000));
+        assert_eq!(cpu.busy(), SimTime::from_nanos(3000));
     }
 
     #[test]

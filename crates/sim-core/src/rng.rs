@@ -5,11 +5,14 @@
 //! single root seed. Derivation uses a SplitMix64 hash of `(seed, stream)`
 //! so that adding a consumer never perturbs the streams of existing ones —
 //! a property the regression tests rely on.
+//!
+//! The generator itself is an in-tree xoshiro256++ (the same algorithm
+//! `rand::rngs::SmallRng` uses on 64-bit targets), so the workspace carries
+//! no external RNG dependency and the stream is fixed forever — a
+//! determinism guarantee no third-party crate upgrade can break.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// SplitMix64 step, used to derive independent seeds.
+/// SplitMix64 step, used to derive independent seeds and expand the
+/// 64-bit seed into xoshiro's 256-bit state.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -17,11 +20,50 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// xoshiro256++ state (Blackman & Vigna).
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the full state by iterating SplitMix64, as recommended by the
+    /// algorithm's authors.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
 /// A deterministic, seed-derivable random number generator.
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    rng: SmallRng,
+    rng: Xoshiro256,
 }
 
 impl DetRng {
@@ -29,7 +71,7 @@ impl DetRng {
     pub fn new(seed: u64) -> Self {
         DetRng {
             seed,
-            rng: SmallRng::seed_from_u64(splitmix64(seed)),
+            rng: Xoshiro256::seed_from_u64(splitmix64(seed)),
         }
     }
 
@@ -55,12 +97,13 @@ impl DetRng {
 
     /// Uniform `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.gen()
+        self.rng.next_u64()
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 uniformly random mantissa bits.
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -70,7 +113,16 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.rng.gen_range(0..n)
+        // Lemire's widening-multiply range reduction, rejecting the biased
+        // zone so every range is exactly uniform.
+        loop {
+            let x = self.rng.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -80,7 +132,7 @@ impl DetRng {
     /// Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.rng.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -196,6 +248,27 @@ mod tests {
             assert!((5..8).contains(&v));
             let f = r.range_f64(1.0, 2.0);
             assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = DetRng::new(2);
+        for _ in 0..10_000 {
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = DetRng::new(3);
+        let mut hits = [0u32; 8];
+        for _ in 0..80_000 {
+            hits[r.below(8) as usize] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((9_000..11_000).contains(&h), "bucket {i}: {h}");
         }
     }
 

@@ -1,0 +1,538 @@
+//! Deterministic structured tracing.
+//!
+//! Every hot state machine in the workspace (the DSM directory, the message
+//! fabric, the processor-sharing CPUs, the hypervisor's vCPU machinery) can
+//! emit typed [`TraceEvent`]s into a shared [`Tracer`] sink. The sink is a
+//! bounded ring buffer: enabling it costs one branch plus the event
+//! construction per emission; *disabled* (the default) it costs a single
+//! `Option` check and performs **no allocation** — the event closure is never
+//! invoked.
+//!
+//! Traces serve two purposes:
+//!
+//! 1. **Debugging**: dump a run as JSONL (one event per line) and inspect the
+//!    exact fault/message/scheduling choreography that produced a number.
+//! 2. **Auditing**: replay a trace through [`crate::audit`] and check
+//!    cross-crate invariants (coherence, FIFO delivery, work conservation)
+//!    that no single crate's unit tests can see.
+//!
+//! Layering note: `sim-core` sits at the bottom of the workspace, so events
+//! describe nodes/pages/tasks with raw integer ids and `&'static str` labels
+//! rather than the typed ids of the upper crates.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// One structured trace event.
+///
+/// `at` is virtual time in nanoseconds. For DSM directory events it is the
+/// *clock hint* of the access that triggered the transition (directory
+/// transitions are applied eagerly, so hints may run ahead of or behind the
+/// engine clock; their *order* in the trace is the causal order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A page was allocated in the DSM directory (first touch or explicit
+    /// registration), homed exclusively on `home`.
+    DsmAlloc {
+        /// Clock hint (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// Home node: initial owner and sole sharer.
+        home: u32,
+    },
+    /// An access hit a valid local mapping (no protocol action).
+    DsmHit {
+        /// Clock hint (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// Accessing node.
+        node: u32,
+        /// `true` for writes (which require exclusive ownership).
+        write: bool,
+    },
+    /// An access faulted; the directory transition was applied eagerly.
+    DsmFault {
+        /// Clock hint (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// Faulting node.
+        node: u32,
+        /// `"read_remote"`, `"upgrade"`, or `"write_remote"`.
+        kind: &'static str,
+    },
+    /// A node's copy of a page was invalidated.
+    DsmInvalidate {
+        /// Clock hint (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// Node losing its copy.
+        node: u32,
+    },
+    /// Page ownership moved between nodes.
+    DsmOwnerTransfer {
+        /// Clock hint (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// Previous owner.
+        from: u32,
+        /// New owner.
+        to: u32,
+    },
+    /// A node gained a valid copy of a page.
+    DsmGrant {
+        /// Clock hint (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// Node gaining the copy.
+        node: u32,
+        /// `true` when the grant is exclusive (write ownership).
+        exclusive: bool,
+    },
+    /// A page rode a read response as a sequential prefetch.
+    DsmPrefetch {
+        /// Clock hint (ns).
+        at: u64,
+        /// Prefetched page id.
+        page: u64,
+        /// Node receiving the prefetched copy.
+        node: u32,
+        /// Node serving the piggybacked data (must be the page's owner).
+        owner: u32,
+    },
+    /// A message was submitted to the fabric.
+    FabricSend {
+        /// Submission time (ns).
+        at: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Message class label (e.g. `"dsm"`, `"interrupt"`).
+        class: &'static str,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Time spent queueing behind earlier messages on the link (ns).
+        queued_ns: u64,
+        /// Delivery time of the last byte (ns).
+        deliver_at: u64,
+    },
+    /// A directed link's queue state was reset (profile override).
+    FabricLinkReset {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+    },
+    /// A task joined a processor-sharing CPU.
+    CpuAdd {
+        /// Time (ns).
+        at: u64,
+        /// CPU id (assigned when the tracer is attached).
+        cpu: u32,
+        /// Task id.
+        task: u64,
+        /// Dedicated work remaining (reference ns).
+        work_ns: u64,
+    },
+    /// A task left a CPU early (migration, blocking I/O).
+    CpuCancel {
+        /// Time (ns).
+        at: u64,
+        /// CPU id.
+        cpu: u32,
+        /// Task id.
+        task: u64,
+        /// Work the task still had left (reference ns).
+        rem_ns: u64,
+        /// Total useful work the CPU has delivered (reference ns).
+        delivered_ns: u64,
+        /// Total non-idle time (ns).
+        busy_ns: u64,
+        /// Speed multiplier of the CPU.
+        speed: f64,
+    },
+    /// A task completed on a CPU.
+    CpuDone {
+        /// Time (ns).
+        at: u64,
+        /// CPU id.
+        cpu: u32,
+        /// Task id.
+        task: u64,
+        /// Total useful work the CPU has delivered (reference ns).
+        delivered_ns: u64,
+        /// Total non-idle time (ns).
+        busy_ns: u64,
+        /// Speed multiplier of the CPU.
+        speed: f64,
+    },
+    /// A vCPU migration was accepted and its state transfer started.
+    VcpuMigrateStart {
+        /// Time (ns).
+        at: u64,
+        /// Migrating vCPU.
+        vcpu: u32,
+        /// Source node.
+        from_node: u32,
+        /// Destination node.
+        to_node: u32,
+    },
+    /// A vCPU migration completed and the vCPU resumed on its new slice.
+    VcpuMigrateDone {
+        /// Time (ns).
+        at: u64,
+        /// Migrated vCPU.
+        vcpu: u32,
+        /// Node it now runs on.
+        node: u32,
+    },
+    /// An inter-processor interrupt was routed to a vCPU.
+    Ipi {
+        /// Time (ns).
+        at: u64,
+        /// Node the IPI originates from.
+        src_node: u32,
+        /// Target vCPU.
+        to_vcpu: u32,
+        /// `"ipi"` (directed wakeup) or `"shootdown"` (TLB broadcast).
+        kind: &'static str,
+    },
+    /// A checkpoint of one slice's memory was taken.
+    Checkpoint {
+        /// Time (ns): when this slice's stream completes.
+        at: u64,
+        /// Slice whose pages were captured.
+        node: u32,
+        /// Bytes captured from this slice.
+        bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's time field (ns). DSM events report their clock hint.
+    pub fn at(&self) -> u64 {
+        use TraceEvent::*;
+        match *self {
+            DsmAlloc { at, .. }
+            | DsmHit { at, .. }
+            | DsmFault { at, .. }
+            | DsmInvalidate { at, .. }
+            | DsmOwnerTransfer { at, .. }
+            | DsmGrant { at, .. }
+            | DsmPrefetch { at, .. }
+            | FabricSend { at, .. }
+            | CpuAdd { at, .. }
+            | CpuCancel { at, .. }
+            | CpuDone { at, .. }
+            | VcpuMigrateStart { at, .. }
+            | VcpuMigrateDone { at, .. }
+            | Ipi { at, .. }
+            | Checkpoint { at, .. } => at,
+            FabricLinkReset { .. } => 0,
+        }
+    }
+
+    /// Renders the event as a single JSON object (used for JSONL export).
+    ///
+    /// All fields are numbers or `&'static str` labels, so no escaping is
+    /// required beyond quoting.
+    pub fn to_json(&self) -> String {
+        use TraceEvent::*;
+        match *self {
+            DsmAlloc { at, page, home } => {
+                format!(r#"{{"ev":"dsm_alloc","at":{at},"page":{page},"home":{home}}}"#)
+            }
+            DsmHit {
+                at,
+                page,
+                node,
+                write,
+            } => format!(
+                r#"{{"ev":"dsm_hit","at":{at},"page":{page},"node":{node},"write":{write}}}"#
+            ),
+            DsmFault {
+                at,
+                page,
+                node,
+                kind,
+            } => format!(
+                r#"{{"ev":"dsm_fault","at":{at},"page":{page},"node":{node},"kind":"{kind}"}}"#
+            ),
+            DsmInvalidate { at, page, node } => {
+                format!(r#"{{"ev":"dsm_invalidate","at":{at},"page":{page},"node":{node}}}"#)
+            }
+            DsmOwnerTransfer { at, page, from, to } => format!(
+                r#"{{"ev":"dsm_owner_transfer","at":{at},"page":{page},"from":{from},"to":{to}}}"#
+            ),
+            DsmGrant {
+                at,
+                page,
+                node,
+                exclusive,
+            } => format!(
+                r#"{{"ev":"dsm_grant","at":{at},"page":{page},"node":{node},"exclusive":{exclusive}}}"#
+            ),
+            DsmPrefetch {
+                at,
+                page,
+                node,
+                owner,
+            } => format!(
+                r#"{{"ev":"dsm_prefetch","at":{at},"page":{page},"node":{node},"owner":{owner}}}"#
+            ),
+            FabricSend {
+                at,
+                src,
+                dst,
+                class,
+                bytes,
+                queued_ns,
+                deliver_at,
+            } => format!(
+                r#"{{"ev":"fabric_send","at":{at},"src":{src},"dst":{dst},"class":"{class}","bytes":{bytes},"queued_ns":{queued_ns},"deliver_at":{deliver_at}}}"#
+            ),
+            FabricLinkReset { src, dst } => {
+                format!(r#"{{"ev":"fabric_link_reset","src":{src},"dst":{dst}}}"#)
+            }
+            CpuAdd {
+                at,
+                cpu,
+                task,
+                work_ns,
+            } => format!(
+                r#"{{"ev":"cpu_add","at":{at},"cpu":{cpu},"task":{task},"work_ns":{work_ns}}}"#
+            ),
+            CpuCancel {
+                at,
+                cpu,
+                task,
+                rem_ns,
+                delivered_ns,
+                busy_ns,
+                speed,
+            } => format!(
+                r#"{{"ev":"cpu_cancel","at":{at},"cpu":{cpu},"task":{task},"rem_ns":{rem_ns},"delivered_ns":{delivered_ns},"busy_ns":{busy_ns},"speed":{speed}}}"#
+            ),
+            CpuDone {
+                at,
+                cpu,
+                task,
+                delivered_ns,
+                busy_ns,
+                speed,
+            } => format!(
+                r#"{{"ev":"cpu_done","at":{at},"cpu":{cpu},"task":{task},"delivered_ns":{delivered_ns},"busy_ns":{busy_ns},"speed":{speed}}}"#
+            ),
+            VcpuMigrateStart {
+                at,
+                vcpu,
+                from_node,
+                to_node,
+            } => format!(
+                r#"{{"ev":"vcpu_migrate_start","at":{at},"vcpu":{vcpu},"from_node":{from_node},"to_node":{to_node}}}"#
+            ),
+            VcpuMigrateDone { at, vcpu, node } => {
+                format!(r#"{{"ev":"vcpu_migrate_done","at":{at},"vcpu":{vcpu},"node":{node}}}"#)
+            }
+            Ipi {
+                at,
+                src_node,
+                to_vcpu,
+                kind,
+            } => format!(
+                r#"{{"ev":"ipi","at":{at},"src_node":{src_node},"to_vcpu":{to_vcpu},"kind":"{kind}"}}"#
+            ),
+            Checkpoint { at, node, bytes } => {
+                format!(r#"{{"ev":"checkpoint","at":{at},"node":{node},"bytes":{bytes}}}"#)
+            }
+        }
+    }
+}
+
+/// The bounded event sink behind an enabled tracer.
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A cloneable handle to a trace sink.
+///
+/// The default handle is *disabled*: [`Tracer::emit_with`] evaluates nothing
+/// and allocates nothing. Handles created by [`Tracer::ring`] share one
+/// bounded buffer — cloning the handle (e.g. into the fabric, the DSM and
+/// each pCPU) shares the sink, so the merged trace preserves the global
+/// causal order of emissions.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<Ring>>>,
+}
+
+impl Tracer {
+    /// A disabled tracer (no sink; emissions are free).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// An enabled tracer backed by a ring buffer holding up to `capacity`
+    /// events; once full, the oldest events are dropped (and counted).
+    pub fn ring(capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(Ring {
+                buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// Whether a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits an event, constructing it only if the sink is enabled.
+    ///
+    /// This is the only emission API on purpose: call sites pass a closure,
+    /// so the disabled path is one branch with zero allocation.
+    #[inline]
+    pub fn emit_with(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(ring) = &self.inner {
+            let mut r = ring.borrow_mut();
+            if r.buf.len() == r.capacity {
+                r.buf.pop_front();
+                r.dropped += 1;
+            }
+            let ev = event();
+            r.buf.push_back(ev);
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |r| r.borrow().buf.len())
+    }
+
+    /// Whether the buffer is empty (also true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.borrow().dropped)
+    }
+
+    /// Copies the buffered events out, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.borrow().buf.iter().cloned().collect())
+    }
+
+    /// Clears the buffer (keeps the sink attached).
+    pub fn clear(&self) {
+        if let Some(r) = &self.inner {
+            let mut r = r.borrow_mut();
+            r.buf.clear();
+            r.dropped = 0;
+        }
+    }
+
+    /// Renders the buffered events as JSONL (one JSON object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.snapshot() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_runs_the_closure() {
+        let t = Tracer::disabled();
+        let mut ran = false;
+        t.emit_with(|| {
+            ran = true;
+            TraceEvent::FabricLinkReset { src: 0, dst: 1 }
+        });
+        assert!(!ran);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_buffers_and_drops_oldest() {
+        let t = Tracer::ring(2);
+        for i in 0..4 {
+            t.emit_with(|| TraceEvent::DsmAlloc {
+                at: i,
+                page: i,
+                home: 0,
+            });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap[0].at(), 2);
+        assert_eq!(snap[1].at(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let t = Tracer::ring(16);
+        let t2 = t.clone();
+        t2.emit_with(|| TraceEvent::DsmAlloc {
+            at: 1,
+            page: 7,
+            home: 3,
+        });
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let t = Tracer::ring(16);
+        t.emit_with(|| TraceEvent::DsmFault {
+            at: 5,
+            page: 9,
+            node: 1,
+            kind: "read_remote",
+        });
+        t.emit_with(|| TraceEvent::FabricSend {
+            at: 6,
+            src: 0,
+            dst: 1,
+            class: "dsm",
+            bytes: 64,
+            queued_ns: 0,
+            deliver_at: 10,
+        });
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"ev":"dsm_fault""#));
+        assert!(lines[0].contains(r#""kind":"read_remote""#));
+        assert!(lines[1].contains(r#""deliver_at":10"#));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+}

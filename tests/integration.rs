@@ -155,14 +155,18 @@ fn scheduler_commands_apply_to_live_vm() {
         HypervisorProfile::fragvisor(),
         &Distribution::Custom(placements),
     );
-    let start = epochs[0].0;
     let mut nodes_of: Vec<u32> = initial
         .iter()
         .enumerate()
         .flat_map(|(n, &c)| std::iter::repeat_n(n as u32, c as usize))
         .collect();
-    for (at, counts) in epochs.iter().skip(1) {
-        sim.run_until((*at - start).min(SimTime::from_secs(1)));
+    // Replay the epochs spaced evenly across the first simulated second.
+    // Spacing matters: commanding a vCPU that is still mid-migration is
+    // (correctly) refused by the hypervisor, so each epoch must leave the
+    // previous one's migrations time to complete.
+    let last = (epochs.len() - 1) as u64;
+    for (i, (_, counts)) in epochs.iter().enumerate().skip(1) {
+        sim.run_until(SimTime::from_millis(i as u64 * 1000 / last));
         // Greedy reassignment.
         let mut have = [0u32; 4];
         for &n in &nodes_of {
@@ -190,6 +194,86 @@ fn scheduler_commands_apply_to_live_vm() {
     let want: Vec<u32> = epochs.last().unwrap().1.clone();
     assert_eq!(got.to_vec(), want);
     assert!(sim.world.stats.migrations > 0);
+}
+
+/// A traced FragVisor end-to-end run — requests, DSM faults, fabric
+/// traffic, migrations — produces events from every instrumented layer and
+/// passes the invariant auditor clean.
+#[test]
+fn traced_end_to_end_run_is_audit_clean() {
+    use sim_core::trace::TraceEvent;
+    let mut sim = scenarios::lemp(
+        LempConfig::paper(100, 3),
+        HypervisorProfile::fragvisor(),
+        &Distribution::OneVcpuPerNode,
+        20,
+    );
+    let tracer = sim.enable_tracing(1 << 16);
+    sim.run_until(SimTime::from_secs(1));
+    // Consolidate mid-run so the trace also carries migration lifecycles.
+    let moved = fragvisor::aggregate::consolidate_onto(&mut sim, NodeId::new(0));
+    assert!(moved > 0);
+    sim.run_client();
+
+    let events = tracer.snapshot();
+    assert!(!events.is_empty(), "tracing enabled but no events captured");
+    let has = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().any(f);
+    assert!(
+        has(&|e| matches!(e, TraceEvent::DsmFault { .. } | TraceEvent::DsmHit { .. })),
+        "no DSM events in trace"
+    );
+    assert!(
+        has(&|e| matches!(e, TraceEvent::FabricSend { .. })),
+        "no fabric events in trace"
+    );
+    assert!(
+        has(&|e| matches!(e, TraceEvent::CpuAdd { .. } | TraceEvent::CpuDone { .. })),
+        "no CPU events in trace"
+    );
+    assert!(
+        has(&|e| matches!(e, TraceEvent::VcpuMigrateStart { .. })),
+        "no migration events in trace"
+    );
+    sim_core::audit::assert_clean(&events);
+
+    // The JSONL export is line-per-event and well-formed enough to count.
+    let jsonl = tracer.to_jsonl();
+    assert_eq!(jsonl.lines().count(), events.len());
+    assert!(jsonl
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+}
+
+/// Deliberately corrupting the DSM directory (granting a second node
+/// exclusivity without invalidating the first) must be caught by the
+/// trace auditor.
+#[test]
+fn corrupted_dsm_directory_is_reported() {
+    use dsm::{Access, PageClass, PageId};
+    let mut sim = scenarios::lemp(
+        LempConfig::paper(100, 2),
+        HypervisorProfile::fragvisor(),
+        &Distribution::OneVcpuPerNode,
+        5,
+    );
+    let tracer = sim.enable_tracing(1 << 14);
+    sim.run_until(SimTime::from_millis(100));
+
+    // Set up a page shared by nodes 0 and 1, then corrupt the directory:
+    // node 1 is handed exclusivity while node 0 still holds a valid copy.
+    let dsm = &mut sim.world.mem.dsm;
+    let page = PageId::new(u32::MAX - 7); // Outside any allocated region.
+    dsm.ensure_page(page, NodeId::new(0), PageClass::AppShared);
+    let _ = dsm.access(NodeId::new(1), page, Access::Read);
+    dsm.corrupt_grant_exclusive(page, NodeId::new(1));
+
+    let violations = sim_core::audit::audit(&tracer.snapshot());
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == "dsm-second-exclusive-owner"),
+        "auditor missed the injected coherence violation: {violations:?}"
+    );
 }
 
 /// The umbrella crate re-exports compose: giantvm's profile runs through
