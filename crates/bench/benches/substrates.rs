@@ -2,7 +2,7 @@
 //! simulator itself run? These guard the harness against performance
 //! regressions (the figure binaries run millions of these operations).
 
-use comm::{Fabric, LinkProfile, MsgClass, NodeId};
+use comm::{Fabric, LinkProfile, Message, MsgClass, NodeId};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dsm::{Access, Dsm, DsmConfig, PageId};
 use sim_core::pscpu::PsCpu;
@@ -86,13 +86,13 @@ fn fabric_sends(c: &mut Criterion) {
             let mut f = Fabric::homogeneous(4, LinkProfile::infiniband_56g());
             let mut t = SimTime::ZERO;
             for i in 0..10_000u32 {
-                let d = f.send(
-                    t,
+                let m = Message::new(
                     NodeId::new(i % 4),
                     NodeId::new((i + 1) % 4),
                     ByteSize::kib(4),
                     MsgClass::Dsm,
                 );
+                let d = f.send(t, m).unwrap();
                 t = t.max(d.deliver_at.saturating_sub(SimTime::from_micros(5)));
             }
             black_box(f.messages_sent())

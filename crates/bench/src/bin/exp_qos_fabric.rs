@@ -1,0 +1,5 @@
+//! Extension experiment beyond the paper's figures; see `DESIGN.md` §6.
+
+fn main() {
+    bench_harness::experiments::qos_fabric_study().print();
+}

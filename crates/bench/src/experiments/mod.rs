@@ -8,6 +8,7 @@ mod extensions;
 mod io;
 mod micro;
 mod npb;
+mod qos;
 mod resilience;
 mod sched;
 
@@ -19,6 +20,7 @@ pub use extensions::{
 pub use io::{fig06_net_delegation, fig07_storage_delegation};
 pub use micro::{fig01_sharing_study, fig04_dsm_fault_overhead, fig05_concurrent_writes};
 pub use npb::{fig08_npb_overcommit, fig09_npb_giantvm, fig10_guest_opts};
+pub use qos::qos_fabric_study;
 pub use resilience::fig11_checkpoint;
 pub use sched::fig14_sched_migration;
 

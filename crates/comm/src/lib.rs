@@ -6,15 +6,16 @@
 //! fabric as a set of directed links with:
 //!
 //! * a fixed one-way *base latency* (propagation + NIC + software stack),
-//! * a *bandwidth* term serializing each message onto the wire, with FIFO
-//!   queueing per directed link (back-to-back messages queue behind each
-//!   other),
+//! * a *bandwidth* term serializing each message onto the wire, with
+//!   QoS-classed queueing per directed link: strict priority for
+//!   latency-critical classes, weighted-fair sharing across bulk classes,
+//!   FIFO within each class (see [`fabric`]),
 //! * per-message *CPU overhead* at sender and receiver, which the caller
 //!   can charge to the appropriate pCPU (this is how GiantVM's user/kernel
 //!   crossings and helper threads show up).
 //!
 //! The crate is a pure cost model: [`Fabric::send`] answers "when does this
-//! message arrive", and the hypervisor layer turns that into an engine
+//! [`Message`] arrive", and the hypervisor layer turns that into an engine
 //! event. Nothing here knows about pages, interrupts or virtqueues.
 
 #![warn(missing_docs)]
@@ -22,8 +23,8 @@
 pub mod fabric;
 pub mod profile;
 
-pub use fabric::{Delivery, Fabric, MsgClass};
-pub use profile::{LinkProfile, StackProfile};
+pub use fabric::{Delivery, Fabric, FabricError, Message, MsgClass, Scheduling, Urgency};
+pub use profile::{ClassWeights, LinkProfile, StackProfile};
 
 sim_core::define_id!(
     /// Identifier of a physical machine in the cluster fabric.

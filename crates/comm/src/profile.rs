@@ -9,6 +9,8 @@
 use sim_core::time::SimTime;
 use sim_core::units::{Bandwidth, ByteSize};
 
+use crate::fabric::MsgClass;
+
 /// Where the messaging software stack runs, and what it costs per message.
 ///
 /// The paper attributes a large share of the FragVisor-vs-GiantVM gap to
@@ -58,6 +60,64 @@ impl StackProfile {
     }
 }
 
+/// Weighted-fair shares for the bulk traffic classes.
+///
+/// `Interrupt` and `Control` never consult these weights: they ride the
+/// link's strict-priority tier and preempt all bulk traffic. The four bulk
+/// classes (`Dsm`, `Io`, `Migration`, `Checkpoint`) split the remaining
+/// bandwidth in proportion to their weight whenever more than one of them
+/// is backlogged. A backlogged class with weight `w` is therefore slowed by
+/// at most `total() / w` versus an idle link — the starvation bound the
+/// trace auditor enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassWeights {
+    /// Share for DSM protocol traffic (page fetches, invalidations).
+    pub dsm: u32,
+    /// Share for I/O delegation traffic.
+    pub io: u32,
+    /// Share for vCPU migration state transfer.
+    pub migration: u32,
+    /// Share for checkpoint/restart streams.
+    pub checkpoint: u32,
+}
+
+impl ClassWeights {
+    /// The default QoS policy: DSM faults stall guest instructions so they
+    /// dominate; I/O rides next; migration and checkpoint are background
+    /// bulk that must never starve the foreground.
+    pub fn default_qos() -> Self {
+        ClassWeights {
+            dsm: 8,
+            io: 4,
+            migration: 2,
+            checkpoint: 1,
+        }
+    }
+
+    /// The weight of one class. Strict-priority classes (`Interrupt`,
+    /// `Control`) report 0: they are scheduled above the weighted tier.
+    pub fn weight(self, class: MsgClass) -> u32 {
+        match class {
+            MsgClass::Dsm => self.dsm,
+            MsgClass::Io => self.io,
+            MsgClass::Migration => self.migration,
+            MsgClass::Checkpoint => self.checkpoint,
+            MsgClass::Interrupt | MsgClass::Control => 0,
+        }
+    }
+
+    /// Sum of all bulk-class weights.
+    pub fn total(self) -> u32 {
+        self.dsm + self.io + self.migration + self.checkpoint
+    }
+}
+
+impl Default for ClassWeights {
+    fn default() -> Self {
+        ClassWeights::default_qos()
+    }
+}
+
 /// Cost profile of a directed link between two nodes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkProfile {
@@ -67,6 +127,8 @@ pub struct LinkProfile {
     pub bandwidth: Bandwidth,
     /// Software stack at both endpoints.
     pub stack: StackProfile,
+    /// Weighted-fair shares for bulk traffic classes.
+    pub weights: ClassWeights,
 }
 
 impl LinkProfile {
@@ -79,6 +141,7 @@ impl LinkProfile {
             wire_latency: SimTime::from_nanos(1_100),
             bandwidth: Bandwidth::gbit_per_sec(56.0),
             stack: StackProfile::KernelRdma,
+            weights: ClassWeights::default_qos(),
         }
     }
 
@@ -90,6 +153,7 @@ impl LinkProfile {
             // IPoIB achieves a fraction of native IB bandwidth.
             bandwidth: Bandwidth::gbit_per_sec(56.0).scale(0.45),
             stack: StackProfile::UserSpaceTcp,
+            weights: ClassWeights::default_qos(),
         }
     }
 
@@ -99,6 +163,7 @@ impl LinkProfile {
             wire_latency: SimTime::from_micros(25),
             bandwidth: Bandwidth::gbit_per_sec(1.0),
             stack: StackProfile::KernelTcp,
+            weights: ClassWeights::default_qos(),
         }
     }
 
@@ -108,6 +173,7 @@ impl LinkProfile {
             wire_latency: SimTime::from_nanos(200),
             bandwidth: Bandwidth::gbit_per_sec(400.0),
             stack: StackProfile::KernelRdma,
+            weights: ClassWeights::default_qos(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! Property tests for the message fabric.
 
-use comm::{Fabric, LinkProfile, MsgClass, NodeId};
+use comm::{Fabric, LinkProfile, Message, MsgClass, NodeId, Scheduling};
 use proptest::prelude::*;
 use sim_core::time::SimTime;
 use sim_core::units::ByteSize;
@@ -13,11 +13,26 @@ fn profiles() -> Vec<LinkProfile> {
     ]
 }
 
+fn msg(size: u64, class: MsgClass) -> Message {
+    Message::new(NodeId::new(0), NodeId::new(1), ByteSize::bytes(size), class)
+}
+
+/// All six classes, indexable by a generated `0..6`.
+const CLASSES: [MsgClass; 6] = [
+    MsgClass::Dsm,
+    MsgClass::Interrupt,
+    MsgClass::Io,
+    MsgClass::Migration,
+    MsgClass::Checkpoint,
+    MsgClass::Control,
+];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Messages sent in time order on one directed link are delivered in
-    /// order (FIFO), and never earlier than the link's floor latency.
+    /// Messages of one class sent in time order on one directed link are
+    /// delivered in order (FIFO), and never earlier than the link's floor
+    /// latency.
     #[test]
     fn fifo_and_floor(
         profile_idx in 0usize..3,
@@ -30,13 +45,7 @@ proptest! {
         let mut last_delivery = SimTime::ZERO;
         for (at_us, size) in sorted {
             let now = SimTime::from_micros(at_us);
-            let d = fabric.send(
-                now,
-                NodeId::new(0),
-                NodeId::new(1),
-                ByteSize::bytes(size),
-                MsgClass::Dsm,
-            );
+            let d = fabric.send(now, msg(size, MsgClass::Dsm)).unwrap();
             prop_assert!(d.deliver_at >= last_delivery, "reordering");
             prop_assert!(
                 d.deliver_at >= now + profile.wire_latency,
@@ -44,6 +53,45 @@ proptest! {
             );
             last_delivery = d.deliver_at;
         }
+    }
+
+    /// Random interleavings of mixed-class sends preserve FIFO *within*
+    /// every (link, class) pair — the QoS scheduler may reorder across
+    /// classes but never within one — and the emitted trace passes the
+    /// auditor's fabric rules.
+    #[test]
+    fn mixed_class_interleaving_preserves_class_fifo(
+        profile_idx in 0usize..3,
+        msgs in proptest::collection::vec(
+            (0u64..10_000, 1u64..262_144, 0usize..6),
+            2..60,
+        ).prop_filter(
+            "need at least two traffic classes to contend",
+            |v| {
+                let first = v[0].2;
+                v.iter().any(|&(_, _, c)| c != first)
+            },
+        ),
+    ) {
+        let mut fabric = Fabric::homogeneous(2, profiles()[profile_idx]);
+        let tracer = sim_core::trace::Tracer::ring(1 << 10);
+        fabric.attach_tracer(tracer.clone());
+        let mut sorted = msgs.clone();
+        sorted.sort();
+        let mut last_per_class = [SimTime::ZERO; 6];
+        for (at_us, size, class_idx) in sorted {
+            let now = SimTime::from_micros(at_us);
+            let class = CLASSES[class_idx];
+            let d = fabric.send(now, msg(size, class)).unwrap();
+            prop_assert!(
+                d.deliver_at >= last_per_class[class_idx],
+                "class {} reordered: {} before {}",
+                class.label(), d.deliver_at, last_per_class[class_idx]
+            );
+            last_per_class[class_idx] = d.deliver_at;
+        }
+        let violations = sim_core::audit::audit(&tracer.snapshot());
+        prop_assert!(violations.is_empty(), "audit: {violations:?}");
     }
 
     /// Traffic accounting is exact.
@@ -56,7 +104,8 @@ proptest! {
         for (i, &size) in msgs.iter().enumerate() {
             let src = NodeId::new(i as u32 % 3);
             let dst = NodeId::new((i as u32 + 1) % 3);
-            let _ = fabric.send(SimTime::ZERO, src, dst, ByteSize::bytes(size), MsgClass::Io);
+            let m = Message::new(src, dst, ByteSize::bytes(size), MsgClass::Io);
+            let _ = fabric.send(SimTime::ZERO, m).unwrap();
             expect += size;
         }
         prop_assert_eq!(fabric.stats().get(&MsgClass::Io).bytes, expect);
@@ -84,16 +133,53 @@ proptest! {
         let mut last = SimTime::ZERO;
         let total: u64 = sizes.iter().sum();
         for &s in &sizes {
-            let d = fabric.send(
-                SimTime::ZERO,
-                NodeId::new(0),
-                NodeId::new(1),
-                ByteSize::bytes(s),
-                MsgClass::Dsm,
-            );
+            let d = fabric.send(SimTime::ZERO, msg(s, MsgClass::Dsm)).unwrap();
             last = last.max(d.deliver_at);
         }
         let floor = profile.bandwidth.transfer_time(ByteSize::bytes(total));
         prop_assert!(last >= floor, "last={last} floor={floor}");
     }
+}
+
+/// Regression: an `Interrupt` submitted mid-checkpoint-burst is delivered
+/// before the burst drains. This is the head-of-line-blocking fix the QoS
+/// scheduler exists for; under the legacy single-FIFO discipline the same
+/// IPI waits out the entire stream.
+#[test]
+fn interrupt_mid_checkpoint_burst_is_delivered_before_the_burst_drains() {
+    let run = |scheduling: Scheduling| {
+        let profile = LinkProfile::infiniband_56g();
+        let mut fabric = Fabric::homogeneous(2, profile);
+        fabric.set_scheduling(scheduling);
+        // A 256 MiB checkpoint stream, submitted as 4 MiB chunks at t=0.
+        let chunk = ByteSize::mib(4);
+        let mut burst_drains = SimTime::ZERO;
+        for _ in 0..64 {
+            let m = Message::new(NodeId::new(0), NodeId::new(1), chunk, MsgClass::Checkpoint);
+            burst_drains = fabric.send(SimTime::ZERO, m).unwrap().deliver_at;
+        }
+        // Mid-burst (the stream takes ~38 ms at 56 Gbps), an IPI fires.
+        let at = SimTime::from_millis(5);
+        let ipi = fabric
+            .send(at, msg(64, MsgClass::Interrupt))
+            .unwrap()
+            .deliver_at;
+        (ipi - at, burst_drains - at)
+    };
+
+    let (qos_latency, remaining) = run(Scheduling::QosClassed);
+    assert!(
+        qos_latency < SimTime::from_micros(10),
+        "IPI should cut through the burst, took {qos_latency}"
+    );
+    assert!(
+        qos_latency < remaining,
+        "IPI must beat the burst drain ({qos_latency} vs {remaining})"
+    );
+
+    let (fifo_latency, _) = run(Scheduling::SingleFifo);
+    assert!(
+        fifo_latency > SimTime::from_millis(30),
+        "single FIFO should head-of-line block the IPI, took {fifo_latency}"
+    );
 }

@@ -5,7 +5,7 @@
 //! choreography out on the [`comm::Fabric`] (so DSM traffic occupies real
 //! link bandwidth) and returns the completion time.
 
-use comm::{Fabric, MsgClass, NodeId};
+use comm::{Fabric, Message, MsgClass, NodeId};
 use dsm::{Access, Dsm, FaultKind, FaultPlan, PageClass, PageId, Resolution};
 use guest::memory::{Region, RegionAllocator};
 use guest::{GuestConfig, KernelPages};
@@ -180,12 +180,16 @@ impl VmMemory {
         };
         let done = match &plan.kind {
             FaultKind::ReadRemote { owner } => {
-                let req = fabric.send(t0, node, *owner, DSM_CTRL, MsgClass::Dsm);
+                let req = fabric
+                    .send(t0, Message::new(node, *owner, DSM_CTRL, MsgClass::Dsm))
+                    .expect("DSM endpoints are validated at VM build");
                 let serve = req.deliver_at + remote_handler_of(self.fault_handler_cpu);
                 // Prefetched pages ride the same response message.
                 let resp_size =
                     ByteSize::bytes(DSM_PAGE.as_u64() + 4096 * plan.prefetched.len() as u64);
-                let resp = fabric.send(serve, *owner, node, resp_size, MsgClass::Dsm);
+                let resp = fabric
+                    .send(serve, Message::new(*owner, node, resp_size, MsgClass::Dsm))
+                    .expect("DSM endpoints are validated at VM build");
                 resp.deliver_at + INSTALL_COST
             }
             FaultKind::Upgrade { invalidate } => {
@@ -196,43 +200,59 @@ impl VmMemory {
                     // TLB-shootdown IPI the guest already sends; the
                     // faulting vCPU does not wait for acks.
                     for &s in invalidate {
-                        let _ = fabric.send(t0, node, s, DSM_CTRL, MsgClass::Dsm);
+                        let _ = fabric
+                            .send(t0, Message::new(node, s, DSM_CTRL, MsgClass::Dsm))
+                            .expect("DSM endpoints are validated at VM build");
                     }
                     t0 + INSTALL_COST
                 } else {
                     // Invalidate every sharer and collect acks.
                     let mut done = t0;
                     for &s in invalidate {
-                        let inv = fabric.send(t0, node, s, DSM_CTRL, MsgClass::Dsm);
+                        let inv = fabric
+                            .send(t0, Message::new(node, s, DSM_CTRL, MsgClass::Dsm))
+                            .expect("DSM endpoints are validated at VM build");
                         let ack_at = inv.deliver_at + remote_handler_of(self.fault_handler_cpu);
-                        let ack = fabric.send(ack_at, s, node, DSM_CTRL, MsgClass::Dsm);
+                        let ack = fabric
+                            .send(ack_at, Message::new(s, node, DSM_CTRL, MsgClass::Dsm))
+                            .expect("DSM endpoints are validated at VM build");
                         done = done.max(ack.deliver_at);
                     }
                     done + INSTALL_COST
                 }
             }
             FaultKind::WriteRemote { owner, invalidate } => {
-                let req = fabric.send(t0, node, *owner, DSM_CTRL, MsgClass::Dsm);
+                let req = fabric
+                    .send(t0, Message::new(node, *owner, DSM_CTRL, MsgClass::Dsm))
+                    .expect("DSM endpoints are validated at VM build");
                 let at_owner = req.deliver_at + remote_handler_of(self.fault_handler_cpu);
                 let ready = if invalidate.is_empty() || plan.contextual {
                     if plan.contextual {
                         // Fire-and-forget piggybacked invalidations.
                         for &s in invalidate {
-                            let _ = fabric.send(at_owner, *owner, s, DSM_CTRL, MsgClass::Dsm);
+                            let _ = fabric
+                                .send(at_owner, Message::new(*owner, s, DSM_CTRL, MsgClass::Dsm))
+                                .expect("DSM endpoints are validated at VM build");
                         }
                     }
                     at_owner
                 } else {
                     let mut acks = at_owner;
                     for &s in invalidate {
-                        let inv = fabric.send(at_owner, *owner, s, DSM_CTRL, MsgClass::Dsm);
+                        let inv = fabric
+                            .send(at_owner, Message::new(*owner, s, DSM_CTRL, MsgClass::Dsm))
+                            .expect("DSM endpoints are validated at VM build");
                         let ack_at = inv.deliver_at + remote_handler_of(self.fault_handler_cpu);
-                        let ack = fabric.send(ack_at, s, *owner, DSM_CTRL, MsgClass::Dsm);
+                        let ack = fabric
+                            .send(ack_at, Message::new(s, *owner, DSM_CTRL, MsgClass::Dsm))
+                            .expect("DSM endpoints are validated at VM build");
                         acks = acks.max(ack.deliver_at);
                     }
                     acks
                 };
-                let resp = fabric.send(ready, *owner, node, DSM_PAGE, MsgClass::Dsm);
+                let resp = fabric
+                    .send(ready, Message::new(*owner, node, DSM_PAGE, MsgClass::Dsm))
+                    .expect("DSM endpoints are validated at VM build");
                 resp.deliver_at + INSTALL_COST
             }
         };
@@ -244,7 +264,9 @@ impl VmMemory {
                 FaultKind::Upgrade { .. } => self.bootstrap,
             };
             if target != node {
-                let _ = fabric.send(done, node, target, DSM_CTRL, MsgClass::Dsm);
+                let _ = fabric
+                    .send(done, Message::new(node, target, DSM_CTRL, MsgClass::Dsm))
+                    .expect("DSM endpoints are validated at VM build");
             }
             done + SimTime::from_micros(1)
         } else {

@@ -19,7 +19,7 @@
 //! between the two as a function of checkpoint interval and prediction
 //! lead time.
 
-use comm::{Fabric, LinkProfile, MsgClass, NodeId};
+use comm::{Fabric, LinkProfile, Message, MsgClass, NodeId};
 use sim_core::time::SimTime;
 use sim_core::units::{Bandwidth, ByteSize};
 
@@ -149,7 +149,8 @@ pub fn charge_drain_traffic(
     let batches = pages.div_ceil(32).max(1);
     let batch_bytes = ByteSize::bytes(32 * (4096 + 64));
     for _ in 0..batches.min(4096) {
-        let _ = fabric.send(now, from, to, batch_bytes, MsgClass::Migration);
+        let m = Message::new(from, to, batch_bytes, MsgClass::Migration);
+        let _ = fabric.send(now, m);
     }
 }
 

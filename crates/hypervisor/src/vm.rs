@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use comm::{Fabric, LinkProfile, MsgClass, NodeId};
+use comm::{Fabric, LinkProfile, Message, MsgClass, NodeId};
 use dsm::{Access, PageClass, PageId};
 use guest::memory::Region;
 use sim_core::pscpu::PsCpu;
@@ -24,7 +24,7 @@ use sim_core::time::SimTime;
 use sim_core::trace::{TraceEvent, Tracer};
 use sim_core::units::{Bandwidth, ByteSize};
 use sim_core::{Ctx, Engine, World};
-use virtio::device::{BlkRequest, VirtioBlk, VirtioConsole, VirtioNet};
+use virtio::device::{BlkRequest, DeviceConfig, VirtioBlk, VirtioConsole, VirtioNet};
 use virtio::plan::{BackendWork, IoPlan};
 use virtio::{QueueId, VcpuId};
 
@@ -608,7 +608,7 @@ impl VmWorld {
                 // printk is asynchronous: the guest pays a syscall-ish cost
                 // and the PTY worker on the bootstrap slice drains it.
                 if let Some(m) = self.console.plan_write(node, ByteSize::bytes(bytes)) {
-                    let _ = self.fabric.send(now, m.src, m.dst, m.size, m.class);
+                    let _ = self.fabric.send(now, m);
                 }
                 let t = now + SimTime::from_micros(1);
                 self.continue_at(ctx, vcpu, t)
@@ -719,9 +719,8 @@ impl VmWorld {
                 kind: "shootdown",
             });
             if dst != src {
-                let _ = self
-                    .fabric
-                    .send(now, src, dst, ByteSize::bytes(64), MsgClass::Interrupt);
+                let m = Message::new(src, dst, ByteSize::bytes(64), MsgClass::Interrupt);
+                let _ = self.fabric.send(now, m);
             }
         }
     }
@@ -739,9 +738,11 @@ impl VmWorld {
         if dst == src {
             ctx.schedule_in(LOCAL_IPI, Event::IpiDeliver { vcpu: to });
         } else {
+            let m = Message::new(src, dst, ByteSize::bytes(64), MsgClass::Interrupt);
             let d = self
                 .fabric
-                .send(ctx.now, src, dst, ByteSize::bytes(64), MsgClass::Interrupt);
+                .send(ctx.now, m)
+                .expect("IPI endpoints are validated at VM build");
             ctx.schedule_at(d.deliver_at, Event::IpiDeliver { vcpu: to });
         }
     }
@@ -766,7 +767,10 @@ impl VmWorld {
         );
         let process_at = match &plan.notify {
             Some(m) => {
-                let d = self.fabric.send(t, m.src, m.dst, m.size, m.class);
+                let d = self
+                    .fabric
+                    .send(t, *m)
+                    .expect("device plans only name in-range nodes");
                 d.deliver_at
             }
             None => t + SimTime::from_nanos(500), // local ioeventfd
@@ -805,7 +809,11 @@ impl VmWorld {
                 // Transmit to the external client over its link.
                 if let (Some(conn), Some(client)) = (conn, self.client.as_ref()) {
                     let home = self.net.as_ref().expect("net device").home();
-                    let d = self.fabric.send(t, home, client.node, bytes, MsgClass::Io);
+                    let m = Message::new(home, client.node, bytes, MsgClass::Io);
+                    let d = self
+                        .fabric
+                        .send(t, m)
+                        .expect("client link is registered at VM build");
                     ctx.schedule_at(
                         d.deliver_at,
                         Event::ClientDeliver {
@@ -830,7 +838,10 @@ impl VmWorld {
         };
         let complete_at = match &plan.completion.irq_msg {
             Some(m) => {
-                let d = self.fabric.send(t_backend, m.src, m.dst, m.size, m.class);
+                let d = self
+                    .fabric
+                    .send(t_backend, *m)
+                    .expect("device plans only name in-range nodes");
                 d.deliver_at
             }
             None => t_backend + SimTime::from_nanos(500),
@@ -893,9 +904,11 @@ impl VmWorld {
             .home();
         for s in sends {
             self.client_pending.insert(s.conn, ctx.now);
+            let m = Message::new(client_node, home, s.bytes, MsgClass::Io);
             let d = self
                 .fabric
-                .send(ctx.now, client_node, home, s.bytes, MsgClass::Io);
+                .send(ctx.now, m)
+                .expect("client link is registered at VM build");
             ctx.schedule_at(
                 d.deliver_at,
                 Event::ClientRxArrive {
@@ -944,7 +957,8 @@ impl VmWorld {
         let deliver_at = match &plan.completion.irq_msg {
             Some(m) => {
                 self.fabric
-                    .send(t, m.src, m.dst, m.size, m.class)
+                    .send(t, *m)
+                    .expect("device plans only name in-range nodes")
                     .deliver_at
             }
             None => t + SimTime::from_nanos(500),
@@ -1015,24 +1029,17 @@ impl VmWorld {
             to_node: to.node.0,
         });
         let dump_done = ctx.now + self.profile.register_dump_cost;
-        let _ = self.fabric.send(
-            dump_done,
-            src,
-            to.node,
-            ByteSize::kib(8),
-            MsgClass::Migration,
-        );
-        // Location-table update broadcast to every other slice.
+        let dump = Message::new(src, to.node, ByteSize::kib(8), MsgClass::Migration);
+        let _ = self.fabric.send(dump_done, dump);
+        // Location-table update broadcast to every other slice. IPIs routed
+        // through a stale entry stall until the table converges, so the tiny
+        // update rides the priority tier ahead of any bulk migration stream.
         for n in 0..self.fabric.nodes() {
             let dst = NodeId::from_usize(n);
             if dst != src && dst != to.node {
-                let _ = self.fabric.send(
-                    dump_done,
-                    src,
-                    dst,
-                    ByteSize::bytes(64),
-                    MsgClass::Migration,
-                );
+                let update =
+                    Message::new(src, dst, ByteSize::bytes(64), MsgClass::Migration).urgent();
+                let _ = self.fabric.send(dump_done, update);
             }
         }
         let done_at = ctx.now + self.profile.vcpu_migration_cost;
@@ -1181,13 +1188,16 @@ impl World for VmWorld {
                                 // The wakeup crosses the fabric as an IPI;
                                 // the payload moves through DSM socket
                                 // buffers already touched on the send side.
-                                let d = self.fabric.send(
-                                    ctx.now,
+                                let m = Message::new(
                                     src,
                                     dst,
                                     ByteSize::bytes(64),
                                     MsgClass::Interrupt,
                                 );
+                                let d = self
+                                    .fabric
+                                    .send(ctx.now, m)
+                                    .expect("vCPU nodes are validated at VM build");
                                 ctx.schedule_at(
                                     d.deliver_at,
                                     Event::LocalDeliver { vcpu: to, msg },
@@ -1462,13 +1472,21 @@ impl VmBuilder {
         let queues = self.placements.len();
         let net = self.net_home.map(|home| {
             let rings = mem.alloc.alloc("virtio-net.rings", 2 * queues as u64);
-            let dev = VirtioNet::new(home, self.profile.io_mode, queues, rings.first);
+            let dev = DeviceConfig::new(home)
+                .mode(self.profile.io_mode)
+                .queues(queues)
+                .rings_at(rings.first)
+                .build_net();
             mem.register_pages(&dev.ring_pages(), home, PageClass::DeviceRing);
             dev
         });
         let blk = self.blk_home.map(|home| {
             let rings = mem.alloc.alloc("virtio-blk.rings", 2 * queues as u64);
-            let dev = VirtioBlk::new(home, self.profile.io_mode, queues, rings.first);
+            let dev = DeviceConfig::new(home)
+                .mode(self.profile.io_mode)
+                .queues(queues)
+                .rings_at(rings.first)
+                .build_blk();
             mem.register_pages(&dev.ring_pages(), home, PageClass::DeviceRing);
             dev
         });
@@ -1535,7 +1553,7 @@ impl VmBuilder {
             .collect();
 
         let stats = VmStats::new(vcpus.len());
-        let console = VirtioConsole::new(bootstrap);
+        let console = DeviceConfig::new(bootstrap).build_console();
         let world = VmWorld {
             profile: self.profile,
             fabric,

@@ -129,6 +129,26 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Keeps only values satisfying `accept` (proptest's `prop_filter`).
+    ///
+    /// Generation retries up to a fixed bound; if no value passes, the test
+    /// panics with `whence` — as with real proptest, filters should discard
+    /// a minority of inputs, not carry the generation logic.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        accept: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            accept,
+        }
+    }
+
     /// Erases the concrete strategy type.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -158,6 +178,30 @@ impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    accept: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        const MAX_TRIES: usize = 1_000;
+        for _ in 0..MAX_TRIES {
+            let v = self.inner.generate(rng);
+            if (self.accept)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter exhausted {MAX_TRIES} tries without an accepted value: {}",
+            self.whence
+        );
     }
 }
 
@@ -297,7 +341,7 @@ pub mod collection {
         BTreeSetStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,
@@ -520,14 +564,24 @@ mod tests {
             xs in crate::collection::vec(1u64..100, 1..10),
             flip in any::<bool>(),
             pick in prop_oneof![Just(1u32), Just(2u32), (5u32..9).prop_map(|x| x)],
+            even in (0u64..1000).prop_filter("even numbers only", |x| x % 2 == 0),
         ) {
             prop_assume!(!xs.is_empty());
             let total: u64 = xs.iter().sum();
             prop_assert!(total >= xs.len() as u64);
             prop_assert_ne!(pick, 0);
+            prop_assert_eq!(even % 2, 0);
             if flip {
                 prop_assert_eq!(xs.len(), xs.len());
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_filter exhausted")]
+    fn unsatisfiable_filter_panics_with_reason() {
+        let mut rng = crate::TestRng::new(3);
+        let s = (0u32..10).prop_filter("impossible", |_| false);
+        let _ = crate::Strategy::generate(&s, &mut rng);
     }
 }

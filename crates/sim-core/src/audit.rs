@@ -1,6 +1,6 @@
 //! Trace-replay invariant auditor.
 //!
-//! [`audit`] replays a [`TraceEvent`](crate::trace::TraceEvent) stream and
+//! [`audit`] replays a [`TraceEvent`] stream and
 //! checks the cross-crate invariants no single crate's unit tests can see:
 //!
 //! * **DSM coherence** — at most one exclusive owner per page, ownership
@@ -12,8 +12,19 @@
 //! * **Work conservation** — a processor-sharing CPU never reports more
 //!   delivered work than `busy_time × speed`, and is never busier than
 //!   elapsed virtual time.
-//! * **Per-link FIFO** — a fabric link delivers messages in submission
-//!   order (modulo explicit queue resets when a link profile is replaced).
+//! * **Per-(link, class) FIFO** — a fabric link delivers messages of the
+//!   same class in submission order (modulo explicit queue resets when a
+//!   link profile is replaced). Cross-class reordering is legal: that is
+//!   what the QoS scheduler is for.
+//! * **No priority inversion** — a strict-priority message (`prio: true`)
+//!   queues only behind earlier priority traffic on its link, never behind
+//!   bulk streams.
+//! * **No class starvation** — a bulk message's weighted-fair
+//!   serialization stretch never exceeds the bound its class weight
+//!   permits (`serialize_ns <= bound_ns`).
+//!
+//! The fabric rules assume a complete event stream; traces captured with
+//! `Tracer::with_sampling` skip emissions and must not be audited.
 //!
 //! The auditor is deliberately tolerant of *truncated* traces (the sink is
 //! a ring buffer): DSM events for pages whose allocation fell out of the
@@ -58,10 +69,14 @@ struct ShadowPage {
     exclusive: bool,
 }
 
-/// Per-link FIFO shadow state.
+/// Per-link QoS shadow state.
 #[derive(Debug, Default)]
 struct ShadowLink {
-    last_deliver: u64,
+    /// Latest delivery time seen per message class.
+    last_deliver: BTreeMap<&'static str, u64>,
+    /// When the strict-priority transmitter frees up, replayed from the
+    /// priority messages seen so far.
+    prio_free: u64,
 }
 
 /// Per-CPU accounting shadow state.
@@ -246,24 +261,28 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 at,
                 src,
                 dst,
+                class,
+                prio,
                 queued_ns,
+                serialize_ns,
+                bound_ns,
                 deliver_at,
                 ..
             } => {
                 let link = links.entry((src, dst)).or_default();
-                if deliver_at < link.last_deliver {
+                let last = link.last_deliver.entry(class).or_default();
+                if deliver_at < *last {
                     flag(
                         i,
                         at,
-                        "fabric-fifo",
+                        "fabric-class-fifo",
                         format!(
-                            "link {src}->{dst} delivers at {deliver_at} before earlier \
-                             message at {}",
-                            link.last_deliver
+                            "link {src}->{dst} class {class} delivers at {deliver_at} \
+                             before earlier message at {last}"
                         ),
                     );
                 }
-                link.last_deliver = link.last_deliver.max(deliver_at);
+                *last = (*last).max(deliver_at);
                 if deliver_at < at + queued_ns {
                     flag(
                         i,
@@ -274,6 +293,34 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                              submission {at} + queueing {queued_ns}"
                         ),
                     );
+                }
+                if serialize_ns > bound_ns {
+                    flag(
+                        i,
+                        at,
+                        "fabric-class-starvation",
+                        format!(
+                            "link {src}->{dst} class {class} serialized for \
+                             {serialize_ns}ns, beyond its weight bound {bound_ns}ns"
+                        ),
+                    );
+                }
+                if prio {
+                    // A priority message may queue only behind earlier
+                    // priority traffic still occupying the transmitter.
+                    let backlog = link.prio_free.saturating_sub(at);
+                    if queued_ns > backlog {
+                        flag(
+                            i,
+                            at,
+                            "fabric-prio-inversion",
+                            format!(
+                                "link {src}->{dst} priority {class} message queued \
+                                 {queued_ns}ns but priority backlog was only {backlog}ns"
+                            ),
+                        );
+                    }
+                    link.prio_free = at + queued_ns + serialize_ns;
                 }
             }
             TraceEvent::FabricLinkReset { src, dst } => {
@@ -533,56 +580,108 @@ mod tests {
         );
     }
 
+    /// A bulk send with consistent scheduling metadata.
+    fn send(at: u64, class: &'static str, queued_ns: u64, deliver_at: u64) -> E {
+        E::FabricSend {
+            at,
+            src: 0,
+            dst: 1,
+            class,
+            prio: false,
+            bytes: 64,
+            queued_ns,
+            serialize_ns: 10,
+            bound_ns: 150,
+            deliver_at,
+        }
+    }
+
     #[test]
-    fn fifo_violation_is_flagged() {
-        let events = [
-            E::FabricSend {
-                at: 0,
-                src: 0,
-                dst: 1,
-                class: "dsm",
-                bytes: 64,
-                queued_ns: 0,
-                deliver_at: 100,
-            },
-            E::FabricSend {
-                at: 10,
-                src: 0,
-                dst: 1,
-                class: "dsm",
-                bytes: 64,
-                queued_ns: 0,
-                deliver_at: 90,
-            },
-        ];
+    fn same_class_fifo_violation_is_flagged() {
+        let events = [send(0, "dsm", 0, 100), send(10, "dsm", 0, 90)];
         let v = audit(&events);
-        assert!(v.iter().any(|v| v.rule == "fabric-fifo"), "{v:?}");
+        assert!(v.iter().any(|v| v.rule == "fabric-class-fifo"), "{v:?}");
+    }
+
+    #[test]
+    fn cross_class_reordering_is_legal() {
+        // A checkpoint chunk delivers long after a later-submitted DSM
+        // page: exactly what the QoS scheduler is supposed to produce.
+        let events = [send(0, "checkpoint", 0, 10_000), send(10, "dsm", 0, 90)];
+        assert!(audit(&events).is_empty());
     }
 
     #[test]
     fn link_reset_forgives_reordered_delivery() {
         let events = [
-            E::FabricSend {
-                at: 0,
-                src: 0,
-                dst: 1,
-                class: "io",
-                bytes: 64,
-                queued_ns: 0,
-                deliver_at: 100,
-            },
+            send(0, "io", 0, 100),
             E::FabricLinkReset { src: 0, dst: 1 },
+            send(10, "io", 0, 90),
+        ];
+        assert!(audit(&events).is_empty());
+    }
+
+    #[test]
+    fn priority_inversion_is_flagged() {
+        // An interrupt queued 5000ns with no earlier priority traffic on
+        // the link: it must have waited behind a bulk stream.
+        let events = [
+            send(0, "checkpoint", 0, 10_000),
             E::FabricSend {
                 at: 10,
                 src: 0,
                 dst: 1,
-                class: "io",
+                class: "interrupt",
+                prio: true,
                 bytes: 64,
-                queued_ns: 0,
-                deliver_at: 90,
+                queued_ns: 5_000,
+                serialize_ns: 64,
+                bound_ns: 64,
+                deliver_at: 6_000,
             },
         ];
+        let v = audit(&events);
+        assert!(v.iter().any(|v| v.rule == "fabric-prio-inversion"), "{v:?}");
+    }
+
+    #[test]
+    fn priority_messages_may_queue_behind_each_other() {
+        let mk = |at, queued_ns, deliver_at| E::FabricSend {
+            at,
+            src: 0,
+            dst: 1,
+            class: "interrupt",
+            prio: true,
+            bytes: 64,
+            queued_ns,
+            serialize_ns: 64,
+            bound_ns: 64,
+            deliver_at,
+        };
+        // Second IPI waits out the first one's 64ns serialization.
+        let events = [mk(0, 0, 100), mk(10, 54, 164)];
         assert!(audit(&events).is_empty());
+    }
+
+    #[test]
+    fn class_starvation_is_flagged() {
+        let events = [E::FabricSend {
+            at: 0,
+            src: 0,
+            dst: 1,
+            class: "checkpoint",
+            prio: false,
+            bytes: 4096,
+            queued_ns: 0,
+            serialize_ns: 90_000,
+            bound_ns: 61_440,
+            deliver_at: 100_000,
+        }];
+        let v = audit(&events);
+        assert!(
+            v.iter().any(|v| v.rule == "fabric-class-starvation"),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -116,10 +116,19 @@ pub enum TraceEvent {
         dst: u32,
         /// Message class label (e.g. `"dsm"`, `"interrupt"`).
         class: &'static str,
+        /// Whether the message rode the link's strict-priority tier.
+        prio: bool,
         /// Payload size in bytes.
         bytes: u64,
-        /// Time spent queueing behind earlier messages on the link (ns).
+        /// Time spent queueing behind earlier messages of the same
+        /// scheduling tier on the link (ns).
         queued_ns: u64,
+        /// Time the message occupied its (virtual) transmitter, after any
+        /// weighted-fair stretch (ns).
+        serialize_ns: u64,
+        /// The scheduler's starvation bound for this message: the worst
+        /// serialization stretch its class weight permits (ns).
+        bound_ns: u64,
         /// Delivery time of the last byte (ns).
         deliver_at: u64,
     },
@@ -292,11 +301,14 @@ impl TraceEvent {
                 src,
                 dst,
                 class,
+                prio,
                 bytes,
                 queued_ns,
+                serialize_ns,
+                bound_ns,
                 deliver_at,
             } => format!(
-                r#"{{"ev":"fabric_send","at":{at},"src":{src},"dst":{dst},"class":"{class}","bytes":{bytes},"queued_ns":{queued_ns},"deliver_at":{deliver_at}}}"#
+                r#"{{"ev":"fabric_send","at":{at},"src":{src},"dst":{dst},"class":"{class}","prio":{prio},"bytes":{bytes},"queued_ns":{queued_ns},"serialize_ns":{serialize_ns},"bound_ns":{bound_ns},"deliver_at":{deliver_at}}}"#
             ),
             FabricLinkReset { src, dst } => {
                 format!(r#"{{"ev":"fabric_link_reset","src":{src},"dst":{dst}}}"#)
@@ -362,6 +374,12 @@ struct Ring {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    /// Keep every `sample_every`-th emission (1 = keep all).
+    sample_every: u64,
+    /// Emissions observed so far (kept or sampled out).
+    seen: u64,
+    /// Emissions skipped by sampling.
+    sampled_out: u64,
 }
 
 /// A cloneable handle to a trace sink.
@@ -390,8 +408,30 @@ impl Tracer {
                 buf: VecDeque::with_capacity(capacity.min(1 << 16)),
                 capacity: capacity.max(1),
                 dropped: 0,
+                sample_every: 1,
+                seen: 0,
+                sampled_out: 0,
             }))),
         }
+    }
+
+    /// Turns on 1-in-`every` sampling: only every `every`-th emission is
+    /// kept (the first always is), so long datacenter runs stay traced
+    /// without a giant ring. No-op on a disabled tracer, which stays
+    /// zero-cost. Sampled traces are for debugging and aggregate metrics;
+    /// the [`crate::audit`] invariants assume a complete stream, so audit
+    /// unsampled traces only.
+    pub fn with_sampling(self, every: u64) -> Self {
+        if let Some(ring) = &self.inner {
+            ring.borrow_mut().sample_every = every.max(1);
+        }
+        self
+    }
+
+    /// The active sampling period (1 = every emission kept; also 1 when
+    /// disabled).
+    pub fn sampling(&self) -> u64 {
+        self.inner.as_ref().map_or(1, |r| r.borrow().sample_every)
     }
 
     /// Whether a sink is attached.
@@ -399,14 +439,21 @@ impl Tracer {
         self.inner.is_some()
     }
 
-    /// Emits an event, constructing it only if the sink is enabled.
+    /// Emits an event, constructing it only if the sink is enabled and the
+    /// sampler keeps it.
     ///
     /// This is the only emission API on purpose: call sites pass a closure,
-    /// so the disabled path is one branch with zero allocation.
+    /// so the disabled path is one branch with zero allocation, and a
+    /// sampled-out emission never constructs the event.
     #[inline]
     pub fn emit_with(&self, event: impl FnOnce() -> TraceEvent) {
         if let Some(ring) = &self.inner {
             let mut r = ring.borrow_mut();
+            r.seen += 1;
+            if (r.seen - 1) % r.sample_every != 0 {
+                r.sampled_out += 1;
+                return;
+            }
             if r.buf.len() == r.capacity {
                 r.buf.pop_front();
                 r.dropped += 1;
@@ -431,6 +478,11 @@ impl Tracer {
         self.inner.as_ref().map_or(0, |r| r.borrow().dropped)
     }
 
+    /// Number of emissions skipped by the sampler.
+    pub fn sampled_out(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.borrow().sampled_out)
+    }
+
     /// Copies the buffered events out, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         self.inner
@@ -444,6 +496,7 @@ impl Tracer {
             let mut r = r.borrow_mut();
             r.buf.clear();
             r.dropped = 0;
+            r.sampled_out = 0;
         }
     }
 
@@ -521,8 +574,11 @@ mod tests {
             src: 0,
             dst: 1,
             class: "dsm",
+            prio: false,
             bytes: 64,
             queued_ns: 0,
+            serialize_ns: 3,
+            bound_ns: 45,
             deliver_at: 10,
         });
         let jsonl = t.to_jsonl();
@@ -531,8 +587,59 @@ mod tests {
         assert!(lines[0].starts_with(r#"{"ev":"dsm_fault""#));
         assert!(lines[0].contains(r#""kind":"read_remote""#));
         assert!(lines[1].contains(r#""deliver_at":10"#));
+        assert!(lines[1].contains(r#""serialize_ns":3"#));
+        assert!(lines[1].contains(r#""bound_ns":45"#));
+        assert!(lines[1].contains(r#""prio":false"#));
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_emission() {
+        let t = Tracer::ring(64).with_sampling(4);
+        assert_eq!(t.sampling(), 4);
+        for i in 0..10 {
+            t.emit_with(|| TraceEvent::DsmAlloc {
+                at: i,
+                page: i,
+                home: 0,
+            });
+        }
+        // Emissions 0, 4, 8 are kept.
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.iter().map(|e| e.at()).collect::<Vec<_>>(),
+            vec![0, 4, 8]
+        );
+        assert_eq!(t.sampled_out(), 7);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn sampled_out_emissions_never_run_the_closure() {
+        let t = Tracer::ring(64).with_sampling(2);
+        let mut runs = 0;
+        for _ in 0..6 {
+            t.emit_with(|| {
+                runs += 1;
+                TraceEvent::FabricLinkReset { src: 0, dst: 1 }
+            });
+        }
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn sampling_on_disabled_tracer_stays_free() {
+        let t = Tracer::disabled().with_sampling(8);
+        assert!(!t.is_enabled());
+        assert_eq!(t.sampling(), 1);
+        let mut ran = false;
+        t.emit_with(|| {
+            ran = true;
+            TraceEvent::FabricLinkReset { src: 0, dst: 1 }
+        });
+        assert!(!ran);
     }
 }

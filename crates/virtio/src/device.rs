@@ -8,12 +8,12 @@
 
 use std::collections::BTreeMap;
 
-use comm::{MsgClass, NodeId};
+use comm::{Message, MsgClass, NodeId};
 use dsm::{Access, PageId};
 use sim_core::stats::Meter;
 use sim_core::units::ByteSize;
 
-use crate::plan::{BackendWork, CompletionPlan, IoPathMode, IoPlan, PageTouch, PlannedMsg};
+use crate::plan::{BackendWork, CompletionPlan, IoPathMode, IoPlan, PageTouch};
 use crate::{QueueId, VcpuId};
 
 /// Per-queue ring capacity (descriptors), matching kvmtool's default.
@@ -34,6 +34,78 @@ impl std::fmt::Display for QueueFull {
 
 impl std::error::Error for QueueFull {}
 
+/// Shared configuration for every virtio device model: where the device
+/// lives, how its queues are laid out, and which data-path mode it runs.
+///
+/// This is the single constructor surface for [`VirtioNet`], [`VirtioBlk`]
+/// and [`VirtioConsole`]:
+///
+/// ```
+/// # use virtio::{DeviceConfig, IoPathMode};
+/// # use comm::NodeId;
+/// # use dsm::PageId;
+/// let net = DeviceConfig::new(NodeId::new(0))
+///     .mode(IoPathMode::Multiqueue)
+///     .queues(4)
+///     .rings_at(PageId::new(100))
+///     .build_net();
+/// assert_eq!(net.home(), NodeId::new(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    home: NodeId,
+    mode: IoPathMode,
+    num_queues: usize,
+    first_ring_page: PageId,
+}
+
+impl DeviceConfig {
+    /// A single shared-ring queue pair homed on `home`, rings at page 0.
+    pub fn new(home: NodeId) -> Self {
+        DeviceConfig {
+            home,
+            mode: IoPathMode::SharedRing,
+            num_queues: 1,
+            first_ring_page: PageId::new(0),
+        }
+    }
+
+    /// Sets the data-path mode.
+    pub fn mode(mut self, mode: IoPathMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the number of queue pairs (collapsed to one in
+    /// [`IoPathMode::SharedRing`]).
+    pub fn queues(mut self, num_queues: usize) -> Self {
+        self.num_queues = num_queues;
+        self
+    }
+
+    /// Sets the first guest page the ring pages occupy.
+    pub fn rings_at(mut self, first_ring_page: PageId) -> Self {
+        self.first_ring_page = first_ring_page;
+        self
+    }
+
+    /// Builds a [`VirtioNet`] from this configuration.
+    pub fn build_net(self) -> VirtioNet {
+        VirtioNet::new(self)
+    }
+
+    /// Builds a [`VirtioBlk`] from this configuration.
+    pub fn build_blk(self) -> VirtioBlk {
+        VirtioBlk::new(self)
+    }
+
+    /// Builds a [`VirtioConsole`] from this configuration (queue layout is
+    /// ignored: the console is a single PTY worker on `home`).
+    pub fn build_console(self) -> VirtioConsole {
+        VirtioConsole::new(self)
+    }
+}
+
 /// One TX/RX virtqueue pair.
 #[derive(Debug, Clone)]
 struct QueuePair {
@@ -53,23 +125,23 @@ struct QueueSet {
 }
 
 impl QueueSet {
-    fn new(home: NodeId, mode: IoPathMode, num_queues: usize, first_ring_page: PageId) -> Self {
-        assert!(num_queues >= 1, "need at least one queue");
-        let n = if mode == IoPathMode::SharedRing {
+    fn new(config: DeviceConfig) -> Self {
+        assert!(config.num_queues >= 1, "need at least one queue");
+        let n = if config.mode == IoPathMode::SharedRing {
             1
         } else {
-            num_queues
+            config.num_queues
         };
         let queues = (0..n)
             .map(|i| QueuePair {
-                tx_ring: PageId::from_usize(first_ring_page.index() + 2 * i),
-                rx_ring: PageId::from_usize(first_ring_page.index() + 2 * i + 1),
+                tx_ring: PageId::from_usize(config.first_ring_page.index() + 2 * i),
+                rx_ring: PageId::from_usize(config.first_ring_page.index() + 2 * i + 1),
                 in_flight: 0,
             })
             .collect();
         QueueSet {
-            home,
-            mode,
+            home: config.home,
+            mode: config.mode,
             queues,
             pins: BTreeMap::new(),
         }
@@ -110,33 +182,34 @@ impl QueueSet {
             .collect()
     }
 
-    fn kick(&self, src: NodeId, extra_payload: ByteSize) -> Option<PlannedMsg> {
+    fn kick(&self, src: NodeId, extra_payload: ByteSize) -> Option<Message> {
         if src == self.home && extra_payload == ByteSize::ZERO {
             // Local ioeventfd: no fabric message.
             return None;
         }
-        Some(PlannedMsg {
+        Some(Message::new(
             src,
-            dst: self.home,
-            size: CTRL_MSG + extra_payload,
-            class: MsgClass::Io,
-        })
+            self.home,
+            CTRL_MSG + extra_payload,
+            MsgClass::Io,
+        ))
     }
 
-    fn irq(&self, dst: NodeId, extra_payload: ByteSize) -> Option<PlannedMsg> {
+    fn irq(&self, dst: NodeId, extra_payload: ByteSize) -> Option<Message> {
         if dst == self.home && extra_payload == ByteSize::ZERO {
             return None;
         }
-        Some(PlannedMsg {
-            src: self.home,
+        let class = if extra_payload == ByteSize::ZERO {
+            MsgClass::Interrupt
+        } else {
+            MsgClass::Io
+        };
+        Some(Message::new(
+            self.home,
             dst,
-            size: CTRL_MSG + extra_payload,
-            class: if extra_payload == ByteSize::ZERO {
-                MsgClass::Interrupt
-            } else {
-                MsgClass::Io
-            },
-        })
+            CTRL_MSG + extra_payload,
+            class,
+        ))
     }
 }
 
@@ -151,11 +224,11 @@ pub struct VirtioNet {
 }
 
 impl VirtioNet {
-    /// Creates a net device homed on `home` with `num_queues` queue pairs
-    /// whose rings occupy guest pages starting at `first_ring_page`.
-    pub fn new(home: NodeId, mode: IoPathMode, num_queues: usize, first_ring_page: PageId) -> Self {
+    /// Creates a net device from a [`DeviceConfig`] (see also
+    /// [`DeviceConfig::build_net`]).
+    pub fn new(config: DeviceConfig) -> Self {
         VirtioNet {
-            qs: QueueSet::new(home, mode, num_queues, first_ring_page),
+            qs: QueueSet::new(config),
             tx: Meter::new(),
             rx: Meter::new(),
         }
@@ -355,10 +428,11 @@ pub struct VirtioBlk {
 }
 
 impl VirtioBlk {
-    /// Creates a block device homed on `home`.
-    pub fn new(home: NodeId, mode: IoPathMode, num_queues: usize, first_ring_page: PageId) -> Self {
+    /// Creates a block device from a [`DeviceConfig`] (see also
+    /// [`DeviceConfig::build_blk`]).
+    pub fn new(config: DeviceConfig) -> Self {
         VirtioBlk {
-            qs: QueueSet::new(home, mode, num_queues, first_ring_page),
+            qs: QueueSet::new(config),
             reads: Meter::new(),
             writes: Meter::new(),
         }
@@ -512,26 +586,27 @@ pub struct VirtioConsole {
 }
 
 impl VirtioConsole {
-    /// Creates a console homed on the bootstrap node.
-    pub fn new(home: NodeId) -> Self {
+    /// Creates a console homed on the config's bootstrap node (see also
+    /// [`DeviceConfig::build_console`]).
+    pub fn new(config: DeviceConfig) -> Self {
         VirtioConsole {
-            home,
+            home: config.home,
             out: Meter::new(),
         }
     }
 
     /// Plans a console write from `node`.
-    pub fn plan_write(&mut self, node: NodeId, bytes: ByteSize) -> Option<PlannedMsg> {
+    pub fn plan_write(&mut self, node: NodeId, bytes: ByteSize) -> Option<Message> {
         self.out.record(bytes.as_u64());
         if node == self.home {
             None
         } else {
-            Some(PlannedMsg {
-                src: node,
-                dst: self.home,
-                size: bytes + CTRL_MSG,
-                class: MsgClass::Io,
-            })
+            Some(Message::new(
+                node,
+                self.home,
+                bytes + CTRL_MSG,
+                MsgClass::Io,
+            ))
         }
     }
 }
@@ -554,14 +629,22 @@ mod tests {
 
     #[test]
     fn shared_ring_collapses_to_one_queue() {
-        let d = VirtioNet::new(n(0), IoPathMode::SharedRing, 4, PageId::new(100));
+        let d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::SharedRing)
+            .queues(4)
+            .rings_at(PageId::new(100))
+            .build_net();
         assert_eq!(d.ring_pages().len(), 2);
         assert_eq!(d.queue_for(v(0)), d.queue_for(v(3)));
     }
 
     #[test]
     fn multiqueue_spreads_vcpus() {
-        let d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 4, PageId::new(100));
+        let d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(4)
+            .rings_at(PageId::new(100))
+            .build_net();
         assert_eq!(d.ring_pages().len(), 8);
         let qs: Vec<QueueId> = (0..4).map(|i| d.queue_for(v(i))).collect();
         let mut uniq = qs.clone();
@@ -572,14 +655,22 @@ mod tests {
 
     #[test]
     fn pinning_overrides_hash() {
-        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 4, PageId::new(100));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(4)
+            .rings_at(PageId::new(100))
+            .build_net();
         d.pin(v(3), QueueId::new(0));
         assert_eq!(d.queue_for(v(3)), QueueId::new(0));
     }
 
     #[test]
     fn local_tx_has_no_kick_message() {
-        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(100));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(2)
+            .rings_at(PageId::new(100))
+            .build_net();
         let (plan, _) = d
             .plan_tx(v(0), n(0), &pages(&[1, 2]), ByteSize::kib(8))
             .unwrap();
@@ -596,7 +687,11 @@ mod tests {
 
     #[test]
     fn delegated_tx_crosses_the_fabric() {
-        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(100));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(2)
+            .rings_at(PageId::new(100))
+            .build_net();
         let (plan, _) = d
             .plan_tx(v(1), n(1), &pages(&[1, 2]), ByteSize::kib(8))
             .unwrap();
@@ -621,7 +716,11 @@ mod tests {
 
     #[test]
     fn bypass_tx_skips_dsm_and_carries_payload() {
-        let mut d = VirtioNet::new(n(0), IoPathMode::MultiqueueBypass, 2, PageId::new(100));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::MultiqueueBypass)
+            .queues(2)
+            .rings_at(PageId::new(100))
+            .build_net();
         let (plan, _) = d
             .plan_tx(v(1), n(1), &pages(&[1, 2]), ByteSize::kib(8))
             .unwrap();
@@ -632,7 +731,11 @@ mod tests {
 
     #[test]
     fn bypass_rx_payload_rides_the_interrupt() {
-        let mut d = VirtioNet::new(n(0), IoPathMode::MultiqueueBypass, 2, PageId::new(100));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::MultiqueueBypass)
+            .queues(2)
+            .rings_at(PageId::new(100))
+            .build_net();
         let (plan, _) = d
             .plan_rx(v(1), n(1), &pages(&[5]), ByteSize::kib(4))
             .unwrap();
@@ -646,7 +749,11 @@ mod tests {
 
     #[test]
     fn dsm_rx_moves_payload_through_protocol() {
-        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(100));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(2)
+            .rings_at(PageId::new(100))
+            .build_net();
         let (plan, _) = d
             .plan_rx(v(1), n(1), &pages(&[5, 6]), ByteSize::kib(8))
             .unwrap();
@@ -658,7 +765,11 @@ mod tests {
 
     #[test]
     fn queue_backpressure() {
-        let mut d = VirtioNet::new(n(0), IoPathMode::Multiqueue, 1, PageId::new(100));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(1)
+            .rings_at(PageId::new(100))
+            .build_net();
         let mut queue = None;
         for _ in 0..QUEUE_DEPTH {
             let (_, q) = d.plan_tx(v(0), n(0), &[], ByteSize::kib(1)).unwrap();
@@ -674,7 +785,11 @@ mod tests {
 
     #[test]
     fn blk_read_fills_guest_buffers() {
-        let mut d = VirtioBlk::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(200));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(2)
+            .rings_at(PageId::new(200))
+            .build_blk();
         let req = BlkRequest {
             bytes: ByteSize::kib(8),
             write: false,
@@ -702,7 +817,11 @@ mod tests {
 
     #[test]
     fn blk_write_reads_guest_buffers_on_device_node() {
-        let mut d = VirtioBlk::new(n(0), IoPathMode::Multiqueue, 2, PageId::new(200));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(2)
+            .rings_at(PageId::new(200))
+            .build_blk();
         let req = BlkRequest {
             bytes: ByteSize::kib(4),
             write: true,
@@ -723,7 +842,11 @@ mod tests {
 
     #[test]
     fn blk_bypass_write_carries_payload_on_kick() {
-        let mut d = VirtioBlk::new(n(0), IoPathMode::MultiqueueBypass, 2, PageId::new(200));
+        let mut d = DeviceConfig::new(n(0))
+            .mode(IoPathMode::MultiqueueBypass)
+            .queues(2)
+            .rings_at(PageId::new(200))
+            .build_blk();
         let req = BlkRequest {
             bytes: ByteSize::kib(16),
             write: true,
@@ -736,7 +859,7 @@ mod tests {
 
     #[test]
     fn console_local_write_is_free() {
-        let mut c = VirtioConsole::new(n(0));
+        let mut c = DeviceConfig::new(n(0)).build_console();
         assert!(c.plan_write(n(0), ByteSize::bytes(80)).is_none());
         let m = c.plan_write(n(2), ByteSize::bytes(80)).unwrap();
         assert_eq!((m.src, m.dst), (n(2), n(0)));

@@ -26,8 +26,8 @@
 pub mod device;
 pub mod plan;
 
-pub use device::{BlkRequest, VirtioBlk, VirtioConsole, VirtioNet};
-pub use plan::{BackendWork, IoPathMode, IoPlan, PageTouch, PlannedMsg};
+pub use device::{BlkRequest, DeviceConfig, VirtioBlk, VirtioConsole, VirtioNet};
+pub use plan::{BackendWork, IoPathMode, IoPlan, PageTouch};
 
 sim_core::define_id!(
     /// Index of a virtqueue pair within one device.

@@ -1,6 +1,6 @@
 //! I/O plan types: what an I/O operation requires from the substrates.
 
-use comm::{MsgClass, NodeId};
+use comm::{Message, NodeId};
 use dsm::{Access, PageId};
 use sim_core::units::ByteSize;
 
@@ -32,19 +32,6 @@ pub struct PageTouch {
     pub page: PageId,
     /// Load or store.
     pub access: Access,
-}
-
-/// One message a plan requires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PlannedMsg {
-    /// Sending node.
-    pub src: NodeId,
-    /// Receiving node.
-    pub dst: NodeId,
-    /// Payload size.
-    pub size: ByteSize,
-    /// Statistics class.
-    pub class: MsgClass,
 }
 
 /// Work performed by the device backend once the request reaches it.
@@ -82,7 +69,7 @@ pub enum BackendWork {
 pub struct CompletionPlan {
     /// Interrupt forwarded to the submitting vCPU's node (None when the
     /// submitter is on the device node — the irqfd fires locally).
-    pub irq_msg: Option<PlannedMsg>,
+    pub irq_msg: Option<Message>,
     /// Used-ring touches on the submitter's node.
     pub guest_touches: Vec<PageTouch>,
 }
@@ -96,7 +83,7 @@ pub struct IoPlan {
     pub guest_touches: Vec<PageTouch>,
     /// The kick (ioeventfd): None when submitter and device are co-located
     /// and the mode does not carry a payload.
-    pub notify: Option<PlannedMsg>,
+    pub notify: Option<Message>,
     /// Ring reads / payload fetches / used-ring writes on the device node.
     pub device_touches: Vec<PageTouch>,
     /// Physical backend work.

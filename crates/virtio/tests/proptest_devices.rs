@@ -4,8 +4,7 @@ use comm::NodeId;
 use dsm::PageId;
 use proptest::prelude::*;
 use sim_core::units::ByteSize;
-use virtio::device::{BlkRequest, VirtioBlk, VirtioNet};
-use virtio::{IoPathMode, VcpuId};
+use virtio::{BlkRequest, DeviceConfig, IoPathMode, VcpuId};
 
 fn modes() -> Vec<IoPathMode> {
     vec![
@@ -28,7 +27,11 @@ proptest! {
         ops in proptest::collection::vec((0u32..4, 1u64..65_536), 1..300),
     ) {
         let mode = modes()[mode_idx];
-        let mut dev = VirtioNet::new(NodeId::new(0), mode, 4, PageId::new(100));
+        let mut dev = DeviceConfig::new(NodeId::new(0))
+            .mode(mode)
+            .queues(4)
+            .rings_at(PageId::new(100))
+            .build_net();
         let mut in_flight: Vec<(virtio::QueueId, usize)> = Vec::new();
         for (i, &(vcpu, bytes)) in ops.iter().enumerate() {
             // Alternate: even ops submit, odd ops complete the oldest.
@@ -72,7 +75,11 @@ proptest! {
         bytes in 1u64..1_000_000,
     ) {
         let mode = modes()[mode_idx];
-        let mut dev = VirtioNet::new(NodeId::new(0), mode, 4, PageId::new(100));
+        let mut dev = DeviceConfig::new(NodeId::new(0))
+            .mode(mode)
+            .queues(4)
+            .rings_at(PageId::new(100))
+            .build_net();
         let pages: Vec<PageId> = payload.iter().map(|&p| PageId::new(p)).collect();
         let (plan, _) = dev
             .plan_tx(VcpuId::new(vcpu), NodeId::new(1), &pages, ByteSize::bytes(bytes))
@@ -105,7 +112,11 @@ proptest! {
         tmpfs in any::<bool>(),
         bytes in 1u64..10_000_000,
     ) {
-        let mut dev = VirtioBlk::new(NodeId::new(0), IoPathMode::Multiqueue, 2, PageId::new(50));
+        let mut dev = DeviceConfig::new(NodeId::new(0))
+            .mode(IoPathMode::Multiqueue)
+            .queues(2)
+            .rings_at(PageId::new(50))
+            .build_blk();
         let buffer = [PageId::new(2_000), PageId::new(2_001)];
         let (plan, _) = dev
             .plan_io(

@@ -9,10 +9,9 @@
 //!
 //! Run with: `cargo run --example consolidation`
 
-use comm::NodeId;
+use aggregate_vm::{NodeId, SimTime};
 use fragvisor::aggregate::consolidate_onto;
 use fragvisor::{scenarios, Distribution};
-use sim_core::time::SimTime;
 use workloads::{NpbClass, NpbKernel};
 
 fn main() {

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use aggregate_vm::SimTime;
 use fragvisor::{AggregateVm, Distribution, HypervisorProfile};
-use sim_core::time::SimTime;
 
 fn run(label: &str, profile: HypervisorProfile, dist: Distribution) -> SimTime {
     let mut sim = AggregateVm::spec()
