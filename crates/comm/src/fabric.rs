@@ -330,6 +330,10 @@ impl Fabric {
         } = msg;
         let profile = self.profile(src, dst);
         let scheduling = self.scheduling;
+        // Under SingleFifo there is no priority tier; the trace's `prio`
+        // field records what actually happened, so the auditor's tier
+        // rules stay vacuous on single-FIFO traces.
+        let on_prio_tier = scheduling == Scheduling::QosClassed && msg.is_priority();
         let link = self
             .links
             .entry((src, dst))
@@ -341,7 +345,7 @@ impl Fabric {
                 link.fifo_free_at = start + base;
                 (start, base, base)
             }
-            Scheduling::QosClassed if msg.is_priority() => {
+            Scheduling::QosClassed if on_prio_tier => {
                 let start = now.max(link.prio_free_at);
                 link.prio_free_at = start + base;
                 (start, base, base)
@@ -351,13 +355,18 @@ impl Fabric {
                 // Weighted-fair share: stretch serialization by the summed
                 // weight of every bulk class currently backlogged (always
                 // including this one, so the stretch factor is >= 1).
+                let wc = w.weight(class).max(1);
+                // `active` is clamped to at least `wc` so a class whose
+                // configured weight is 0 still occupies its own virtual
+                // transmitter (stretch >= 1) instead of serializing in
+                // zero time.
                 let active: u32 = MsgClass::ALL
                     .iter()
                     .filter(|c| !c.latency_critical())
                     .filter(|&&c| c == class || link.bulk_free_at[c.index()] > now)
                     .map(|&c| w.weight(c))
-                    .sum();
-                let wc = w.weight(class).max(1);
+                    .sum::<u32>()
+                    .max(wc);
                 let stretch = |t: SimTime, num: u32| {
                     SimTime::from_nanos((t.as_nanos() as u128 * num as u128 / wc as u128) as u64)
                 };
@@ -379,7 +388,7 @@ impl Fabric {
             src: src.0,
             dst: dst.0,
             class: class.label(),
-            prio: msg.is_priority(),
+            prio: on_prio_tier,
             bytes: size.as_u64(),
             queued_ns: (start - now).as_nanos(),
             serialize_ns: serialize.as_nanos(),
@@ -581,6 +590,49 @@ mod tests {
         );
         // The slowdown is far below checkpoint's bound but present.
         assert!(serialize_ns > 4096);
+    }
+
+    #[test]
+    fn zero_weight_class_still_occupies_its_transmitter() {
+        let mut profile = test_profile();
+        profile.weights.checkpoint = 0;
+        let mut f = Fabric::homogeneous(2, profile);
+        // Alone on the link, a zero-weight class serializes at full
+        // bandwidth rather than in zero time...
+        let d1 = f
+            .send(SimTime::ZERO, msg(0, 1, 1_000_000, MsgClass::Checkpoint))
+            .unwrap();
+        assert!(
+            d1.deliver_at >= SimTime::from_millis(1),
+            "{}",
+            d1.deliver_at
+        );
+        // ...and its virtual transmitter stays occupied, so a second
+        // message queues behind the first instead of also finishing
+        // instantly.
+        let d2 = f
+            .send(SimTime::ZERO, msg(0, 1, 1_000_000, MsgClass::Checkpoint))
+            .unwrap();
+        assert!(d2.deliver_at >= d1.deliver_at + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn single_fifo_trace_records_no_priority_tier() {
+        use sim_core::trace::Tracer;
+        let mut f = Fabric::homogeneous(2, test_profile());
+        f.set_scheduling(Scheduling::SingleFifo);
+        let tracer = Tracer::ring(16);
+        f.attach_tracer(tracer.clone());
+        let _ = f.send(SimTime::ZERO, msg(0, 1, 64, MsgClass::Interrupt));
+        let _ = f.send(SimTime::ZERO, msg(0, 1, 64, MsgClass::Migration).urgent());
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 2);
+        for ev in &events {
+            match ev {
+                TraceEvent::FabricSend { prio, .. } => assert!(!prio),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 
     #[test]

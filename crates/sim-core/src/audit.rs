@@ -12,19 +12,27 @@
 //! * **Work conservation** — a processor-sharing CPU never reports more
 //!   delivered work than `busy_time × speed`, and is never busier than
 //!   elapsed virtual time.
-//! * **Per-(link, class) FIFO** — a fabric link delivers messages of the
-//!   same class in submission order (modulo explicit queue resets when a
-//!   link profile is replaced). Cross-class reordering is legal: that is
-//!   what the QoS scheduler is for.
-//! * **No priority inversion** — a strict-priority message (`prio: true`)
-//!   queues only behind earlier priority traffic on its link, never behind
-//!   bulk streams.
+//! * **Per-(link, class, tier) FIFO** — a fabric link delivers messages
+//!   of the same class *and the same scheduling tier* in submission order
+//!   (modulo explicit queue resets when a link profile is replaced).
+//!   Cross-class reordering is legal — that is what the QoS scheduler is
+//!   for — and so is an `Urgency::Critical` bulk message overtaking
+//!   normal same-class traffic: it rides the priority tier, which is a
+//!   separate FIFO domain.
+//! * **No priority inversion** — a message that rode the strict-priority
+//!   tier (`prio: true`) queues only behind earlier priority traffic on
+//!   its link, never behind bulk streams.
 //! * **No class starvation** — a bulk message's weighted-fair
 //!   serialization stretch never exceeds the bound its class weight
 //!   permits (`serialize_ns <= bound_ns`).
 //!
 //! The fabric rules assume a complete event stream; traces captured with
-//! `Tracer::with_sampling` skip emissions and must not be audited.
+//! `Tracer::with_sampling` skip emissions and must not be audited. They
+//! hold under either scheduling discipline: `Scheduling::SingleFifo`
+//! traces record `prio: false` on every send (there is no priority tier
+//! to ride), which keeps the priority-inversion rule vacuous there, and
+//! single-FIFO serialization is trivially per-class FIFO and within the
+//! emitted bound.
 //!
 //! The auditor is deliberately tolerant of *truncated* traces (the sink is
 //! a ring buffer): DSM events for pages whose allocation fell out of the
@@ -72,8 +80,10 @@ struct ShadowPage {
 /// Per-link QoS shadow state.
 #[derive(Debug, Default)]
 struct ShadowLink {
-    /// Latest delivery time seen per message class.
-    last_deliver: BTreeMap<&'static str, u64>,
+    /// Latest delivery time seen per (message class, priority tier).
+    /// The tiers are separate transmitters, so an urgent bulk message on
+    /// the priority tier may legally overtake normal same-class traffic.
+    last_deliver: BTreeMap<(&'static str, bool), u64>,
     /// When the strict-priority transmitter frees up, replayed from the
     /// priority messages seen so far.
     prio_free: u64,
@@ -270,15 +280,16 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 ..
             } => {
                 let link = links.entry((src, dst)).or_default();
-                let last = link.last_deliver.entry(class).or_default();
+                let last = link.last_deliver.entry((class, prio)).or_default();
                 if deliver_at < *last {
+                    let tier = if prio { "priority" } else { "bulk" };
                     flag(
                         i,
                         at,
                         "fabric-class-fifo",
                         format!(
-                            "link {src}->{dst} class {class} delivers at {deliver_at} \
-                             before earlier message at {last}"
+                            "link {src}->{dst} class {class} ({tier} tier) delivers \
+                             at {deliver_at} before earlier message at {last}"
                         ),
                     );
                 }
@@ -609,6 +620,84 @@ mod tests {
         // page: exactly what the QoS scheduler is supposed to produce.
         let events = [send(0, "checkpoint", 0, 10_000), send(10, "dsm", 0, 90)];
         assert!(audit(&events).is_empty());
+    }
+
+    #[test]
+    fn urgent_same_class_overtake_via_priority_tier_is_legal() {
+        // A 10 MiB Migration stream drains on the bulk tier while a later
+        // urgent 64 B Migration message (a vCPU location-table update)
+        // rides the priority tier and delivers first. Same class, different
+        // tier: separate FIFO domains, no violation.
+        let events = [
+            E::FabricSend {
+                at: 0,
+                src: 0,
+                dst: 1,
+                class: "migration",
+                prio: false,
+                bytes: 10 << 20,
+                queued_ns: 0,
+                serialize_ns: 10_000_000,
+                bound_ns: 150_000_000,
+                deliver_at: 10_002_000,
+            },
+            E::FabricSend {
+                at: 10,
+                src: 0,
+                dst: 1,
+                class: "migration",
+                prio: true,
+                bytes: 64,
+                queued_ns: 0,
+                serialize_ns: 64,
+                bound_ns: 64,
+                deliver_at: 2_074,
+            },
+        ];
+        assert!(audit(&events).is_empty(), "{:?}", audit(&events));
+    }
+
+    #[test]
+    fn same_tier_same_class_fifo_still_enforced_per_tier() {
+        // Two urgent (priority-tier) migration messages delivering out of
+        // order is still a FIFO violation within the (class, tier) domain.
+        let mk = |at, deliver_at| E::FabricSend {
+            at,
+            src: 0,
+            dst: 1,
+            class: "migration",
+            prio: true,
+            bytes: 64,
+            queued_ns: 0,
+            serialize_ns: 64,
+            bound_ns: 64,
+            deliver_at,
+        };
+        let v = audit(&[mk(0, 2_000), mk(10, 1_500)]);
+        assert!(v.iter().any(|v| v.rule == "fabric-class-fifo"), "{v:?}");
+    }
+
+    #[test]
+    fn single_fifo_trace_audits_clean() {
+        // Under Scheduling::SingleFifo the fabric emits prio: false even
+        // for interrupts, so an IPI legally queueing behind a checkpoint
+        // burst must not be flagged as priority inversion.
+        let events = [
+            send(0, "checkpoint", 0, 10_000),
+            E::FabricSend {
+                at: 10,
+                src: 0,
+                dst: 1,
+                class: "interrupt",
+                prio: false,
+                bytes: 64,
+                queued_ns: 9_990,
+                serialize_ns: 64,
+                bound_ns: 64,
+                deliver_at: 11_000,
+            },
+        ];
+        assert!(audit(&events).is_empty(), "{:?}", audit(&events));
     }
 
     #[test]
