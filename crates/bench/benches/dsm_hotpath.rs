@@ -1,0 +1,139 @@
+//! Microbenchmarks of the DSM directory's hot paths: the access fast path
+//! (hit storm), the fault slow paths (read-share fan-out, write ping-pong)
+//! and node drain. These are the operations every figure experiment runs
+//! millions of times, so their throughput bounds the simulator's own speed.
+//!
+//! The drain benchmarks grow the *non-owned* part of the directory 10x
+//! while the drained node's footprint stays fixed: with the per-node owned
+//! index, drain time must stay flat (O(pages owned by the drained node)),
+//! not scale with directory size.
+//!
+//! Set `DSM_HOTPATH_SMOKE=1` to run a single tiny iteration of each case
+//! (the CI smoke mode; numbers are meaningless but the harness is proven).
+
+use comm::NodeId;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dsm::{Access, Dsm, DsmConfig, PageClass, PageId};
+
+fn smoke() -> bool {
+    std::env::var_os("DSM_HOTPATH_SMOKE").is_some()
+}
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn p(i: u32) -> PageId {
+    PageId::new(i)
+}
+
+/// A directory with `total` pages: the first `owned` homed on node 1, the
+/// rest on node 0. Node 2 shares every 16th of node 0's pages so drain
+/// also exercises the shared-copy drop path.
+fn directory(total: u32, owned: u32) -> Dsm {
+    let mut d = Dsm::new(DsmConfig::fragvisor());
+    for i in 0..owned {
+        d.ensure_page(p(i), n(1), PageClass::Private);
+    }
+    for i in owned..total {
+        d.ensure_page(p(i), n(0), PageClass::Private);
+        if i % 16 == 0 {
+            let _ = d.access(n(2), p(i), Access::Read);
+        }
+    }
+    d
+}
+
+fn hit_storm(c: &mut Criterion) {
+    let (pages, accesses) = if smoke() { (64, 256) } else { (4096, 65_536) };
+    let mut d = Dsm::new(DsmConfig::fragvisor());
+    for i in 0..pages {
+        d.ensure_page(p(i), n(0), PageClass::Private);
+    }
+    let mut g = c.benchmark_group("dsm_hotpath");
+    g.throughput(Throughput::Elements(accesses as u64));
+    g.bench_function("hit_storm", |b| {
+        b.iter(|| {
+            for i in 0..accesses {
+                black_box(d.access(n(0), p(i % pages), Access::Read));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn read_share_fanout(c: &mut Criterion) {
+    let (pages, readers) = if smoke() { (64u32, 3u32) } else { (2048, 7) };
+    let mut g = c.benchmark_group("dsm_hotpath");
+    g.throughput(Throughput::Elements(pages as u64 * readers as u64));
+    g.bench_function("read_share_fanout", |b| {
+        b.iter_batched(
+            || {
+                let mut d = Dsm::new(DsmConfig::fragvisor());
+                for i in 0..pages {
+                    d.ensure_page(p(i), n(0), PageClass::AppShared);
+                }
+                d
+            },
+            |mut d| {
+                for r in 1..=readers {
+                    for i in 0..pages {
+                        black_box(d.access(n(r), p(i), Access::Read));
+                    }
+                }
+                d
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn write_ping_pong(c: &mut Criterion) {
+    let rounds = if smoke() { 256 } else { 16_384u32 };
+    let mut d = Dsm::new(DsmConfig::fragvisor());
+    d.ensure_page(p(0), n(0), PageClass::AppShared);
+    let mut g = c.benchmark_group("dsm_hotpath");
+    g.throughput(Throughput::Elements(rounds as u64));
+    g.bench_function("write_ping_pong", |b| {
+        b.iter(|| {
+            for i in 0..rounds {
+                black_box(d.access(n(i % 2 + 1), p(0), Access::Write));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn drain(c: &mut Criterion) {
+    // The drained node's footprint is fixed; the directory grows 10x.
+    let (owned, sizes): (u32, [u32; 2]) = if smoke() {
+        (64, [256, 2560])
+    } else {
+        (4096, [20_480, 204_800])
+    };
+    for total in sizes {
+        let mut g = c.benchmark_group("dsm_hotpath");
+        g.throughput(Throughput::Elements(owned as u64));
+        g.sample_size(if smoke() { 1 } else { 10 });
+        g.bench_function(&format!("drain_{owned}_of_{total}"), |b| {
+            b.iter_batched(
+                || directory(total, owned),
+                |mut d| {
+                    let moved = d.drain_node(n(1), n(0));
+                    assert_eq!(moved, owned as u64);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = dsm_hotpath;
+    config = Criterion::default().sample_size(if smoke() { 1 } else { 20 });
+    targets = hit_storm, read_share_fanout, write_ping_pong, drain
+}
+criterion_main!(dsm_hotpath);

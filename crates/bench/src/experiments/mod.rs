@@ -2,6 +2,15 @@
 //!
 //! See `DESIGN.md` §4 for the experiment index. All functions are pure
 //! (deterministic, seed-fixed) and return a [`crate::report::Table`].
+//!
+//! # Determinism contract
+//!
+//! Every experiment derives all randomness from its own fixed seeds and
+//! touches no shared mutable state, so the figure set can be generated in
+//! any order — or concurrently — and produce identical tables.
+//! [`all_parallel`] relies on this: it fans the experiments out over a
+//! thread pool, then reassembles the results in paper order, so its output
+//! (and the JSON/Markdown rendered from it) is byte-identical to [`all`].
 
 mod apps;
 mod extensions;
@@ -24,22 +33,78 @@ pub use qos::qos_fabric_study;
 pub use resilience::fig11_checkpoint;
 pub use sched::fig14_sched_migration;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use crate::report::Table;
 
-/// Runs every figure experiment, in paper order.
+/// A named figure generator: `(name, zero-argument experiment fn)`.
+pub type Figure = (&'static str, fn() -> Table);
+
+/// Every figure experiment in paper order.
+///
+/// [`all`] and [`all_parallel`] both draw from this list, so the serial
+/// and parallel runners can never diverge on coverage or order.
+pub const FIGURES: &[Figure] = &[
+    ("fig01_sharing_study", fig01_sharing_study),
+    ("fig04_dsm_fault_overhead", fig04_dsm_fault_overhead),
+    ("fig05_concurrent_writes", fig05_concurrent_writes),
+    ("fig06_net_delegation", fig06_net_delegation),
+    ("fig07_storage_delegation", fig07_storage_delegation),
+    ("fig08_npb_overcommit", fig08_npb_overcommit),
+    ("fig09_npb_giantvm", fig09_npb_giantvm),
+    ("fig10_guest_opts", fig10_guest_opts),
+    ("fig11_checkpoint", fig11_checkpoint),
+    ("fig12_lemp", fig12_lemp),
+    ("fig13_openlambda", fig13_openlambda),
+    ("fig14_sched_migration", fig14_sched_migration),
+];
+
+/// Runs every figure experiment serially, in paper order.
 pub fn all() -> Vec<Table> {
-    vec![
-        fig01_sharing_study(),
-        fig04_dsm_fault_overhead(),
-        fig05_concurrent_writes(),
-        fig06_net_delegation(),
-        fig07_storage_delegation(),
-        fig08_npb_overcommit(),
-        fig09_npb_giantvm(),
-        fig10_guest_opts(),
-        fig11_checkpoint(),
-        fig12_lemp(),
-        fig13_openlambda(),
-        fig14_sched_migration(),
-    ]
+    FIGURES.iter().map(|&(_, f)| f()).collect()
+}
+
+/// Runs every figure experiment on up to `jobs` worker threads and returns
+/// the tables in paper order.
+///
+/// Workers claim experiments from a shared counter (longest-first would
+/// need duration profiles; a simple claim queue keeps the slowest figure
+/// from being scheduled last only by luck). Output is byte-identical to
+/// [`all`] regardless of `jobs` — see the module-level determinism
+/// contract. `jobs == 1` short-circuits to the serial runner.
+///
+/// # Panics
+///
+/// Panics if any experiment panics (the panic is propagated once all other
+/// workers finish).
+pub fn all_parallel(jobs: usize) -> Vec<Table> {
+    let jobs = jobs.clamp(1, FIGURES.len());
+    if jobs == 1 {
+        return all();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Table)>> = Mutex::new(Vec::with_capacity(FIGURES.len()));
+    std::thread::scope(|s| {
+        for w in 0..jobs {
+            let (next, done) = (&next, &done);
+            // Simulated guests can nest deeply; give workers the same 8 MiB
+            // the main thread gets rather than the 2 MiB spawn default.
+            std::thread::Builder::new()
+                .name(format!("figures-{w}"))
+                .stack_size(8 << 20)
+                .spawn_scoped(s, move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(_, f)) = FIGURES.get(i) else {
+                        break;
+                    };
+                    let table = f();
+                    done.lock().expect("figure result lock").push((i, table));
+                })
+                .expect("spawn figure worker");
+        }
+    });
+    let mut done = done.into_inner().expect("figure result lock");
+    done.sort_by_key(|&(i, _)| i);
+    done.into_iter().map(|(_, t)| t).collect()
 }

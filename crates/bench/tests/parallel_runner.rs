@@ -1,0 +1,21 @@
+//! The parallel figure runner must be invisible in the output: same
+//! tables, same order, byte-identical serializations.
+
+use bench_harness::experiments::{all, all_parallel, FIGURES};
+use bench_harness::report::tables_to_json;
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let serial = all();
+    // More jobs than experiments also exercises the clamp path. (The
+    // `jobs == 1` case short-circuits to `all()` and needs no test.)
+    let parallel = all_parallel(FIGURES.len() * 2);
+    assert_eq!(serial.len(), FIGURES.len());
+    assert_eq!(parallel.len(), serial.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.id, p.id);
+        assert_eq!(s.render(), p.render(), "{} diverged", s.id);
+        assert_eq!(s.to_markdown(), p.to_markdown(), "{} diverged", s.id);
+    }
+    assert_eq!(tables_to_json(&serial), tables_to_json(&parallel));
+}

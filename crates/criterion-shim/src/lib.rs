@@ -1,12 +1,15 @@
 //! A tiny micro-benchmark harness exposing the subset of the `criterion`
-//! API the workspace benches use (`Criterion::bench_function`, `Bencher::iter`,
+//! API the workspace benches use (`Criterion::bench_function`,
+//! `Criterion::benchmark_group`, `Throughput`, `Bencher::iter`/`iter_batched`,
 //! `black_box`, `criterion_group!`, `criterion_main!`).
 //!
 //! The build environment is fully offline, so the real criterion crate cannot
 //! be fetched; this shim keeps `cargo bench` working with the same bench
 //! sources. It measures wall-clock time per iteration and prints a one-line
-//! summary (min / mean) per benchmark — enough to spot order-of-magnitude
-//! regressions, without criterion's statistical machinery.
+//! summary (min / mean, plus a per-iteration rate when the benchmark
+//! declares a [`Throughput`]) per benchmark — enough to spot
+//! order-of-magnitude regressions, without criterion's statistical
+//! machinery.
 
 use std::time::Instant;
 
@@ -14,6 +17,48 @@ use std::time::Instant;
 /// benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Work performed per benchmark iteration, used to report rates
+/// (elements or bytes per second) alongside raw timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements (accesses,
+    /// messages, pages...). Reported as `elem/s`.
+    Elements(u64),
+    /// Each iteration processes this many bytes. Reported as `B/s`.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// Renders the per-second rate implied by a mean iteration time.
+    fn rate(self, mean_nanos: u128) -> String {
+        if mean_nanos == 0 {
+            return "inf".to_string();
+        }
+        let per_sec = |n: u64| n as f64 * 1e9 / mean_nanos as f64;
+        match self {
+            Throughput::Elements(n) => scaled(
+                per_sec(n),
+                &["elem/s", "Kelem/s", "Melem/s", "Gelem/s"],
+                1000.0,
+            ),
+            Throughput::Bytes(n) => scaled(per_sec(n), &["B/s", "KiB/s", "MiB/s", "GiB/s"], 1024.0),
+        }
+    }
+}
+
+/// Scales `rate` through the given unit ladder (factor per rung).
+fn scaled(mut rate: f64, units: &[&str], step: f64) -> String {
+    let mut unit = units[0];
+    for u in &units[1..] {
+        if rate < step {
+            break;
+        }
+        rate /= step;
+        unit = u;
+    }
+    format!("{rate:.2} {unit}")
 }
 
 /// Benchmark registry + configuration (sample count).
@@ -34,32 +79,90 @@ impl Criterion {
         self
     }
 
+    /// Opens a named benchmark group. Benchmarks registered on the group
+    /// are prefixed `group/name` and may declare a [`Throughput`] so the
+    /// report carries per-iteration rates.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
     /// Runs one named benchmark: calls `f` with a [`Bencher`], then prints a
     /// one-line timing summary.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            samples: self.sample_size,
-            nanos: Vec::new(),
-        };
-        f(&mut b);
-        if b.nanos.is_empty() {
-            println!("{name:<40} (no samples)");
-            return self;
-        }
-        b.nanos.sort_unstable();
-        let min = b.nanos[0];
-        let mean = b.nanos.iter().sum::<u128>() / b.nanos.len() as u128;
-        println!(
-            "{name:<40} min {:>12} ns   mean {:>12} ns   ({} samples)",
-            min,
-            mean,
-            b.nanos.len()
-        );
+        run_one(name, self.sample_size, None, &mut f);
         self
     }
+}
+
+/// A named group of benchmarks sharing a [`Throughput`] declaration
+/// (criterion-compatible surface).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration of subsequent benchmarks;
+    /// the report then includes an `elem/s` or `B/s` rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group (`group/name` in the report).
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs one benchmark and prints its report line.
+fn run_one<F>(name: &str, samples: usize, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        nanos: Vec::new(),
+    };
+    f(&mut b);
+    if b.nanos.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    b.nanos.sort_unstable();
+    let min = b.nanos[0];
+    let mean = b.nanos.iter().sum::<u128>() / b.nanos.len() as u128;
+    let rate = throughput.map_or_else(String::new, |t| format!("   {:>14}", t.rate(mean)));
+    println!(
+        "{name:<44} min {:>12} ns   mean {:>12} ns{rate}   ({} samples)",
+        min,
+        mean,
+        b.nanos.len()
+    );
 }
 
 /// Per-benchmark timing driver handed to the bench closure.
@@ -78,6 +181,42 @@ impl Bencher {
             self.nanos.push(start.elapsed().as_nanos());
         }
     }
+
+    /// Times `routine` on a fresh input from `setup` each sample; only the
+    /// routine is timed. Use when the measured operation consumes its input
+    /// (e.g. draining a directory) so rebuild cost stays out of the numbers.
+    ///
+    /// Unlike real criterion, the *drop* of the routine's output is also
+    /// excluded from the timed window (criterion offers
+    /// `iter_with_large_drop` for that; the shim folds it in here) — so a
+    /// routine may return its large input to keep deallocation out of the
+    /// measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(input));
+            self.nanos.push(start.elapsed().as_nanos());
+            drop(out);
+        }
+    }
+}
+
+/// Batching hint (criterion API compatibility; the shim always runs one
+/// setup per timed sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Input is cheap to hold; criterion would batch many per allocation.
+    SmallInput,
+    /// Input is large; criterion would batch few per allocation.
+    LargeInput,
+    /// One setup per iteration (exactly what the shim does anyway).
+    PerIteration,
 }
 
 /// Declares a benchmark group function (criterion-compatible forms).
@@ -134,5 +273,53 @@ mod tests {
         };
         b.iter(|| black_box(42));
         assert_eq!(b.nanos.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_per_fresh_input() {
+        let mut b = Bencher {
+            samples: 4,
+            nanos: Vec::new(),
+        };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u64; 16]
+            },
+            |v| v.into_iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        // One warm-up setup plus one per timed sample.
+        assert_eq!(setups, 5);
+        assert_eq!(b.nanos.len(), 4);
+    }
+
+    #[test]
+    fn benchmark_group_runs_with_throughput() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(1000));
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // Warm-up + 2 samples.
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn throughput_rates_scale_units() {
+        // 1000 elements in 1 us = 1e9 elem/s = 1 Gelem/s.
+        assert_eq!(Throughput::Elements(1000).rate(1_000), "1.00 Gelem/s");
+        // 4096 bytes in 1 ms ~ 4 MB/s = 3.91 MiB/s.
+        assert_eq!(Throughput::Bytes(4096).rate(1_000_000), "3.91 MiB/s");
+        // Tiny rates stay in the base unit.
+        assert_eq!(Throughput::Elements(1).rate(2_000_000_000), "0.50 elem/s");
+        // Degenerate zero-mean guard.
+        assert_eq!(Throughput::Elements(1).rate(0), "inf");
     }
 }

@@ -1,8 +1,26 @@
 //! The directory-based MSI page-coherence protocol.
+//!
+//! # Directory data layout
+//!
+//! The directory is built for speed on the simulator's hottest path: every
+//! remote access in every figure experiment walks [`Dsm::access`].
+//!
+//! * Sharer sets are [`NodeSet`] bitsets (one inline `u64` word for up to
+//!   64 nodes, spilling to a boxed word vector beyond) — membership is a
+//!   bit test, invalidation fan-out is a word scan.
+//! * Per-node accounting is maintained *incrementally* on every
+//!   transition: exact `owned`/`cached` counters (so
+//!   [`Dsm::pages_owned_by`], [`Dsm::pages_cached_on`] and
+//!   [`Dsm::owned_distribution`] are O(1)/O(nodes) instead of
+//!   O(directory)) plus an append-only per-node page log with amortized
+//!   compaction, so [`Dsm::drain_node`] walks only the pages the drained
+//!   node actually holds instead of the whole directory — while the fault
+//!   path pays a single `Vec::push`, not a tree insert.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use comm::NodeId;
+use sim_core::nodeset::NodeSet;
 use sim_core::time::SimTime;
 use sim_core::trace::{TraceEvent, Tracer};
 use sim_core::units::ByteSize;
@@ -54,11 +72,60 @@ pub enum Mode {
 struct PageEntry {
     owner: NodeId,
     mode: Mode,
-    /// Nodes holding a valid copy (always includes the owner).
-    sharers: BTreeSet<NodeId>,
+    /// Nodes holding a valid copy (always includes the owner), as a
+    /// compact bitset over node indices.
+    sharers: NodeSet,
     class: PageClass,
     /// Completion time of the last transaction touching this page.
     busy_until: SimTime,
+}
+
+impl PageEntry {
+    #[inline]
+    fn shares_with(&self, node: NodeId) -> bool {
+        self.sharers.contains(node.0)
+    }
+}
+
+/// Incrementally-maintained accounting for one node, updated on every
+/// directory transition.
+///
+/// The counters are exact (every transition adds/subtracts), which makes
+/// the accounting queries O(1). The page *index* is an append-only log:
+/// gaining a copy or ownership pushes one entry (a `Vec::push`, so the
+/// fault path pays almost nothing); *losing* a copy leaves a stale entry
+/// behind. [`Dsm::drain_node`] sorts + dedups the log and skips entries
+/// the directory no longer confirms, and amortized compaction
+/// ([`Dsm::maybe_compact`]) keeps each log within a constant factor of the
+/// node's live footprint.
+///
+/// Invariant: every page where this node is a sharer (or owner) has at
+/// least one log entry. Compaction preserves it, and only compaction or
+/// drain remove entries.
+#[derive(Debug, Clone, Default)]
+struct NodeIndex {
+    /// Pages whose master copy lives on this node (excludes bulk pages).
+    owned: u64,
+    /// Pages this node holds a valid copy of (owned or shared).
+    cached: u64,
+    /// Append-only candidate index: every page this node gained a copy of
+    /// since the last compaction (may contain stale entries + duplicates).
+    log: Vec<PageId>,
+}
+
+/// Logs below this length never compact (the sort isn't worth it).
+const COMPACT_MIN: usize = 64;
+
+/// The index slot for `node`, growing the table on first sight. A free
+/// function (not a method) so callers can hold a `pages` entry borrow and
+/// still update the node indices — the borrows are on disjoint fields.
+#[inline]
+fn slot(nodes: &mut Vec<NodeIndex>, node: NodeId) -> &mut NodeIndex {
+    let i = node.index();
+    if nodes.len() <= i {
+        nodes.resize_with(i + 1, NodeIndex::default);
+    }
+    &mut nodes[i]
 }
 
 /// The protocol action a fault requires.
@@ -158,7 +225,11 @@ pub struct Dsm {
     /// Bulk-registered resident pages per home node: datasets that exist
     /// (and are checkpointed, migrated, etc.) but are never accessed
     /// individually by a program. Keeps multi-GiB guests cheap to model.
-    bulk: std::collections::BTreeMap<NodeId, u64>,
+    bulk: BTreeMap<NodeId, u64>,
+    /// Per-node incremental indices (`nodes[i]` is node `i`); grown on
+    /// demand. Kept in sync with `pages` on every transition so the
+    /// accounting queries never scan the directory.
+    nodes: Vec<NodeIndex>,
     stats: DsmStats,
     tracer: Tracer,
     /// Clock hint stamped on trace events. The directory itself is untimed
@@ -173,11 +244,18 @@ impl Dsm {
         Dsm {
             config,
             pages: HashMap::new(),
-            bulk: std::collections::BTreeMap::new(),
+            bulk: BTreeMap::new(),
+            nodes: Vec::new(),
             stats: DsmStats::default(),
             tracer: Tracer::disabled(),
             clock: SimTime::ZERO,
         }
+    }
+
+    /// The index slot for `node`, growing the table on first sight.
+    #[inline]
+    fn node_index(&mut self, node: NodeId) -> &mut NodeIndex {
+        slot(&mut self.nodes, node)
     }
 
     /// Attaches a trace sink; directory transitions emit typed events.
@@ -211,11 +289,15 @@ impl Dsm {
             PageEntry {
                 owner: home,
                 mode: Mode::Exclusive,
-                sharers: BTreeSet::from([home]),
+                sharers: NodeSet::singleton(home.0),
                 class,
                 busy_until: SimTime::ZERO,
             },
         );
+        let ni = self.node_index(home);
+        ni.owned += 1;
+        ni.cached += 1;
+        ni.log.push(page);
     }
 
     /// Returns whether the page is known to the directory.
@@ -240,9 +322,7 @@ impl Dsm {
 
     /// Whether `node` holds a valid copy of `page`.
     pub fn is_cached(&self, page: PageId, node: NodeId) -> bool {
-        self.pages
-            .get(&page)
-            .is_some_and(|e| e.sharers.contains(&node))
+        self.pages.get(&page).is_some_and(|e| e.shares_with(node))
     }
 
     /// Completion time of the last transaction on this page; a new fault
@@ -294,9 +374,9 @@ impl Dsm {
         let class = entry.class;
         let at = self.clock.as_nanos();
         let pg = u64::from(page.0);
-        match access {
+        let resolution = match access {
             Access::Read => {
-                if entry.sharers.contains(&node) {
+                if entry.shares_with(node) {
                     self.stats.hits += 1;
                     self.tracer.emit_with(|| TraceEvent::DsmHit {
                         at,
@@ -309,7 +389,10 @@ impl Dsm {
                 // Fetch a shared copy from the owner.
                 let owner = entry.owner;
                 entry.mode = Mode::Shared;
-                entry.sharers.insert(node);
+                entry.sharers.insert(node.0);
+                let ni = slot(&mut self.nodes, node);
+                ni.cached += 1;
+                ni.log.push(page);
                 self.stats.read_faults += 1;
                 self.stats.per_class.record(class, 1);
                 self.tracer.emit_with(|| TraceEvent::DsmFault {
@@ -350,12 +433,14 @@ impl Dsm {
                 let dirty_bit_msg = self.config.dirty_bit_tracking;
                 let plan = if is_owner {
                     // Owner upgrades a shared page: invalidate other copies.
-                    let invalidate: Vec<NodeId> = entry
-                        .sharers
-                        .iter()
-                        .copied()
-                        .filter(|&s| s != node)
-                        .collect();
+                    let mut invalidate = Vec::new();
+                    for s in entry.sharers.iter() {
+                        if s == node.0 {
+                            continue;
+                        }
+                        invalidate.push(NodeId::new(s));
+                        slot(&mut self.nodes, NodeId::new(s)).cached -= 1;
+                    }
                     self.stats.invalidations += invalidate.len() as u64;
                     self.tracer.emit_with(|| TraceEvent::DsmFault {
                         at,
@@ -380,12 +465,31 @@ impl Dsm {
                     }
                 } else {
                     let owner = entry.owner;
-                    let invalidate: Vec<NodeId> = entry
-                        .sharers
-                        .iter()
-                        .copied()
-                        .filter(|&s| s != node && s != owner)
-                        .collect();
+                    let mut invalidate = Vec::new();
+                    let mut node_had_copy = false;
+                    for s in entry.sharers.iter() {
+                        if s == node.0 {
+                            node_had_copy = true;
+                            continue;
+                        }
+                        if s == owner.0 {
+                            continue;
+                        }
+                        invalidate.push(NodeId::new(s));
+                        slot(&mut self.nodes, NodeId::new(s)).cached -= 1;
+                    }
+                    // The old owner gives up its copy along with ownership;
+                    // the writer gains ownership (and a copy, unless its
+                    // shared copy upgrades in place).
+                    let o = slot(&mut self.nodes, owner);
+                    o.owned -= 1;
+                    o.cached -= 1;
+                    let ni = slot(&mut self.nodes, node);
+                    ni.owned += 1;
+                    if !node_had_copy {
+                        ni.cached += 1;
+                        ni.log.push(page);
+                    }
                     self.stats.invalidations += (invalidate.len() + 1) as u64;
                     self.tracer.emit_with(|| TraceEvent::DsmFault {
                         at,
@@ -400,7 +504,6 @@ impl Dsm {
                             node: s.0,
                         });
                     }
-                    // The old owner gives up its copy along with ownership.
                     self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
                         at,
                         page: pg,
@@ -424,7 +527,7 @@ impl Dsm {
                 entry.owner = node;
                 entry.mode = Mode::Exclusive;
                 entry.sharers.clear();
-                entry.sharers.insert(node);
+                entry.sharers.insert(node.0);
                 self.stats.write_faults += 1;
                 self.stats.per_class.record(class, 1);
                 self.tracer.emit_with(|| TraceEvent::DsmGrant {
@@ -435,15 +538,23 @@ impl Dsm {
                 });
                 Resolution::Fault(plan)
             }
-        }
+        };
+        // Fault paths may have appended to the faulting node's page log;
+        // bound it (amortized) now that the entry borrow is released.
+        self.maybe_compact(node);
+        resolution
     }
 
-    /// Registers `pages` resident pages homed on `node` without creating
+    /// Registers `pages` resident pages homed on `home` without creating
     /// per-page directory entries.
     ///
     /// Use for large at-rest datasets (multi-GiB checkpointing workloads)
     /// that contribute to footprint accounting but are never accessed
-    /// through [`Dsm::access`].
+    /// through [`Dsm::access`]. Bulk pages are invisible to [`Dsm::access`]:
+    /// they never fault, never appear in sharer sets, and only show up in
+    /// the accounting queries ([`Dsm::pages_owned_by`],
+    /// [`Dsm::owned_distribution`], [`Dsm::total_pages`]) and in
+    /// [`Dsm::drain_node`], which moves them wholesale.
     pub fn register_bulk(&mut self, home: NodeId, pages: u64) {
         *self.bulk.entry(home).or_insert(0) += pages;
     }
@@ -463,11 +574,14 @@ impl Dsm {
             let Some(e) = self.pages.get_mut(&next) else {
                 break;
             };
-            if e.owner != owner || e.sharers.contains(&node) {
+            if e.owner != owner || e.shares_with(node) {
                 break;
             }
             e.mode = Mode::Shared;
-            e.sharers.insert(node);
+            e.sharers.insert(node.0);
+            let ni = slot(&mut self.nodes, node);
+            ni.cached += 1;
+            ni.log.push(next);
             self.tracer.emit_with(|| TraceEvent::DsmPrefetch {
                 at,
                 page: u64::from(next.0),
@@ -487,27 +601,47 @@ impl Dsm {
 
     /// Per-node count of pages whose master copy lives there (including
     /// bulk-registered pages), ascending by node id. Nodes owning nothing
-    /// are omitted.
+    /// are omitted. O(nodes): reads the incremental indices, never the
+    /// directory.
     pub fn owned_distribution(&self) -> Vec<(NodeId, u64)> {
         let mut map = self.bulk.clone();
-        for e in self.pages.values() {
-            *map.entry(e.owner).or_insert(0) += 1;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.owned > 0 {
+                *map.entry(NodeId::from_usize(i)).or_insert(0) += n.owned;
+            }
         }
         map.into_iter().filter(|&(_, c)| c > 0).collect()
     }
 
-    /// Number of pages whose master copy lives on `node`.
+    /// Number of pages whose master copy lives on `node`. O(1).
     pub fn pages_owned_by(&self, node: NodeId) -> u64 {
-        self.pages.values().filter(|e| e.owner == node).count() as u64
+        self.nodes.get(node.index()).map_or(0, |n| n.owned)
             + self.bulk.get(&node).copied().unwrap_or(0)
     }
 
     /// Number of pages `node` holds a valid copy of (owned or shared).
+    /// O(1).
     pub fn pages_cached_on(&self, node: NodeId) -> u64 {
-        self.pages
-            .values()
-            .filter(|e| e.sharers.contains(&node))
-            .count() as u64
+        self.nodes.get(node.index()).map_or(0, |n| n.cached)
+    }
+
+    /// Compacts `node`'s page log when it has outgrown the node's live
+    /// footprint: sort + dedup, then drop entries the directory no longer
+    /// confirms. Amortized O(1) per log push — a compaction of length L
+    /// is paid for by the ≥ L/2 pushes (or invalidations) since the last
+    /// one.
+    fn maybe_compact(&mut self, node: NodeId) {
+        let Some(ni) = self.nodes.get_mut(node.index()) else {
+            return;
+        };
+        if ni.log.len() < COMPACT_MIN || (ni.log.len() as u64) < ni.cached.saturating_mul(2) {
+            return;
+        }
+        let mut log = std::mem::take(&mut ni.log);
+        log.sort_unstable();
+        log.dedup();
+        log.retain(|p| self.pages.get(p).is_some_and(|e| e.shares_with(node)));
+        self.nodes[node.index()].log = log;
     }
 
     /// Total pages allocated in the directory (including bulk).
@@ -519,6 +653,18 @@ impl Dsm {
     /// (master-copy transfer — e.g. slice consolidation or pre-failure
     /// drain); shared copies it held are dropped. Returns the number of
     /// pages whose master copy moved.
+    ///
+    /// O(pages the drained node holds a copy of), *not* O(directory): the
+    /// node's page log says exactly which entries to touch, so a node with
+    /// a small footprint drains in constant time regardless of how large
+    /// the rest of the directory has grown. The log is sorted + deduped
+    /// first and each surviving page is handled in ascending page order
+    /// (stale entries — copies the node lost since logging — are skipped),
+    /// so drain traces are deterministic.
+    ///
+    /// A full drain emits up to three trace events per owned page
+    /// (invalidate, owner-transfer, grant); see `DESIGN.md` on bounding
+    /// trace volume with [`Tracer::with_sampling`] for multi-GiB drains.
     pub fn drain_node(&mut self, node: NodeId, new_home: NodeId) -> u64 {
         // Draining a node onto itself is a no-op: nothing actually moves,
         // and counting every owned page as "moved" would be bogus.
@@ -531,12 +677,31 @@ impl Dsm {
             *self.bulk.entry(new_home).or_insert(0) += b;
             moved += b;
         }
-        for (&page, e) in self.pages.iter_mut() {
+        if node.index() >= self.nodes.len() {
+            return moved; // The node holds no directory pages at all.
+        }
+        // Make sure new_home's slot exists before taking node's, so the
+        // loop below can index both without re-borrowing.
+        slot(&mut self.nodes, new_home);
+        let mut log = std::mem::take(&mut self.nodes[node.index()]).log;
+        log.sort_unstable();
+        log.dedup();
+        for page in log {
+            let Some(e) = self.pages.get_mut(&page) else {
+                continue;
+            };
             let pg = u64::from(page.0);
             if e.owner == node {
+                // Master-copy transfer to new_home.
                 e.owner = new_home;
-                e.sharers.remove(&node);
-                e.sharers.insert(new_home);
+                e.sharers.remove(node.0);
+                let gained_copy = e.sharers.insert(new_home.0);
+                let nh = &mut self.nodes[new_home.index()];
+                nh.owned += 1;
+                if gained_copy {
+                    nh.cached += 1;
+                    nh.log.push(page);
+                }
                 moved += 1;
                 let exclusive = e.mode == Mode::Exclusive;
                 self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
@@ -556,14 +721,17 @@ impl Dsm {
                     node: new_home.0,
                     exclusive,
                 });
-            } else if e.sharers.remove(&node) {
+            } else if e.sharers.remove(node.0) {
+                // A shared copy the node still held: drop it.
                 self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
                     at,
                     page: pg,
                     node: node.0,
                 });
             }
+            // Else: a stale log entry for a copy lost before the drain.
         }
+        debug_assert!(self.verify_indices().is_ok(), "{:?}", self.verify_indices());
         moved
     }
 
@@ -588,7 +756,21 @@ impl Dsm {
         let from = e.owner;
         e.owner = node;
         e.mode = Mode::Exclusive;
-        e.sharers.insert(node);
+        let had_copy = !e.sharers.insert(node.0);
+        // Even a deliberate corruption keeps the accounting indices in
+        // sync with the (corrupt) directory state: the old owner demotes
+        // to a shared holder, the grantee becomes the owner.
+        if from != node {
+            // The old owner demotes to a shared holder (keeps its copy and
+            // its log entry), the grantee becomes the owner.
+            slot(&mut self.nodes, from).owned -= 1;
+            let ni = slot(&mut self.nodes, node);
+            ni.owned += 1;
+            if !had_copy {
+                ni.cached += 1;
+                ni.log.push(page);
+            }
+        }
         self.tracer.emit_with(|| TraceEvent::DsmOwnerTransfer {
             at,
             page: pg,
@@ -616,10 +798,11 @@ impl Dsm {
     /// Checks the protocol invariants; used by tests and debug assertions.
     ///
     /// Invariants: every page's owner is among its sharers; exclusive pages
-    /// have exactly one sharer.
+    /// have exactly one sharer; the incremental per-node indices match a
+    /// fresh scan of the directory (see [`Dsm::verify_indices`]).
     pub fn check_invariants(&self) -> Result<(), String> {
         for (&page, e) in &self.pages {
-            if !e.sharers.contains(&e.owner) {
+            if !e.shares_with(e.owner) {
                 return Err(format!("{page}: owner {} not a sharer", e.owner));
             }
             if e.mode == Mode::Exclusive && e.sharers.len() != 1 {
@@ -630,6 +813,51 @@ impl Dsm {
             }
             if e.sharers.is_empty() {
                 return Err(format!("{page}: no sharers"));
+            }
+        }
+        self.verify_indices()
+    }
+
+    /// Rebuilds the per-node accounting from a fresh O(directory) scan and
+    /// compares it with the incrementally-maintained counters, then checks
+    /// the log-coverage invariant (every page a node holds appears in its
+    /// log). O(pages x sharers) — for tests and debug assertions, never
+    /// the hot path.
+    pub fn verify_indices(&self) -> Result<(), String> {
+        let mut owned = vec![0u64; self.nodes.len()];
+        let mut cached = vec![0u64; self.nodes.len()];
+        let logged: Vec<BTreeSet<PageId>> = self
+            .nodes
+            .iter()
+            .map(|n| n.log.iter().copied().collect())
+            .collect();
+        for (&page, e) in &self.pages {
+            for s in e.sharers.iter() {
+                let i = s as usize;
+                if i >= self.nodes.len() {
+                    return Err(format!("{page}: sharer node{s} has no index slot"));
+                }
+                cached[i] += 1;
+                if e.owner.0 == s {
+                    owned[i] += 1;
+                }
+                if !logged[i].contains(&page) {
+                    return Err(format!("node{s}: holds {page} but its log lacks it"));
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.owned != owned[i] {
+                return Err(format!(
+                    "node{i}: owned counter {} but fresh scan finds {}",
+                    n.owned, owned[i]
+                ));
+            }
+            if n.cached != cached[i] {
+                return Err(format!(
+                    "node{i}: cached counter {} but fresh scan finds {}",
+                    n.cached, cached[i]
+                ));
             }
         }
         Ok(())
@@ -909,6 +1137,38 @@ mod tests {
         assert!(!tracer.is_empty());
         sim_core::audit::assert_clean(&tracer.snapshot());
         d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sampled_drain_trace_is_refused_not_misaudited() {
+        use sim_core::trace::Tracer;
+        // A big drain is exactly where sampling matters (3 events per
+        // moved page) — and a sampled stream is missing invalidations and
+        // grants, which the replay rules would misread as violations.
+        let tracer = Tracer::ring(4096).with_sampling(3);
+        let mut d = dsm();
+        d.attach_tracer(tracer.clone());
+        for i in 0..64 {
+            d.ensure_page(p(i), n(1), PageClass::Private);
+        }
+        let _ = d.access(n(2), p(0), Access::Read);
+        d.drain_node(n(1), n(0));
+        d.check_invariants().unwrap();
+        assert!(
+            sim_core::audit::audit_tracer(&tracer).is_err(),
+            "sampled traces must be refused, not audited"
+        );
+        // The same scenario traced without sampling audits clean.
+        let tracer = Tracer::ring(4096);
+        let mut d = dsm();
+        d.attach_tracer(tracer.clone());
+        for i in 0..64 {
+            d.ensure_page(p(i), n(1), PageClass::Private);
+        }
+        let _ = d.access(n(2), p(0), Access::Read);
+        d.drain_node(n(1), n(0));
+        let audited = sim_core::audit::audit_tracer(&tracer).expect("complete stream");
+        assert!(audited.is_empty(), "{audited:?}");
     }
 
     #[test]

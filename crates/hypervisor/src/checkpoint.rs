@@ -47,6 +47,10 @@ pub fn checkpoint(
     disk: Bandwidth,
     link: LinkProfile,
 ) -> CheckpointReport {
+    // O(1)/O(nodes) accounting reads off the directory's incremental
+    // counters — checkpointing a multi-GiB guest never scans the
+    // directory, so checkpoint *planning* stays off the fault path's
+    // budget even when taken mid-run.
     let total_pages = mem.dsm.total_pages();
     let local_pages = mem.dsm.pages_owned_by(node);
     let remote_pages = total_pages - local_pages;

@@ -457,9 +457,26 @@ macro_rules! prop_assume {
     };
 }
 
-/// Uniform choice between strategies producing the same value type.
+/// Choice between strategies producing the same value type.
+///
+/// Supports both the uniform form (`prop_oneof![a, b, c]`) and real
+/// proptest's weighted form (`prop_oneof![3 => a, 1 => b]`); a weight of
+/// `w` makes that alternative `w` times as likely as weight 1 (implemented
+/// by repeating the boxed alternative, which is fine for the small integer
+/// weights tests use).
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union({
+            let mut alternatives = Vec::new();
+            $(
+                for _ in 0..$weight {
+                    alternatives.push($crate::Strategy::boxed($strategy));
+                }
+            )+
+            alternatives
+        })
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
     };
@@ -575,6 +592,17 @@ mod tests {
                 prop_assert_eq!(xs.len(), xs.len());
             }
         }
+    }
+
+    #[test]
+    fn weighted_oneof_biases_toward_heavy_arms() {
+        let mut rng = crate::TestRng::new(crate::seed_of("weighted"));
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let heavy = (0..200)
+            .filter(|_| crate::Strategy::generate(&s, &mut rng))
+            .count();
+        // 9:1 odds: expect ~180 of 200; anything past 50% proves the bias.
+        assert!(heavy > 100, "heavy arm drawn only {heavy}/200 times");
     }
 
     #[test]

@@ -454,6 +454,24 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
     violations
 }
 
+/// Audits the events buffered in a [`Tracer`], refusing sampled streams.
+///
+/// The replay rules assume every emission is present: a 1-in-N sampled
+/// trace (see [`Tracer::with_sampling`]) drops invalidations, grants and
+/// transfers at random, which the rules would misread as protocol
+/// violations. This entry point checks the tracer's sampling period first
+/// and returns `Err` instead of producing false positives. Audit a raw
+/// event slice with [`audit`] only when you know it is complete.
+///
+/// [`Tracer`]: crate::trace::Tracer
+/// [`Tracer::with_sampling`]: crate::trace::Tracer::with_sampling
+pub fn audit_tracer(tracer: &crate::trace::Tracer) -> Result<Vec<Violation>, &'static str> {
+    if tracer.sampling() > 1 {
+        return Err("refusing to audit a sampled trace: the invariants assume a complete stream");
+    }
+    Ok(audit(&tracer.snapshot()))
+}
+
 /// Audits a trace and panics with a readable report if any invariant is
 /// violated. Intended for integration tests.
 ///

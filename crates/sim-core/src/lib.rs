@@ -29,6 +29,7 @@
 pub mod audit;
 pub mod engine;
 pub mod ids;
+pub mod nodeset;
 pub mod pscpu;
 pub mod rng;
 pub mod stats;
@@ -37,6 +38,7 @@ pub mod trace;
 pub mod units;
 
 pub use engine::{Ctx, Engine, EventQueue, World};
+pub use nodeset::NodeSet;
 pub use rng::DetRng;
 pub use time::SimTime;
 pub use trace::{TraceEvent, Tracer};

@@ -1,0 +1,267 @@
+//! A compact bitset over small integer identifiers (node ids).
+//!
+//! The DSM directory stores a sharer set *per 4 KiB page*; at multi-GiB
+//! guest scale that is millions of sets, so their representation dominates
+//! the directory's footprint and the fault path's speed. The paper's
+//! scenarios use at most a few dozen nodes, so a [`NodeSet`] keeps the
+//! common case in a single inline `u64` word (no allocation, membership is
+//! one bit test) and spills to a boxed word vector only when an id ≥ 64 is
+//! inserted.
+//!
+//! Ids are raw `u32` indices: `sim-core` sits below the crates that define
+//! typed ids, so callers convert at the boundary (e.g. `NodeId::index()`).
+
+/// A set of small `u32` ids backed by bit words.
+///
+/// Inline (one `u64`, ids 0..64) until an id ≥ 64 is inserted, then a boxed
+/// word vector. Equality and ordering are by *logical content*: a spilled
+/// set with only low bits equals the inline set with the same bits.
+#[derive(Debug, Clone)]
+pub struct NodeSet {
+    /// Bits 0..64 (always the first word, inline).
+    low: u64,
+    /// Words for bits ≥ 64; `None` until a large id is inserted. Boxing
+    /// the (rare) spill vector keeps `NodeSet` itself at 16 bytes instead
+    /// of 32 — there is one per directory page, so the inline size wins
+    /// over the extra indirection on spilled sets.
+    #[allow(clippy::box_collection)]
+    high: Option<Box<Vec<u64>>>,
+}
+
+impl NodeSet {
+    /// The empty set.
+    pub const fn new() -> Self {
+        NodeSet { low: 0, high: None }
+    }
+
+    /// A set containing exactly `id`.
+    pub fn singleton(id: u32) -> Self {
+        let mut s = NodeSet::new();
+        s.insert(id);
+        s
+    }
+
+    /// Whether `id` is in the set.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        if id < 64 {
+            self.low & (1u64 << id) != 0
+        } else {
+            let (w, b) = (id as usize / 64 - 1, id % 64);
+            self.high
+                .as_ref()
+                .is_some_and(|h| h.get(w).is_some_and(|word| word & (1u64 << b) != 0))
+        }
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        if id < 64 {
+            let bit = 1u64 << id;
+            let fresh = self.low & bit == 0;
+            self.low |= bit;
+            fresh
+        } else {
+            let (w, b) = (id as usize / 64 - 1, id % 64);
+            let h = self.high.get_or_insert_with(Default::default);
+            if h.len() <= w {
+                h.resize(w + 1, 0);
+            }
+            let bit = 1u64 << b;
+            let fresh = h[w] & bit == 0;
+            h[w] |= bit;
+            fresh
+        }
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: u32) -> bool {
+        if id < 64 {
+            let bit = 1u64 << id;
+            let present = self.low & bit != 0;
+            self.low &= !bit;
+            present
+        } else {
+            let (w, b) = (id as usize / 64 - 1, id % 64);
+            let Some(h) = self.high.as_mut() else {
+                return false;
+            };
+            let Some(word) = h.get_mut(w) else {
+                return false;
+            };
+            let bit = 1u64 << b;
+            let present = *word & bit != 0;
+            *word &= !bit;
+            present
+        }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.low.count_ones() as usize
+            + self
+                .high
+                .as_ref()
+                .map_or(0, |h| h.iter().map(|w| w.count_ones() as usize).sum())
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.low == 0 && self.high.as_ref().is_none_or(|h| h.iter().all(|&w| w == 0))
+    }
+
+    /// Removes every id.
+    pub fn clear(&mut self) {
+        self.low = 0;
+        self.high = None;
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let words = std::iter::once(self.low)
+            .chain(self.high.iter().flat_map(|h| h.iter().copied()))
+            .enumerate();
+        words.flat_map(|(wi, word)| {
+            let base = wi as u32 * 64;
+            BitIter { word }.map(move |b| base + b)
+        })
+    }
+
+    /// The sole id when the set is a singleton, else `None`.
+    pub fn as_singleton(&self) -> Option<u32> {
+        if self.len() == 1 {
+            self.iter().next()
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for NodeSet {
+    fn default() -> Self {
+        NodeSet::new()
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.low != other.low {
+            return false;
+        }
+        let empty: &[u64] = &[];
+        let a = self.high.as_ref().map_or(empty, |h| h.as_slice());
+        let b = other.high.as_ref().map_or(empty, |h| h.as_slice());
+        let n = a.len().max(b.len());
+        (0..n).all(|i| a.get(i).copied().unwrap_or(0) == b.get(i).copied().unwrap_or(0))
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl FromIterator<u32> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = NodeSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// Ascending bit-index iterator over one word.
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_inline() {
+        let mut s = NodeSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.contains(3) && s.contains(0) && s.contains(63));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn spills_above_64_and_stays_correct() {
+        let mut s = NodeSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(64));
+        assert!(s.insert(200));
+        assert!(s.contains(5) && s.contains(64) && s.contains(200));
+        assert!(!s.contains(65) && !s.contains(199));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+        // Removing a never-spilled id from the high range is a no-op.
+        assert!(!s.remove(1000));
+    }
+
+    #[test]
+    fn iter_is_ascending_across_the_spill_boundary() {
+        let s: NodeSet = [70, 2, 64, 63, 0, 128].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 63, 64, 70, 128]);
+    }
+
+    #[test]
+    fn equality_is_logical_not_representational() {
+        let mut a = NodeSet::singleton(1);
+        let mut b = NodeSet::singleton(1);
+        // Force `a` to spill, then remove the high bit again.
+        a.insert(100);
+        a.remove(100);
+        assert_eq!(a, b);
+        assert!(a.is_empty() == b.is_empty());
+        b.insert(2);
+        assert_ne!(a, b);
+        a.insert(2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn singleton_helpers() {
+        let s = NodeSet::singleton(7);
+        assert_eq!(s.as_singleton(), Some(7));
+        let s: NodeSet = [7, 9].into_iter().collect();
+        assert_eq!(s.as_singleton(), None);
+        assert_eq!(NodeSet::new().as_singleton(), None);
+        let big = NodeSet::singleton(90);
+        assert_eq!(big.as_singleton(), Some(90));
+    }
+
+    #[test]
+    fn clear_resets_spilled_sets() {
+        let mut s: NodeSet = [1, 2, 99].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s, NodeSet::new());
+    }
+}
