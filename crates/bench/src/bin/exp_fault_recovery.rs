@@ -1,0 +1,5 @@
+//! Extension experiment beyond the paper's figures; see `DESIGN.md` §10.
+
+fn main() {
+    bench_harness::experiments::fault_recovery_study().print();
+}

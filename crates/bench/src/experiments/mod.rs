@@ -14,6 +14,7 @@
 
 mod apps;
 mod extensions;
+mod fault_recovery;
 mod io;
 mod micro;
 mod npb;
@@ -26,6 +27,7 @@ pub use extensions::{
     ablation_study, interference_study, memory_borrowing_study, provisioning_study,
     reliability_study,
 };
+pub use fault_recovery::fault_recovery_study;
 pub use io::{fig06_net_delegation, fig07_storage_delegation};
 pub use micro::{fig01_sharing_study, fig04_dsm_fault_overhead, fig05_concurrent_writes};
 pub use npb::{fig08_npb_overcommit, fig09_npb_giantvm, fig10_guest_opts};

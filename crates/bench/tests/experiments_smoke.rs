@@ -4,6 +4,10 @@
 //! workloads are covered by `tests/claims.rs`; the full sweep takes a
 //! minute and stays in the binaries).
 
+// Integration-test helper outside a #[test] fn, so the
+// `allow-panic-in-tests` config does not reach it.
+#![allow(clippy::panic)]
+
 use bench_harness::experiments;
 
 fn parse_ratio(cell: &str) -> f64 {

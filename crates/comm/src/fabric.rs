@@ -22,6 +22,7 @@
 
 use std::collections::BTreeMap;
 
+use sim_core::fault::{Disruption, FaultInjector, FaultPlan};
 use sim_core::stats::MeterSet;
 use sim_core::time::SimTime;
 use sim_core::trace::{TraceEvent, Tracer};
@@ -150,6 +151,11 @@ impl Message {
 }
 
 /// A fabric submission was rejected.
+///
+/// `Dropped` is transient (a lossy-link verdict on a single attempt —
+/// retrying later may succeed); `Timeout` is terminal for this submission
+/// (a crashed endpoint, or a priority-class retry chain exhausting its
+/// [`RetryPolicy`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FabricError {
     /// An endpoint does not name a node in this fabric.
@@ -159,6 +165,25 @@ pub enum FabricError {
         /// Number of nodes the fabric connects.
         nodes: usize,
     },
+    /// The active fault plan lost the message on a degraded link.
+    Dropped {
+        /// Sending node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Class of the lost message.
+        class: MsgClass,
+    },
+    /// The send cannot complete: an endpoint is crashed, or every retry
+    /// the policy allows was itself dropped.
+    Timeout {
+        /// Sending node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Class of the abandoned message.
+        class: MsgClass,
+    },
 }
 
 impl std::fmt::Display for FabricError {
@@ -167,11 +192,57 @@ impl std::fmt::Display for FabricError {
             FabricError::NodeOutOfRange { node, nodes } => {
                 write!(f, "node {node:?} out of range (fabric has {nodes} nodes)")
             }
+            FabricError::Dropped { src, dst, class } => {
+                write!(f, "{} message {src:?}->{dst:?} dropped", class.label())
+            }
+            FabricError::Timeout { src, dst, class } => {
+                write!(f, "{} message {src:?}->{dst:?} timed out", class.label())
+            }
         }
     }
 }
 
 impl std::error::Error for FabricError {}
+
+/// Ack + bounded-retry policy for priority-class messages under an active
+/// fault plan.
+///
+/// When a fault plan is injected, Interrupt/Control-class (and
+/// [`Urgency::Critical`]) messages are acknowledged end-to-end: a dropped
+/// attempt is retried after an exponential backoff, up to `max_attempts`
+/// retries, each emitting a [`TraceEvent::FabricRetry`]. The ack itself is
+/// modeled as free (piggybacked); its loss is folded into the link's loss
+/// probability. Bulk classes are never retried by the fabric — their
+/// callers own the recovery story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the initial attempt.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimTime,
+    /// Backoff growth factor per retry (exponential).
+    pub multiplier: u32,
+}
+
+impl RetryPolicy {
+    /// The backoff waited before 1-based retry `attempt`.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        let factor = u64::from(self.multiplier.max(1)).saturating_pow(attempt.saturating_sub(1));
+        SimTime::from_nanos(self.base_backoff.as_nanos().saturating_mul(factor))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 4 retries, 20 µs base backoff, doubling: worst case ~300 µs of
+    /// waiting before a priority send is declared timed out.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimTime::from_micros(20),
+            multiplier: 2,
+        }
+    }
+}
 
 /// Link scheduling discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -235,6 +306,12 @@ pub struct Fabric {
     stats: MeterSet<MsgClass>,
     messages_sent: u64,
     tracer: Tracer,
+    /// Interpreter of the injected fault plan, if any.
+    injector: Option<FaultInjector>,
+    retry: RetryPolicy,
+    dropped: u64,
+    duplicated: u64,
+    retries: u64,
 }
 
 impl Fabric {
@@ -252,6 +329,11 @@ impl Fabric {
             stats: MeterSet::new(),
             messages_sent: 0,
             tracer: Tracer::disabled(),
+            injector: None,
+            retry: RetryPolicy::default(),
+            dropped: 0,
+            duplicated: 0,
+            retries: 0,
         }
     }
 
@@ -275,6 +357,43 @@ impl Fabric {
     /// sends; accumulated queue state per tier is kept.
     pub fn set_scheduling(&mut self, scheduling: Scheduling) {
         self.scheduling = scheduling;
+    }
+
+    /// Injects a fault plan: from now on every send consults it for
+    /// crashed endpoints, loss, duplication and added latency. Replaces
+    /// any previously injected plan (and its derived random stream).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// The injected fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(|i| i.plan())
+    }
+
+    /// Replaces the retry policy for priority-class messages.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Messages lost to the fault plan (including sends to crashed nodes).
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages the fault plan delivered twice.
+    pub fn messages_duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Retry attempts made for priority-class messages.
+    pub fn retry_attempts(&self) -> u64 {
+        self.retries
     }
 
     /// Overrides the profile of one directed link.
@@ -305,13 +424,22 @@ impl Fabric {
     }
 
     /// Submits a message and returns its delivery schedule, or a typed
-    /// error when an endpoint is out of range.
+    /// error when an endpoint is out of range — or, under an injected
+    /// fault plan, when the message is lost
+    /// ([`FabricError::Dropped`]/[`FabricError::Timeout`]).
     ///
     /// Serialization is FIFO per (directed link, tier): priority messages
     /// queue only behind earlier priority messages; a bulk message queues
     /// behind its own class and is stretched by the weighted-fair share
     /// when competing classes are backlogged. The base latency is
     /// pipelined (it models propagation, not transmitter occupancy).
+    ///
+    /// With a fault plan injected, priority-tier messages get ack +
+    /// bounded retry per the [`RetryPolicy`]; bulk-class messages surface
+    /// the first loss to the caller. A degradation window's added latency
+    /// is charged as extra wire occupancy (link-level retransmission), so
+    /// per-(class, tier) FIFO — and the trace auditor's fabric rules —
+    /// hold under degradation too.
     pub fn send(&mut self, now: SimTime, msg: Message) -> Result<Delivery, FabricError> {
         for node in [msg.src, msg.dst] {
             if node.index() >= self.nodes {
@@ -321,6 +449,110 @@ impl Fabric {
                 });
             }
         }
+        if self.injector.is_none() {
+            return Ok(self.transmit(now, msg, SimTime::ZERO));
+        }
+        // Take the injector out so `transmit` (which needs `&mut self`)
+        // can run while the injector is borrowed.
+        let mut inj = self.injector.take().expect("injector checked above");
+        let res = self.send_faulty(now, msg, &mut inj);
+        self.injector = Some(inj);
+        res
+    }
+
+    /// The faulty-send path: consults the injector per attempt, retrying
+    /// priority-class messages with exponential backoff.
+    fn send_faulty(
+        &mut self,
+        now: SimTime,
+        msg: Message,
+        inj: &mut FaultInjector,
+    ) -> Result<Delivery, FabricError> {
+        let (src, dst, class) = (msg.src, msg.dst, msg.class);
+        if inj.crashed(src.0, now) {
+            // A dead sender emits nothing — not even a drop event; the
+            // auditor separately flags any `FabricSend` from a crashed
+            // node as `fabric-send-after-crash`.
+            return Err(FabricError::Timeout { src, dst, class });
+        }
+        let retriable = msg.is_priority();
+        let policy = self.retry;
+        let mut t = now;
+        let mut attempt: u32 = 0;
+        loop {
+            let dst_dead = inj.crashed(dst.0, t);
+            let verdict = if dst_dead {
+                Disruption {
+                    drop: true,
+                    ..Disruption::default()
+                }
+            } else {
+                inj.disrupt(t, src.0, dst.0)
+            };
+            if let Some((loss_ppm, extra_ns)) = verdict.announce {
+                self.tracer.emit_with(|| TraceEvent::LinkDegrade {
+                    at: t.as_nanos(),
+                    src: src.0,
+                    dst: dst.0,
+                    loss_ppm,
+                    extra_ns,
+                });
+            }
+            if !verdict.drop {
+                let delivery = self.transmit(t, msg, verdict.extra_latency);
+                if verdict.duplicate {
+                    // The duplicate charges the link and the stats like a
+                    // real second copy; it lands after the original, so
+                    // per-class FIFO is preserved.
+                    self.duplicated += 1;
+                    let _ = self.transmit(t, msg, verdict.extra_latency);
+                }
+                return Ok(delivery);
+            }
+            self.dropped += 1;
+            if !dst_dead {
+                // Genuine link loss. A send to a crashed node emits no
+                // drop event: the `NodeCrash` already explains it, and
+                // the audit's loss-free-plan detector rule keys off
+                // `FabricDrop`/`LinkDegrade` presence.
+                self.tracer.emit_with(|| TraceEvent::FabricDrop {
+                    at: t.as_nanos(),
+                    src: src.0,
+                    dst: dst.0,
+                    class: class.label(),
+                });
+            }
+            if !retriable {
+                return Err(if dst_dead {
+                    FabricError::Timeout { src, dst, class }
+                } else {
+                    FabricError::Dropped { src, dst, class }
+                });
+            }
+            attempt += 1;
+            if attempt > policy.max_attempts {
+                return Err(FabricError::Timeout { src, dst, class });
+            }
+            let backoff = policy.backoff(attempt);
+            t += backoff;
+            self.retries += 1;
+            self.tracer.emit_with(|| TraceEvent::FabricRetry {
+                at: t.as_nanos(),
+                src: src.0,
+                dst: dst.0,
+                class: class.label(),
+                attempt,
+                max_attempts: policy.max_attempts,
+                backoff_ns: backoff.as_nanos(),
+            });
+        }
+    }
+
+    /// Schedules one message on its link unconditionally. `extra` is
+    /// additional wire occupancy from an active degradation window; it
+    /// inflates both the serialization time and the emitted bound, so the
+    /// auditor's starvation rule stays exact.
+    fn transmit(&mut self, now: SimTime, msg: Message, extra: SimTime) -> Delivery {
         let Message {
             src,
             dst,
@@ -341,14 +573,16 @@ impl Fabric {
         let base = link.profile.bandwidth.transfer_time(size);
         let (start, serialize, bound) = match scheduling {
             Scheduling::SingleFifo => {
+                let ser = base + extra;
                 let start = now.max(link.fifo_free_at);
-                link.fifo_free_at = start + base;
-                (start, base, base)
+                link.fifo_free_at = start + ser;
+                (start, ser, ser)
             }
             Scheduling::QosClassed if on_prio_tier => {
+                let ser = base + extra;
                 let start = now.max(link.prio_free_at);
-                link.prio_free_at = start + base;
-                (start, base, base)
+                link.prio_free_at = start + ser;
+                (start, ser, ser)
             }
             Scheduling::QosClassed => {
                 let w = link.profile.weights;
@@ -370,8 +604,8 @@ impl Fabric {
                 let stretch = |t: SimTime, num: u32| {
                     SimTime::from_nanos((t.as_nanos() as u128 * num as u128 / wc as u128) as u64)
                 };
-                let serialize = stretch(base, active);
-                let bound = stretch(base, w.total().max(wc));
+                let serialize = stretch(base, active) + extra;
+                let bound = stretch(base, w.total().max(wc)) + extra;
                 let start = now.max(link.bulk_free_at[class.index()]);
                 link.bulk_free_at[class.index()] = start + serialize;
                 (start, serialize, bound)
@@ -395,11 +629,11 @@ impl Fabric {
             bound_ns: bound.as_nanos(),
             deliver_at: deliver_at.as_nanos(),
         });
-        Ok(Delivery {
+        Delivery {
             deliver_at,
             sender_cpu: link.profile.stack.sender_cpu(),
             receiver_cpu: link.profile.stack.receiver_cpu(),
-        })
+        }
     }
 
     /// Total messages submitted so far.
@@ -416,6 +650,9 @@ impl Fabric {
     pub fn reset_stats(&mut self) {
         self.stats = MeterSet::new();
         self.messages_sent = 0;
+        self.dropped = 0;
+        self.duplicated = 0;
+        self.retries = 0;
     }
 }
 

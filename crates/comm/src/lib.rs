@@ -23,7 +23,9 @@
 pub mod fabric;
 pub mod profile;
 
-pub use fabric::{Delivery, Fabric, FabricError, Message, MsgClass, Scheduling, Urgency};
+pub use fabric::{
+    Delivery, Fabric, FabricError, Message, MsgClass, RetryPolicy, Scheduling, Urgency,
+};
 pub use profile::{ClassWeights, LinkProfile, StackProfile};
 
 sim_core::define_id!(

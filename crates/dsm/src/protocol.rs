@@ -735,6 +735,102 @@ impl Dsm {
         moved
     }
 
+    /// Quarantines a *crashed* node: every page whose master copy lived on
+    /// `dead` is restored from the checkpoint image at `restore_home` —
+    /// exclusively, with every surviving stale copy invalidated so
+    /// post-crash faults refetch from the restored data instead of asking
+    /// a dead machine. Shared copies `dead` held on pages it did not own
+    /// are simply dropped. Returns the number of pages restored (including
+    /// bulk-registered pages, which re-home without per-page events).
+    ///
+    /// The difference from [`Dsm::drain_node`] is the failure semantics:
+    /// drain *moves* live master copies (other sharers stay valid), while
+    /// quarantine declares them lost — the restored image is the new
+    /// truth, so third-party copies must be invalidated too. Emits one
+    /// `PageQuarantine` + exclusive `DsmGrant` per restored page (plus a
+    /// `DsmInvalidate` per dropped copy); the trace auditor checks
+    /// exactly-one-owner against this sequence.
+    ///
+    /// Like drain, this is O(pages the dead node holds), driven by its
+    /// page log.
+    pub fn quarantine_node(&mut self, dead: NodeId, restore_home: NodeId) -> u64 {
+        if dead == restore_home {
+            return 0;
+        }
+        let at = self.clock.as_nanos();
+        let mut restored = 0;
+        if let Some(b) = self.bulk.remove(&dead) {
+            *self.bulk.entry(restore_home).or_insert(0) += b;
+            restored += b;
+        }
+        if dead.index() >= self.nodes.len() {
+            return restored; // The node holds no directory pages at all.
+        }
+        slot(&mut self.nodes, restore_home);
+        let mut log = std::mem::take(&mut self.nodes[dead.index()]).log;
+        log.sort_unstable();
+        log.dedup();
+        for page in log {
+            let Some(e) = self.pages.get_mut(&page) else {
+                continue;
+            };
+            let pg = u64::from(page.0);
+            if e.owner == dead {
+                // The master copy died with the node. Invalidate every
+                // copy (the dead node's and any survivor's — they are
+                // stale relative to the restored image), then grant the
+                // restored page exclusively at restore_home.
+                let holders: Vec<u32> = e.sharers.iter().collect();
+                for holder in holders {
+                    self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                        at,
+                        page: pg,
+                        node: holder,
+                    });
+                    // The dead node's accounting was zeroed by the take
+                    // above; survivors lose one cached copy (their logs
+                    // keep a stale entry, which drain/compaction skip).
+                    if holder != dead.0 {
+                        self.nodes[holder as usize].cached -= 1;
+                    }
+                }
+                let had_copy = e.shares_with(restore_home);
+                e.owner = restore_home;
+                e.mode = Mode::Exclusive;
+                e.sharers = NodeSet::singleton(restore_home.0);
+                let nh = &mut self.nodes[restore_home.index()];
+                nh.owned += 1;
+                if !had_copy {
+                    nh.log.push(page);
+                }
+                nh.cached += 1;
+                restored += 1;
+                self.tracer.emit_with(|| TraceEvent::PageQuarantine {
+                    at,
+                    page: pg,
+                    dead: dead.0,
+                    to: restore_home.0,
+                });
+                self.tracer.emit_with(|| TraceEvent::DsmGrant {
+                    at,
+                    page: pg,
+                    node: restore_home.0,
+                    exclusive: true,
+                });
+            } else if e.sharers.remove(dead.0) {
+                // A shared copy the dead node held: drop it.
+                self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                    at,
+                    page: pg,
+                    node: dead.0,
+                });
+            }
+            // Else: a stale log entry for a copy lost before the crash.
+        }
+        debug_assert!(self.verify_indices().is_ok(), "{:?}", self.verify_indices());
+        restored
+    }
+
     /// Deliberately corrupts the directory: grants `node` exclusive
     /// ownership of `page` WITHOUT invalidating the other copies, leaving
     /// two nodes believing they hold writable data.

@@ -13,6 +13,10 @@
 //!   pCPUs of cluster nodes, guest memory behind the DSM, delegated VirtIO
 //!   devices, an optional external client, plus vCPU migration and
 //!   distributed checkpoint/restart.
+//! * [`failure::FailureConfig`] — the heartbeat failure detector and its
+//!   recovery policy, driving live recovery from scripted node crashes
+//!   ([`sim_core::fault::FaultPlan`]) via DSM quarantine + checkpoint
+//!   restore, or proactive drains when the failure is predicted.
 //!
 //! A VM whose vCPUs all sit on one node degenerates to a classic
 //! single-machine VM (the *overcommit* baseline); a VM with one vCPU per
@@ -23,6 +27,7 @@
 
 pub mod boot;
 pub mod checkpoint;
+pub mod failure;
 pub mod memory;
 pub mod profile;
 pub mod program;
@@ -30,9 +35,12 @@ pub mod reliability;
 pub mod stats;
 pub mod vm;
 
+pub use failure::FailureConfig;
 pub use memory::VmMemory;
 pub use profile::HypervisorProfile;
 pub use program::{GuestMsg, Op, ProgCtx, Program};
 pub use stats::VmStats;
 pub use virtio::VcpuId;
-pub use vm::{ClientConfig, ClientModel, ClientSend, Event, Placement, VmBuilder, VmSim, VmWorld};
+pub use vm::{
+    ClientConfig, ClientModel, ClientSend, Event, Placement, VmBuilder, VmError, VmSim, VmWorld,
+};

@@ -5,7 +5,7 @@
 //! choreography out on the [`comm::Fabric`] (so DSM traffic occupies real
 //! link bandwidth) and returns the completion time.
 
-use comm::{Fabric, Message, MsgClass, NodeId};
+use comm::{Fabric, FabricError, Message, MsgClass, NodeId};
 use dsm::{Access, Dsm, FaultKind, FaultPlan, PageClass, PageId, Resolution};
 use guest::memory::{Region, RegionAllocator};
 use guest::{GuestConfig, KernelPages};
@@ -29,6 +29,34 @@ const INSTALL_COST: SimTime = SimTime::from_nanos(500);
 /// and refaults. Under write contention this dominates the per-operation
 /// cost (it is why the Figure-5 max-sharing traffic is only a few MB/s).
 const CONTENTION_BACKOFF: SimTime = SimTime::from_micros(15);
+
+/// Stall charged when a DSM protocol message cannot reach its peer at
+/// all (the peer's slice is dead): the faulting vCPU spins until the
+/// failure detector quarantines and re-homes the page.
+const DEAD_STALL: SimTime = SimTime::from_micros(500);
+
+/// DSM protocol retransmissions before giving up on a message.
+const DSM_SEND_ATTEMPTS: u32 = 3;
+
+/// Sends one DSM protocol message, riding out transient link loss.
+///
+/// The DSM runs its own timeout/retransmit on the bulk tier (the fabric
+/// only acks priority classes): a [`FabricError::Dropped`] verdict is
+/// retried after [`CONTENTION_BACKOFF`], up to [`DSM_SEND_ATTEMPTS`]
+/// times. A dead endpoint (or exhausted retries) returns the
+/// [`DEAD_STALL`] completion instead — the access stalls rather than
+/// panicking, and recovery re-homes the page.
+fn dsm_send(fabric: &mut Fabric, at: SimTime, msg: Message) -> SimTime {
+    let mut t = at;
+    for _ in 0..DSM_SEND_ATTEMPTS {
+        match fabric.send(t, msg) {
+            Ok(d) => return d.deliver_at,
+            Err(FabricError::Dropped { .. }) => t += CONTENTION_BACKOFF,
+            Err(_) => return t + DEAD_STALL,
+        }
+    }
+    t + DEAD_STALL
+}
 
 /// The guest memory subsystem of one VM.
 #[derive(Debug)]
@@ -180,17 +208,21 @@ impl VmMemory {
         };
         let done = match &plan.kind {
             FaultKind::ReadRemote { owner } => {
-                let req = fabric
-                    .send(t0, Message::new(node, *owner, DSM_CTRL, MsgClass::Dsm))
-                    .expect("DSM endpoints are validated at VM build");
-                let serve = req.deliver_at + remote_handler_of(self.fault_handler_cpu);
+                let req_at = dsm_send(
+                    fabric,
+                    t0,
+                    Message::new(node, *owner, DSM_CTRL, MsgClass::Dsm),
+                );
+                let serve = req_at + remote_handler_of(self.fault_handler_cpu);
                 // Prefetched pages ride the same response message.
                 let resp_size =
                     ByteSize::bytes(DSM_PAGE.as_u64() + 4096 * plan.prefetched.len() as u64);
-                let resp = fabric
-                    .send(serve, Message::new(*owner, node, resp_size, MsgClass::Dsm))
-                    .expect("DSM endpoints are validated at VM build");
-                resp.deliver_at + INSTALL_COST
+                let resp_at = dsm_send(
+                    fabric,
+                    serve,
+                    Message::new(*owner, node, resp_size, MsgClass::Dsm),
+                );
+                resp_at + INSTALL_COST
             }
             FaultKind::Upgrade { invalidate } => {
                 if invalidate.is_empty() {
@@ -200,60 +232,66 @@ impl VmMemory {
                     // TLB-shootdown IPI the guest already sends; the
                     // faulting vCPU does not wait for acks.
                     for &s in invalidate {
-                        let _ = fabric
-                            .send(t0, Message::new(node, s, DSM_CTRL, MsgClass::Dsm))
-                            .expect("DSM endpoints are validated at VM build");
+                        let _ = fabric.send(t0, Message::new(node, s, DSM_CTRL, MsgClass::Dsm));
                     }
                     t0 + INSTALL_COST
                 } else {
                     // Invalidate every sharer and collect acks.
                     let mut done = t0;
                     for &s in invalidate {
-                        let inv = fabric
-                            .send(t0, Message::new(node, s, DSM_CTRL, MsgClass::Dsm))
-                            .expect("DSM endpoints are validated at VM build");
-                        let ack_at = inv.deliver_at + remote_handler_of(self.fault_handler_cpu);
-                        let ack = fabric
-                            .send(ack_at, Message::new(s, node, DSM_CTRL, MsgClass::Dsm))
-                            .expect("DSM endpoints are validated at VM build");
-                        done = done.max(ack.deliver_at);
+                        let inv_at =
+                            dsm_send(fabric, t0, Message::new(node, s, DSM_CTRL, MsgClass::Dsm));
+                        let ack_at = inv_at + remote_handler_of(self.fault_handler_cpu);
+                        let ack = dsm_send(
+                            fabric,
+                            ack_at,
+                            Message::new(s, node, DSM_CTRL, MsgClass::Dsm),
+                        );
+                        done = done.max(ack);
                     }
                     done + INSTALL_COST
                 }
             }
             FaultKind::WriteRemote { owner, invalidate } => {
-                let req = fabric
-                    .send(t0, Message::new(node, *owner, DSM_CTRL, MsgClass::Dsm))
-                    .expect("DSM endpoints are validated at VM build");
-                let at_owner = req.deliver_at + remote_handler_of(self.fault_handler_cpu);
+                let req_at = dsm_send(
+                    fabric,
+                    t0,
+                    Message::new(node, *owner, DSM_CTRL, MsgClass::Dsm),
+                );
+                let at_owner = req_at + remote_handler_of(self.fault_handler_cpu);
                 let ready = if invalidate.is_empty() || plan.contextual {
                     if plan.contextual {
                         // Fire-and-forget piggybacked invalidations.
                         for &s in invalidate {
                             let _ = fabric
-                                .send(at_owner, Message::new(*owner, s, DSM_CTRL, MsgClass::Dsm))
-                                .expect("DSM endpoints are validated at VM build");
+                                .send(at_owner, Message::new(*owner, s, DSM_CTRL, MsgClass::Dsm));
                         }
                     }
                     at_owner
                 } else {
                     let mut acks = at_owner;
                     for &s in invalidate {
-                        let inv = fabric
-                            .send(at_owner, Message::new(*owner, s, DSM_CTRL, MsgClass::Dsm))
-                            .expect("DSM endpoints are validated at VM build");
-                        let ack_at = inv.deliver_at + remote_handler_of(self.fault_handler_cpu);
-                        let ack = fabric
-                            .send(ack_at, Message::new(s, *owner, DSM_CTRL, MsgClass::Dsm))
-                            .expect("DSM endpoints are validated at VM build");
-                        acks = acks.max(ack.deliver_at);
+                        let inv_at = dsm_send(
+                            fabric,
+                            at_owner,
+                            Message::new(*owner, s, DSM_CTRL, MsgClass::Dsm),
+                        );
+                        let ack_at = inv_at + remote_handler_of(self.fault_handler_cpu);
+                        let ack = dsm_send(
+                            fabric,
+                            ack_at,
+                            Message::new(s, *owner, DSM_CTRL, MsgClass::Dsm),
+                        );
+                        acks = acks.max(ack);
                     }
                     acks
                 };
-                let resp = fabric
-                    .send(ready, Message::new(*owner, node, DSM_PAGE, MsgClass::Dsm))
-                    .expect("DSM endpoints are validated at VM build");
-                resp.deliver_at + INSTALL_COST
+                let resp_at = dsm_send(
+                    fabric,
+                    ready,
+                    Message::new(*owner, node, DSM_PAGE, MsgClass::Dsm),
+                );
+                resp_at + INSTALL_COST
             }
         };
         let done = if plan.dirty_bit_msg {
@@ -264,9 +302,7 @@ impl VmMemory {
                 FaultKind::Upgrade { .. } => self.bootstrap,
             };
             if target != node {
-                let _ = fabric
-                    .send(done, Message::new(node, target, DSM_CTRL, MsgClass::Dsm))
-                    .expect("DSM endpoints are validated at VM build");
+                let _ = fabric.send(done, Message::new(node, target, DSM_CTRL, MsgClass::Dsm));
             }
             done + SimTime::from_micros(1)
         } else {

@@ -32,6 +32,9 @@ use crate::VcpuId;
 pub struct DrainReport {
     /// vCPUs migrated off the failing node.
     pub vcpus_moved: u32,
+    /// vCPUs that refused to migrate (mid-migration or already done);
+    /// each refusal is also traced as `VcpuMigrateRefused`.
+    pub vcpus_refused: u32,
     /// Master-copy pages whose home moved.
     pub pages_moved: u64,
     /// Time to move the page data over the fabric.
@@ -43,6 +46,11 @@ pub struct DrainReport {
 /// Proactively evacuates `failing`: migrates its vCPUs to `target`
 /// (pCPU k for vCPU k) and re-homes the master copies it owns.
 ///
+/// vCPUs that cannot migrate (already migrating, or done) are skipped and
+/// counted in [`DrainReport::vcpus_refused`], each emitting a
+/// `VcpuMigrateRefused` trace event — a partial drain reports itself
+/// instead of silently claiming success.
+///
 /// Returns `None` if the profile lacks mobility (a GiantVM-style static
 /// VM cannot be drained — it must crash and restart).
 pub fn force_drain(sim: &mut VmSim, failing: NodeId, target: NodeId) -> Option<DrainReport> {
@@ -50,6 +58,7 @@ pub fn force_drain(sim: &mut VmSim, failing: NodeId, target: NodeId) -> Option<D
         return None;
     }
     let mut vcpus_moved = 0;
+    let mut vcpus_refused = 0;
     for i in 0..sim.world.vcpu_count() {
         let v = VcpuId::from_usize(i);
         if sim.world.placement_of(v).node == failing {
@@ -62,6 +71,10 @@ pub fn force_drain(sim: &mut VmSim, failing: NodeId, target: NodeId) -> Option<D
             );
             if ok {
                 vcpus_moved += 1;
+            } else {
+                vcpus_refused += 1;
+                let now = sim.now();
+                sim.world.note_migration_refused(now, v, failing, target);
             }
         }
     }
@@ -84,6 +97,7 @@ pub fn force_drain(sim: &mut VmSim, failing: NodeId, target: NodeId) -> Option<D
     let migration_cost = sim.world.profile().vcpu_migration_cost * u64::from(vcpus_moved.max(1));
     Some(DrainReport {
         vcpus_moved,
+        vcpus_refused,
         pages_moved,
         page_transfer,
         // vCPU migrations and the page stream overlap; the drain is done

@@ -3,6 +3,8 @@
 use sim_core::stats::{Histogram, Meter, TimeSeries};
 use sim_core::time::SimTime;
 
+use crate::vm::VmError;
+
 /// Statistics collected while a [`crate::vm::VmWorld`] runs.
 #[derive(Debug)]
 pub struct VmStats {
@@ -26,6 +28,26 @@ pub struct VmStats {
     pub rx_drops: u64,
     /// FIFO watermark of the (single) physical disk.
     pub disk_free_at: SimTime,
+    /// Non-fatal execution errors (lost IPIs, unreachable devices).
+    pub errors: Vec<VmError>,
+    /// Scripted node crashes that fired.
+    pub node_crashes: u64,
+    /// Heartbeat probes the monitor recorded as missed.
+    pub heartbeat_misses: u64,
+    /// Nodes the detector declared dead.
+    pub detections: u64,
+    /// Total crash-to-declaration latency across detections.
+    pub detection_latency: SimTime,
+    /// Total crash-to-resume downtime across recoveries.
+    pub recovery_downtime: SimTime,
+    /// Guest work lost to checkpoint rollback across recoveries.
+    pub lost_work: SimTime,
+    /// DSM pages quarantined (lost with a dead slice and restored).
+    pub pages_quarantined: u64,
+    /// DSM master copies moved by proactive drains.
+    pub pages_drained: u64,
+    /// vCPU migrations refused during drains.
+    pub migrations_refused: u64,
 }
 
 impl VmStats {
@@ -42,6 +64,16 @@ impl VmStats {
             tx_drops: 0,
             rx_drops: 0,
             disk_free_at: SimTime::ZERO,
+            errors: Vec::new(),
+            node_crashes: 0,
+            heartbeat_misses: 0,
+            detections: 0,
+            detection_latency: SimTime::ZERO,
+            recovery_downtime: SimTime::ZERO,
+            lost_work: SimTime::ZERO,
+            pages_quarantined: 0,
+            pages_drained: 0,
+            migrations_refused: 0,
         }
     }
 

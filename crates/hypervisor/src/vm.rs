@@ -11,13 +11,18 @@
 //! * I/O runs through delegated VirtIO devices, crossing the fabric when the
 //!   submitting vCPU is not on the device's home node;
 //! * vCPU migration pauses a vCPU, transfers its state, and resumes it on
-//!   another node — the mobility mechanism GiantVM lacks.
+//!   another node — the mobility mechanism GiantVM lacks;
+//! * an optional fault plan crashes nodes and degrades links mid-run, and
+//!   an optional heartbeat failure detector ([`crate::failure`]) detects
+//!   the crash and drives live recovery (DSM quarantine + checkpoint
+//!   restore, or a proactive drain when the failure was predicted).
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use comm::{Fabric, LinkProfile, Message, MsgClass, NodeId};
 use dsm::{Access, PageClass, PageId};
 use guest::memory::Region;
+use sim_core::fault::FaultPlan;
 use sim_core::pscpu::PsCpu;
 use sim_core::rng::DetRng;
 use sim_core::time::SimTime;
@@ -28,6 +33,8 @@ use virtio::device::{BlkRequest, DeviceConfig, VirtioBlk, VirtioConsole, VirtioN
 use virtio::plan::{BackendWork, IoPlan};
 use virtio::{QueueId, VcpuId};
 
+use crate::checkpoint;
+use crate::failure::FailureConfig;
 use crate::memory::VmMemory;
 use crate::profile::HypervisorProfile;
 use crate::program::{GuestMsg, Op, ProgCtx, Program};
@@ -44,6 +51,11 @@ const SOCKET_CHUNK: u64 = 16 * 1024;
 
 /// Same-node task wakeup (futex/scheduler, no hypervisor involvement).
 const LOCAL_WAKEUP: SimTime = SimTime::from_micros(3);
+
+/// Transport-level retransmission delay after the fabric reports a drop
+/// on a path whose caller cannot afford to lose the message (client
+/// traffic, completion interrupts, guest-local wakeups).
+const FABRIC_RETX: SimTime = SimTime::from_micros(500);
 
 /// Throughput of tmpfs (page-cache memcpy) on the testbed.
 fn tmpfs_bandwidth() -> Bandwidth {
@@ -107,6 +119,61 @@ pub struct ClientConfig {
     pub model: Box<dyn ClientModel>,
 }
 
+/// A non-fatal execution error surfaced by the VM instead of a panic.
+///
+/// Errors accumulate in [`VmStats::errors`]; the guest degrades (lost
+/// packet, failed I/O) rather than aborting the simulation, which is what
+/// lets fault-injection runs ride out dead devices and lossy links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// A `NetSend` op ran on a VM without a net device.
+    NoNetDevice {
+        /// The issuing vCPU.
+        vcpu: VcpuId,
+    },
+    /// A `BlkIo` op ran on a VM without a block device.
+    NoBlkDevice {
+        /// The issuing vCPU.
+        vcpu: VcpuId,
+    },
+    /// A device kick could not reach the device's home node (the guest
+    /// sees a failed I/O).
+    DeviceUnreachable {
+        /// The submitting vCPU.
+        vcpu: VcpuId,
+        /// True for the net device, false for blk.
+        is_net: bool,
+    },
+    /// An IPI was lost: the target slice is dead or the fabric's bounded
+    /// retries were exhausted.
+    IpiLost {
+        /// Sending node.
+        src: NodeId,
+        /// Target vCPU.
+        vcpu: VcpuId,
+    },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::NoNetDevice { vcpu } => {
+                write!(f, "vCPU{} issued NetSend without a net device", vcpu.0)
+            }
+            VmError::NoBlkDevice { vcpu } => {
+                write!(f, "vCPU{} issued BlkIo without a block device", vcpu.0)
+            }
+            VmError::DeviceUnreachable { vcpu, is_net } => {
+                let dev = if *is_net { "net" } else { "blk" };
+                write!(f, "vCPU{} could not reach the {dev} device home", vcpu.0)
+            }
+            VmError::IpiLost { src, vcpu } => {
+                write!(f, "IPI from node {} to vCPU{} was lost", src.0, vcpu.0)
+            }
+        }
+    }
+}
+
 /// What a vCPU is currently doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VcpuStatus {
@@ -130,6 +197,8 @@ enum VcpuStatus {
     Sleeping,
     /// Mid-migration.
     Migrating,
+    /// Halted by a node crash; awaiting checkpoint restore.
+    Failed,
     /// Program finished.
     Done,
 }
@@ -175,6 +244,57 @@ struct VcpuState {
 #[derive(Debug, Default)]
 struct BarrierState {
     arrived: BTreeSet<u32>,
+}
+
+/// Runtime state of the heartbeat failure detector (monitor = node 0).
+#[derive(Debug)]
+struct FailureState {
+    cfg: FailureConfig,
+    /// Consecutive missed probes per node.
+    misses: Vec<u32>,
+    /// Nodes already declared dead (no further probing).
+    suspected: Vec<bool>,
+    /// Nodes whose recovery has already run.
+    recovered: Vec<bool>,
+    /// Scripted crash time per node (detection-latency accounting and
+    /// the probing horizon).
+    crash_at: Vec<Option<SimTime>>,
+    /// Latest scripted crash; probing stops once every scripted crash
+    /// has been detected and `now` is past this point.
+    last_crash: SimTime,
+}
+
+impl FailureState {
+    fn new(cfg: FailureConfig, nodes: usize, plan: Option<&FaultPlan>) -> Self {
+        let mut crash_at = vec![None; nodes];
+        let mut last_crash = SimTime::ZERO;
+        if let Some(plan) = plan {
+            for c in plan.crashes() {
+                if let Some(slot) = crash_at.get_mut(c.node as usize) {
+                    *slot = Some(c.at);
+                    last_crash = last_crash.max(c.at);
+                }
+            }
+        }
+        FailureState {
+            cfg,
+            misses: vec![0; nodes],
+            suspected: vec![false; nodes],
+            recovered: vec![false; nodes],
+            crash_at,
+            last_crash,
+        }
+    }
+
+    /// True while the detector still has scripted crashes to catch.
+    fn probing_needed(&self, now: SimTime) -> bool {
+        now <= self.last_crash
+            || self
+                .crash_at
+                .iter()
+                .zip(&self.suspected)
+                .any(|(c, s)| c.is_some() && !s)
+    }
 }
 
 /// Simulation events.
@@ -278,6 +398,28 @@ pub enum Event {
         /// Destination placement.
         to: Placement,
     },
+    /// A scripted node crash from the fault plan fires.
+    NodeFail {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// The monitor slice's periodic heartbeat probe round.
+    Heartbeat,
+    /// Hardware monitoring predicts `node` will fail: proactively drain it.
+    PredictFailure {
+        /// The suspect node.
+        node: NodeId,
+    },
+    /// Recovery of a declared-dead node's slice begins.
+    RecoverNode {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// A restored vCPU resumes on the recovery node.
+    VcpuRestore {
+        /// The vCPU to resume.
+        vcpu: VcpuId,
+    },
 }
 
 /// The simulated world of one (possibly aggregate) VM.
@@ -298,6 +440,10 @@ pub struct VmWorld {
     client_pending: HashMap<u64, SimTime>,
     barriers: HashMap<u32, BarrierState>,
     timer_interval: Option<SimTime>,
+    /// Heartbeat failure detector (None = no detector attached).
+    failure: Option<FailureState>,
+    /// Crash time per node, set when the scripted crash fires.
+    crashed: Vec<Option<SimTime>>,
     tracer: Tracer,
     /// Measurement output.
     pub stats: VmStats,
@@ -326,9 +472,27 @@ impl VmWorld {
 
     /// True when every guest program has finished and the client (if any)
     /// is done.
+    ///
+    /// With a failure detector attached, crashed (`Failed`) vCPUs are
+    /// *not* terminal — the detector will restore them, so the run keeps
+    /// going until they finish. Without one there is no recovery path and
+    /// `Failed` counts as terminal.
     pub fn finished(&self) -> bool {
-        self.vcpus.iter().all(|v| v.status == VcpuStatus::Done)
-            && self.client.as_ref().is_none_or(|c| c.model.is_done())
+        let terminal = |v: &VcpuState| {
+            v.status == VcpuStatus::Done
+                || (self.failure.is_none() && v.status == VcpuStatus::Failed)
+        };
+        self.vcpus.iter().all(terminal) && self.client.as_ref().is_none_or(|c| c.model.is_done())
+    }
+
+    /// Crash time of `node`, if its scripted crash has fired.
+    pub fn crash_time(&self, node: NodeId) -> Option<SimTime> {
+        self.crashed.get(node.index()).copied().flatten()
+    }
+
+    /// Non-fatal errors surfaced so far (lost IPIs, unreachable devices).
+    pub fn errors(&self) -> &[VmError] {
+        &self.stats.errors
     }
 
     /// The hypervisor profile in force.
@@ -465,11 +629,17 @@ impl VmWorld {
                 payload,
             } => {
                 let Some(net) = self.net.as_mut() else {
-                    panic!("NetSend on a VM without a net device");
+                    // Misconfigured guest: the packet vanishes (EIO) and
+                    // the program keeps running.
+                    self.stats.errors.push(VmError::NoNetDevice { vcpu });
+                    self.stats.tx_drops += 1;
+                    return true;
                 };
                 match net.plan_tx(vcpu, node, &payload, bytes) {
                     Ok((plan, queue)) => {
-                        self.submit_io(ctx, vcpu, queue, true, plan, Some(conn));
+                        if !self.submit_io(ctx, vcpu, queue, true, plan, Some(conn)) {
+                            self.stats.tx_drops += 1;
+                        }
                         // Transmission is asynchronous for the guest.
                         true
                     }
@@ -504,7 +674,10 @@ impl VmWorld {
                 buffer,
             } => {
                 let Some(blk) = self.blk.as_mut() else {
-                    panic!("BlkIo on a VM without a block device");
+                    // Misconfigured guest: the request fails (EIO) and the
+                    // program keeps running.
+                    self.stats.errors.push(VmError::NoBlkDevice { vcpu });
+                    return true;
                 };
                 let req = BlkRequest {
                     bytes,
@@ -513,9 +686,15 @@ impl VmWorld {
                 };
                 match blk.plan_io(vcpu, node, req, &buffer) {
                     Ok((plan, queue)) => {
-                        self.submit_io(ctx, vcpu, queue, false, plan, None);
-                        self.vcpus[vcpu.index()].status = VcpuStatus::BlockedIo;
-                        false
+                        if self.submit_io(ctx, vcpu, queue, false, plan, None) {
+                            self.vcpus[vcpu.index()].status = VcpuStatus::BlockedIo;
+                            false
+                        } else {
+                            // The device home is unreachable: the guest
+                            // sees EIO and continues instead of blocking
+                            // on a completion that will never arrive.
+                            true
+                        }
                     }
                     Err(_) => {
                         // Queue full: block on the device and reissue the
@@ -739,16 +918,24 @@ impl VmWorld {
             ctx.schedule_in(LOCAL_IPI, Event::IpiDeliver { vcpu: to });
         } else {
             let m = Message::new(src, dst, ByteSize::bytes(64), MsgClass::Interrupt);
-            let d = self
-                .fabric
-                .send(ctx.now, m)
-                .expect("IPI endpoints are validated at VM build");
-            ctx.schedule_at(d.deliver_at, Event::IpiDeliver { vcpu: to });
+            match self.fabric.send(ctx.now, m) {
+                Ok(d) => ctx.schedule_at(d.deliver_at, Event::IpiDeliver { vcpu: to }),
+                Err(_) => {
+                    // Target slice dead or the fabric's bounded retries
+                    // exhausted: the IPI is lost (the target, if it ever
+                    // recovers, is restored from its checkpoint anyway).
+                    self.stats.errors.push(VmError::IpiLost { src, vcpu: to });
+                }
+            }
         }
     }
 
     /// Submits an I/O plan: guest-side touches now, then device processing
     /// after the kick crosses the fabric.
+    ///
+    /// Returns false (releasing the queue slot) when the kick cannot reach
+    /// the device's home node — a crashed device home under fault
+    /// injection. The caller surfaces the failure to the guest.
     fn submit_io(
         &mut self,
         ctx: &mut Ctx<'_, Event>,
@@ -757,7 +944,7 @@ impl VmWorld {
         is_net: bool,
         plan: IoPlan,
         conn: Option<u64>,
-    ) {
+    ) -> bool {
         let node = self.vcpus[vcpu.index()].node;
         let t = self.mem.access_batch(
             ctx.now,
@@ -766,13 +953,22 @@ impl VmWorld {
             &mut self.fabric,
         );
         let process_at = match &plan.notify {
-            Some(m) => {
-                let d = self
-                    .fabric
-                    .send(t, *m)
-                    .expect("device plans only name in-range nodes");
-                d.deliver_at
-            }
+            Some(m) => match self.fabric.send(t, *m) {
+                Ok(d) => d.deliver_at,
+                Err(_) => {
+                    self.stats
+                        .errors
+                        .push(VmError::DeviceUnreachable { vcpu, is_net });
+                    if is_net {
+                        if let Some(net) = self.net.as_mut() {
+                            net.complete(queue);
+                        }
+                    } else if let Some(blk) = self.blk.as_mut() {
+                        blk.complete(queue);
+                    }
+                    return false;
+                }
+            },
             None => t + SimTime::from_nanos(500), // local ioeventfd
         };
         ctx.schedule_at(
@@ -785,6 +981,7 @@ impl VmWorld {
                 conn,
             },
         );
+        true
     }
 
     /// Device-side processing of a submitted plan.
@@ -810,12 +1007,14 @@ impl VmWorld {
                 if let (Some(conn), Some(client)) = (conn, self.client.as_ref()) {
                     let home = self.net.as_ref().expect("net device").home();
                     let m = Message::new(home, client.node, bytes, MsgClass::Io);
-                    let d = self
-                        .fabric
-                        .send(t, m)
-                        .expect("client link is registered at VM build");
+                    // A dropped response is retransmitted by the transport
+                    // after a timeout so closed-loop clients never hang.
+                    let deliver_at = match self.fabric.send(t, m) {
+                        Ok(d) => d.deliver_at,
+                        Err(_) => t + FABRIC_RETX,
+                    };
                     ctx.schedule_at(
-                        d.deliver_at,
+                        deliver_at,
                         Event::ClientDeliver {
                             conn,
                             bytes: bytes.as_u64(),
@@ -837,13 +1036,13 @@ impl VmWorld {
             BackendWork::Tmpfs { bytes } => t + tmpfs_bandwidth().transfer_time(bytes),
         };
         let complete_at = match &plan.completion.irq_msg {
-            Some(m) => {
-                let d = self
-                    .fabric
-                    .send(t_backend, *m)
-                    .expect("device plans only name in-range nodes");
-                d.deliver_at
-            }
+            Some(m) => match self.fabric.send(t_backend, *m) {
+                // A lost completion interrupt is re-raised after a timeout
+                // (virtio re-notification); if the submitter's slice died,
+                // `io_complete` discards it.
+                Ok(d) => d.deliver_at,
+                Err(_) => t_backend + FABRIC_RETX,
+            },
             None => t_backend + SimTime::from_nanos(500),
         };
         ctx.schedule_at(
@@ -872,6 +1071,11 @@ impl VmWorld {
             }
         } else if let Some(blk) = self.blk.as_mut() {
             blk.complete(queue);
+        }
+        // The submitter's slice died since submission: the interrupt is
+        // discarded (the vCPU restarts from its checkpoint).
+        if self.vcpus[vcpu.index()].status == VcpuStatus::Failed {
+            return;
         }
         let node = self.vcpus[vcpu.index()].node;
         let _ = self
@@ -905,12 +1109,13 @@ impl VmWorld {
         for s in sends {
             self.client_pending.insert(s.conn, ctx.now);
             let m = Message::new(client_node, home, s.bytes, MsgClass::Io);
-            let d = self
-                .fabric
-                .send(ctx.now, m)
-                .expect("client link is registered at VM build");
+            // Dropped requests are retransmitted by the client transport.
+            let deliver_at = match self.fabric.send(ctx.now, m) {
+                Ok(d) => d.deliver_at,
+                Err(_) => ctx.now + FABRIC_RETX,
+            };
             ctx.schedule_at(
-                d.deliver_at,
+                deliver_at,
                 Event::ClientRxArrive {
                     conn: s.conn,
                     bytes: s.bytes.as_u64(),
@@ -955,12 +1160,10 @@ impl VmWorld {
             &mut self.fabric,
         );
         let deliver_at = match &plan.completion.irq_msg {
-            Some(m) => {
-                self.fabric
-                    .send(t, *m)
-                    .expect("device plans only name in-range nodes")
-                    .deliver_at
-            }
+            Some(m) => match self.fabric.send(t, *m) {
+                Ok(d) => d.deliver_at,
+                Err(_) => t + FABRIC_RETX,
+            },
             None => t + SimTime::from_nanos(500),
         };
         ctx.schedule_at(
@@ -1050,6 +1253,31 @@ impl VmWorld {
     }
 
     fn migration_done(&mut self, ctx: &mut Ctx<'_, Event>, vcpu: VcpuId, to: Placement) {
+        // The destination died while the state transfer was in flight:
+        // the vCPU lands dead and is recovered with the rest of the slice.
+        if self.crashed[to.node.index()].is_some() {
+            // If the slice was already restored elsewhere, land there
+            // instead and resume; otherwise wait for recovery with the
+            // rest of the slice.
+            let restored_to = self
+                .failure
+                .as_ref()
+                .filter(|f| f.recovered[to.node.index()])
+                .map(|f| f.cfg.restore_to);
+            let v = &mut self.vcpus[vcpu.index()];
+            debug_assert_eq!(v.status, VcpuStatus::Migrating);
+            v.node = restored_to.unwrap_or(to.node);
+            v.pcpu = to.pcpu;
+            v.status = VcpuStatus::Failed;
+            v.stashed_work = None;
+            v.missed_step = false;
+            v.missed_charge = None;
+            if let Some(target) = restored_to {
+                self.ensure_pcpu(target, to.pcpu);
+                ctx.schedule_now(Event::VcpuRestore { vcpu });
+            }
+            return;
+        }
         self.tracer.emit_with(|| TraceEvent::VcpuMigrateDone {
             at: ctx.now.as_nanos(),
             vcpu: vcpu.0,
@@ -1104,6 +1332,234 @@ impl VmWorld {
         // For ready vCPUs without a missed step, the original wakeup event
         // is still queued and will arrive at the new placement.
     }
+
+    /// Lazily creates (and instruments) a pCPU on `node`.
+    fn ensure_pcpu(&mut self, node: NodeId, pcpu: u32) {
+        let tracer = self.tracer.clone();
+        let helper_load = self.profile.helper_thread_load;
+        self.pcpus.entry((node, pcpu)).or_insert_with(|| {
+            let mut cpu = PsCpu::new(1.0);
+            cpu.attach_tracer(tracer, cpu_trace_id(node, pcpu));
+            if helper_load > 0.0 {
+                cpu.set_background_load(SimTime::ZERO, helper_load);
+            }
+            cpu
+        });
+    }
+
+    /// A scripted node crash fires: the slice's vCPUs halt and their
+    /// in-flight compute is lost.
+    fn node_fail(&mut self, ctx: &mut Ctx<'_, Event>, node: NodeId) {
+        if self.crashed[node.index()].is_some() {
+            return;
+        }
+        self.crashed[node.index()] = Some(ctx.now);
+        self.stats.node_crashes += 1;
+        self.tracer.emit_with(|| TraceEvent::NodeCrash {
+            at: ctx.now.as_nanos(),
+            node: node.0,
+        });
+        // Cancel in-flight compute on the node's pCPUs so their timelines
+        // stay audit-clean (the cancelled work is simply lost).
+        let computing: Vec<(usize, u32)> = self
+            .vcpus
+            .iter()
+            .enumerate()
+            .filter(|&(_, v)| v.node == node && v.status == VcpuStatus::Computing)
+            .map(|(i, v)| (i, v.pcpu))
+            .collect();
+        let now = ctx.now;
+        for &(i, pcpu) in &computing {
+            // Stash the remainder: recovery re-executes it after restore
+            // (the rollback cost itself is accounted analytically).
+            let rem = self.pcpu(node, pcpu).cancel(now, i as u64);
+            self.vcpus[i].stashed_work = Some(rem);
+            self.reschedule_cpu(ctx, node, pcpu);
+        }
+        // Every live vCPU on the slice halts. Migrating vCPUs survive:
+        // their register state already left with the dump.
+        for v in self.vcpus.iter_mut() {
+            if v.node == node && !matches!(v.status, VcpuStatus::Done | VcpuStatus::Migrating) {
+                v.status = VcpuStatus::Failed;
+            }
+        }
+    }
+
+    /// One heartbeat round: the monitor (node 0) probes every slice it
+    /// has not yet declared dead; consecutive misses past the threshold
+    /// trigger recovery.
+    fn heartbeat_round(&mut self, ctx: &mut Ctx<'_, Event>) {
+        let Some(f) = self.failure.as_ref() else {
+            return;
+        };
+        let interval = f.cfg.heartbeat_interval;
+        let threshold = f.cfg.miss_threshold;
+        let monitor = NodeId::new(0);
+        let phys_nodes = self.fabric.nodes() - usize::from(self.client.is_some());
+        let mut declare: Vec<NodeId> = Vec::new();
+        for n in 1..phys_nodes {
+            if self.failure.as_ref().is_none_or(|f| f.suspected[n]) {
+                continue;
+            }
+            let dst = NodeId::from_usize(n);
+            let probe = Message::new(monitor, dst, ByteSize::bytes(64), MsgClass::Control);
+            // The fabric acks Control-class messages end-to-end with
+            // bounded retries, so Err means the probe (or its retries)
+            // never got through — a miss.
+            let ok = self.fabric.send(ctx.now, probe).is_ok();
+            let f = self.failure.as_mut().expect("checked above");
+            if ok {
+                f.misses[n] = 0;
+            } else {
+                f.misses[n] += 1;
+                let misses = f.misses[n];
+                self.stats.heartbeat_misses += 1;
+                self.tracer.emit_with(|| TraceEvent::HeartbeatMiss {
+                    at: ctx.now.as_nanos(),
+                    node: dst.0,
+                    misses,
+                });
+                if misses >= threshold {
+                    f.suspected[n] = true;
+                    declare.push(dst);
+                }
+            }
+        }
+        for dst in declare {
+            let misses = self.failure.as_ref().expect("checked above").misses[dst.index()];
+            self.tracer.emit_with(|| TraceEvent::NodeDeclaredDead {
+                at: ctx.now.as_nanos(),
+                node: dst.0,
+                misses,
+            });
+            self.stats.detections += 1;
+            if let Some(crash) = self.crashed[dst.index()] {
+                self.stats.detection_latency += ctx.now - crash;
+            }
+            ctx.schedule_now(Event::RecoverNode { node: dst });
+        }
+        let f = self.failure.as_ref().expect("checked above");
+        if f.probing_needed(ctx.now) {
+            ctx.schedule_in(interval, Event::Heartbeat);
+        }
+    }
+
+    /// Recovers a declared-dead slice: quarantine its DSM pages, restore
+    /// their contents from the last checkpoint image, and resume its
+    /// vCPUs on the restore node once the image is streamed back.
+    fn recover_node(&mut self, ctx: &mut Ctx<'_, Event>, node: NodeId) {
+        let Some(f) = self.failure.as_ref() else {
+            return;
+        };
+        if f.recovered[node.index()] {
+            return;
+        }
+        let cfg = f.cfg;
+        let target = cfg.restore_to;
+        self.failure.as_mut().expect("checked above").recovered[node.index()] = true;
+        // 1. Every page homed on the dead slice is declared lost and
+        //    re-granted exclusively at the restore node (the checkpoint
+        //    image is the new truth — survivors' stale copies included).
+        self.mem.dsm.set_clock(ctx.now);
+        let pages = self.mem.dsm.quarantine_node(node, target);
+        self.stats.pages_quarantined += pages;
+        // 2. Stream the slice's share of the checkpoint image back from
+        //    disk. Survivors are not rolled back; the guest work lost
+        //    since the last checkpoint is charged to the stats instead.
+        let image = ByteSize::bytes(pages * 4096);
+        let restore_time = checkpoint::restore(image, 1, cfg.restore_disk, self.profile.link);
+        if let Some(crash) = self.crashed[node.index()] {
+            let interval = cfg.checkpoint_interval.as_nanos();
+            if interval > 0 {
+                self.stats.lost_work += SimTime::from_nanos(crash.as_nanos() % interval);
+            }
+            self.stats.recovery_downtime += (ctx.now - crash) + restore_time;
+        }
+        self.tracer.emit_with(|| TraceEvent::NodeRestore {
+            at: ctx.now.as_nanos(),
+            node: node.0,
+            pages,
+            restore_ns: restore_time.as_nanos(),
+        });
+        // 3. Re-place the slice's vCPUs on the restore node; they resume
+        //    once the image is back in memory.
+        let resume_at = ctx.now + restore_time;
+        for i in 0..self.vcpus.len() {
+            let failed_here = {
+                let v = &self.vcpus[i];
+                v.status == VcpuStatus::Failed && v.node == node
+            };
+            if !failed_here {
+                continue;
+            }
+            // Land each vCPU on its own spare core of the restore node
+            // (same pCPU-k-for-vCPU-k convention as a proactive drain)
+            // rather than piling onto an already-busy core.
+            let pcpu = i as u32;
+            self.vcpus[i].node = target;
+            self.vcpus[i].pcpu = pcpu;
+            self.ensure_pcpu(target, pcpu);
+            ctx.schedule_at(
+                resume_at,
+                Event::VcpuRestore {
+                    vcpu: VcpuId::from_usize(i),
+                },
+            );
+        }
+        debug_assert!(
+            self.mem.dsm.check_invariants().is_ok(),
+            "DSM invariants violated after recovery: {:?}",
+            self.mem.dsm.check_invariants()
+        );
+    }
+
+    /// A predicted failure: proactively drain the suspect slice (vCPU
+    /// migrations + DSM master-copy drain) so the crash hits an empty
+    /// node. Requires mobility — a GiantVM-style VM cannot drain.
+    fn predict_failure(&mut self, ctx: &mut Ctx<'_, Event>, node: NodeId) {
+        if self.crashed[node.index()].is_some() || !self.profile.mobility {
+            return;
+        }
+        let Some(f) = self.failure.as_ref() else {
+            return;
+        };
+        let target = f.cfg.restore_to;
+        for i in 0..self.vcpus.len() {
+            let (here, pcpu, done) = {
+                let v = &self.vcpus[i];
+                (v.node == node, v.pcpu, v.status == VcpuStatus::Done)
+            };
+            if !here || done {
+                continue;
+            }
+            let vcpu = VcpuId::from_usize(i);
+            self.ensure_pcpu(target, pcpu);
+            if !self.request_migration(ctx, vcpu, Placement { node: target, pcpu }) {
+                self.note_migration_refused(ctx.now, vcpu, node, target);
+            }
+        }
+        // Move the master copies off the suspect slice ahead of the crash.
+        self.mem.dsm.set_clock(ctx.now);
+        let moved = self.mem.dsm.drain_node(node, target);
+        self.stats.pages_drained += moved;
+    }
+
+    /// Records a refused vCPU migration (drain paths).
+    pub(crate) fn note_migration_refused(
+        &mut self,
+        now: SimTime,
+        vcpu: VcpuId,
+        from: NodeId,
+        to: NodeId,
+    ) {
+        self.stats.migrations_refused += 1;
+        self.tracer.emit_with(|| TraceEvent::VcpuMigrateRefused {
+            at: now.as_nanos(),
+            vcpu: vcpu.0,
+            from_node: from.0,
+            to_node: to.0,
+        });
+    }
 }
 
 /// Extracts `(page, access)` pairs from plan touches.
@@ -1151,6 +1607,36 @@ impl World for VmWorld {
                     let sends = client.model.start(ctx.now);
                     self.inject_client_sends(ctx, sends);
                 }
+                // Scripted crashes (and their predictions), plus the
+                // heartbeat detector's first probe round.
+                let crashes: Vec<(u32, SimTime)> = self
+                    .fabric
+                    .fault_plan()
+                    .map(|p| p.crashes().iter().map(|c| (c.node, c.at)).collect())
+                    .unwrap_or_default();
+                let (heartbeat, lead) = match &self.failure {
+                    Some(f) => (Some(f.cfg.heartbeat_interval), f.cfg.prediction_lead),
+                    None => (None, None),
+                };
+                for &(node, at) in &crashes {
+                    ctx.schedule_at(
+                        at,
+                        Event::NodeFail {
+                            node: NodeId::new(node),
+                        },
+                    );
+                    if let Some(lead) = lead {
+                        ctx.schedule_at(
+                            at.saturating_sub(lead),
+                            Event::PredictFailure {
+                                node: NodeId::new(node),
+                            },
+                        );
+                    }
+                }
+                if let Some(interval) = heartbeat {
+                    ctx.schedule_in(interval, Event::Heartbeat);
+                }
             }
             Event::VcpuStep(v) => {
                 let state = &mut self.vcpus[v.index()];
@@ -1194,14 +1680,14 @@ impl World for VmWorld {
                                     ByteSize::bytes(64),
                                     MsgClass::Interrupt,
                                 );
-                                let d = self
-                                    .fabric
-                                    .send(ctx.now, m)
-                                    .expect("vCPU nodes are validated at VM build");
-                                ctx.schedule_at(
-                                    d.deliver_at,
-                                    Event::LocalDeliver { vcpu: to, msg },
-                                );
+                                // A lost wakeup is redelivered after a
+                                // timeout so receivers blocked on a dead
+                                // slice's sender resume after recovery.
+                                let deliver_at = match self.fabric.send(ctx.now, m) {
+                                    Ok(d) => d.deliver_at,
+                                    Err(_) => ctx.now + FABRIC_RETX,
+                                };
+                                ctx.schedule_at(deliver_at, Event::LocalDeliver { vcpu: to, msg });
                             }
                         }
                     }
@@ -1234,6 +1720,12 @@ impl World for VmWorld {
             }
             Event::LocalDeliver { vcpu, msg } => {
                 let v = &mut self.vcpus[vcpu.index()];
+                // A crashed receiver just queues the message: its pages
+                // and program state come back with the checkpoint restore.
+                if v.status == VcpuStatus::Failed {
+                    v.local_inbox.push_back(msg);
+                    return;
+                }
                 // The receiver reads the socket buffer pages.
                 let node = v.node;
                 let bufs = self.mem.kernel.socket_buffer_pages();
@@ -1294,6 +1786,10 @@ impl World for VmWorld {
             } => {
                 if let Some(net) = self.net.as_mut() {
                     net.complete(queue);
+                }
+                if self.vcpus[vcpu.index()].status == VcpuStatus::Failed {
+                    self.vcpus[vcpu.index()].net_inbox.push_back(msg);
+                    return;
                 }
                 let node = self.vcpus[vcpu.index()].node;
                 let t = self.mem.access_batch(
@@ -1356,6 +1852,14 @@ impl World for VmWorld {
                 if v.status == VcpuStatus::Done {
                     return;
                 }
+                if v.status == VcpuStatus::Failed {
+                    // Keep the tick chain alive for after the restore, but
+                    // a dead slice touches no pages.
+                    if let Some(interval) = self.timer_interval {
+                        ctx.schedule_in(interval, Event::GuestTick { vcpu });
+                    }
+                    return;
+                }
                 let node = v.node;
                 // The tick handler touches hot kernel pages; its latency
                 // is absorbed (a tick steals ~microseconds of vCPU time).
@@ -1371,6 +1875,28 @@ impl World for VmWorld {
                 }
             }
             Event::MigrationDone { vcpu, to } => self.migration_done(ctx, vcpu, to),
+            Event::NodeFail { node } => self.node_fail(ctx, node),
+            Event::Heartbeat => self.heartbeat_round(ctx),
+            Event::PredictFailure { node } => self.predict_failure(ctx, node),
+            Event::RecoverNode { node } => self.recover_node(ctx, node),
+            Event::VcpuRestore { vcpu } => {
+                let v = &mut self.vcpus[vcpu.index()];
+                if v.status != VcpuStatus::Failed {
+                    return;
+                }
+                if let Some(rem) = v.stashed_work.take() {
+                    // Re-execute the burst that was in flight at the crash
+                    // (after_cpu is still armed on the vCPU).
+                    v.status = VcpuStatus::Computing;
+                    let (node, pcpu) = (v.node, v.pcpu);
+                    let now = ctx.now;
+                    let _ = self.pcpu(node, pcpu).add(now, vcpu.0 as u64, rem);
+                    self.reschedule_cpu(ctx, node, pcpu);
+                } else {
+                    v.status = VcpuStatus::Ready;
+                    self.step_vcpu(ctx, vcpu);
+                }
+            }
         }
     }
 }
@@ -1386,6 +1912,8 @@ pub struct VmBuilder {
     blk_home: Option<NodeId>,
     client: Option<ClientConfig>,
     timer_interval: Option<SimTime>,
+    fault_plan: Option<FaultPlan>,
+    failure: Option<FailureConfig>,
     seed: u64,
 }
 
@@ -1402,8 +1930,24 @@ impl VmBuilder {
             blk_home: None,
             client: None,
             timer_interval: None,
+            fault_plan: None,
+            failure: None,
             seed: 0x5EED,
         }
+    }
+
+    /// Injects a deterministic fault plan: the fabric interprets its link
+    /// faults and the world schedules its node crashes.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches the heartbeat failure detector (monitor = node 0) with
+    /// its recovery policy.
+    pub fn with_failure_detector(mut self, cfg: FailureConfig) -> Self {
+        self.failure = Some(cfg);
+        self
     }
 
     /// Enables periodic guest timer ticks (CONFIG_HZ-style) on every
@@ -1466,6 +2010,12 @@ impl VmBuilder {
             self.nodes + usize::from(self.client.is_some()),
             self.profile.link,
         );
+        if let Some(plan) = &self.fault_plan {
+            fabric.inject_faults(plan.clone());
+        }
+        let failure = self
+            .failure
+            .map(|cfg| FailureState::new(cfg, self.nodes, self.fault_plan.as_ref()));
         let mut mem = VmMemory::new(&self.profile, self.placements.len(), self.ram, bootstrap);
 
         // Devices and their ring pages.
@@ -1554,6 +2104,7 @@ impl VmBuilder {
 
         let stats = VmStats::new(vcpus.len());
         let console = DeviceConfig::new(bootstrap).build_console();
+        let crashed = vec![None; fabric.nodes()];
         let world = VmWorld {
             profile: self.profile,
             fabric,
@@ -1569,6 +2120,8 @@ impl VmBuilder {
             client_pending: HashMap::new(),
             barriers: HashMap::new(),
             timer_interval: self.timer_interval,
+            failure,
+            crashed,
             tracer: Tracer::disabled(),
             stats,
         };
@@ -1594,6 +2147,7 @@ impl VmSim {
     ///
     /// Panics if the event queue drains while programs are still blocked —
     /// a deadlock in the workload definition.
+    #[allow(clippy::panic)] // documented contract: a deadlocked workload is a caller bug
     pub fn run(&mut self) -> SimTime {
         while !self.world.finished() {
             if !self.engine.step(&mut self.world) {

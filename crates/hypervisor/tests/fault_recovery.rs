@@ -1,0 +1,274 @@
+//! End-to-end fault injection: scripted crashes, heartbeat detection,
+//! quarantine + checkpoint restore, and deterministic replay.
+
+use comm::NodeId;
+use dsm::PageClass;
+use hypervisor::failure::FailureConfig;
+use hypervisor::program::FixedCompute;
+use hypervisor::reliability::force_drain;
+use hypervisor::vm::{Placement, VmBuilder, VmSim};
+use hypervisor::{HypervisorProfile, VcpuId};
+use proptest::prelude::*;
+use sim_core::fault::FaultPlan;
+use sim_core::time::SimTime;
+use sim_core::trace::TraceEvent;
+use sim_core::units::{Bandwidth, ByteSize};
+
+fn ms(n: u64) -> SimTime {
+    SimTime::from_millis(n)
+}
+
+/// A 4-node FragVisor VM with one 100 ms vCPU per node and a dataset
+/// homed on node 2 (the crash victim in most scenarios).
+fn build_vm(plan: FaultPlan, detector: Option<FailureConfig>) -> VmSim {
+    let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 4).with_fault_plan(plan);
+    if let Some(cfg) = detector {
+        b = b.with_failure_detector(cfg);
+    }
+    for i in 0..4 {
+        b = b.vcpu(Placement::new(i, 0), Box::new(FixedCompute::new(ms(100))));
+    }
+    let mut sim = b.build();
+    let _ = sim
+        .world
+        .mem
+        .alloc_app_region("data", 256, NodeId::new(2), PageClass::Private);
+    sim
+}
+
+fn detector() -> FailureConfig {
+    FailureConfig {
+        heartbeat_interval: ms(1),
+        miss_threshold: 3,
+        restore_to: NodeId::new(0),
+        restore_disk: Bandwidth::mb_per_sec(500.0),
+        checkpoint_interval: ms(50),
+        prediction_lead: None,
+    }
+}
+
+#[test]
+fn crash_is_detected_quarantined_and_restored() {
+    let plan = FaultPlan::scripted(7).crash(2, ms(10));
+    let mut sim = build_vm(plan, Some(detector()));
+    let tracer = sim.enable_tracing(1 << 20);
+    let done = sim.run();
+
+    // The crash fired, was detected within the heartbeat budget, and the
+    // dead slice's pages were quarantined.
+    let s = &sim.world.stats;
+    assert_eq!(s.node_crashes, 1);
+    assert_eq!(s.detections, 1);
+    assert!(s.heartbeat_misses >= 3);
+    assert!(
+        s.detection_latency <= detector().worst_case_detection(),
+        "detection took {}",
+        s.detection_latency
+    );
+    assert!(s.pages_quarantined >= 256, "{}", s.pages_quarantined);
+    assert_eq!(sim.world.mem.dsm.pages_owned_by(NodeId::new(2)), 0);
+    assert_eq!(sim.world.crash_time(NodeId::new(2)), Some(ms(10)));
+
+    // The guest resumed and finished: the victim vCPU re-ran its burst on
+    // the restore node, so the makespan exceeds the fault-free 100 ms.
+    assert!(done > ms(100), "makespan {done}");
+    assert_eq!(sim.world.placement_of(VcpuId::new(2)).node, NodeId::new(0));
+    for f in &sim.world.stats.vcpu_finish {
+        assert!(f.is_some(), "every vCPU must finish after recovery");
+    }
+
+    // DSM invariants hold post-recovery and the trace audits clean.
+    sim.world
+        .mem
+        .dsm
+        .check_invariants()
+        .expect("dsm invariants");
+    let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");
+    assert!(violations.is_empty(), "audit violations: {violations:?}");
+
+    // Detection and recovery are visible in the trace, in causal order.
+    let events = tracer.snapshot();
+    let crash_at = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::NodeCrash { at, node: 2 } => Some(*at),
+            _ => None,
+        })
+        .expect("NodeCrash traced");
+    let dead_at = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::NodeDeclaredDead { at, node: 2, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("NodeDeclaredDead traced");
+    let restore_at = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::NodeRestore { at, node: 2, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("NodeRestore traced");
+    assert!(crash_at < dead_at && dead_at <= restore_at);
+    let quarantines = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PageQuarantine { dead: 2, .. }))
+        .count();
+    assert!(quarantines >= 256, "{quarantines}");
+}
+
+#[test]
+fn detector_stays_quiet_without_crashes() {
+    // Loss-free plan, no crashes: the detector must not declare anyone
+    // dead (the audit's detector-false-dead rule enforces the same).
+    let plan = FaultPlan::scripted(7);
+    let mut sim = build_vm(plan, Some(detector()));
+    let tracer = sim.enable_tracing(1 << 20);
+    let done = sim.run();
+    assert_eq!(done, ms(100));
+    assert_eq!(sim.world.stats.detections, 0);
+    assert_eq!(sim.world.stats.heartbeat_misses, 0);
+    let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn predicted_failure_drains_instead_of_restoring() {
+    let plan = FaultPlan::scripted(7).crash(2, ms(10));
+    let mut cfg = detector();
+    cfg.prediction_lead = Some(ms(5));
+    let mut sim = build_vm(plan, Some(cfg));
+    let tracer = sim.enable_tracing(1 << 20);
+    let done = sim.run();
+
+    // The drain beat the crash: master copies moved ahead of time, so
+    // recovery had nothing to quarantine.
+    let s = &sim.world.stats;
+    assert!(s.pages_drained >= 256, "{}", s.pages_drained);
+    assert_eq!(s.pages_quarantined, 0);
+    assert!(s.migrations >= 1);
+    assert_eq!(sim.world.placement_of(VcpuId::new(2)).node, NodeId::new(0));
+    assert!(done > ms(100));
+    sim.world
+        .mem
+        .dsm
+        .check_invariants()
+        .expect("dsm invariants");
+    let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn crash_mid_checkpoint_leaves_clean_audit() {
+    // A checkpoint is in flight (trace events emitted at 5 ms) when the
+    // node dies at 10 ms: recovery must still leave exactly one owner per
+    // page and a violation-free trace.
+    let plan = FaultPlan::scripted(11).crash(2, ms(10));
+    let mut sim = build_vm(plan, Some(detector()));
+    let tracer = sim.enable_tracing(1 << 20);
+    sim.run_until(ms(5));
+    let report = hypervisor::checkpoint::checkpoint(
+        &sim.world.mem,
+        NodeId::new(0),
+        Bandwidth::mb_per_sec(500.0),
+        sim.world.profile().link,
+    );
+    assert!(report.duration > SimTime::ZERO);
+    let done = sim.run();
+    assert!(done > ms(100));
+    sim.world
+        .mem
+        .dsm
+        .check_invariants()
+        .expect("dsm invariants");
+    let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn force_drain_reports_refusals() {
+    let plan = FaultPlan::scripted(3);
+    let mut sim = build_vm(plan, None);
+    sim.run_until(ms(5));
+    let first = force_drain(&mut sim, NodeId::new(2), NodeId::new(0)).expect("mobile");
+    assert_eq!(first.vcpus_moved, 1);
+    assert_eq!(first.vcpus_refused, 0);
+    // The vCPU is still mid-migration: a second drain must refuse it and
+    // say so rather than pretending the node is clear.
+    let second = force_drain(&mut sim, NodeId::new(2), NodeId::new(0)).expect("mobile");
+    assert_eq!(second.vcpus_moved, 0);
+    assert_eq!(second.vcpus_refused, 1);
+    assert_eq!(sim.world.stats.migrations_refused, 1);
+    let done = sim.run();
+    assert!(done >= ms(100));
+}
+
+/// Runs the full seeded scenario and returns the trace as JSONL bytes.
+fn run_seeded(seed: u64) -> (String, SimTime) {
+    let plan = FaultPlan::seeded(seed, 4, ms(100));
+    let mut sim = build_vm(plan, Some(detector()));
+    let tracer = sim.enable_tracing(1 << 20);
+    let done = sim.run();
+    (tracer.to_jsonl(), done)
+}
+
+#[test]
+fn seeded_scenario_replays_bit_for_bit() {
+    let (a, done_a) = run_seeded(0xFA11);
+    let (b, done_b) = run_seeded(0xFA11);
+    assert_eq!(done_a, done_b);
+    assert_eq!(a, b, "same seed must give byte-identical traces");
+    assert!(!a.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seeded fault plan replays byte-for-byte and audits clean.
+    #[test]
+    fn seeded_plans_replay_and_audit_clean(seed in 0u64..1_000_000) {
+        let plan = FaultPlan::seeded(seed, 4, ms(100));
+        let run = |plan: FaultPlan| {
+            let mut sim = build_vm(plan, Some(detector()));
+            let tracer = sim.enable_tracing(1 << 20);
+            let done = sim.run();
+            let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");
+            (tracer.to_jsonl(), done, violations)
+        };
+        let (trace_a, done_a, violations) = run(plan.clone());
+        let (trace_b, done_b, _) = run(plan);
+        prop_assert_eq!(done_a, done_b);
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
+    }
+}
+
+#[test]
+fn netsend_without_device_degrades_instead_of_panicking() {
+    use hypervisor::program::{Op, Scripted};
+    let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 1);
+    b = b.vcpu(
+        Placement::new(0, 0),
+        Box::new(Scripted::new([
+            Op::NetSend {
+                conn: 1,
+                bytes: ByteSize::bytes(512),
+                payload: vec![],
+            },
+            Op::BlkIo {
+                bytes: ByteSize::bytes(4096),
+                write: true,
+                tmpfs: false,
+                buffer: vec![],
+            },
+            Op::Compute(ms(1)),
+        ])),
+    );
+    let mut sim = b.build();
+    let done = sim.run();
+    assert_eq!(done, ms(1));
+    let errs = sim.world.errors();
+    assert_eq!(errs.len(), 2, "{errs:?}");
+    assert!(matches!(errs[0], hypervisor::VmError::NoNetDevice { .. }));
+    assert!(matches!(errs[1], hypervisor::VmError::NoBlkDevice { .. }));
+}

@@ -9,6 +9,10 @@
 //! shrinking: on failure the offending generated inputs are printed
 //! verbatim, which the deterministic simulations make directly replayable.
 
+// Test harness infrastructure: reporting failures by panicking is the
+// whole point, so the workspace-wide `clippy::panic` lint stops here.
+#![allow(clippy::panic)]
+
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 

@@ -25,6 +25,12 @@
 //! * **No class starvation** — a bulk message's weighted-fair
 //!   serialization stretch never exceeds the bound its class weight
 //!   permits (`serialize_ns <= bound_ns`).
+//! * **Crash recovery** — no send originates from a node after its crash
+//!   time, every fault-plan retry chain stays within its policy bound,
+//!   quarantine restores exactly one owner per page (the page must still
+//!   be owned by the dead node and hold no surviving stale copies when it
+//!   is re-homed), and the failure detector never declares a live node
+//!   dead on a trace with no message loss.
 //!
 //! The fabric rules assume a complete event stream; traces captured with
 //! `Tracer::with_sampling` skip emissions and must not be audited. They
@@ -109,6 +115,11 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
     let mut links: BTreeMap<(u32, u32), ShadowLink> = BTreeMap::new();
     let mut cpus: BTreeMap<u32, ShadowCpu> = BTreeMap::new();
     let mut vcpus: BTreeMap<u32, ShadowVcpu> = BTreeMap::new();
+    // Crash-recovery shadow state: node -> crash time, and whether any
+    // message loss (drop or degradation window) has been observed — the
+    // detector rule only applies to loss-free traces.
+    let mut crashed: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut lossy = false;
 
     let mut flag = |index: usize, at: u64, rule: &'static str, detail: String| {
         violations.push(Violation {
@@ -279,6 +290,19 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 deliver_at,
                 ..
             } => {
+                if let Some(&dead_at) = crashed.get(&src) {
+                    if at >= dead_at {
+                        flag(
+                            i,
+                            at,
+                            "fabric-send-after-crash",
+                            format!(
+                                "node {src} sent a {class} message at {at} but \
+                                 crashed at {dead_at}"
+                            ),
+                        );
+                    }
+                }
                 let link = links.entry((src, dst)).or_default();
                 let last = link.last_deliver.entry((class, prio)).or_default();
                 if deliver_at < *last {
@@ -445,9 +469,99 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 v.migrating = false;
                 v.last_at = v.last_at.max(at);
             }
-            TraceEvent::Ipi { .. } | TraceEvent::Checkpoint { .. } => {
-                // Routing/checkpoint events carry no auditable shadow state
-                // yet; they exist for debugging context.
+            TraceEvent::FabricDrop { .. } => {
+                lossy = true;
+            }
+            TraceEvent::LinkDegrade { .. } => {
+                lossy = true;
+            }
+            TraceEvent::FabricRetry {
+                at,
+                src,
+                dst,
+                class,
+                attempt,
+                max_attempts,
+                ..
+            } => {
+                if attempt > max_attempts {
+                    flag(
+                        i,
+                        at,
+                        "fabric-retry-unbounded",
+                        format!(
+                            "link {src}->{dst} class {class} retry attempt {attempt} \
+                             exceeds the policy bound {max_attempts}"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::NodeCrash { at, node } => {
+                crashed.entry(node).or_insert(at);
+            }
+            TraceEvent::NodeDeclaredDead { at, node, .. } => {
+                let actually_dead = crashed.get(&node).is_some_and(|&dead_at| dead_at <= at);
+                if !actually_dead && !lossy {
+                    flag(
+                        i,
+                        at,
+                        "detector-false-dead",
+                        format!(
+                            "node {node} declared dead at {at} under a loss-free \
+                             plan while still live"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::PageQuarantine { at, page, dead, to } => {
+                // Quarantine only makes sense against a crashed node; the
+                // check is skipped when no crash survives in the (possibly
+                // truncated) trace window.
+                if !crashed.is_empty() && !crashed.contains_key(&dead) {
+                    flag(
+                        i,
+                        at,
+                        "recovery-quarantine-live-node",
+                        format!("page {page} quarantined from live node {dead}"),
+                    );
+                }
+                let Some(p) = pages.get_mut(&page) else {
+                    continue;
+                };
+                if p.owner != dead {
+                    flag(
+                        i,
+                        at,
+                        "recovery-quarantine-non-owner",
+                        format!(
+                            "page {page} quarantined from {dead} but owner is {}",
+                            p.owner
+                        ),
+                    );
+                }
+                if !p.sharers.is_empty() {
+                    flag(
+                        i,
+                        at,
+                        "recovery-quarantine-stale-copy",
+                        format!(
+                            "page {page} restored to {to} while {:?} still hold copies",
+                            p.sharers
+                        ),
+                    );
+                }
+                // The restored master copy re-homes; the following
+                // exclusive DsmGrant re-adds `to` as the sole sharer.
+                p.owner = to;
+            }
+            TraceEvent::Ipi { .. }
+            | TraceEvent::Checkpoint { .. }
+            | TraceEvent::HeartbeatMiss { .. }
+            | TraceEvent::NodeRestore { .. }
+            | TraceEvent::VcpuMigrateRefused { .. } => {
+                // Debugging context only: heartbeat misses below the
+                // threshold, completed restores and refused migrations
+                // carry no shadow state of their own.
             }
         }
     }
@@ -478,6 +592,7 @@ pub fn audit_tracer(tracer: &crate::trace::Tracer) -> Result<Vec<Violation>, &'s
 /// # Panics
 ///
 /// Panics when [`audit`] reports at least one violation.
+#[allow(clippy::panic)] // test-facing assertion helper; panicking is its job
 pub fn assert_clean(events: &[TraceEvent]) {
     let violations = audit(events);
     if !violations.is_empty() {

@@ -1,0 +1,337 @@
+//! Deterministic fault plans: node crashes, link degradation, and
+//! message drop/duplication scheduled against simulated time.
+//!
+//! A [`FaultPlan`] is pure data — a script of crashes and link-degradation
+//! windows — plus the seed every in-run random draw derives from. The
+//! same plan driven through the same simulation produces a bit-identical
+//! event sequence: the [`FaultInjector`] consumes its [`DetRng`] stream
+//! only on sends that hit an active degradation window, and the send
+//! order itself is deterministic, so loss/duplication verdicts replay
+//! exactly.
+//!
+//! The plan is interpreted by two consumers:
+//!
+//! * `comm::Fabric` holds a [`FaultInjector`] and consults it on every
+//!   send (crashed endpoints, loss, duplication, added latency).
+//! * The hypervisor schedules one crash event per [`CrashFault`] against
+//!   the simulation clock and runs its failure detector / recovery path.
+//!
+//! Node 0 is conventionally the monitor/bootstrap node; [`FaultPlan::seeded`]
+//! never crashes it so the failure detector always has a place to run.
+
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// A scheduled fail-stop crash of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFault {
+    /// The node that fails.
+    pub node: u32,
+    /// Simulated time of the failure. From this instant the node neither
+    /// sends nor receives; sends touching it time out.
+    pub at: SimTime,
+}
+
+/// A window of degradation on one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Sending node of the degraded link.
+    pub src: u32,
+    /// Receiving node of the degraded link.
+    pub dst: u32,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Per-message drop probability in `[0, 1]`.
+    pub loss: f64,
+    /// Per-delivered-message duplication probability in `[0, 1]`.
+    pub duplication: f64,
+    /// Extra wire occupancy charged to every message in the window
+    /// (modeling link-level retransmission under noise).
+    pub extra_latency: SimTime,
+}
+
+impl LinkFault {
+    /// Whether this window is active at `now` for the given directed link.
+    #[inline]
+    pub fn covers(&self, src: u32, dst: u32, now: SimTime) -> bool {
+        self.src == src && self.dst == dst && self.from <= now && now < self.until
+    }
+}
+
+/// A deterministic, replayable schedule of faults.
+///
+/// Build one explicitly (`scripted` + [`FaultPlan::crash`] /
+/// [`FaultPlan::degrade_link`]) or derive one from a seed
+/// ([`FaultPlan::seeded`]). Either way the plan is plain data; cloning it
+/// and replaying against the same simulation reproduces the identical
+/// trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<CrashFault>,
+    links: Vec<LinkFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan; faults are added with [`FaultPlan::crash`] and
+    /// [`FaultPlan::degrade_link`]. `seed` feeds the per-message
+    /// loss/duplication draws.
+    pub fn scripted(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crashes: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Generates a plan from `seed`: one crash on a random non-monitor
+    /// node in the middle half of `horizon`, and each directed link
+    /// independently degraded (25% chance) for a sub-window with loss up
+    /// to 10%, duplication up to 2%, and up to 50 µs of added occupancy.
+    ///
+    /// Node 0 never crashes — it hosts the failure detector.
+    pub fn seeded(seed: u64, nodes: u32, horizon: SimTime) -> Self {
+        let mut rng = DetRng::new(seed).derive_named("fault-plan");
+        let mut plan = FaultPlan::scripted(seed);
+        let h = horizon.as_nanos().max(4);
+        if nodes > 1 {
+            let victim = 1 + rng.below(u64::from(nodes) - 1) as u32;
+            let at = SimTime::from_nanos(h / 4 + rng.below(h / 2));
+            plan = plan.crash(victim, at);
+        }
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src == dst || rng.f64() >= 0.25 {
+                    continue;
+                }
+                let from = rng.below(h);
+                let len = 1 + rng.below(h / 4);
+                plan = plan.degrade_link(LinkFault {
+                    src,
+                    dst,
+                    from: SimTime::from_nanos(from),
+                    until: SimTime::from_nanos(from + len),
+                    loss: rng.f64() * 0.10,
+                    duplication: rng.f64() * 0.02,
+                    extra_latency: SimTime::from_nanos(rng.below(50_000)),
+                });
+            }
+        }
+        plan
+    }
+
+    /// Adds a node crash (builder-style).
+    #[must_use]
+    pub fn crash(mut self, node: u32, at: SimTime) -> Self {
+        self.crashes.push(CrashFault { node, at });
+        self.crashes.sort_by_key(|c| (c.at, c.node));
+        self
+    }
+
+    /// Adds a link-degradation window (builder-style).
+    #[must_use]
+    pub fn degrade_link(mut self, fault: LinkFault) -> Self {
+        self.links.push(fault);
+        self
+    }
+
+    /// The seed in-run random draws derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Scheduled crashes, ascending by time.
+    pub fn crashes(&self) -> &[CrashFault] {
+        &self.crashes
+    }
+
+    /// Link-degradation windows, in insertion order.
+    pub fn link_faults(&self) -> &[LinkFault] {
+        &self.links
+    }
+
+    /// The crash time of `node`, if the plan fails it.
+    pub fn crash_time(&self, node: u32) -> Option<SimTime> {
+        self.crashes.iter().find(|c| c.node == node).map(|c| c.at)
+    }
+
+    /// Whether `node` has failed by `now`.
+    pub fn is_crashed(&self, node: u32, now: SimTime) -> bool {
+        self.crash_time(node).is_some_and(|at| at <= now)
+    }
+
+    /// Whether the plan can lose or duplicate messages at all. A plan
+    /// that only crashes nodes (or only adds latency) is loss-free; the
+    /// audit's detector rule keys off the trace, but callers can use this
+    /// to pick scenarios.
+    pub fn is_loss_free(&self) -> bool {
+        self.links
+            .iter()
+            .all(|l| l.loss <= 0.0 && l.duplication <= 0.0)
+    }
+}
+
+/// The per-message verdict for one send attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Disruption {
+    /// The message is lost on the wire.
+    pub drop: bool,
+    /// The message is delivered twice.
+    pub duplicate: bool,
+    /// Extra wire occupancy for this message.
+    pub extra_latency: SimTime,
+    /// `Some((loss_ppm, extra_ns))` on the first message to hit a
+    /// degradation window — the consumer should announce the window in
+    /// the trace (`TraceEvent::LinkDegrade`).
+    pub announce: Option<(u64, u64)>,
+}
+
+/// Stateful interpreter of a [`FaultPlan`]: owns the derived [`DetRng`]
+/// stream for loss/duplication draws and remembers which degradation
+/// windows have been announced.
+///
+/// Draws are consumed only when a send hits an active window, so a
+/// fabric with an injected plan whose windows never open behaves
+/// identically to one with no plan at all.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: DetRng,
+    announced: Vec<bool>,
+}
+
+impl FaultInjector {
+    /// Builds an injector; the draw stream derives from the plan's seed.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = DetRng::new(plan.seed()).derive_named("fault-injector");
+        let announced = vec![false; plan.link_faults().len()];
+        FaultInjector {
+            plan,
+            rng,
+            announced,
+        }
+    }
+
+    /// The plan being interpreted.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether `node` has failed by `now`.
+    pub fn crashed(&self, node: u32, now: SimTime) -> bool {
+        self.plan.is_crashed(node, now)
+    }
+
+    /// The verdict for one send attempt on `src -> dst` at `now`.
+    ///
+    /// Consumes exactly two random draws when a degradation window is
+    /// active and none otherwise, keeping consumption — and therefore
+    /// every later verdict — a pure function of the (deterministic) send
+    /// sequence.
+    pub fn disrupt(&mut self, now: SimTime, src: u32, dst: u32) -> Disruption {
+        let Some(idx) = self
+            .plan
+            .link_faults()
+            .iter()
+            .position(|l| l.covers(src, dst, now))
+        else {
+            return Disruption::default();
+        };
+        let fault = self.plan.link_faults()[idx];
+        let drop = self.rng.f64() < fault.loss;
+        let duplicate = self.rng.f64() < fault.duplication && !drop;
+        let announce = if self.announced[idx] {
+            None
+        } else {
+            self.announced[idx] = true;
+            Some((
+                (fault.loss * 1_000_000.0) as u64,
+                fault.extra_latency.as_nanos(),
+            ))
+        };
+        Disruption {
+            drop,
+            duplicate,
+            extra_latency: fault.extra_latency,
+            announce,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn scripted_plan_reports_crash_times() {
+        let p = FaultPlan::scripted(7).crash(2, ms(100)).crash(1, ms(50));
+        assert_eq!(p.crash_time(1), Some(ms(50)));
+        assert_eq!(p.crash_time(2), Some(ms(100)));
+        assert_eq!(p.crash_time(0), None);
+        assert!(!p.is_crashed(2, ms(99)));
+        assert!(p.is_crashed(2, ms(100)));
+        // Sorted ascending by time.
+        assert_eq!(p.crashes()[0].node, 1);
+    }
+
+    #[test]
+    fn seeded_plan_is_reproducible_and_spares_the_monitor() {
+        let a = FaultPlan::seeded(42, 8, SimTime::from_secs(1));
+        let b = FaultPlan::seeded(42, 8, SimTime::from_secs(1));
+        assert_eq!(a, b);
+        assert!(a.crashes().iter().all(|c| c.node != 0));
+        let c = FaultPlan::seeded(43, 8, SimTime::from_secs(1));
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn injector_draws_replay_bit_for_bit() {
+        let plan = FaultPlan::scripted(9).degrade_link(LinkFault {
+            src: 0,
+            dst: 1,
+            from: ms(0),
+            until: ms(100),
+            loss: 0.5,
+            duplication: 0.1,
+            extra_latency: SimTime::from_micros(5),
+        });
+        let run = |mut inj: FaultInjector| -> Vec<Disruption> {
+            (0..64).map(|i| inj.disrupt(ms(i), 0, 1)).collect()
+        };
+        let a = run(FaultInjector::new(plan.clone()));
+        let b = run(FaultInjector::new(plan));
+        assert_eq!(a, b);
+        assert!(a.iter().any(|d| d.drop), "50% loss must drop something");
+        assert!(a.iter().any(|d| !d.drop), "and deliver something");
+    }
+
+    #[test]
+    fn inactive_window_consumes_no_randomness() {
+        let plan = FaultPlan::scripted(9).degrade_link(LinkFault {
+            src: 0,
+            dst: 1,
+            from: ms(50),
+            until: ms(60),
+            loss: 1.0,
+            duplication: 0.0,
+            extra_latency: SimTime::ZERO,
+        });
+        let mut inj = FaultInjector::new(plan);
+        // Outside the window: default verdict, no draws.
+        let d = inj.disrupt(ms(10), 0, 1);
+        assert_eq!(d, Disruption::default());
+        // Other links never match.
+        assert_eq!(inj.disrupt(ms(55), 1, 0), Disruption::default());
+        // Inside: certain loss, and the window announces once.
+        let d = inj.disrupt(ms(55), 0, 1);
+        assert!(d.drop);
+        assert!(d.announce.is_some());
+        assert!(inj.disrupt(ms(56), 0, 1).announce.is_none());
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`trace`] — a typed, zero-cost-when-disabled structured event sink the
 //!   upper crates emit into.
 //! * [`audit`] — a trace-replay auditor checking cross-crate invariants
-//!   (coherence, FIFO delivery, work conservation).
+//!   (coherence, FIFO delivery, work conservation, crash recovery).
+//! * [`fault`] — seeded, replayable fault plans (node crashes, link
+//!   degradation, message drop/duplication) interpreted by the fabric and
+//!   the hypervisor's failure detector.
 //!
 //! The design rule for the whole workspace is that protocol crates (DSM,
 //! VirtIO, ...) are pure state machines returning *actions*, and only the
@@ -28,6 +31,7 @@
 
 pub mod audit;
 pub mod engine;
+pub mod fault;
 pub mod ids;
 pub mod nodeset;
 pub mod pscpu;
@@ -38,6 +42,7 @@ pub mod trace;
 pub mod units;
 
 pub use engine::{Ctx, Engine, EventQueue, World};
+pub use fault::{CrashFault, Disruption, FaultInjector, FaultPlan, LinkFault};
 pub use nodeset::NodeSet;
 pub use rng::DetRng;
 pub use time::SimTime;

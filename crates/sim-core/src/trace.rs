@@ -222,6 +222,111 @@ pub enum TraceEvent {
         /// Bytes captured from this slice.
         bytes: u64,
     },
+    /// The fault plan dropped a message on a degraded link (or a send
+    /// attempt targeted a crashed node).
+    FabricDrop {
+        /// Time of the dropped attempt (ns).
+        at: u64,
+        /// Sending node.
+        src: u32,
+        /// Receiving node.
+        dst: u32,
+        /// Message class label.
+        class: &'static str,
+    },
+    /// A bounded-retry attempt for a priority-class message whose earlier
+    /// attempt was dropped by the fault plan.
+    FabricRetry {
+        /// Time this attempt goes out (ns) — submission plus backoff.
+        at: u64,
+        /// Sending node.
+        src: u32,
+        /// Receiving node.
+        dst: u32,
+        /// Message class label.
+        class: &'static str,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// The policy's bound: attempts never exceed this.
+        max_attempts: u32,
+        /// Backoff waited before this attempt (ns).
+        backoff_ns: u64,
+    },
+    /// A link entered a degradation window (announced on the first send
+    /// the window affects).
+    LinkDegrade {
+        /// Time of the first affected send (ns).
+        at: u64,
+        /// Sending node of the degraded link.
+        src: u32,
+        /// Receiving node of the degraded link.
+        dst: u32,
+        /// Drop probability in parts-per-million.
+        loss_ppm: u64,
+        /// Extra wire occupancy per message (ns).
+        extra_ns: u64,
+    },
+    /// A node fail-stopped per the fault plan.
+    NodeCrash {
+        /// Crash time (ns).
+        at: u64,
+        /// The failed node.
+        node: u32,
+    },
+    /// The failure detector's heartbeat probe to a node went unanswered.
+    HeartbeatMiss {
+        /// Probe time (ns).
+        at: u64,
+        /// Probed node.
+        node: u32,
+        /// Consecutive misses including this one.
+        misses: u32,
+    },
+    /// The failure detector crossed its miss threshold and declared a
+    /// node dead, triggering recovery.
+    NodeDeclaredDead {
+        /// Declaration time (ns).
+        at: u64,
+        /// The suspected node.
+        node: u32,
+        /// Consecutive misses at declaration.
+        misses: u32,
+    },
+    /// A page homed on a dead node was re-homed to the restore target
+    /// (its master copy now comes from the checkpoint image).
+    PageQuarantine {
+        /// Quarantine time (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// The crashed node that owned the master copy.
+        dead: u32,
+        /// The node the restored copy now lives on.
+        to: u32,
+    },
+    /// Recovery finished restoring a dead node's state from the last
+    /// checkpoint image.
+    NodeRestore {
+        /// Time the restore completes and the node's vCPUs resume (ns).
+        at: u64,
+        /// The crashed node whose state was restored.
+        node: u32,
+        /// Directory pages re-homed during quarantine.
+        pages: u64,
+        /// Wall time of the restore stream (ns).
+        restore_ns: u64,
+    },
+    /// A drain requested a vCPU migration the hypervisor refused.
+    VcpuMigrateRefused {
+        /// Time of the refused request (ns).
+        at: u64,
+        /// The vCPU that stayed put.
+        vcpu: u32,
+        /// Node it remains on.
+        from_node: u32,
+        /// Node the drain wanted it on.
+        to_node: u32,
+    },
 }
 
 impl TraceEvent {
@@ -243,7 +348,16 @@ impl TraceEvent {
             | VcpuMigrateStart { at, .. }
             | VcpuMigrateDone { at, .. }
             | Ipi { at, .. }
-            | Checkpoint { at, .. } => at,
+            | Checkpoint { at, .. }
+            | FabricDrop { at, .. }
+            | FabricRetry { at, .. }
+            | LinkDegrade { at, .. }
+            | NodeCrash { at, .. }
+            | HeartbeatMiss { at, .. }
+            | NodeDeclaredDead { at, .. }
+            | PageQuarantine { at, .. }
+            | NodeRestore { at, .. }
+            | VcpuMigrateRefused { at, .. } => at,
             FabricLinkReset { .. } => 0,
         }
     }
@@ -364,6 +478,62 @@ impl TraceEvent {
             Checkpoint { at, node, bytes } => {
                 format!(r#"{{"ev":"checkpoint","at":{at},"node":{node},"bytes":{bytes}}}"#)
             }
+            FabricDrop {
+                at,
+                src,
+                dst,
+                class,
+            } => format!(
+                r#"{{"ev":"fabric_drop","at":{at},"src":{src},"dst":{dst},"class":"{class}"}}"#
+            ),
+            FabricRetry {
+                at,
+                src,
+                dst,
+                class,
+                attempt,
+                max_attempts,
+                backoff_ns,
+            } => format!(
+                r#"{{"ev":"fabric_retry","at":{at},"src":{src},"dst":{dst},"class":"{class}","attempt":{attempt},"max_attempts":{max_attempts},"backoff_ns":{backoff_ns}}}"#
+            ),
+            LinkDegrade {
+                at,
+                src,
+                dst,
+                loss_ppm,
+                extra_ns,
+            } => format!(
+                r#"{{"ev":"link_degrade","at":{at},"src":{src},"dst":{dst},"loss_ppm":{loss_ppm},"extra_ns":{extra_ns}}}"#
+            ),
+            NodeCrash { at, node } => {
+                format!(r#"{{"ev":"node_crash","at":{at},"node":{node}}}"#)
+            }
+            HeartbeatMiss { at, node, misses } => {
+                format!(r#"{{"ev":"heartbeat_miss","at":{at},"node":{node},"misses":{misses}}}"#)
+            }
+            NodeDeclaredDead { at, node, misses } => format!(
+                r#"{{"ev":"node_declared_dead","at":{at},"node":{node},"misses":{misses}}}"#
+            ),
+            PageQuarantine { at, page, dead, to } => format!(
+                r#"{{"ev":"page_quarantine","at":{at},"page":{page},"dead":{dead},"to":{to}}}"#
+            ),
+            NodeRestore {
+                at,
+                node,
+                pages,
+                restore_ns,
+            } => format!(
+                r#"{{"ev":"node_restore","at":{at},"node":{node},"pages":{pages},"restore_ns":{restore_ns}}}"#
+            ),
+            VcpuMigrateRefused {
+                at,
+                vcpu,
+                from_node,
+                to_node,
+            } => format!(
+                r#"{{"ev":"vcpu_migrate_refused","at":{at},"vcpu":{vcpu},"from_node":{from_node},"to_node":{to_node}}}"#
+            ),
         }
     }
 }
