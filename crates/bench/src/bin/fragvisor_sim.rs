@@ -16,7 +16,7 @@ use std::process::ExitCode;
 
 use cluster::MachineSpec;
 use fragvisor::{scenarios, Distribution, HypervisorProfile, VmSim};
-use scheduler::{ArrivalTrace, ConsolidationPolicy, DatacenterSim};
+use scheduler::{ArrivalTrace, ConsolidationPolicy, DatacenterSim, PlacementPolicy};
 use sim_core::rng::DetRng;
 use sim_core::time::SimTime;
 use workloads::{LempConfig, NpbClass, NpbKernel};
@@ -29,7 +29,8 @@ fn usage() -> ExitCode {
          npb:          --kernel BT|CG|EP|FT|IS|LU|MG|SP\n\
          lemp:         --processing-ms N  --requests N\n\
          compute:      --ms N\n\
-         datacenter:   --arrivals N  --nodes N  --policy minfrag|minnodes  --no-aggregates"
+         datacenter:   --arrivals N  --nodes N  --policy minfrag|minnodes|firstfit|worstfit\n\
+         \x20             --sample-every N  --mixed  --no-aggregates"
     );
     ExitCode::FAILURE
 }
@@ -50,7 +51,7 @@ impl Args {
                 return None;
             };
             // Value-less switches.
-            if key == "no-aggregates" {
+            if key == "no-aggregates" || key == "mixed" {
                 switches.push(key.to_string());
                 continue;
             }
@@ -199,27 +200,54 @@ fn run() -> Result<(), String> {
         "datacenter" => {
             let arrivals = args.get_u64("arrivals", 100)? as usize;
             let nodes = args.get_u64("nodes", 4)? as usize;
+            let sample_every = args.get_u64("sample-every", 1)?.max(1);
             let policy = match args.get_str("policy", "minfrag").as_str() {
-                "minfrag" => ConsolidationPolicy::MinFragmentation,
-                "minnodes" => ConsolidationPolicy::MinNodes,
+                "minfrag" => PlacementPolicy::FragBff(ConsolidationPolicy::MinFragmentation),
+                "minnodes" => PlacementPolicy::FragBff(ConsolidationPolicy::MinNodes),
+                "firstfit" => PlacementPolicy::FirstFit,
+                "worstfit" => PlacementPolicy::WorstFit,
                 other => return Err(format!("unknown --policy {other}")),
             };
             let mut rng = DetRng::new(seed);
-            let trace = ArrivalTrace::generate(
-                &mut rng,
-                arrivals,
-                SimTime::from_secs(1),
-                SimTime::from_secs(40),
-            );
-            let mut sim = DatacenterSim::new(nodes, MachineSpec::fig14(), policy, trace)
+            let trace = if args.has("mixed") {
+                ArrivalTrace::generate_mixed(
+                    &mut rng,
+                    arrivals,
+                    SimTime::from_secs(1),
+                    SimTime::from_secs(40),
+                )
+            } else {
+                ArrivalTrace::generate(
+                    &mut rng,
+                    arrivals,
+                    SimTime::from_secs(1),
+                    SimTime::from_secs(40),
+                )
+            };
+            let mut sim = DatacenterSim::with_policy(nodes, MachineSpec::fig14(), policy, trace)
+                .sample_every(sample_every)
                 .observe_first_aggregate(4);
             if args.has("no-aggregates") {
                 sim = sim.without_aggregates();
             }
+            let started = std::time::Instant::now();
             let report = sim.run();
+            let wall = started.elapsed().as_secs_f64();
             println!(
-                "datacenter: {} singles, {} aggregates, {} delayed, {} migrations",
-                report.singles, report.aggregates, report.delayed, report.migrations
+                "datacenter [{}]: {} singles, {} aggregates, {} delayed ({} retries), {} migrations",
+                args.get_str("policy", "minfrag"),
+                report.singles,
+                report.aggregates,
+                report.delayed,
+                report.retry_attempts,
+                report.migrations
+            );
+            println!(
+                "throughput: {} events in {:.3}s wall ({:.0} events/sec), {} samples",
+                report.events_processed,
+                wall,
+                report.events_processed as f64 / wall.max(1e-9),
+                report.free_cpus.len()
             );
             let waits: Vec<f64> = report
                 .wait_times

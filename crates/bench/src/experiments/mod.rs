@@ -20,6 +20,7 @@ mod micro;
 mod npb;
 mod qos;
 mod resilience;
+mod scale;
 mod sched;
 
 pub use apps::{fig12_lemp, fig13_openlambda};
@@ -33,6 +34,10 @@ pub use micro::{fig01_sharing_study, fig04_dsm_fault_overhead, fig05_concurrent_
 pub use npb::{fig08_npb_overcommit, fig09_npb_giantvm, fig10_guest_opts};
 pub use qos::qos_fabric_study;
 pub use resilience::fig11_checkpoint;
+pub use scale::{
+    fragbff_scale_study, run_all, run_policy, scale_json, scale_table, PolicyRun, ScaleConfig,
+    POLICIES,
+};
 pub use sched::fig14_sched_migration;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,6 +1,23 @@
 //! Machines and the cluster allocator.
+//!
+//! Besides the per-machine allocation ledger, [`Cluster`] maintains two
+//! incremental indices sized for data-center simulations (thousands of
+//! nodes, tens of thousands of VM events):
+//!
+//! * a **free-CPU bucket index** — for each possible free-CPU count, the
+//!   set of `(free RAM, node)` pairs currently at that count — so
+//!   placement queries ([`Cluster::best_fit`], [`Cluster::first_fit`],
+//!   [`Cluster::worst_fit`]) and fragment enumeration
+//!   ([`Cluster::fragments_ascending`]) touch only candidate machines
+//!   instead of scanning the whole cluster per arrival, and
+//! * a **VM → nodes ledger** — which machines hold a piece of each VM —
+//!   so [`Cluster::nodes_of`] and consolidation are O(nodes of that VM),
+//!   not O(cluster).
+//!
+//! Both indices are updated on every `allocate`/`release`/`migrate` and
+//! can be audited against a fresh scan with [`Cluster::check_invariants`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use comm::NodeId;
 use sim_core::units::ByteSize;
@@ -75,6 +92,10 @@ pub struct Machine {
     spec: MachineSpec,
     /// Per-VM allocations on this machine.
     allocs: BTreeMap<VmId, ResourceRequest>,
+    /// Incrementally-maintained totals, so capacity queries are O(1)
+    /// instead of a sum over `allocs` (the inner loop of every placement).
+    used_cpus: u32,
+    used_ram: u64,
 }
 
 impl Machine {
@@ -83,6 +104,8 @@ impl Machine {
         Machine {
             spec,
             allocs: BTreeMap::new(),
+            used_cpus: 0,
+            used_ram: 0,
         }
     }
 
@@ -93,22 +116,22 @@ impl Machine {
 
     /// pCPUs currently allocated.
     pub fn used_cpus(&self) -> u32 {
-        self.allocs.values().map(|r| r.cpus).sum()
+        self.used_cpus
     }
 
     /// RAM currently allocated.
     pub fn used_ram(&self) -> ByteSize {
-        ByteSize::bytes(self.allocs.values().map(|r| r.ram.as_u64()).sum())
+        ByteSize::bytes(self.used_ram)
     }
 
     /// Free pCPUs.
     pub fn free_cpus(&self) -> u32 {
-        self.spec.cpus - self.used_cpus()
+        self.spec.cpus - self.used_cpus
     }
 
     /// Free RAM.
     pub fn free_ram(&self) -> ByteSize {
-        self.spec.ram - self.used_ram()
+        self.spec.ram - ByteSize::bytes(self.used_ram)
     }
 
     /// Whether `req` fits in the free capacity.
@@ -130,12 +153,55 @@ impl Machine {
     pub fn allocation_of(&self, vm: VmId) -> Option<ResourceRequest> {
         self.allocs.get(&vm).copied()
     }
+
+    /// Adds `req` to the VM's allocation (capacity already validated).
+    fn add(&mut self, vm: VmId, req: ResourceRequest) {
+        let entry = self
+            .allocs
+            .entry(vm)
+            .or_insert(ResourceRequest::new(0, ByteSize::ZERO));
+        entry.cpus += req.cpus;
+        entry.ram += req.ram;
+        self.used_cpus += req.cpus;
+        self.used_ram += req.ram.as_u64();
+    }
+
+    /// Subtracts `req` from the VM's allocation; returns `true` when the
+    /// ledger entry disappeared (the VM no longer lives here).
+    fn sub(&mut self, vm: VmId, req: ResourceRequest) -> bool {
+        let entry = self.allocs.get_mut(&vm).expect("validated allocation");
+        entry.cpus -= req.cpus;
+        entry.ram = entry.ram - req.ram;
+        self.used_cpus -= req.cpus;
+        self.used_ram -= req.ram.as_u64();
+        if entry.cpus == 0 && entry.ram.as_u64() == 0 {
+            self.allocs.remove(&vm);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes the VM's whole allocation, returning it.
+    fn take(&mut self, vm: VmId) -> Option<ResourceRequest> {
+        let r = self.allocs.remove(&vm)?;
+        self.used_cpus -= r.cpus;
+        self.used_ram -= r.ram.as_u64();
+        Some(r)
+    }
 }
 
 /// The cluster: a set of machines plus an allocation ledger.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     machines: Vec<Machine>,
+    /// Bucket index: `by_free[f]` holds `(free RAM bytes, node index)` for
+    /// every machine with exactly `f` free pCPUs.
+    by_free: Vec<BTreeSet<(u64, u32)>>,
+    /// Ledger: the machines on which each VM currently holds resources.
+    vm_nodes: BTreeMap<VmId, BTreeSet<u32>>,
+    /// Cluster-wide free pCPUs, maintained incrementally.
+    total_free: u64,
 }
 
 /// Errors returned by the cluster allocator.
@@ -171,8 +237,19 @@ impl std::error::Error for AllocError {}
 impl Cluster {
     /// Creates a cluster of `n` identical machines.
     pub fn homogeneous(n: usize, spec: MachineSpec) -> Self {
+        let machines: Vec<Machine> = (0..n).map(|_| Machine::new(spec.clone())).collect();
+        let max_cpus = machines.iter().map(|m| m.spec.cpus).max().unwrap_or(0);
+        let mut by_free: Vec<BTreeSet<(u64, u32)>> =
+            (0..=max_cpus as usize).map(|_| BTreeSet::new()).collect();
+        for (i, m) in machines.iter().enumerate() {
+            by_free[m.free_cpus() as usize].insert((m.free_ram().as_u64(), i as u32));
+        }
+        let total_free = machines.iter().map(|m| u64::from(m.free_cpus())).sum();
         Cluster {
-            machines: (0..n).map(|_| Machine::new(spec.clone())).collect(),
+            machines,
+            by_free,
+            vm_nodes: BTreeMap::new(),
+            total_free,
         }
     }
 
@@ -203,6 +280,22 @@ impl Cluster {
             .map(|(i, m)| (NodeId::from_usize(i), m))
     }
 
+    /// Removes node `i` from the bucket index (before a mutation).
+    fn unindex(&mut self, i: usize) {
+        let m = &self.machines[i];
+        let removed =
+            self.by_free[m.free_cpus() as usize].remove(&(m.free_ram().as_u64(), i as u32));
+        debug_assert!(removed, "node {i} missing from free-CPU index");
+        self.total_free -= u64::from(m.free_cpus());
+    }
+
+    /// Re-inserts node `i` into the bucket index (after a mutation).
+    fn reindex(&mut self, i: usize) {
+        let m = &self.machines[i];
+        self.by_free[m.free_cpus() as usize].insert((m.free_ram().as_u64(), i as u32));
+        self.total_free += u64::from(m.free_cpus());
+    }
+
     /// Allocates `req` for `vm` on `node`; requests for a VM that already
     /// has an allocation there are *added* to it (used when a slice grows).
     pub fn allocate(
@@ -211,16 +304,15 @@ impl Cluster {
         vm: VmId,
         req: ResourceRequest,
     ) -> Result<(), AllocError> {
-        let m = &mut self.machines[node.index()];
+        let i = node.index();
+        let m = &mut self.machines[i];
         if m.free_cpus() < req.cpus || m.free_ram().as_u64() < req.ram.as_u64() {
             return Err(AllocError::Insufficient { node });
         }
-        let entry = m
-            .allocs
-            .entry(vm)
-            .or_insert(ResourceRequest::new(0, ByteSize::ZERO));
-        entry.cpus += req.cpus;
-        entry.ram += req.ram;
+        self.unindex(i);
+        self.machines[i].add(vm, req);
+        self.reindex(i);
+        self.vm_nodes.entry(vm).or_default().insert(i as u32);
         Ok(())
     }
 
@@ -233,17 +325,23 @@ impl Cluster {
         vm: VmId,
         req: ResourceRequest,
     ) -> Result<(), AllocError> {
-        let m = &mut self.machines[node.index()];
-        let Some(entry) = m.allocs.get_mut(&vm) else {
+        let i = node.index();
+        let Some(entry) = self.machines[i].allocs.get(&vm) else {
             return Err(AllocError::NotAllocated { node });
         };
         if entry.cpus < req.cpus || entry.ram.as_u64() < req.ram.as_u64() {
             return Err(AllocError::NotAllocated { node });
         }
-        entry.cpus -= req.cpus;
-        entry.ram = entry.ram - req.ram;
-        if entry.cpus == 0 && entry.ram.as_u64() == 0 {
-            m.allocs.remove(&vm);
+        self.unindex(i);
+        let gone = self.machines[i].sub(vm, req);
+        self.reindex(i);
+        if gone {
+            if let Some(nodes) = self.vm_nodes.get_mut(&vm) {
+                nodes.remove(&(i as u32));
+                if nodes.is_empty() {
+                    self.vm_nodes.remove(&vm);
+                }
+            }
         }
         Ok(())
     }
@@ -251,11 +349,18 @@ impl Cluster {
     /// Releases every allocation of `vm` across the cluster; returns the
     /// nodes that held a piece of it.
     pub fn release_vm(&mut self, vm: VmId) -> Vec<NodeId> {
-        let mut nodes = Vec::new();
-        for (i, m) in self.machines.iter_mut().enumerate() {
-            if m.allocs.remove(&vm).is_some() {
-                nodes.push(NodeId::from_usize(i));
-            }
+        let Some(held) = self.vm_nodes.remove(&vm) else {
+            return Vec::new();
+        };
+        let mut nodes = Vec::with_capacity(held.len());
+        for i in held {
+            let i = i as usize;
+            self.unindex(i);
+            self.machines[i]
+                .take(vm)
+                .expect("ledger said VM lives here");
+            self.reindex(i);
+            nodes.push(NodeId::from_usize(i));
         }
         nodes
     }
@@ -284,17 +389,131 @@ impl Cluster {
         Ok(())
     }
 
-    /// Total free pCPUs across the cluster.
+    /// Total free pCPUs across the cluster (O(1), maintained incrementally).
     pub fn total_free_cpus(&self) -> u32 {
-        self.machines.iter().map(Machine::free_cpus).sum()
+        u32::try_from(self.total_free).unwrap_or(u32::MAX)
     }
 
     /// The nodes on which a VM currently holds resources, in node order.
     pub fn nodes_of(&self, vm: VmId) -> Vec<NodeId> {
-        self.machines()
-            .filter(|(_, m)| m.allocation_of(vm).is_some())
-            .map(|(n, _)| n)
-            .collect()
+        self.vm_nodes
+            .get(&vm)
+            .map(|nodes| nodes.iter().map(|&i| NodeId::new(i)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Best-fit placement query: among machines that fit `req`, the one
+    /// with the least free CPUs left over, then least free RAM, then
+    /// lowest node id. O(buckets scanned), not O(cluster).
+    pub fn best_fit(&self, req: ResourceRequest) -> Option<NodeId> {
+        let ram = req.ram.as_u64();
+        for bucket in self.by_free.iter().skip(req.cpus as usize) {
+            if let Some(&(_, i)) = bucket.range((ram, 0)..).next() {
+                return Some(NodeId::new(i));
+            }
+        }
+        None
+    }
+
+    /// First-fit placement query: the lowest-numbered machine that fits
+    /// `req`.
+    pub fn first_fit(&self, req: ResourceRequest) -> Option<NodeId> {
+        let ram = req.ram.as_u64();
+        let mut best: Option<u32> = None;
+        for bucket in self.by_free.iter().skip(req.cpus as usize) {
+            for &(_, i) in bucket.range((ram, 0)..) {
+                if best.is_none_or(|b| i < b) {
+                    best = Some(i);
+                }
+            }
+        }
+        best.map(NodeId::new)
+    }
+
+    /// Worst-fit placement query: among machines that fit `req`, the one
+    /// with the most free CPUs, then least free RAM, then lowest node id.
+    pub fn worst_fit(&self, req: ResourceRequest) -> Option<NodeId> {
+        let ram = req.ram.as_u64();
+        for bucket in self.by_free.iter().skip(req.cpus as usize).rev() {
+            if let Some(&(_, i)) = bucket.range((ram, 0)..).next() {
+                return Some(NodeId::new(i));
+            }
+        }
+        None
+    }
+
+    /// Machines with at least one free pCPU, smallest free block first
+    /// (then least free RAM, then node id) — the MinFragmentation
+    /// harvesting order. Lazily walks the bucket index, so callers that
+    /// stop early (enough fragments gathered) never touch the rest of the
+    /// cluster.
+    pub fn fragments_ascending(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_free
+            .iter()
+            .skip(1)
+            .flat_map(|b| b.iter().map(|&(_, i)| NodeId::new(i)))
+    }
+
+    /// Machines with at least one free pCPU, largest free block first —
+    /// the MinNodes harvesting order.
+    pub fn fragments_descending(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_free
+            .iter()
+            .skip(1)
+            .rev()
+            .flat_map(|b| b.iter().map(|&(_, i)| NodeId::new(i)))
+    }
+
+    /// Audits every incremental structure against a fresh scan: per-machine
+    /// totals vs their allocation maps, the free-CPU bucket index, the
+    /// VM → nodes ledger, and the cluster-wide free counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first inconsistency found.
+    pub fn check_invariants(&self) {
+        let mut total_free = 0u64;
+        for (i, m) in self.machines.iter().enumerate() {
+            let cpus: u32 = m.allocs.values().map(|r| r.cpus).sum();
+            let ram: u64 = m.allocs.values().map(|r| r.ram.as_u64()).sum();
+            assert_eq!(m.used_cpus, cpus, "node {i}: stale used_cpus counter");
+            assert_eq!(m.used_ram, ram, "node {i}: stale used_ram counter");
+            assert!(
+                m.used_cpus <= m.spec.cpus && m.used_ram <= m.spec.ram.as_u64(),
+                "node {i}: over-allocated ({}/{} cpus, {}/{} bytes)",
+                m.used_cpus,
+                m.spec.cpus,
+                m.used_ram,
+                m.spec.ram.as_u64()
+            );
+            total_free += u64::from(m.free_cpus());
+            let key = (m.free_ram().as_u64(), i as u32);
+            assert!(
+                self.by_free[m.free_cpus() as usize].contains(&key),
+                "node {i}: missing from free-CPU bucket {}",
+                m.free_cpus()
+            );
+            for &vm in m.allocs.keys() {
+                assert!(
+                    self.vm_nodes
+                        .get(&vm)
+                        .is_some_and(|ns| ns.contains(&(i as u32))),
+                    "ledger missing {vm} on node {i}"
+                );
+            }
+        }
+        assert_eq!(self.total_free, total_free, "stale total_free counter");
+        let indexed: usize = self.by_free.iter().map(BTreeSet::len).sum();
+        assert_eq!(indexed, self.machines.len(), "free-CPU index size drift");
+        for (vm, nodes) in &self.vm_nodes {
+            assert!(!nodes.is_empty(), "empty ledger entry for {vm}");
+            for &i in nodes {
+                assert!(
+                    self.machines[i as usize].allocs.contains_key(vm),
+                    "ledger claims {vm} on node {i} but machine disagrees"
+                );
+            }
+        }
     }
 }
 
@@ -313,9 +532,11 @@ mod tests {
         c.allocate(NodeId::new(0), vm, small_req(4)).unwrap();
         assert_eq!(c.machine(NodeId::new(0)).free_cpus(), 12);
         assert_eq!(c.machine(NodeId::new(0)).used_ram(), ByteSize::gib(1));
+        c.check_invariants();
         c.release(NodeId::new(0), vm, small_req(4)).unwrap();
         assert_eq!(c.machine(NodeId::new(0)).free_cpus(), 16);
         assert!(c.machine(NodeId::new(0)).allocation_of(vm).is_none());
+        c.check_invariants();
     }
 
     #[test]
@@ -336,6 +557,7 @@ mod tests {
             ResourceRequest::new(1, ByteSize::gib(33)),
         );
         assert!(r.is_err());
+        c.check_invariants();
     }
 
     #[test]
@@ -348,6 +570,7 @@ mod tests {
             c.machine(NodeId::new(0)).allocation_of(vm),
             Some(ResourceRequest::new(4, ByteSize::gib(2)))
         );
+        c.check_invariants();
     }
 
     #[test]
@@ -358,6 +581,7 @@ mod tests {
         assert!(c.release(NodeId::new(0), vm, small_req(3)).is_err());
         // State unchanged.
         assert_eq!(c.machine(NodeId::new(0)).free_cpus(), 14);
+        c.check_invariants();
     }
 
     #[test]
@@ -370,6 +594,7 @@ mod tests {
         assert_eq!(c.machine(NodeId::new(0)).allocation_of(vm).unwrap().cpus, 2);
         assert_eq!(c.machine(NodeId::new(1)).allocation_of(vm).unwrap().cpus, 2);
         assert_eq!(c.nodes_of(vm), vec![NodeId::new(0), NodeId::new(1)]);
+        c.check_invariants();
     }
 
     #[test]
@@ -383,6 +608,7 @@ mod tests {
             .migrate(a, NodeId::new(0), NodeId::new(1), small_req(2))
             .is_err());
         assert_eq!(c.machine(NodeId::new(0)).allocation_of(a).unwrap().cpus, 4);
+        c.check_invariants();
     }
 
     #[test]
@@ -394,6 +620,8 @@ mod tests {
         let nodes = c.release_vm(vm);
         assert_eq!(nodes, vec![NodeId::new(0), NodeId::new(2)]);
         assert_eq!(c.total_free_cpus(), 48);
+        assert!(c.nodes_of(vm).is_empty());
+        c.check_invariants();
     }
 
     #[test]
@@ -404,5 +632,84 @@ mod tests {
         assert!(!c
             .machine(NodeId::new(0))
             .has_device(DeviceKind::Accelerator));
+    }
+
+    #[test]
+    fn best_fit_matches_naive_scan() {
+        let mut c = Cluster::homogeneous(4, MachineSpec::testbed());
+        c.allocate(NodeId::new(0), VmId::new(90), small_req(6))
+            .unwrap();
+        c.allocate(NodeId::new(1), VmId::new(91), small_req(12))
+            .unwrap();
+        c.allocate(NodeId::new(3), VmId::new(92), small_req(12))
+            .unwrap();
+        for cpus in 1..=16 {
+            let req = small_req(cpus);
+            let naive = c
+                .machines()
+                .filter(|(_, m)| m.fits(req))
+                .min_by_key(|(n, m)| (m.free_cpus() - req.cpus, m.free_ram().as_u64(), n.0))
+                .map(|(n, _)| n);
+            assert_eq!(c.best_fit(req), naive, "cpus = {cpus}");
+        }
+    }
+
+    #[test]
+    fn first_fit_picks_lowest_id() {
+        let mut c = Cluster::homogeneous(3, MachineSpec::testbed());
+        c.allocate(NodeId::new(0), VmId::new(90), small_req(14))
+            .unwrap();
+        // node0 has 2 free, node1/node2 are empty: first fit of 4 → node1.
+        assert_eq!(c.first_fit(small_req(4)), Some(NodeId::new(1)));
+        assert_eq!(c.first_fit(small_req(2)), Some(NodeId::new(0)));
+        assert_eq!(c.first_fit(small_req(17)), None);
+    }
+
+    #[test]
+    fn worst_fit_picks_most_free() {
+        let mut c = Cluster::homogeneous(3, MachineSpec::testbed());
+        c.allocate(NodeId::new(0), VmId::new(90), small_req(2))
+            .unwrap();
+        c.allocate(NodeId::new(1), VmId::new(91), small_req(10))
+            .unwrap();
+        // Free: node0 = 14, node1 = 6, node2 = 16.
+        assert_eq!(c.worst_fit(small_req(4)), Some(NodeId::new(2)));
+        c.allocate(NodeId::new(2), VmId::new(92), small_req(4))
+            .unwrap();
+        // Free: node0 = 14, node1 = 6, node2 = 12.
+        assert_eq!(c.worst_fit(small_req(4)), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn ram_bound_machines_skipped_by_fit_queries() {
+        let mut c = Cluster::homogeneous(2, MachineSpec::testbed());
+        // node0: plenty of CPUs, almost no RAM left.
+        c.allocate(
+            NodeId::new(0),
+            VmId::new(90),
+            ResourceRequest::new(1, ByteSize::gib(31)),
+        )
+        .unwrap();
+        let req = ResourceRequest::new(2, ByteSize::gib(4));
+        assert_eq!(c.best_fit(req), Some(NodeId::new(1)));
+        assert_eq!(c.first_fit(req), Some(NodeId::new(1)));
+        assert_eq!(c.worst_fit(req), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn fragment_iteration_orders() {
+        let mut c = Cluster::homogeneous(4, MachineSpec::testbed());
+        c.allocate(NodeId::new(0), VmId::new(90), small_req(14))
+            .unwrap(); // 2 free
+        c.allocate(NodeId::new(1), VmId::new(91), small_req(13))
+            .unwrap(); // 3 free
+        c.allocate(NodeId::new(2), VmId::new(92), small_req(16))
+            .unwrap(); // full
+        c.allocate(NodeId::new(3), VmId::new(93), small_req(15))
+            .unwrap(); // 1 free
+        let asc: Vec<u32> = c.fragments_ascending().map(|n| n.0).collect();
+        assert_eq!(asc, vec![3, 0, 1]);
+        let desc: Vec<u32> = c.fragments_descending().map(|n| n.0).collect();
+        assert_eq!(desc, vec![1, 0, 3]);
     }
 }

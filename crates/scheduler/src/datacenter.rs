@@ -1,33 +1,44 @@
 //! Data-center simulation: arrivals, placement, departures, consolidation.
 //!
-//! Replays an [`crate::trace::ArrivalTrace`] against a cluster using BFF
-//! with the FragBFF extension, producing the placement/migration timeline
-//! of §7.3: when does each VM start (single-machine or aggregate), when do
-//! freed resources trigger consolidation migrations, and how do per-node
-//! free CPUs evolve (the bottom graph of Figure 14).
+//! Replays an [`crate::trace::ArrivalTrace`] against a cluster using a
+//! single-machine fitting rule (BFF by default) with the FragBFF
+//! extension, producing the placement/migration timeline of §7.3: when
+//! does each VM start (single-machine or aggregate), when do freed
+//! resources trigger consolidation migrations, and how do per-node free
+//! CPUs evolve (the bottom graph of Figure 14).
+//!
+//! The simulator is sized for cluster studies of thousands of nodes and
+//! tens of thousands of arrivals: placement rides the cluster's free-CPU
+//! bucket index, consolidation scans only the live Aggregate VMs (not the
+//! whole trace), delayed VMs are retried only when the cluster has enough
+//! total free CPUs to possibly help, and timeline sampling can be
+//! decimated ([`DatacenterSim::sample_every`]) so report memory stays
+//! linear.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use cluster::{Cluster, FragmentationReport, MachineSpec, ResourceRequest, VmId};
 use comm::NodeId;
 use sim_core::engine::EventQueue;
 use sim_core::time::SimTime;
 
-use crate::bff::Bff;
+use crate::bff::FitAlgo;
 use crate::fragbff::{ConsolidationPolicy, FragBff, MigrationCmd};
 use crate::trace::ArrivalTrace;
 
 /// What happened to a VM at a point in time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlacementKind {
-    /// Placed whole on one machine by BFF.
+    /// Placed whole on one machine.
     Single(NodeId),
     /// Placed as an Aggregate VM over several machines.
     Aggregate(Vec<(NodeId, u32)>),
-    /// Could not be placed; queued for retry.
+    /// Could not be placed; queued for retry. Logged once per VM — later
+    /// failed retries only bump [`SimReport::retry_attempts`].
     Delayed,
-    /// Started after a delay.
-    DelayedStart,
+    /// Started after a delay, whole on the given machine (delayed VMs
+    /// that start as aggregates log [`PlacementKind::Aggregate`]).
+    DelayedStart(NodeId),
     /// Terminated; resources released.
     Finished,
     /// Consolidation migrations were applied.
@@ -45,26 +56,58 @@ pub struct PlacementEvent {
     pub kind: PlacementKind,
 }
 
+/// Which placement discipline the simulator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Best-fit single-machine placement with the FragBFF aggregate
+    /// extension and the given consolidation objective (the paper's
+    /// scheduler).
+    FragBff(ConsolidationPolicy),
+    /// First-fit single-machine baseline: VMs that fit nowhere wait.
+    FirstFit,
+    /// Worst-fit single-machine baseline: VMs that fit nowhere wait.
+    WorstFit,
+}
+
+impl PlacementPolicy {
+    /// Short policy name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::FragBff(ConsolidationPolicy::MinFragmentation) => "minfrag",
+            PlacementPolicy::FragBff(ConsolidationPolicy::MinNodes) => "minnodes",
+            PlacementPolicy::FirstFit => "firstfit",
+            PlacementPolicy::WorstFit => "worstfit",
+        }
+    }
+}
+
 /// The output of a data-center run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
     /// Full placement/migration timeline.
     pub events: Vec<PlacementEvent>,
-    /// Per-node free CPUs sampled after every event.
+    /// Per-node free CPUs, sampled once per simulator event (or once per
+    /// N events under decimation).
     pub free_cpus: Vec<(SimTime, Vec<u32>)>,
+    /// Cluster fragmentation over time, sampled on the same schedule.
+    pub frag_series: Vec<(SimTime, FragmentationReport)>,
     /// Per-node vCPU counts of the observed VM over time (empty when no
     /// VM was observed).
     pub observed_slices: Vec<(SimTime, Vec<u32>)>,
     /// The observed VM, if one matched.
     pub observed_vm: Option<VmId>,
-    /// VMs placed whole by BFF.
+    /// VMs placed whole on one machine.
     pub singles: u64,
     /// VMs placed as Aggregate VMs.
     pub aggregates: u64,
     /// Placements that had to be delayed at least once.
     pub delayed: u64,
+    /// Re-placement attempts for delayed VMs (successful or not).
+    pub retry_attempts: u64,
     /// Total consolidation migrations (slice moves).
     pub migrations: u64,
+    /// Simulator events processed (arrivals + departures).
+    pub events_processed: u64,
     /// Fragmentation snapshot at the end of the run.
     pub final_fragmentation: FragmentationReport,
     /// Per-VM provisioning wait (placement time minus arrival time).
@@ -77,46 +120,85 @@ enum DcEvent {
     Departure(VmId),
 }
 
-#[derive(Debug, Clone)]
-struct LiveVm {
-    req: ResourceRequest,
-    aggregate: bool,
+/// Reference request for fragmentation snapshots (the modal 4-vCPU VM).
+fn frag_reference() -> ResourceRequest {
+    ResourceRequest::new(4, sim_core::units::ByteSize::gib(4))
 }
 
 /// The data-center simulator.
 pub struct DatacenterSim {
     cluster: Cluster,
-    bff: Bff,
+    fit: FitAlgo,
     fragbff: FragBff,
     trace: ArrivalTrace,
-    /// Index → live VM bookkeeping (VmId = arrival index).
-    live: Vec<Option<LiveVm>>,
+    /// Arrival indices of currently-live Aggregate VMs, so consolidation
+    /// is O(live aggregates) instead of O(trace length).
+    live_aggregates: BTreeSet<usize>,
     delayed: VecDeque<usize>,
+    /// Smallest vCPU request waiting in `delayed` (`u32::MAX` when empty):
+    /// a departure skips the whole retry pass when even that much free
+    /// capacity does not exist cluster-wide.
+    delayed_min_cpus: u32,
+    /// Whether a `Delayed` event was already logged for each arrival.
+    delayed_logged: Vec<bool>,
     /// Observe the first aggregate-placed VM with this many vCPUs.
     observe_cpus: Option<u32>,
     /// When false, FragBFF is disabled: unplaceable VMs are only delayed
     /// (the baseline data-center behaviour the paper argues against).
     enable_aggregate: bool,
+    /// Record one timeline sample every this many simulator events.
+    sample_every: u64,
+    since_sample: u64,
 }
 
 impl DatacenterSim {
-    /// Creates a simulator over `nodes` machines of `spec`.
+    /// Creates a simulator over `nodes` machines of `spec`, running the
+    /// paper's scheduler (BFF + FragBFF with the given consolidation
+    /// policy).
     pub fn new(
         nodes: usize,
         spec: MachineSpec,
         policy: ConsolidationPolicy,
         trace: ArrivalTrace,
     ) -> Self {
-        let live = vec![None; trace.len()];
+        Self::with_policy(nodes, spec, PlacementPolicy::FragBff(policy), trace)
+    }
+
+    /// Creates a simulator over `nodes` machines of `spec` under an
+    /// arbitrary placement policy (FragBFF or a single-machine baseline).
+    pub fn with_policy(
+        nodes: usize,
+        spec: MachineSpec,
+        policy: PlacementPolicy,
+        trace: ArrivalTrace,
+    ) -> Self {
+        let (fit, consolidation, enable_aggregate) = match policy {
+            PlacementPolicy::FragBff(p) => (FitAlgo::BestFit, p, true),
+            PlacementPolicy::FirstFit => (
+                FitAlgo::FirstFit,
+                ConsolidationPolicy::MinFragmentation,
+                false,
+            ),
+            PlacementPolicy::WorstFit => (
+                FitAlgo::WorstFit,
+                ConsolidationPolicy::MinFragmentation,
+                false,
+            ),
+        };
+        let delayed_logged = vec![false; trace.len()];
         DatacenterSim {
             cluster: Cluster::homogeneous(nodes, spec),
-            bff: Bff,
-            fragbff: FragBff::new(policy),
+            fit,
+            fragbff: FragBff::new(consolidation),
             trace,
-            live,
+            live_aggregates: BTreeSet::new(),
             delayed: VecDeque::new(),
+            delayed_min_cpus: u32::MAX,
+            delayed_logged,
             observe_cpus: None,
-            enable_aggregate: true,
+            enable_aggregate,
+            sample_every: 1,
+            since_sample: 0,
         }
     }
 
@@ -134,56 +216,94 @@ impl DatacenterSim {
         self
     }
 
+    /// Records one timeline sample (free CPUs, fragmentation, observed
+    /// slices) every `n` simulator events instead of every event, keeping
+    /// report memory linear at data-center scale. `n` is clamped to ≥ 1.
+    pub fn sample_every(mut self, n: u64) -> Self {
+        self.sample_every = n.max(1);
+        self
+    }
+
     /// Runs the full trace; returns the report.
     pub fn run(mut self) -> SimReport {
         let mut queue: EventQueue<DcEvent> = EventQueue::new();
         for (i, a) in self.trace.arrivals.iter().enumerate() {
             queue.push(a.at, DcEvent::Arrival(i));
         }
+        // First event always samples.
+        self.since_sample = self.sample_every - 1;
         let mut report = SimReport {
             events: Vec::new(),
             free_cpus: Vec::new(),
+            frag_series: Vec::new(),
             observed_slices: Vec::new(),
             observed_vm: None,
             singles: 0,
             aggregates: 0,
             delayed: 0,
+            retry_attempts: 0,
             migrations: 0,
-            final_fragmentation: FragmentationReport::compute(
-                &self.cluster,
-                ResourceRequest::new(4, sim_core::units::ByteSize::gib(4)),
-            ),
+            events_processed: 0,
+            final_fragmentation: FragmentationReport::compute(&self.cluster, frag_reference()),
             wait_times: Vec::new(),
         };
         while let Some((now, ev)) = queue.pop() {
+            report.events_processed += 1;
             match ev {
                 DcEvent::Arrival(i) => {
                     self.try_place(i, now, &mut queue, &mut report, false);
                 }
                 DcEvent::Departure(vm) => {
                     self.cluster.release_vm(vm);
-                    self.live[vm.index()] = None;
+                    self.live_aggregates.remove(&vm.index());
                     report.events.push(PlacementEvent {
                         at: now,
                         vm,
                         kind: PlacementKind::Finished,
                     });
                     // Freed resources: retry delayed placements first
-                    // (oldest first), then consolidate aggregates.
-                    let retries: Vec<usize> = self.delayed.drain(..).collect();
-                    for i in retries {
-                        self.try_place(i, now, &mut queue, &mut report, true);
+                    // (oldest first), then consolidate aggregates. The
+                    // pass is skipped when even the smallest delayed
+                    // request exceeds the cluster's total free CPUs —
+                    // nothing could possibly place. Within a pass, a VM
+                    // needing more CPUs than are free anywhere is
+                    // re-queued without a placement attempt (total free
+                    // CPUs is a necessary condition for both single and
+                    // aggregate starts), and the pass ends outright when
+                    // the cluster has no free CPU left — both O(1)
+                    // prechecks that keep a long queue from turning every
+                    // departure into a full placement sweep.
+                    if self.delayed_min_cpus <= self.cluster.total_free_cpus() {
+                        let retries: Vec<usize> = self.delayed.drain(..).collect();
+                        self.delayed_min_cpus = u32::MAX;
+                        for (k, &i) in retries.iter().enumerate() {
+                            let free = self.cluster.total_free_cpus();
+                            if free == 0 {
+                                // Nothing else can place; re-queue the
+                                // rest of the pass untouched, in order.
+                                for &j in &retries[k..] {
+                                    self.delayed.push_back(j);
+                                    self.delayed_min_cpus =
+                                        self.delayed_min_cpus.min(self.trace.arrivals[j].cpus);
+                                }
+                                break;
+                            }
+                            report.retry_attempts += 1;
+                            let cpus = self.trace.arrivals[i].cpus;
+                            if cpus > free {
+                                self.delayed.push_back(i);
+                                self.delayed_min_cpus = self.delayed_min_cpus.min(cpus);
+                                continue;
+                            }
+                            self.try_place(i, now, &mut queue, &mut report, true);
+                        }
                     }
-                    self.consolidate_all(now, &mut report);
-                    self.sample(now, &mut report);
+                    self.consolidate_live(now, &mut report);
                 }
             }
-            self.sample(now, &mut report);
+            self.maybe_sample(now, &mut report);
         }
-        report.final_fragmentation = FragmentationReport::compute(
-            &self.cluster,
-            ResourceRequest::new(4, sim_core::units::ByteSize::gib(4)),
-        );
+        report.final_fragmentation = FragmentationReport::compute(&self.cluster, frag_reference());
         report
     }
 
@@ -198,11 +318,7 @@ impl DatacenterSim {
         let a = self.trace.arrivals[i];
         let vm = VmId::from_usize(i);
         let req = ResourceRequest::new(a.cpus, a.ram);
-        if let Some(node) = self.bff.place(&mut self.cluster, vm, req) {
-            self.live[i] = Some(LiveVm {
-                req,
-                aggregate: false,
-            });
+        if let Some(node) = self.fit.place(&mut self.cluster, vm, req) {
             report.singles += 1;
             report.wait_times.push((vm, now.saturating_sub(a.at)));
             queue.push(now + a.lifetime, DcEvent::Departure(vm));
@@ -210,7 +326,7 @@ impl DatacenterSim {
                 at: now,
                 vm,
                 kind: if retry {
-                    PlacementKind::DelayedStart
+                    PlacementKind::DelayedStart(node)
                 } else {
                     PlacementKind::Single(node)
                 },
@@ -219,10 +335,7 @@ impl DatacenterSim {
         }
         if self.enable_aggregate {
             if let Some(assignment) = self.fragbff.place_aggregate(&mut self.cluster, vm, req) {
-                self.live[i] = Some(LiveVm {
-                    req,
-                    aggregate: true,
-                });
+                self.live_aggregates.insert(i);
                 report.aggregates += 1;
                 report.wait_times.push((vm, now.saturating_sub(a.at)));
                 if report.observed_vm.is_none() && self.observe_cpus == Some(a.cpus) {
@@ -237,28 +350,27 @@ impl DatacenterSim {
                 return;
             }
         }
-        // Delay the VM until resources free up.
-        if !retry {
-            report.delayed += 1;
-        }
+        // Delay the VM until resources free up. The timeline records the
+        // delay once; re-attempts only bump the counter (re-logging every
+        // failed retry made the event log quadratic at scale).
         self.delayed.push_back(i);
-        report.events.push(PlacementEvent {
-            at: now,
-            vm,
-            kind: PlacementKind::Delayed,
-        });
+        self.delayed_min_cpus = self.delayed_min_cpus.min(a.cpus);
+        if !self.delayed_logged[i] {
+            self.delayed_logged[i] = true;
+            report.delayed += 1;
+            report.events.push(PlacementEvent {
+                at: now,
+                vm,
+                kind: PlacementKind::Delayed,
+            });
+        }
     }
 
-    fn consolidate_all(&mut self, now: SimTime, report: &mut SimReport) {
-        for i in 0..self.live.len() {
-            let Some(live) = self.live[i].clone() else {
-                continue;
-            };
-            if !live.aggregate {
-                continue;
-            }
+    fn consolidate_live(&mut self, now: SimTime, report: &mut SimReport) {
+        let candidates: Vec<usize> = self.live_aggregates.iter().copied().collect();
+        for i in candidates {
             let vm = VmId::from_usize(i);
-            let cmds = self.fragbff.consolidate(&mut self.cluster, vm, live.req);
+            let cmds = self.fragbff.consolidate(&mut self.cluster, vm);
             if cmds.is_empty() {
                 continue;
             }
@@ -270,20 +382,27 @@ impl DatacenterSim {
             });
             // Fully consolidated VMs go back to plain BFF bookkeeping.
             if self.cluster.nodes_of(vm).len() == 1 {
-                if let Some(l) = self.live[i].as_mut() {
-                    l.aggregate = false;
-                }
+                self.live_aggregates.remove(&i);
             }
         }
     }
 
-    fn sample(&self, now: SimTime, report: &mut SimReport) {
+    fn maybe_sample(&mut self, now: SimTime, report: &mut SimReport) {
+        self.since_sample += 1;
+        if self.since_sample < self.sample_every {
+            return;
+        }
+        self.since_sample = 0;
         let free: Vec<u32> = self
             .cluster
             .machines()
             .map(|(_, m)| m.free_cpus())
             .collect();
         report.free_cpus.push((now, free));
+        report.frag_series.push((
+            now,
+            FragmentationReport::compute(&self.cluster, frag_reference()),
+        ));
         if let Some(vm) = report.observed_vm {
             let per_node: Vec<u32> = self
                 .cluster
@@ -298,8 +417,9 @@ impl DatacenterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::ArrivalTrace;
+    use crate::trace::{ArrivalTrace, VmArrival};
     use sim_core::rng::DetRng;
+    use sim_core::units::ByteSize;
 
     fn run_sim(seed: u64, policy: ConsolidationPolicy) -> SimReport {
         let mut rng = DetRng::new(seed);
@@ -329,7 +449,7 @@ mod tests {
                     e.kind,
                     PlacementKind::Single(_)
                         | PlacementKind::Aggregate(_)
-                        | PlacementKind::DelayedStart
+                        | PlacementKind::DelayedStart(_)
                 ))
                 .count() as u64
         );
@@ -391,5 +511,111 @@ mod tests {
         let b = run_sim(21, ConsolidationPolicy::MinFragmentation);
         assert_eq!(a.events, b.events);
         assert_eq!(a.migrations, b.migrations);
+    }
+
+    #[test]
+    fn one_sample_per_event() {
+        // Regression: the departure arm used to fire `sample()` twice,
+        // recording duplicate rows at the same timestamp and skewing any
+        // time-weighted average over the series.
+        let r = run_sim(7, ConsolidationPolicy::MinFragmentation);
+        assert_eq!(r.free_cpus.len() as u64, r.events_processed);
+        assert_eq!(r.frag_series.len() as u64, r.events_processed);
+        // Every event is one arrival or one departure.
+        assert_eq!(r.events_processed, 100 + r.singles + r.aggregates);
+    }
+
+    #[test]
+    fn decimated_sampling_counts() {
+        let mut rng = DetRng::new(7);
+        let trace =
+            ArrivalTrace::generate(&mut rng, 100, SimTime::from_secs(1), SimTime::from_secs(40));
+        let r = DatacenterSim::new(
+            4,
+            MachineSpec::fig14(),
+            ConsolidationPolicy::MinFragmentation,
+            trace,
+        )
+        .sample_every(10)
+        .run();
+        assert_eq!(r.free_cpus.len() as u64, r.events_processed.div_ceil(10));
+        assert_eq!(r.frag_series.len(), r.free_cpus.len());
+    }
+
+    /// Hand-built trace: a 6-vCPU VM is delayed, fails two retries while
+    /// the cluster frees in fragments, then starts once a whole machine
+    /// opens up.
+    fn delayed_retry_trace() -> ArrivalTrace {
+        let gib = |n: u64| ByteSize::gib(n);
+        let arr = |at_ms: u64, cpus: u32, life_s: u64| VmArrival {
+            at: SimTime::from_millis(at_ms),
+            cpus,
+            ram: gib(u64::from(cpus)),
+            lifetime: SimTime::from_secs(life_s),
+        };
+        ArrivalTrace {
+            arrivals: vec![
+                arr(0, 7, 100),   // vm0 → node0
+                arr(100, 7, 100), // vm1 → node1
+                arr(200, 5, 2),   // vm2 → node0 (fills it)
+                arr(300, 4, 3),   // vm3 → node1
+                arr(400, 6, 10),  // vm4 → delayed: 6 CPUs fit nowhere
+            ],
+        }
+    }
+
+    #[test]
+    fn delayed_logged_once_and_retries_counted() {
+        // Baseline (no aggregates) on 2 × 12-CPU nodes.
+        let r = DatacenterSim::with_policy(
+            2,
+            MachineSpec::fig14(),
+            PlacementPolicy::FragBff(ConsolidationPolicy::MinFragmentation),
+            delayed_retry_trace(),
+        )
+        .without_aggregates()
+        .run();
+        let vm4 = VmId::from_usize(4);
+        let delayed_events = r
+            .events
+            .iter()
+            .filter(|e| e.vm == vm4 && e.kind == PlacementKind::Delayed)
+            .count();
+        assert_eq!(delayed_events, 1, "Delayed must be logged once per VM");
+        assert_eq!(r.delayed, 1);
+        // vm2's departure (5 free + 1 free = 6 total ≥ 6) and vm3's
+        // departure (5 + 5) both trigger a failed retry; vm0's departure
+        // finally places it.
+        assert_eq!(r.retry_attempts, 3);
+        let start = r
+            .events
+            .iter()
+            .find(|e| e.vm == vm4 && matches!(e.kind, PlacementKind::DelayedStart(_)))
+            .expect("vm4 eventually starts");
+        // The delayed start is auditable: it carries the landing node.
+        assert_eq!(start.kind, PlacementKind::DelayedStart(NodeId::new(0)));
+    }
+
+    #[test]
+    fn first_and_worst_fit_baselines_run() {
+        let mut rng = DetRng::new(11);
+        let trace =
+            ArrivalTrace::generate(&mut rng, 100, SimTime::from_secs(1), SimTime::from_secs(40));
+        let ff = DatacenterSim::with_policy(
+            4,
+            MachineSpec::fig14(),
+            PlacementPolicy::FirstFit,
+            trace.clone(),
+        )
+        .run();
+        let wf =
+            DatacenterSim::with_policy(4, MachineSpec::fig14(), PlacementPolicy::WorstFit, trace)
+                .run();
+        assert_eq!(ff.aggregates, 0, "baselines never aggregate");
+        assert_eq!(wf.aggregates, 0);
+        assert!(ff.singles > 0 && wf.singles > 0);
+        // Both drain completely.
+        assert_eq!(ff.final_fragmentation.free_cpus, 4 * 12);
+        assert_eq!(wf.final_fragmentation.free_cpus, 4 * 12);
     }
 }

@@ -54,12 +54,41 @@ pub struct FragBff {
     pub policy: ConsolidationPolicy,
 }
 
-/// RAM charged per vCPU in a split (the trace's 1 GiB/vCPU shape).
-fn ram_per_cpu(req: ResourceRequest) -> ByteSize {
+/// Worst-case RAM charged per vCPU in a split: `ceil(ram / cpus)`.
+///
+/// Used only to bound how many vCPUs a fragment can host; the actual
+/// split (`ram_shares`) hands out exact amounts that sum to `req.ram`.
+/// The ceiling guarantees every exact share fits wherever the bound said
+/// it would (a floor here silently under-allocated RAM for non-divisible
+/// shapes like 4 vCPUs / 5 GiB).
+fn per_cpu_ram_ceil(req: ResourceRequest) -> u64 {
     if req.cpus == 0 {
-        return ByteSize::ZERO;
+        return 0;
     }
-    ByteSize::bytes(req.ram.as_u64() / u64::from(req.cpus))
+    req.ram.as_u64().div_ceil(u64::from(req.cpus))
+}
+
+/// Splits `req.ram` across `parts` proportionally to their vCPU counts,
+/// distributing the non-divisible remainder so the shares sum *exactly*
+/// to `req.ram`. Share `i` gets
+/// `floor(ram·(c₀+…+cᵢ)/cpus) − floor(ram·(c₀+…+cᵢ₋₁)/cpus)`,
+/// which telescopes to the total and never exceeds `ceil(ram/cpus)·cᵢ`.
+fn ram_shares(req: ResourceRequest, parts: &[(NodeId, u32)]) -> Vec<u64> {
+    let ram = u128::from(req.ram.as_u64());
+    let cpus = u128::from(req.cpus);
+    if cpus == 0 {
+        return vec![0; parts.len()];
+    }
+    let mut shares = Vec::with_capacity(parts.len());
+    let mut cum = 0u128;
+    let mut given = 0u128;
+    for &(_, c) in parts {
+        cum += u128::from(c);
+        let upto = ram * cum / cpus;
+        shares.push(u64::try_from(upto - given).expect("share fits u64"));
+        given = upto;
+    }
+    shares
 }
 
 impl FragBff {
@@ -70,6 +99,12 @@ impl FragBff {
 
     /// Places `vm` as an Aggregate VM across fragmented nodes; `None` when
     /// the cluster lacks aggregate capacity (the VM must be delayed).
+    ///
+    /// Fragments are harvested through the cluster's free-CPU bucket
+    /// index — smallest blocks first for `MinFragmentation`, largest first
+    /// for `MinNodes` — and the walk stops as soon as enough vCPUs are
+    /// gathered, so a placement touches O(parts) machines rather than
+    /// scanning the whole cluster.
     pub fn place_aggregate(
         &self,
         cluster: &mut Cluster,
@@ -79,51 +114,21 @@ impl FragBff {
         if cluster.total_free_cpus() < req.cpus {
             return None;
         }
-        let per_cpu_ram = ram_per_cpu(req);
-        // Candidate nodes with at least one free CPU and enough RAM for it.
-        let mut candidates: Vec<(NodeId, u32)> = cluster
-            .machines()
-            .filter_map(|(n, m)| {
-                let cpu_cap = m.free_cpus();
-                let ram_cap = if per_cpu_ram.as_u64() == 0 {
-                    u64::from(cpu_cap)
-                } else {
-                    m.free_ram().as_u64() / per_cpu_ram.as_u64()
-                };
-                let usable = cpu_cap.min(u32::try_from(ram_cap).unwrap_or(u32::MAX));
-                (usable > 0).then_some((n, usable))
-            })
-            .collect();
-        match self.policy {
-            // Fewest nodes: consume the largest fragments first.
-            ConsolidationPolicy::MinNodes => {
-                candidates.sort_by_key(|&(n, usable)| (std::cmp::Reverse(usable), n.0));
-            }
+        let per_cpu = per_cpu_ram_ceil(req);
+        let parts = match self.policy {
             // Least fragmentation: hoover up the smallest fragments first.
             ConsolidationPolicy::MinFragmentation => {
-                candidates.sort_by_key(|&(n, usable)| (usable, n.0));
+                gather(cluster, cluster.fragments_ascending(), per_cpu, req.cpus)
             }
-        }
-        let mut parts = Vec::new();
-        let mut remaining = req.cpus;
-        for (n, usable) in candidates {
-            if remaining == 0 {
-                break;
+            // Fewest nodes: consume the largest fragments first.
+            ConsolidationPolicy::MinNodes => {
+                gather(cluster, cluster.fragments_descending(), per_cpu, req.cpus)
             }
-            let take = usable.min(remaining);
-            parts.push((n, take));
-            remaining -= take;
-        }
-        if remaining > 0 {
-            return None;
-        }
-        for &(n, cpus) in &parts {
+        }?;
+        let shares = ram_shares(req, &parts);
+        for (&(n, cpus), &share) in parts.iter().zip(&shares) {
             cluster
-                .allocate(
-                    n,
-                    vm,
-                    ResourceRequest::new(cpus, per_cpu_ram * u64::from(cpus)),
-                )
+                .allocate(n, vm, ResourceRequest::new(cpus, ByteSize::bytes(share)))
                 .expect("capacity verified");
         }
         Some(SliceAssignment { parts })
@@ -135,50 +140,51 @@ impl FragBff {
     /// MinNodes consolidates whenever a move reduces the node count.
     /// MinFragmentation additionally avoids moves that would carve into a
     /// node's large free block (it only fills gaps no bigger than needed).
-    pub fn consolidate(
-        &self,
-        cluster: &mut Cluster,
-        vm: VmId,
-        req: ResourceRequest,
-    ) -> Vec<MigrationCmd> {
-        let per_cpu_ram = ram_per_cpu(req);
+    ///
+    /// Works from the VM's *actual* per-node allocations (via the
+    /// cluster's VM → nodes ledger), so uneven RAM splits move exactly
+    /// and destinations are checked for RAM room as well as CPUs.
+    pub fn consolidate(&self, cluster: &mut Cluster, vm: VmId) -> Vec<MigrationCmd> {
         let mut cmds = Vec::new();
         loop {
-            let homes: Vec<(NodeId, u32)> = cluster
+            let homes: Vec<(NodeId, ResourceRequest)> = cluster
                 .nodes_of(vm)
                 .into_iter()
                 .map(|n| {
-                    let cpus = cluster
+                    let alloc = cluster
                         .machine(n)
                         .allocation_of(vm)
-                        .map(|r| r.cpus)
-                        .unwrap_or(0);
-                    (n, cpus)
+                        .expect("ledger says VM lives here");
+                    (n, alloc)
                 })
                 .collect();
             if homes.len() <= 1 {
                 break;
             }
             // Full consolidation: can any current home absorb the rest?
-            let total: u32 = homes.iter().map(|&(_, c)| c).sum();
+            let total_cpus: u32 = homes.iter().map(|&(_, r)| r.cpus).sum();
+            let total_ram: u64 = homes.iter().map(|&(_, r)| r.ram.as_u64()).sum();
             let full_target = homes
                 .iter()
-                .filter(|&&(n, c)| cluster.machine(n).free_cpus() >= total - c)
+                .filter(|&&(n, r)| {
+                    let m = cluster.machine(n);
+                    m.free_cpus() >= total_cpus - r.cpus
+                        && m.free_ram().as_u64() >= total_ram - r.ram.as_u64()
+                })
                 // Tightest fit for MinFragmentation, biggest share for
                 // MinNodes — both deterministic.
-                .min_by_key(|&&(n, c)| match self.policy {
+                .min_by_key(|&&(n, r)| match self.policy {
                     ConsolidationPolicy::MinFragmentation => {
-                        (cluster.machine(n).free_cpus() - (total - c), n.0)
+                        (cluster.machine(n).free_cpus() - (total_cpus - r.cpus), n.0)
                     }
-                    ConsolidationPolicy::MinNodes => (u32::MAX - c, n.0),
+                    ConsolidationPolicy::MinNodes => (u32::MAX - r.cpus, n.0),
                 })
                 .map(|&(n, _)| n);
             if let Some(dst) = full_target {
-                for &(src, cpus) in &homes {
-                    if src == dst || cpus == 0 {
+                for &(src, part) in &homes {
+                    if src == dst {
                         continue;
                     }
-                    let part = ResourceRequest::new(cpus, per_cpu_ram * u64::from(cpus));
                     cluster
                         .migrate(vm, src, dst, part)
                         .expect("capacity verified");
@@ -186,7 +192,7 @@ impl FragBff {
                         vm,
                         from: src,
                         to: dst,
-                        cpus,
+                        cpus: part.cpus,
                     });
                 }
                 break;
@@ -196,28 +202,50 @@ impl FragBff {
             let dst = homes
                 .iter()
                 .filter(|&&(n, _)| cluster.machine(n).free_cpus() > 0)
-                .min_by_key(|&&(n, c)| match self.policy {
+                .min_by_key(|&&(n, r)| match self.policy {
                     // Fill the tightest gap.
                     ConsolidationPolicy::MinFragmentation => (cluster.machine(n).free_cpus(), n.0),
                     // Grow the biggest slice.
-                    ConsolidationPolicy::MinNodes => (u32::MAX - c, n.0),
+                    ConsolidationPolicy::MinNodes => (u32::MAX - r.cpus, n.0),
                 })
                 .map(|&(n, _)| n);
             let Some(dst) = dst else { break };
-            let Some(&(src, src_cpus)) = homes
+            let Some(&(src, src_alloc)) = homes
                 .iter()
-                .filter(|&&(n, c)| n != dst && c > 0)
-                .min_by_key(|&&(n, c)| (c, n.0))
+                .filter(|&&(n, r)| n != dst && r.cpus > 0)
+                .min_by_key(|&&(n, r)| (r.cpus, n.0))
             else {
                 break;
             };
-            let movable = src_cpus.min(cluster.machine(dst).free_cpus());
+            let dst_machine = cluster.machine(dst);
+            let mut movable = src_alloc.cpus.min(dst_machine.free_cpus());
+            // The slice's RAM rides proportionally; clamp the move so the
+            // RAM share fits the destination too.
+            if src_alloc.ram.as_u64() > 0 {
+                let by_ram = u128::from(dst_machine.free_ram().as_u64())
+                    * u128::from(src_alloc.cpus)
+                    / u128::from(src_alloc.ram.as_u64());
+                movable = movable.min(u32::try_from(by_ram).unwrap_or(u32::MAX));
+            }
             if movable == 0 {
                 break;
             }
-            let part = ResourceRequest::new(movable, per_cpu_ram * u64::from(movable));
+            let move_ram = if movable == src_alloc.cpus {
+                src_alloc.ram.as_u64()
+            } else {
+                u64::try_from(
+                    u128::from(src_alloc.ram.as_u64()) * u128::from(movable)
+                        / u128::from(src_alloc.cpus),
+                )
+                .expect("ram share fits u64")
+            };
             cluster
-                .migrate(vm, src, dst, part)
+                .migrate(
+                    vm,
+                    src,
+                    dst,
+                    ResourceRequest::new(movable, ByteSize::bytes(move_ram)),
+                )
                 .expect("capacity verified");
             cmds.push(MigrationCmd {
                 vm,
@@ -227,12 +255,45 @@ impl FragBff {
             });
             // A partial move may enable a full consolidation next round;
             // loop until no further move applies.
-            if movable < src_cpus {
+            if movable < src_alloc.cpus {
                 break;
             }
         }
         cmds
     }
+}
+
+/// Walks `order` (a fragment iterator over `cluster`) gathering vCPU
+/// capacity until `want` vCPUs are covered. Returns `None` when the walk
+/// exhausts the cluster first (RAM limits can strand free CPUs).
+fn gather(
+    cluster: &Cluster,
+    order: impl Iterator<Item = NodeId>,
+    per_cpu_ram: u64,
+    want: u32,
+) -> Option<Vec<(NodeId, u32)>> {
+    let mut parts = Vec::new();
+    let mut remaining = want;
+    for n in order {
+        if remaining == 0 {
+            break;
+        }
+        let m = cluster.machine(n);
+        let cpu_cap = m.free_cpus();
+        let ram_cap = m
+            .free_ram()
+            .as_u64()
+            .checked_div(per_cpu_ram)
+            .unwrap_or(u64::from(cpu_cap));
+        let usable = cpu_cap.min(u32::try_from(ram_cap).unwrap_or(u32::MAX));
+        if usable == 0 {
+            continue;
+        }
+        let take = usable.min(remaining);
+        parts.push((n, take));
+        remaining -= take;
+    }
+    (remaining == 0).then_some(parts)
 }
 
 #[cfg(test)]
@@ -251,6 +312,14 @@ mod tests {
         c.allocate(NodeId::new(1), VmId::new(91), req(13)).unwrap();
         c.allocate(NodeId::new(2), VmId::new(92), req(15)).unwrap();
         c
+    }
+
+    /// Total RAM held by `vm` across the cluster, in bytes.
+    fn ram_of(c: &Cluster, vm: VmId) -> u64 {
+        c.nodes_of(vm)
+            .iter()
+            .map(|&n| c.machine(n).allocation_of(vm).unwrap().ram.as_u64())
+            .sum()
     }
 
     #[test]
@@ -283,6 +352,41 @@ mod tests {
         assert!(f.place_aggregate(&mut c, VmId::new(1), req(7)).is_none());
         // A failed placement leaves no partial allocation behind.
         assert!(c.nodes_of(VmId::new(1)).is_empty());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn non_divisible_ram_allocates_exactly() {
+        // 4 vCPUs / 5 GiB: per-vCPU floor is 1.25 GiB → the old floor
+        // split placed 4 × 1 GiB and silently lost 1 GiB.
+        let mut c = fragmented_cluster();
+        let f = FragBff::new(ConsolidationPolicy::MinFragmentation);
+        let vm = VmId::new(1);
+        let want = ResourceRequest::new(4, ByteSize::gib(5));
+        let a = f.place_aggregate(&mut c, vm, want).unwrap();
+        assert_eq!(a.total_cpus(), 4);
+        assert_eq!(
+            ram_of(&c, vm),
+            ByteSize::gib(5).as_u64(),
+            "RAM must sum exactly"
+        );
+        c.check_invariants();
+    }
+
+    #[test]
+    fn ram_shares_telescope_exactly() {
+        let req = ResourceRequest::new(7, ByteSize::bytes(1_000_000_000));
+        let parts = vec![
+            (NodeId::new(0), 3),
+            (NodeId::new(1), 1),
+            (NodeId::new(2), 3),
+        ];
+        let shares = ram_shares(req, &parts);
+        assert_eq!(shares.iter().sum::<u64>(), 1_000_000_000);
+        let ceil = per_cpu_ram_ceil(req);
+        for (&(_, c), &s) in parts.iter().zip(&shares) {
+            assert!(s <= ceil * u64::from(c), "share {s} exceeds bound");
+        }
     }
 
     #[test]
@@ -293,7 +397,7 @@ mod tests {
         let _ = f.place_aggregate(&mut c, vm, req(4)).unwrap();
         // The big VM on node1 terminates: 12 CPUs free there.
         c.release(NodeId::new(1), VmId::new(91), req(13)).unwrap();
-        let cmds = f.consolidate(&mut c, vm, req(4));
+        let cmds = f.consolidate(&mut c, vm);
         assert!(!cmds.is_empty());
         assert_eq!(c.nodes_of(vm).len(), 1);
         let total: u32 = c
@@ -302,6 +406,9 @@ mod tests {
             .map(|&n| c.machine(n).allocation_of(vm).unwrap().cpus)
             .sum();
         assert_eq!(total, 4);
+        // Consolidation carries the RAM along exactly.
+        assert_eq!(ram_of(&c, vm), req(4).ram.as_u64());
+        c.check_invariants();
     }
 
     #[test]
@@ -317,11 +424,13 @@ mod tests {
         // One co-located CPU frees on node0 — not enough for full
         // consolidation (need 2), but a partial move uses it.
         c.release(NodeId::new(0), VmId::new(90), req(1)).unwrap();
-        let cmds = f.consolidate(&mut c, vm, req(4));
+        let cmds = f.consolidate(&mut c, vm);
         assert_eq!(cmds.len(), 1);
         assert_eq!(cmds[0].cpus, 1);
         // Still on two nodes, but the distribution shifted.
         assert_eq!(c.nodes_of(vm).len(), 2);
+        assert_eq!(ram_of(&c, vm), req(4).ram.as_u64());
+        c.check_invariants();
     }
 
     #[test]
@@ -330,7 +439,47 @@ mod tests {
         let f = FragBff::new(ConsolidationPolicy::MinNodes);
         let vm = VmId::new(1);
         c.allocate(NodeId::new(0), vm, req(4)).unwrap();
-        assert!(f.consolidate(&mut c, vm, req(4)).is_empty());
+        assert!(f.consolidate(&mut c, vm).is_empty());
+    }
+
+    #[test]
+    fn consolidation_respects_destination_ram() {
+        // Two homes; the CPU-roomy destination is RAM-starved, so a full
+        // consolidation there must be refused (the old CPU-only check
+        // panicked on the migrate).
+        let mut c = Cluster::homogeneous(2, MachineSpec::testbed());
+        // node0: 10 CPUs free but only 2 GiB RAM free.
+        c.allocate(
+            NodeId::new(0),
+            VmId::new(90),
+            ResourceRequest::new(4, ByteSize::gib(28)),
+        )
+        .unwrap();
+        // node1: plenty of RAM but no CPU headroom once the VM lands.
+        c.allocate(NodeId::new(1), VmId::new(91), req(14)).unwrap();
+        let vm = VmId::new(1);
+        // An 8-GiB aggregate split 2+2: 2 cpus + 2 GiB on node0,
+        // 2 cpus + 6 GiB on node1.
+        c.allocate(
+            NodeId::new(0),
+            vm,
+            ResourceRequest::new(2, ByteSize::gib(2)),
+        )
+        .unwrap();
+        c.allocate(
+            NodeId::new(1),
+            vm,
+            ResourceRequest::new(2, ByteSize::gib(6)),
+        )
+        .unwrap();
+        let f = FragBff::new(ConsolidationPolicy::MinNodes);
+        let cmds = f.consolidate(&mut c, vm);
+        // node0 cannot take 6 GiB (RAM), node1 cannot take 2 more CPUs
+        // (0 free) — and the partial move is RAM-clamped to zero, so
+        // nothing moves and nothing panics.
+        assert!(cmds.is_empty());
+        assert_eq!(ram_of(&c, vm), ByteSize::gib(8).as_u64());
+        c.check_invariants();
     }
 
     #[test]
@@ -341,8 +490,9 @@ mod tests {
         let _ = f.place_aggregate(&mut c, vm, req(4)).unwrap();
         let before_free = c.total_free_cpus();
         c.release_vm(VmId::new(92));
-        let _ = f.consolidate(&mut c, vm, req(4));
+        let _ = f.consolidate(&mut c, vm);
         // Consolidation moves, never creates or destroys, allocations.
         assert_eq!(c.total_free_cpus(), before_free + 15);
+        c.check_invariants();
     }
 }

@@ -26,7 +26,7 @@ pub mod datacenter;
 pub mod fragbff;
 pub mod trace;
 
-pub use bff::Bff;
-pub use datacenter::{DatacenterSim, PlacementEvent, SimReport};
+pub use bff::{Bff, FitAlgo};
+pub use datacenter::{DatacenterSim, PlacementEvent, PlacementKind, PlacementPolicy, SimReport};
 pub use fragbff::{ConsolidationPolicy, FragBff, MigrationCmd, SliceAssignment};
 pub use trace::{ArrivalTrace, VmArrival};

@@ -41,6 +41,11 @@ const SIZE_MIX: &[(u32, f64)] = &[
     (12, 0.04),
 ];
 
+/// RAM-per-vCPU shapes for mixed traces: (numerator GiB, denominator,
+/// weight). The 5/4 entry yields the non-divisible 1.25 GiB/vCPU shape
+/// (a 4-vCPU VM requests exactly 5 GiB).
+const SHAPE_MIX: &[(u64, u64, f64)] = &[(1, 1, 0.55), (2, 1, 0.15), (5, 4, 0.15), (3, 2, 0.15)];
+
 impl ArrivalTrace {
     /// Generates `count` arrivals with exponential inter-arrival times of
     /// the given mean, and lifetimes log-normally distributed around
@@ -65,6 +70,47 @@ impl ArrivalTrace {
                     cpus,
                     // 1 GiB per vCPU, the common shape.
                     ram: ByteSize::gib(u64::from(cpus)),
+                    lifetime,
+                }
+            })
+            .collect();
+        ArrivalTrace { arrivals }
+    }
+
+    /// Generates `count` arrivals with mixed RAM shapes and bimodal
+    /// lifetimes, for cluster studies where RAM is not a fixed multiple
+    /// of vCPUs.
+    ///
+    /// On top of [`ArrivalTrace::generate`]'s size mix, each VM draws a
+    /// RAM-per-vCPU ratio from `SHAPE_MIX` (including non-divisible
+    /// shapes like 1.25 GiB/vCPU — a 4-vCPU VM asks for exactly 5 GiB),
+    /// and ~10% of VMs are long-runners with 8× the drawn lifetime
+    /// (Protean's heavy tail made explicit).
+    pub fn generate_mixed(
+        rng: &mut DetRng,
+        count: usize,
+        mean_interarrival: SimTime,
+        mean_lifetime: SimTime,
+    ) -> Self {
+        let mut at = SimTime::ZERO;
+        let size_weights: Vec<f64> = SIZE_MIX.iter().map(|&(_, w)| w).collect();
+        let shape_weights: Vec<f64> = SHAPE_MIX.iter().map(|&(_, _, w)| w).collect();
+        let arrivals = (0..count)
+            .map(|_| {
+                at += SimTime::from_secs_f64(rng.exp(mean_interarrival.as_secs_f64()));
+                let cpus = SIZE_MIX[rng.weighted(&size_weights)].0;
+                let (num, den, _) = SHAPE_MIX[rng.weighted(&shape_weights)];
+                // Exact bytes: GiB is divisible by every denominator used.
+                let ram = ByteSize::bytes(u64::from(cpus) * ByteSize::gib(1).as_u64() * num / den);
+                let mu = mean_lifetime.as_secs_f64().ln() - 0.5;
+                let mut lifetime = SimTime::from_secs_f64(rng.lognormal(mu, 1.0).max(0.5));
+                if rng.chance(0.10) {
+                    lifetime = lifetime * 8;
+                }
+                VmArrival {
+                    at,
+                    cpus,
+                    ram,
                     lifetime,
                 }
             })
@@ -120,6 +166,42 @@ mod tests {
         assert_eq!(a.arrivals, b.arrivals);
         let c = gen(4);
         assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn mixed_trace_has_varied_shapes_and_is_deterministic() {
+        let gen_mixed = |seed| {
+            let mut rng = DetRng::new(seed);
+            ArrivalTrace::generate_mixed(
+                &mut rng,
+                400,
+                SimTime::from_secs(2),
+                SimTime::from_secs(60),
+            )
+        };
+        let t = gen_mixed(6);
+        assert_eq!(t.len(), 400);
+        for w in t.arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        // Non-divisible shapes appear: some VM's RAM is not a whole
+        // number of GiB per vCPU.
+        let gib = ByteSize::gib(1).as_u64();
+        let uneven = t
+            .arrivals
+            .iter()
+            .filter(|a| a.ram.as_u64() % (u64::from(a.cpus) * gib) != 0)
+            .count();
+        assert!(uneven > 20, "uneven shapes = {uneven}");
+        // The long-runner mode shows up (~10% of VMs).
+        let p90 = {
+            let mut ls: Vec<SimTime> = t.arrivals.iter().map(|a| a.lifetime).collect();
+            ls.sort();
+            ls[ls.len() * 9 / 10]
+        };
+        assert!(p90 > SimTime::from_secs(60), "p90 lifetime {p90:?}");
+        assert_eq!(t.arrivals, gen_mixed(6).arrivals);
+        assert_ne!(t.arrivals, gen_mixed(7).arrivals);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Property tests for `DatacenterSim` at the trace level: deterministic
+//! replay, full drain, and linear (not quadratic) event-log growth — the
+//! properties the at-scale cluster study depends on.
+
+use cluster::MachineSpec;
+use proptest::prelude::*;
+use scheduler::{
+    ArrivalTrace, ConsolidationPolicy, DatacenterSim, PlacementKind, PlacementPolicy, SimReport,
+};
+use sim_core::rng::DetRng;
+use sim_core::time::SimTime;
+
+fn policy_of(which: u32) -> PlacementPolicy {
+    match which % 4 {
+        0 => PlacementPolicy::FragBff(ConsolidationPolicy::MinFragmentation),
+        1 => PlacementPolicy::FragBff(ConsolidationPolicy::MinNodes),
+        2 => PlacementPolicy::FirstFit,
+        _ => PlacementPolicy::WorstFit,
+    }
+}
+
+fn run(seed: u64, nodes: usize, count: usize, which: u32, mixed: bool) -> SimReport {
+    let mut rng = DetRng::new(seed);
+    let trace = if mixed {
+        ArrivalTrace::generate_mixed(
+            &mut rng,
+            count,
+            SimTime::from_secs(1),
+            SimTime::from_secs(30),
+        )
+    } else {
+        ArrivalTrace::generate(
+            &mut rng,
+            count,
+            SimTime::from_secs(1),
+            SimTime::from_secs(30),
+        )
+    };
+    DatacenterSim::with_policy(nodes, MachineSpec::fig14(), policy_of(which), trace).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two runs of the same seed are byte-identical, under every policy
+    /// and both trace generators.
+    #[test]
+    fn replay_is_byte_identical(
+        seed in 0u64..10_000,
+        nodes in 2usize..8,
+        count in 20usize..150,
+        which in 0u32..4,
+        mixed in any::<bool>(),
+    ) {
+        let a = run(seed, nodes, count, which, mixed);
+        let b = run(seed, nodes, count, which, mixed);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.free_cpus, b.free_cpus);
+        prop_assert_eq!(a.wait_times, b.wait_times);
+        prop_assert_eq!(
+            (a.singles, a.aggregates, a.delayed, a.retry_attempts, a.migrations),
+            (b.singles, b.aggregates, b.delayed, b.retry_attempts, b.migrations)
+        );
+    }
+
+    /// Every placed VM departs, the cluster drains to empty, and the
+    /// bookkeeping adds up.
+    #[test]
+    fn every_run_drains_the_cluster(
+        seed in 0u64..10_000,
+        nodes in 2usize..8,
+        count in 20usize..150,
+        which in 0u32..4,
+        mixed in any::<bool>(),
+    ) {
+        let r = run(seed, nodes, count, which, mixed);
+        let finished = r
+            .events
+            .iter()
+            .filter(|e| e.kind == PlacementKind::Finished)
+            .count() as u64;
+        prop_assert_eq!(finished, r.singles + r.aggregates);
+        prop_assert_eq!(
+            r.final_fragmentation.free_cpus,
+            nodes as u32 * MachineSpec::fig14().cpus,
+            "cluster did not drain"
+        );
+        // Each event pop is one arrival or one departure.
+        prop_assert_eq!(r.events_processed, count as u64 + finished);
+        // Baselines never aggregate.
+        if which % 4 >= 2 {
+            prop_assert_eq!(r.aggregates, 0);
+        }
+    }
+
+    /// Event-log and sample growth is linear in arrivals: `Delayed` is
+    /// logged at most once per VM (the old quadratic re-log bug), and
+    /// samples track processed events exactly.
+    #[test]
+    fn event_log_growth_is_linear(
+        seed in 0u64..10_000,
+        nodes in 2usize..6,
+        count in 20usize..150,
+        which in 0u32..4,
+    ) {
+        let r = run(seed, nodes, count, which, false);
+        let delayed_events = r
+            .events
+            .iter()
+            .filter(|e| e.kind == PlacementKind::Delayed)
+            .count() as u64;
+        prop_assert_eq!(delayed_events, r.delayed);
+        prop_assert!(r.delayed <= count as u64);
+        // Placements + finishes + delays: at most 3 entries per arrival
+        // (migration entries are audited separately below).
+        let non_migration = r
+            .events
+            .iter()
+            .filter(|e| !matches!(e.kind, PlacementKind::Migrated(_)))
+            .count() as u64;
+        prop_assert!(non_migration <= 3 * count as u64);
+        // One sample per processed event at the default sampling rate.
+        prop_assert_eq!(r.free_cpus.len() as u64, r.events_processed);
+        // Every migration entry carries at least one move.
+        for e in &r.events {
+            if let PlacementKind::Migrated(cmds) = &e.kind {
+                prop_assert!(!cmds.is_empty());
+                for c in cmds {
+                    prop_assert!(c.cpus > 0);
+                }
+            }
+        }
+    }
+}

@@ -127,7 +127,8 @@ proptest! {
             c.release(NodeId::from_usize(release_node), filler, req(release))
                 .expect("filler holds this much");
         }
-        let cmds = f.consolidate(&mut c, vm, req(want));
+        let cmds = f.consolidate(&mut c, vm);
+        c.check_invariants();
         prop_assert_eq!(cpus_of(&c, vm), want, "allocation changed");
         prop_assert!(c.nodes_of(vm).len() <= nodes_before, "node count grew");
         assert_no_oversubscription(&c)?;
