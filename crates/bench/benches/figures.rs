@@ -6,7 +6,7 @@
 use comm::{LinkProfile, NodeId};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fragvisor::{checkpoint, scenarios, Distribution, HypervisorProfile};
-use hypervisor::VmMemory;
+use hypervisor::MemoryConfig;
 use scheduler::{ArrivalTrace, ConsolidationPolicy, DatacenterSim};
 use sim_core::rng::DetRng;
 use sim_core::time::SimTime;
@@ -112,7 +112,10 @@ fn fig08_fig09_npb(c: &mut Criterion) {
 fn fig11_checkpoint(c: &mut Criterion) {
     c.bench_function("fig11/checkpoint_20gib", |b| {
         let profile = HypervisorProfile::fragvisor();
-        let mut mem = VmMemory::new(&profile, 4, ByteSize::gib(22), NodeId::new(0));
+        let mut mem = MemoryConfig::new(ByteSize::gib(22))
+            .vcpus(4)
+            .nodes(4)
+            .build(&profile);
         for n in 0..4 {
             let _ =
                 mem.register_resident_dataset(&format!("d{n}"), ByteSize::gib(5), NodeId::new(n));

@@ -1,0 +1,42 @@
+//! `exp_memory_pressure` — the borrowing-vs-ballooning-vs-deflation-vs-
+//! swap head-to-head; see `DESIGN.md` §12.
+//!
+//! ```text
+//! exp_memory_pressure [--json PATH]
+//! ```
+//!
+//! `MEMELAST_SMOKE=1` selects the reduced CI scale. `--json` additionally
+//! writes the table as the `BENCH_MEM.json` document.
+
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let mut json_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path = Some(it.next().ok_or("--json needs a value")?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let table = bench_harness::experiments::memory_pressure_study();
+    table.print();
+    if let Some(path) = json_path {
+        let doc = bench_harness::report::tables_to_json(&[table]);
+        std::fs::write(&path, doc).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

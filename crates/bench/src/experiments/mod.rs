@@ -16,6 +16,7 @@ mod apps;
 mod extensions;
 mod fault_recovery;
 mod io;
+mod memelastic;
 mod micro;
 mod npb;
 mod qos;
@@ -30,6 +31,7 @@ pub use extensions::{
 };
 pub use fault_recovery::fault_recovery_study;
 pub use io::{fig06_net_delegation, fig07_storage_delegation};
+pub use memelastic::memory_pressure_study;
 pub use micro::{fig01_sharing_study, fig04_dsm_fault_overhead, fig05_concurrent_writes};
 pub use npb::{fig08_npb_overcommit, fig09_npb_giantvm, fig10_guest_opts};
 pub use qos::qos_fabric_study;
@@ -72,14 +74,26 @@ pub fn all() -> Vec<Table> {
     FIGURES.iter().map(|&(_, f)| f()).collect()
 }
 
+/// The order workers claim figures in: longest-running first, from
+/// measured release-build durations (fig05's contended-writes sweep
+/// dominates at ~0.5 s, fig01's sharing study is next at ~0.2 s, the
+/// tail is near-instant). Starting the long poles first bounds the
+/// makespan by `longest + sum(tail)/jobs` instead of leaving a worker
+/// alone on fig05 at the end.
+///
+/// Must be a permutation of `0..FIGURES.len()` (checked by a test); the
+/// claim order only affects wall-clock, never output — results are
+/// reassembled in paper order.
+const CLAIM_ORDER: [usize; 12] = [2, 0, 5, 6, 9, 7, 3, 11, 1, 4, 10, 8];
+
 /// Runs every figure experiment on up to `jobs` worker threads and returns
 /// the tables in paper order.
 ///
-/// Workers claim experiments from a shared counter (longest-first would
-/// need duration profiles; a simple claim queue keeps the slowest figure
-/// from being scheduled last only by luck). Output is byte-identical to
-/// [`all`] regardless of `jobs` — see the module-level determinism
-/// contract. `jobs == 1` short-circuits to the serial runner.
+/// Workers claim experiments from a shared counter walking `CLAIM_ORDER`
+/// (longest first, so the slowest figure is never scheduled last). Output
+/// is byte-identical to [`all`] regardless of `jobs` — see the
+/// module-level determinism contract. `jobs == 1` short-circuits to the
+/// serial runner.
 ///
 /// # Panics
 ///
@@ -101,10 +115,11 @@ pub fn all_parallel(jobs: usize) -> Vec<Table> {
                 .name(format!("figures-{w}"))
                 .stack_size(8 << 20)
                 .spawn_scoped(s, move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(_, f)) = FIGURES.get(i) else {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = CLAIM_ORDER.get(slot) else {
                         break;
                     };
+                    let (_, f) = FIGURES[i];
                     let table = f();
                     done.lock().expect("figure result lock").push((i, table));
                 })
@@ -114,4 +129,22 @@ pub fn all_parallel(jobs: usize) -> Vec<Table> {
     let mut done = done.into_inner().expect("figure result lock");
     done.sort_by_key(|&(i, _)| i);
     done.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The claim order must cover every figure exactly once, or the
+    /// parallel runner would skip or double-run experiments.
+    #[test]
+    fn claim_order_is_a_permutation_of_figures() {
+        let mut seen = [false; 12];
+        assert_eq!(CLAIM_ORDER.len(), FIGURES.len());
+        for &i in &CLAIM_ORDER {
+            assert!(!seen[i], "figure index {i} claimed twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
 }

@@ -3,19 +3,17 @@
 
 use comm::{LinkProfile, NodeId};
 use fragvisor::{checkpoint, HypervisorProfile};
-use hypervisor::VmMemory;
+use hypervisor::{MemoryConfig, VmMemory};
 use sim_core::units::{Bandwidth, ByteSize};
 
 use crate::report::{f2, secs, Table};
 
 fn memory_with_dataset(dataset_gib: u64, nodes: u32) -> VmMemory {
     let profile = HypervisorProfile::fragvisor();
-    let mut mem = VmMemory::new(
-        &profile,
-        nodes as usize,
-        ByteSize::gib(dataset_gib + 2),
-        NodeId::new(0),
-    );
+    let mut mem = MemoryConfig::new(ByteSize::gib(dataset_gib + 2))
+        .vcpus(nodes as usize)
+        .nodes(nodes)
+        .build(&profile);
     let per_node = ByteSize::bytes(ByteSize::gib(dataset_gib).as_u64() / u64::from(nodes));
     for n in 0..nodes {
         let _ = mem.register_resident_dataset(&format!("is-c.{n}"), per_node, NodeId::new(n));

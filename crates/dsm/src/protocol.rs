@@ -735,6 +735,146 @@ impl Dsm {
         moved
     }
 
+    /// Selects up to `max` eviction victims among the pages whose master
+    /// copy lives on `node`, cheapest-to-evict first.
+    ///
+    /// `rank` maps a page's class to its eviction priority (lower is
+    /// evicted first) or `None` to exempt the class entirely (e.g. the
+    /// balloon driver only ever hands back guest-private pages). Victims
+    /// are ordered by `(priority, page id)` so selection is deterministic.
+    ///
+    /// O(pages the node holds): the node's page log is compacted (sort +
+    /// dedup + drop stale entries) and scanned once — the same cost
+    /// profile as [`Dsm::drain_node`], never a directory scan. Bulk pages
+    /// have no per-page identity and are never selected.
+    pub fn reclaim_victims(
+        &mut self,
+        node: NodeId,
+        max: usize,
+        rank: impl Fn(PageClass) -> Option<u8>,
+    ) -> Vec<PageId> {
+        if max == 0 || node.index() >= self.nodes.len() {
+            return Vec::new();
+        }
+        // Full compaction doubles as candidate discovery: afterwards the
+        // log holds exactly the pages the node shares or owns.
+        let mut log = std::mem::take(&mut self.nodes[node.index()].log);
+        log.sort_unstable();
+        log.dedup();
+        log.retain(|p| self.pages.get(p).is_some_and(|e| e.shares_with(node)));
+        let mut ranked: Vec<(u8, PageId)> = log
+            .iter()
+            .filter_map(|&p| {
+                let e = &self.pages[&p];
+                if e.owner != node {
+                    return None;
+                }
+                rank(e.class).map(|r| (r, p))
+            })
+            .collect();
+        self.nodes[node.index()].log = log;
+        ranked.sort_unstable();
+        ranked.truncate(max);
+        ranked.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Evicts one page's master copy toward `to` (the borrow policy): the
+    /// pressured owner gives the page up, `to` becomes the owner, and any
+    /// third-party shared copies stay valid — exactly a single-page
+    /// [`Dsm::drain_node`]. Returns `false` (and does nothing) if the page
+    /// is unknown or `to` already owns it.
+    ///
+    /// Emits `PageEvict` followed by the invalidate / owner-transfer /
+    /// grant events describing the move, so the trace auditor can check
+    /// that the master copy is never lost and lands exactly once.
+    pub fn evict_page(&mut self, page: PageId, to: NodeId) -> bool {
+        let at = self.clock.as_nanos();
+        let Some(e) = self.pages.get_mut(&page) else {
+            return false;
+        };
+        let from = e.owner;
+        if from == to {
+            return false;
+        }
+        let pg = u64::from(page.0);
+        self.tracer.emit_with(|| TraceEvent::PageEvict {
+            at,
+            page: pg,
+            from: from.0,
+            to: to.0,
+        });
+        e.owner = to;
+        e.sharers.remove(from.0);
+        let gained_copy = e.sharers.insert(to.0);
+        let exclusive = e.mode == Mode::Exclusive;
+        self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+            at,
+            page: pg,
+            node: from.0,
+        });
+        self.tracer.emit_with(|| TraceEvent::DsmOwnerTransfer {
+            at,
+            page: pg,
+            from: from.0,
+            to: to.0,
+        });
+        self.tracer.emit_with(|| TraceEvent::DsmGrant {
+            at,
+            page: pg,
+            node: to.0,
+            exclusive,
+        });
+        let f = slot(&mut self.nodes, from);
+        f.owned -= 1;
+        f.cached -= 1;
+        let t = slot(&mut self.nodes, to);
+        t.owned += 1;
+        if gained_copy {
+            t.cached += 1;
+            t.log.push(page);
+        }
+        self.stats.evictions += 1;
+        self.maybe_compact(to);
+        true
+    }
+
+    /// Discards a page outright (balloon inflation or slice deflation):
+    /// every copy is invalidated and the directory entry removed, so a
+    /// later touch refaults as a fresh first-touch allocation. Returns
+    /// the page's class, or `None` (doing nothing) if it was unknown.
+    ///
+    /// `policy` labels the `PageRelease` trace event (`"balloon"` /
+    /// `"deflate"`); the auditor requires the release to come from the
+    /// owner with every surviving copy invalidated first, and only a
+    /// released page may legally re-allocate.
+    pub fn release_page(&mut self, page: PageId, policy: &'static str) -> Option<PageClass> {
+        let at = self.clock.as_nanos();
+        let e = self.pages.remove(&page)?;
+        let pg = u64::from(page.0);
+        for s in e.sharers.iter() {
+            self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                at,
+                page: pg,
+                node: s,
+            });
+            let ni = slot(&mut self.nodes, NodeId::new(s));
+            ni.cached -= 1;
+            if e.owner.0 == s {
+                ni.owned -= 1;
+            }
+            // Stale log entries are left behind; compaction and drain
+            // skip pages the directory no longer confirms.
+        }
+        self.tracer.emit_with(|| TraceEvent::PageRelease {
+            at,
+            page: pg,
+            node: e.owner.0,
+            policy,
+        });
+        self.stats.releases += 1;
+        Some(e.class)
+    }
+
     /// Quarantines a *crashed* node: every page whose master copy lived on
     /// `dead` is restored from the checkpoint image at `restore_home` —
     /// exclusively, with every surviving stale copy invalidated so
@@ -1152,6 +1292,112 @@ mod tests {
         assert_eq!(d.owner(p(2)), Some(n(0)));
         assert!(d.is_cached(p(1), n(1)), "sharer copies must survive");
         d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reclaim_victims_ranks_filters_and_truncates() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::KernelText);
+        d.ensure_page(p(2), n(0), PageClass::Private);
+        d.ensure_page(p(3), n(0), PageClass::AppShared);
+        d.ensure_page(p(4), n(0), PageClass::Private);
+        d.ensure_page(p(5), n(1), PageClass::Private); // Not owned by n0.
+        let _ = d.access(n(0), p(5), Access::Read); // ...but cached there.
+        let rank = |c: PageClass| match c {
+            PageClass::Private => Some(0),
+            PageClass::AppShared => Some(1),
+            _ => None, // Kernel text is exempt.
+        };
+        let v = d.reclaim_victims(n(0), 16, rank);
+        assert_eq!(v, vec![p(2), p(4), p(3)], "priority then page order");
+        let v = d.reclaim_victims(n(0), 2, rank);
+        assert_eq!(v, vec![p(2), p(4)], "truncated to max");
+        assert!(d.reclaim_victims(n(0), 0, rank).is_empty());
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evict_page_moves_master_copy_and_keeps_third_party_sharers() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        d.ensure_page(p(2), n(0), PageClass::Private);
+        let _ = d.access(n(2), p(2), Access::Read); // n2 shares p2.
+        assert!(d.evict_page(p(1), n(1)), "exclusive page evicts");
+        assert_eq!(d.owner(p(1)), Some(n(1)));
+        assert!(!d.is_cached(p(1), n(0)));
+        assert!(d.evict_page(p(2), n(1)), "shared page evicts");
+        assert_eq!(d.owner(p(2)), Some(n(1)));
+        assert!(d.is_cached(p(2), n(2)), "third-party copy survives");
+        assert!(!d.evict_page(p(2), n(1)), "already home: refused");
+        assert!(!d.evict_page(p(9), n(1)), "unknown page: refused");
+        assert_eq!(d.pages_owned_by(n(0)), 0);
+        assert_eq!(d.pages_owned_by(n(1)), 2);
+        assert_eq!(d.stats().evictions, 2);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_page_discards_all_copies_and_allows_reuse() {
+        let mut d = dsm();
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        let _ = d.access(n(1), p(1), Access::Read);
+        let _ = d.access(n(2), p(1), Access::Read);
+        assert_eq!(d.release_page(p(1), "balloon"), Some(PageClass::Private));
+        assert_eq!(d.owner(p(1)), None);
+        for i in 0..3 {
+            assert!(!d.is_cached(p(1), n(i)));
+        }
+        assert_eq!(d.release_page(p(1), "balloon"), None, "already gone");
+        assert_eq!(d.stats().releases, 1);
+        // Fault-on-reuse: the page can be allocated afresh elsewhere.
+        d.ensure_page(p(1), n(2), PageClass::Private);
+        assert_eq!(d.owner(p(1)), Some(n(2)));
+        assert_eq!(d.access(n(2), p(1), Access::Write), Resolution::Hit);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn traced_reclaim_audits_clean() {
+        use sim_core::trace::Tracer;
+        let tracer = Tracer::ring(4096);
+        let mut d = dsm();
+        d.attach_tracer(tracer.clone());
+        for i in 0..8 {
+            d.ensure_page(p(i), n(0), PageClass::Private);
+        }
+        let _ = d.access(n(1), p(0), Access::Read); // Shared victim.
+        d.set_clock(SimTime::from_micros(5));
+        let victims = d.reclaim_victims(n(0), 4, |_| Some(0));
+        for v in victims {
+            assert!(d.evict_page(v, n(2)));
+        }
+        assert_eq!(d.release_page(p(6), "balloon"), Some(PageClass::Private));
+        d.ensure_page(p(6), n(1), PageClass::Private); // Fault-on-reuse.
+        assert!(!tracer.is_empty());
+        sim_core::audit::assert_clean(&tracer.snapshot());
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evicting_to_a_sharer_is_caught_if_master_copy_misreported() {
+        use sim_core::trace::Tracer;
+        // Eviction events claiming the wrong `from` node must be flagged:
+        // hand-emit a PageEvict from a non-owner and check the rule fires.
+        let tracer = Tracer::ring(256);
+        let mut d = dsm();
+        d.attach_tracer(tracer.clone());
+        d.ensure_page(p(0), n(0), PageClass::Private);
+        tracer.emit_with(|| TraceEvent::PageEvict {
+            at: 10,
+            page: 0,
+            from: 3, // Not the owner.
+            to: 1,
+        });
+        let v = sim_core::audit::audit(&tracer.snapshot());
+        assert!(
+            v.iter().any(|v| v.rule == "reclaim-evict-non-owner"),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct DsmStats {
     pub invalidations: u64,
     /// Pages delivered by read prefetch (no separate fault).
     pub prefetched: u64,
+    /// Master copies evicted to another node by memory reclaim (borrow).
+    pub evictions: u64,
+    /// Pages discarded outright by memory reclaim (balloon / deflate).
+    pub releases: u64,
     /// Faults per page class.
     pub per_class: MeterSet<PageClass>,
 }

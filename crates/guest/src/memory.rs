@@ -84,6 +84,30 @@ impl RegionAllocator {
         self.alloc(name, size.pages_4k().max(1))
     }
 
+    /// Fallible variant of [`RegionAllocator::alloc`]: returns `None` when
+    /// the allocation would exceed the (possibly deflated) limit instead of
+    /// panicking. Workloads that must survive deflation use this.
+    pub fn try_alloc(&mut self, name: &str, pages: u64) -> Option<Region> {
+        if self.next + pages > self.limit {
+            return None;
+        }
+        Some(self.alloc(name, pages))
+    }
+
+    /// The current pseudo-physical limit in pages.
+    pub fn limit_pages(&self) -> u64 {
+        self.limit
+    }
+
+    /// Shrinks (or re-grows) the pseudo-physical limit — the deflation
+    /// policy's lever. Clamped to never drop below what is already
+    /// allocated, so existing regions stay valid; returns the limit that
+    /// actually took effect.
+    pub fn set_limit_pages(&mut self, pages: u64) -> u64 {
+        self.limit = pages.max(self.next);
+        self.limit
+    }
+
     /// Pages allocated so far.
     pub fn used_pages(&self) -> u64 {
         self.next
@@ -154,6 +178,19 @@ mod tests {
         assert_eq!(r.pages, 1);
         let r = a.alloc_bytes("y", ByteSize::bytes(4097));
         assert_eq!(r.pages, 2);
+    }
+
+    #[test]
+    fn try_alloc_and_deflated_limit() {
+        let mut a = RegionAllocator::new(ByteSize::kib(32)); // 8 pages
+        let _ = a.alloc("base", 4);
+        assert_eq!(a.set_limit_pages(2), 4, "limit clamps to used pages");
+        assert_eq!(a.try_alloc("refused", 1), None);
+        assert_eq!(a.free_pages(), 0);
+        assert_eq!(a.set_limit_pages(6), 6);
+        assert!(a.try_alloc("ok", 2).is_some());
+        assert_eq!(a.limit_pages(), 6);
+        assert_eq!(a.used_pages(), 6);
     }
 
     #[test]

@@ -112,12 +112,10 @@ mod tests {
 
     fn setup(dataset_gib: u64, nodes: u32) -> VmMemory {
         let profile = HypervisorProfile::fragvisor();
-        let mut mem = VmMemory::new(
-            &profile,
-            nodes as usize,
-            ByteSize::gib(dataset_gib + 2),
-            NodeId::new(0),
-        );
+        let mut mem = crate::elastic::MemoryConfig::new(ByteSize::gib(dataset_gib + 2))
+            .vcpus(nodes as usize)
+            .nodes(nodes)
+            .build(&profile);
         // Spread the dataset evenly across nodes (one slice each).
         let bytes_per_node =
             ByteSize::bytes(ByteSize::gib(dataset_gib).as_u64() / u64::from(nodes));

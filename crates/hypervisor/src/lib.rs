@@ -27,6 +27,7 @@
 
 pub mod boot;
 pub mod checkpoint;
+pub mod elastic;
 pub mod failure;
 pub mod memory;
 pub mod profile;
@@ -35,6 +36,10 @@ pub mod reliability;
 pub mod stats;
 pub mod vm;
 
+pub use elastic::{
+    MemoryConfig, MemoryPressure, MemoryReclaimer, PressureThresholds, ReclaimCounters,
+    ReclaimPolicy,
+};
 pub use failure::FailureConfig;
 pub use memory::VmMemory;
 pub use profile::HypervisorProfile;

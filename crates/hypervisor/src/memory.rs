@@ -10,15 +10,20 @@ use dsm::{Access, Dsm, FaultKind, FaultPlan, PageClass, PageId, Resolution};
 use guest::memory::{Region, RegionAllocator};
 use guest::{GuestConfig, KernelPages};
 use sim_core::time::SimTime;
+use sim_core::trace::TraceEvent;
 use sim_core::units::ByteSize;
 
+use crate::elastic::{
+    ElasticParams, ElasticState, MemoryConfig, MemoryPressure, ReclaimCounters, ReclaimCtx,
+    ReclaimRequest,
+};
 use crate::profile::HypervisorProfile;
 
 /// Size of a DSM control message (request, invalidation, ack).
 const DSM_CTRL: ByteSize = ByteSize::bytes(64);
 
 /// Page payload message: page plus header.
-const DSM_PAGE: ByteSize = ByteSize::bytes(4096 + 64);
+pub(crate) const DSM_PAGE: ByteSize = ByteSize::bytes(4096 + 64);
 
 /// Cost of installing a received page/permission into the EPT.
 const INSTALL_COST: SimTime = SimTime::from_nanos(500);
@@ -46,7 +51,7 @@ const DSM_SEND_ATTEMPTS: u32 = 3;
 /// times. A dead endpoint (or exhausted retries) returns the
 /// [`DEAD_STALL`] completion instead — the access stalls rather than
 /// panicking, and recovery re-homes the page.
-fn dsm_send(fabric: &mut Fabric, at: SimTime, msg: Message) -> SimTime {
+pub(crate) fn dsm_send(fabric: &mut Fabric, at: SimTime, msg: Message) -> SimTime {
     let mut t = at;
     for _ in 0..DSM_SEND_ATTEMPTS {
         match fabric.send(t, msg) {
@@ -70,12 +75,15 @@ pub struct VmMemory {
     guest_config: GuestConfig,
     bootstrap: NodeId,
     fault_handler_cpu: SimTime,
+    /// Pressure tracking + reclaim policy, when configured.
+    elastic: Option<Box<ElasticState>>,
 }
 
 impl VmMemory {
     /// Lays out guest memory for a VM with `vcpus` vCPUs and `ram` bytes,
-    /// booted on `bootstrap`.
-    pub fn new(
+    /// booted on `bootstrap`. External callers go through
+    /// [`MemoryConfig::build`].
+    pub(crate) fn new(
         profile: &HypervisorProfile,
         vcpus: usize,
         ram: ByteSize,
@@ -96,7 +104,61 @@ impl VmMemory {
             guest_config,
             bootstrap,
             fault_handler_cpu: profile.fault_handler_cpu,
+            elastic: None,
         }
+    }
+
+    /// Enables memory elasticity per `cfg`: requires both a
+    /// [`MemoryConfig::node_budget`] and a [`MemoryConfig::policy`], and
+    /// is a no-op (returning `false`) otherwise. [`MemoryConfig::build`]
+    /// calls this; a VM built through another path (e.g. the canned
+    /// scenarios) can call it on `sim.world.mem` before running.
+    pub fn enable_elasticity(&mut self, cfg: &MemoryConfig) -> bool {
+        let (Some(budget), Some(policy)) = (cfg.budget, cfg.policy) else {
+            return false;
+        };
+        let params = ElasticParams {
+            budget_pages: budget.pages_4k(),
+            thresholds: cfg.thresholds,
+            nodes: cfg.nodes,
+            swap_out: cfg.swap_out,
+            swap_in: cfg.swap_in,
+            balloon_share: cfg.balloon_share,
+        };
+        self.elastic = Some(Box::new(ElasticState::new(params, policy)));
+        true
+    }
+
+    /// Reclaim counters, present when elasticity is enabled.
+    pub fn reclaim_counters(&self) -> Option<&ReclaimCounters> {
+        self.elastic.as_deref().map(|e| &e.book.counters)
+    }
+
+    /// True if `page` currently sits in the swap tier.
+    pub fn page_swapped(&self, page: PageId) -> bool {
+        self.elastic
+            .as_deref()
+            .is_some_and(|e| e.book.swapped.contains_key(&page))
+    }
+
+    /// True if `page` was discarded by balloon/deflate and has not
+    /// refaulted yet.
+    pub fn page_released(&self, page: PageId) -> bool {
+        self.elastic
+            .as_deref()
+            .is_some_and(|e| e.book.released.contains(&page))
+    }
+
+    /// `node`'s current pressure level (`Normal` when elasticity is off).
+    pub fn pressure_of(&self, node: NodeId) -> MemoryPressure {
+        let Some(el) = self.elastic.as_deref() else {
+            return MemoryPressure::Normal;
+        };
+        let resident = self
+            .dsm
+            .pages_owned_by(node)
+            .saturating_sub(el.book.swapped_on(node));
+        el.params.thresholds.level(resident, el.params.budget_pages)
     }
 
     /// The node the guest booted on (home of kernel pages).
@@ -162,15 +224,103 @@ impl VmMemory {
         // The directory is untimed; stamp its trace events with the
         // triggering access's time.
         self.dsm.set_clock(now);
+        let mut t = now;
+        if let Some(el) = self.elastic.as_deref_mut() {
+            // A swapped-out page comes back from the swap tier before the
+            // directory may even look at it (the auditor enforces the
+            // swap-in-before-touch ordering).
+            if let Some(home) = el.book.swapped.remove(&page) {
+                let at = now.as_nanos();
+                let pg = page.index() as u64;
+                self.dsm.tracer().emit_with(|| TraceEvent::PageSwapIn {
+                    at,
+                    page: pg,
+                    node: home.0,
+                });
+                el.book.bump_swapped(home, -1);
+                el.book.counters.pages_swapped_in += 1;
+                t += el.params.swap_in + INSTALL_COST;
+            }
+            // A ballooned/deflated page refaults: charge the handler
+            // re-entry; the first-touch path below re-creates the page.
+            if el.book.released.remove(&page) {
+                el.book.balloon_outstanding = el.book.balloon_outstanding.saturating_sub(1);
+                el.book.counters.refaults += 1;
+                t += self.fault_handler_cpu + INSTALL_COST;
+            }
+        }
         if !self.dsm.contains(page) {
             let home = guest::alloc_home(self.guest_config, node, self.bootstrap);
             self.dsm.ensure_page(page, home, PageClass::Private);
             // A non-local first touch immediately faults below.
         }
-        match self.dsm.access(node, page, access) {
-            Resolution::Hit => now,
-            Resolution::Fault(plan) => self.execute_fault(now, node, &plan, fabric),
+        let done = match self.dsm.access(node, page, access) {
+            Resolution::Hit => t,
+            Resolution::Fault(plan) => self.execute_fault(t, node, &plan, fabric),
+        };
+        self.sample_pressure(done, node, fabric)
+    }
+
+    /// Samples the accessing node's pressure after a resolved access and
+    /// runs direct reclaim synchronously when it crosses the high
+    /// watermark; returns the (possibly stalled) completion time.
+    fn sample_pressure(&mut self, done: SimTime, node: NodeId, fabric: &mut Fabric) -> SimTime {
+        let VmMemory {
+            dsm,
+            alloc,
+            elastic,
+            ..
+        } = self;
+        let Some(el) = elastic.as_deref_mut() else {
+            return done;
+        };
+        let resident = dsm
+            .pages_owned_by(node)
+            .saturating_sub(el.book.swapped_on(node));
+        let budget = el.params.budget_pages;
+        let level = el.params.thresholds.level(resident, budget);
+        let slot = el.level_slot(node);
+        if level != *slot {
+            *slot = level;
+            let at = done.as_nanos();
+            dsm.tracer().emit_with(|| TraceEvent::PressureChange {
+                at,
+                node: node.0,
+                level: level.label(),
+                resident,
+                budget,
+            });
         }
+        if level < MemoryPressure::High {
+            return done;
+        }
+        // Direct reclaim: free enough to get back below the moderate
+        // watermark, the stall charged to the faulting vCPU.
+        let floor = (el.params.thresholds.moderate * budget as f64) as u64;
+        let req = ReclaimRequest {
+            pressure: level,
+            target_pages: resident.saturating_sub(floor).max(1),
+        };
+        dsm.set_clock(done);
+        let ElasticState {
+            params,
+            reclaimer,
+            book,
+            ..
+        } = el;
+        let mut ctx = ReclaimCtx {
+            now: done,
+            node,
+            dsm,
+            alloc,
+            fabric,
+            book,
+            params,
+        };
+        let outcome = reclaimer.reclaim(&req, &mut ctx);
+        book.counters.pressure_stalls += 1;
+        book.counters.reclaim_latency += outcome.latency;
+        done + outcome.latency
     }
 
     /// Performs a batch of accesses back-to-back, returning the final

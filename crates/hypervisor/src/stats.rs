@@ -48,6 +48,18 @@ pub struct VmStats {
     pub pages_drained: u64,
     /// vCPU migrations refused during drains.
     pub migrations_refused: u64,
+    /// Faults that triggered a synchronous memory-reclaim round.
+    pub pressure_stalls: u64,
+    /// DSM master copies evicted to a remote node by the borrow policy.
+    pub pages_evicted: u64,
+    /// Pages handed back by the balloon driver.
+    pub pages_ballooned: u64,
+    /// Pages discarded by slice deflation.
+    pub pages_deflated: u64,
+    /// Pages demoted to the swap tier.
+    pub pages_swapped: u64,
+    /// Total synchronous reclaim stall time.
+    pub reclaim_latency: SimTime,
 }
 
 impl VmStats {
@@ -74,6 +86,12 @@ impl VmStats {
             pages_quarantined: 0,
             pages_drained: 0,
             migrations_refused: 0,
+            pressure_stalls: 0,
+            pages_evicted: 0,
+            pages_ballooned: 0,
+            pages_deflated: 0,
+            pages_swapped: 0,
+            reclaim_latency: SimTime::ZERO,
         }
     }
 

@@ -34,6 +34,7 @@ use virtio::plan::{BackendWork, IoPlan};
 use virtio::{QueueId, VcpuId};
 
 use crate::checkpoint;
+use crate::elastic::MemoryConfig;
 use crate::failure::FailureConfig;
 use crate::memory::VmMemory;
 use crate::profile::HypervisorProfile;
@@ -520,6 +521,19 @@ impl VmWorld {
             cpu.attach_tracer(tracer.clone(), cpu_trace_id(node, pcpu));
         }
         self.tracer = tracer;
+    }
+
+    /// Copies the memory-elasticity counters into [`VmStats`] (no-op when
+    /// elasticity is off).
+    pub(crate) fn sync_elastic_stats(&mut self) {
+        if let Some(c) = self.mem.reclaim_counters() {
+            self.stats.pressure_stalls = c.pressure_stalls;
+            self.stats.pages_evicted = c.pages_evicted;
+            self.stats.pages_ballooned = c.pages_ballooned;
+            self.stats.pages_deflated = c.pages_deflated;
+            self.stats.pages_swapped = c.pages_swapped;
+            self.stats.reclaim_latency = c.reclaim_latency;
+        }
     }
 
     fn pcpu(&mut self, node: NodeId, pcpu: u32) -> &mut PsCpu {
@@ -1914,6 +1928,7 @@ pub struct VmBuilder {
     timer_interval: Option<SimTime>,
     fault_plan: Option<FaultPlan>,
     failure: Option<FailureConfig>,
+    mem_cfg: Option<MemoryConfig>,
     seed: u64,
 }
 
@@ -1932,8 +1947,17 @@ impl VmBuilder {
             timer_interval: None,
             fault_plan: None,
             failure: None,
+            mem_cfg: None,
             seed: 0x5EED,
         }
+    }
+
+    /// Configures the memory subsystem through a [`MemoryConfig`] (its
+    /// RAM size supersedes [`VmBuilder::ram`]; vCPU count, bootstrap node
+    /// and node count are filled in from the builder at build time).
+    pub fn with_memory(mut self, cfg: MemoryConfig) -> Self {
+        self.mem_cfg = Some(cfg);
+        self
     }
 
     /// Injects a deterministic fault plan: the fabric interprets its link
@@ -2016,7 +2040,13 @@ impl VmBuilder {
         let failure = self
             .failure
             .map(|cfg| FailureState::new(cfg, self.nodes, self.fault_plan.as_ref()));
-        let mut mem = VmMemory::new(&self.profile, self.placements.len(), self.ram, bootstrap);
+        let mut mem = self
+            .mem_cfg
+            .unwrap_or_else(|| MemoryConfig::new(self.ram))
+            .vcpus(self.placements.len())
+            .bootstrap(bootstrap)
+            .nodes(u32::try_from(self.nodes).expect("node count fits u32"))
+            .build(&self.profile);
 
         // Devices and their ring pages.
         let queues = self.placements.len();
@@ -2157,6 +2187,7 @@ impl VmSim {
                 );
             }
         }
+        self.world.sync_elastic_stats();
         self.world
             .stats
             .vcpu_finish
@@ -2169,6 +2200,7 @@ impl VmSim {
     /// Runs until the given horizon (events after it stay queued).
     pub fn run_until(&mut self, until: SimTime) {
         self.engine.run_until(&mut self.world, until);
+        self.world.sync_elastic_stats();
     }
 
     /// Runs until the external client completes its load (for VMs whose
@@ -2189,6 +2221,7 @@ impl VmSim {
                 "event queue drained before the client finished"
             );
         }
+        self.world.sync_elastic_stats();
         self.engine.now()
     }
 

@@ -1,0 +1,174 @@
+//! Property tests for memory elasticity: arbitrary access sequences under
+//! arbitrary budgets and reclaim policies must conserve pages against a
+//! naive reference model, keep the DSM directory consistent, audit clean,
+//! and replay deterministically.
+
+use std::collections::BTreeSet;
+
+use dsm::{Access, PageId};
+use hypervisor::program::Scripted;
+use hypervisor::{HypervisorProfile, MemoryConfig, Op, Placement, ReclaimPolicy, VmBuilder, VmSim};
+use proptest::prelude::*;
+use sim_core::units::ByteSize;
+
+/// One step of a generated workload: which vCPU touches which page of a
+/// small shared universe, read or write.
+#[derive(Debug, Clone, Copy)]
+struct GenTouch {
+    vcpu: u8,
+    page: u16,
+    write: bool,
+}
+
+fn gen_touch() -> impl Strategy<Value = GenTouch> {
+    (0u8..4, 0u16..400, any::<bool>()).prop_map(|(vcpu, page, write)| GenTouch {
+        vcpu,
+        page,
+        write,
+    })
+}
+
+fn gen_policy() -> impl Strategy<Value = ReclaimPolicy> {
+    prop_oneof![
+        Just(ReclaimPolicy::Borrow),
+        Just(ReclaimPolicy::Balloon),
+        Just(ReclaimPolicy::Deflate),
+        Just(ReclaimPolicy::Swap),
+    ]
+}
+
+const VCPUS: u32 = 3;
+const PAGE_BASE: u32 = 2_000_000;
+
+/// Builds a VM whose vCPUs replay the generated touch sequence, split by
+/// vCPU id, under a deliberately tight per-node budget so reclaim fires.
+fn build(touches: &[GenTouch], policy: ReclaimPolicy, budget_pages: u64, seed: u64) -> VmSim {
+    let cfg = MemoryConfig::new(ByteSize::gib(2))
+        .node_budget(ByteSize::kib(4 * budget_pages))
+        .policy(policy);
+    let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), VCPUS as usize)
+        .seed(seed)
+        .with_memory(cfg);
+    for v in 0..VCPUS {
+        let script: Vec<Op> = touches
+            .iter()
+            .filter(|t| u32::from(t.vcpu) % VCPUS == v)
+            .map(|t| Op::Touch {
+                page: PageId::new(PAGE_BASE + u32::from(t.page)),
+                access: if t.write { Access::Write } else { Access::Read },
+            })
+            .collect();
+        b = b.vcpu(Placement::new(v, 0), Box::new(Scripted::new(script)));
+    }
+    b.build()
+}
+
+/// The naive reference model: the set of pages the workload ever touched.
+/// Elastic reclaim may move, discard, or swap pages, but it must never
+/// create or leak one — every touched page is accounted for exactly once.
+fn touched_pages(touches: &[GenTouch]) -> BTreeSet<PageId> {
+    touches
+        .iter()
+        .map(|t| PageId::new(PAGE_BASE + u32::from(t.page)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: after any access/pressure/reclaim interleaving, each
+    /// touched page is either resident in the DSM directory or was
+    /// discarded by balloon/deflate — exactly one of the two — and
+    /// swapped-out pages always keep their directory entry.
+    #[test]
+    fn reclaim_conserves_pages_against_reference_model(
+        touches in proptest::collection::vec(gen_touch(), 1..120),
+        policy in gen_policy(),
+        budget_pages in 8u64..80,
+        seed in 0u64..500,
+    ) {
+        let mut sim = build(&touches, policy, budget_pages, seed);
+        let tracer = sim.enable_tracing(1 << 18);
+        sim.run();
+        let mem = &sim.world.mem;
+        for page in touched_pages(&touches) {
+            let resident = mem.dsm.owner(page).is_some();
+            let released = mem.page_released(page);
+            prop_assert!(
+                resident ^ released,
+                "{policy:?}: page {page} resident={resident} released={released}; \
+                 each touched page must be exactly one of the two"
+            );
+            if mem.page_swapped(page) {
+                prop_assert!(
+                    resident,
+                    "{policy:?}: swapped page {page} lost its directory entry"
+                );
+            }
+        }
+        // Only balloon/deflate discard; borrow/swap keep every page.
+        if matches!(policy, ReclaimPolicy::Borrow | ReclaimPolicy::Swap) {
+            for page in touched_pages(&touches) {
+                prop_assert!(mem.dsm.owner(page).is_some());
+            }
+        }
+        prop_assert!(mem.dsm.check_invariants().is_ok(), "directory corrupt");
+        sim_core::audit::assert_clean(&tracer.snapshot());
+    }
+
+    /// The resident-page accounting the pressure model uses never exceeds
+    /// what the directory actually holds, and reclaim counters line up
+    /// with the policy that ran.
+    #[test]
+    fn counters_match_policy(
+        touches in proptest::collection::vec(gen_touch(), 20..120),
+        policy in gen_policy(),
+        seed in 0u64..100,
+    ) {
+        let mut sim = build(&touches, policy, 16, seed);
+        sim.run();
+        let c = *sim.world.mem.reclaim_counters().unwrap();
+        let (own, other) = match policy {
+            ReclaimPolicy::Borrow => (c.pages_evicted,
+                c.pages_ballooned + c.pages_deflated + c.pages_swapped),
+            ReclaimPolicy::Balloon => (c.pages_ballooned,
+                c.pages_evicted + c.pages_deflated + c.pages_swapped),
+            ReclaimPolicy::Deflate => (c.pages_deflated,
+                c.pages_evicted + c.pages_ballooned + c.pages_swapped),
+            ReclaimPolicy::Swap => (c.pages_swapped,
+                c.pages_evicted + c.pages_ballooned + c.pages_deflated),
+        };
+        prop_assert_eq!(other, 0, "{:?} must only use its own mechanism", policy);
+        // Borrow legitimately reclaims nothing when no node is below the
+        // moderate watermark (no donor); the other policies always can.
+        if c.pressure_stalls > 0 && policy != ReclaimPolicy::Borrow {
+            prop_assert!(own > 0, "{:?} stalled without reclaiming", policy);
+        }
+    }
+
+    /// Same seed, same sequence, same policy: bit-for-bit replay.
+    #[test]
+    fn elastic_runs_replay_deterministically(
+        touches in proptest::collection::vec(gen_touch(), 1..60),
+        policy in gen_policy(),
+        budget_pages in 8u64..64,
+        seed in 0u64..200,
+    ) {
+        let run = || {
+            let mut sim = build(&touches, policy, budget_pages, seed);
+            let t = sim.run();
+            let c = *sim.world.mem.reclaim_counters().unwrap();
+            (
+                t,
+                sim.world.mem.dsm.stats().total_faults(),
+                sim.world.fabric.messages_sent(),
+                c.pressure_stalls,
+                c.pages_evicted + c.pages_ballooned + c.pages_deflated + c.pages_swapped,
+                c.pages_swapped_in,
+                c.refaults,
+                c.reclaim_latency,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

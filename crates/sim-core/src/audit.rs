@@ -31,6 +31,14 @@
 //!   be owned by the dead node and hold no surviving stale copies when it
 //!   is re-homed), and the failure detector never declares a live node
 //!   dead on a trace with no message loss.
+//! * **Memory reclaim** — no page is lost by reclaim: a borrow eviction
+//!   (`PageEvict`) must move the master copy from its actual owner (the
+//!   single-owner rule then audits the transfer itself); a discard
+//!   (`PageRelease`) must come from the owner after every surviving copy
+//!   was invalidated, and only a released page may legally re-allocate;
+//!   a swap-in must follow a swap-out, a page is never swapped out twice
+//!   without an intervening swap-in, and no node hits or faults a
+//!   swapped-out page before its `PageSwapIn`.
 //!
 //! The fabric rules assume a complete event stream; traces captured with
 //! `Tracer::with_sampling` skip emissions and must not be audited. They
@@ -120,6 +128,9 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
     // detector rule only applies to loss-free traces.
     let mut crashed: BTreeMap<u32, u64> = BTreeMap::new();
     let mut lossy = false;
+    // Pages currently demoted to the swap tier: any reuse must be
+    // preceded by a PageSwapIn.
+    let mut swapped: BTreeSet<u64> = BTreeSet::new();
 
     let mut flag = |index: usize, at: u64, rule: &'static str, detail: String| {
         violations.push(Violation {
@@ -151,6 +162,14 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 node,
                 write,
             } => {
+                if swapped.contains(&page) {
+                    flag(
+                        i,
+                        at,
+                        "reclaim-swapped-access",
+                        format!("node {node} hit swapped-out page {page} before its swap-in"),
+                    );
+                }
                 let Some(p) = pages.get(&page) else { continue };
                 if !p.sharers.contains(&node) {
                     flag(
@@ -172,9 +191,19 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                     );
                 }
             }
-            TraceEvent::DsmFault { .. } => {
+            TraceEvent::DsmFault { at, page, node, .. } => {
                 // The transition itself arrives as invalidate/transfer/grant
-                // events; the fault is context for debugging.
+                // events; the fault is context for debugging — except that
+                // faulting a swapped-out page without swapping it in first
+                // would read data that is not resident.
+                if swapped.contains(&page) {
+                    flag(
+                        i,
+                        at,
+                        "reclaim-swapped-access",
+                        format!("node {node} faulted swapped-out page {page} before its swap-in"),
+                    );
+                }
             }
             TraceEvent::DsmInvalidate { at, page, node } => {
                 let Some(p) = pages.get_mut(&page) else {
@@ -554,14 +583,90 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 // exclusive DsmGrant re-adds `to` as the sole sharer.
                 p.owner = to;
             }
+            TraceEvent::PageEvict { at, page, from, .. } => {
+                // A borrow eviction moves the master copy; it must come
+                // from the actual owner (the following invalidate /
+                // transfer / grant events audit the move itself, so no
+                // page is lost: ownership lands exactly once).
+                let Some(p) = pages.get(&page) else {
+                    continue;
+                };
+                if p.owner != from {
+                    flag(
+                        i,
+                        at,
+                        "reclaim-evict-non-owner",
+                        format!("page {page} evicted from {from} but owner is {}", p.owner),
+                    );
+                }
+                if swapped.contains(&page) {
+                    flag(
+                        i,
+                        at,
+                        "reclaim-swapped-access",
+                        format!("page {page} evicted while swapped out"),
+                    );
+                }
+            }
+            TraceEvent::PageRelease { at, page, node, .. } => {
+                swapped.remove(&page);
+                let Some(p) = pages.get(&page) else {
+                    continue;
+                };
+                if p.owner != node {
+                    flag(
+                        i,
+                        at,
+                        "reclaim-release-non-owner",
+                        format!("page {page} released by {node} but owner is {}", p.owner),
+                    );
+                }
+                if !p.sharers.is_empty() {
+                    flag(
+                        i,
+                        at,
+                        "reclaim-release-stale-copy",
+                        format!(
+                            "page {page} released while {:?} still hold copies",
+                            p.sharers
+                        ),
+                    );
+                }
+                // The page is gone from the directory: a later first touch
+                // may legally re-allocate it.
+                pages.remove(&page);
+            }
+            TraceEvent::PageSwapOut { at, page, .. } => {
+                if !swapped.insert(page) {
+                    flag(
+                        i,
+                        at,
+                        "reclaim-double-swap-out",
+                        format!("page {page} swapped out twice without a swap-in"),
+                    );
+                }
+            }
+            TraceEvent::PageSwapIn { at, page, .. } => {
+                if !swapped.remove(&page) {
+                    flag(
+                        i,
+                        at,
+                        "reclaim-swapin-without-swapout",
+                        format!("page {page} swapped in but was never swapped out"),
+                    );
+                }
+            }
             TraceEvent::Ipi { .. }
             | TraceEvent::Checkpoint { .. }
             | TraceEvent::HeartbeatMiss { .. }
             | TraceEvent::NodeRestore { .. }
-            | TraceEvent::VcpuMigrateRefused { .. } => {
+            | TraceEvent::VcpuMigrateRefused { .. }
+            | TraceEvent::PressureChange { .. }
+            | TraceEvent::BalloonInflate { .. } => {
                 // Debugging context only: heartbeat misses below the
-                // threshold, completed restores and refused migrations
-                // carry no shadow state of their own.
+                // threshold, completed restores, refused migrations,
+                // pressure transitions and balloon inflations carry no
+                // shadow state of their own.
             }
         }
     }

@@ -327,6 +327,77 @@ pub enum TraceEvent {
         /// Node the drain wanted it on.
         to_node: u32,
     },
+    /// A node's memory-pressure level changed (sampled on the DSM fault
+    /// path against the node's resident-page budget).
+    PressureChange {
+        /// Time of the access that crossed the threshold (ns).
+        at: u64,
+        /// The node whose pressure changed.
+        node: u32,
+        /// New level label (`"normal"`, `"moderate"`, `"high"`,
+        /// `"critical"`).
+        level: &'static str,
+        /// Resident pages at the transition.
+        resident: u64,
+        /// The node's configured page budget.
+        budget: u64,
+    },
+    /// A reclaim evicted a page's master copy toward a node with headroom
+    /// (the borrow policy). Followed by the usual
+    /// invalidate/transfer/grant events describing the move.
+    PageEvict {
+        /// Eviction time (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// The pressured node giving the page up (must be the owner).
+        from: u32,
+        /// The node with headroom receiving the master copy.
+        to: u32,
+    },
+    /// A reclaim discarded a page outright (balloon or deflate): the
+    /// directory entry is gone and a later touch refaults as a fresh
+    /// allocation. Preceded by an invalidate per surviving copy.
+    PageRelease {
+        /// Release time (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// The owner the page was released from.
+        node: u32,
+        /// Reclaim policy label (`"balloon"` or `"deflate"`).
+        policy: &'static str,
+    },
+    /// A reclaim demoted a page to the swap tier; its directory entry
+    /// survives but any reuse must swap it back in first.
+    PageSwapOut {
+        /// Swap-out time (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// The pressured node demoting the page.
+        node: u32,
+    },
+    /// A swapped-out page was faulted back in ahead of a reuse. Must
+    /// follow the page's `PageSwapOut`.
+    PageSwapIn {
+        /// Swap-in time (ns).
+        at: u64,
+        /// Page id.
+        page: u64,
+        /// The node paying the swap-in stall.
+        node: u32,
+    },
+    /// The balloon driver inflated, handing guest-free pages back to the
+    /// host (one event per reclaim round).
+    BalloonInflate {
+        /// Inflation time (ns).
+        at: u64,
+        /// The pressured node.
+        node: u32,
+        /// Pages reclaimed by this inflation.
+        pages: u64,
+    },
 }
 
 impl TraceEvent {
@@ -357,7 +428,13 @@ impl TraceEvent {
             | NodeDeclaredDead { at, .. }
             | PageQuarantine { at, .. }
             | NodeRestore { at, .. }
-            | VcpuMigrateRefused { at, .. } => at,
+            | VcpuMigrateRefused { at, .. }
+            | PressureChange { at, .. }
+            | PageEvict { at, .. }
+            | PageRelease { at, .. }
+            | PageSwapOut { at, .. }
+            | PageSwapIn { at, .. }
+            | BalloonInflate { at, .. } => at,
             FabricLinkReset { .. } => 0,
         }
     }
@@ -534,6 +611,35 @@ impl TraceEvent {
             } => format!(
                 r#"{{"ev":"vcpu_migrate_refused","at":{at},"vcpu":{vcpu},"from_node":{from_node},"to_node":{to_node}}}"#
             ),
+            PressureChange {
+                at,
+                node,
+                level,
+                resident,
+                budget,
+            } => format!(
+                r#"{{"ev":"pressure_change","at":{at},"node":{node},"level":"{level}","resident":{resident},"budget":{budget}}}"#
+            ),
+            PageEvict { at, page, from, to } => {
+                format!(r#"{{"ev":"page_evict","at":{at},"page":{page},"from":{from},"to":{to}}}"#)
+            }
+            PageRelease {
+                at,
+                page,
+                node,
+                policy,
+            } => format!(
+                r#"{{"ev":"page_release","at":{at},"page":{page},"node":{node},"policy":"{policy}"}}"#
+            ),
+            PageSwapOut { at, page, node } => {
+                format!(r#"{{"ev":"page_swap_out","at":{at},"page":{page},"node":{node}}}"#)
+            }
+            PageSwapIn { at, page, node } => {
+                format!(r#"{{"ev":"page_swap_in","at":{at},"page":{page},"node":{node}}}"#)
+            }
+            BalloonInflate { at, node, pages } => {
+                format!(r#"{{"ev":"balloon_inflate","at":{at},"node":{node},"pages":{pages}}}"#)
+            }
         }
     }
 }

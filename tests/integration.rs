@@ -4,7 +4,7 @@
 use cluster::MachineSpec;
 use comm::{LinkProfile, NodeId};
 use fragvisor::{checkpoint, restore, scenarios, Distribution, HypervisorProfile, VcpuId};
-use hypervisor::{Placement, VmMemory};
+use hypervisor::{MemoryConfig, Placement};
 use scheduler::{ArrivalTrace, ConsolidationPolicy, DatacenterSim};
 use sim_core::rng::DetRng;
 use sim_core::time::SimTime;
@@ -78,7 +78,10 @@ fn migration_under_load_is_transparent() {
 #[test]
 fn checkpoint_restore_roundtrip() {
     let profile = HypervisorProfile::fragvisor();
-    let mut mem = VmMemory::new(&profile, 4, ByteSize::gib(12), NodeId::new(0));
+    let mut mem = MemoryConfig::new(ByteSize::gib(12))
+        .vcpus(4)
+        .nodes(4)
+        .build(&profile);
     for n in 0..4 {
         let _ = mem.register_resident_dataset(&format!("d{n}"), ByteSize::gib(2), NodeId::new(n));
     }
