@@ -1,0 +1,191 @@
+//! Workloads for the `core_hotpath` suite: the simulator's own inner
+//! loops, exercised in isolation so their throughput can be tracked as a
+//! first-class trajectory (`BENCH_CORE.json`) and gated in CI.
+//!
+//! Each function here is a pure, deterministic workload returning the
+//! number of elements it processed; callers time it (`core_bench` with
+//! `Instant`, `benches/core_hotpath.rs` with criterion) and divide. Sizes
+//! come from [`CoreSizes::full`] / [`CoreSizes::smoke`] so the binary, the
+//! criterion bench, and CI all run identical shapes.
+
+use std::hint::black_box;
+
+use comm::NodeId;
+use dsm::{Access, Dsm, DsmConfig, PageClass, PageId};
+use sim_core::engine::EventQueue;
+use sim_core::time::SimTime;
+
+use super::scale::{run_policy, ScaleConfig};
+use super::POLICIES;
+
+/// Which `EventQueue` backend a queue workload drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// The calendar queue production backend.
+    Calendar,
+    /// The `BinaryHeap` reference backend (A/B comparison).
+    Heap,
+}
+
+/// Case sizes for one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreSizes {
+    /// Live events held during queue churn (fig-scale occupancy).
+    pub queue_occupancy: usize,
+    /// Pop+push steady-state operations during queue churn.
+    pub queue_churn: usize,
+    /// Directory pages for the hit storm.
+    pub storm_pages: u32,
+    /// Accesses in the hit storm.
+    pub storm_accesses: u32,
+    /// Run length for the batched sequential scan.
+    pub scan_pages: u32,
+    /// Scan passes (first pass faults, the rest hit).
+    pub scan_passes: u32,
+    /// Directory size for the drain case.
+    pub drain_total: u32,
+    /// Pages owned by the drained node.
+    pub drain_owned: u32,
+    /// FragBFF replay configuration.
+    pub fragbff: ScaleConfig,
+}
+
+impl CoreSizes {
+    /// The committed-trajectory sizes.
+    pub fn full() -> Self {
+        CoreSizes {
+            queue_occupancy: 16_384,
+            queue_churn: 1_000_000,
+            storm_pages: 4096,
+            storm_accesses: 1_000_000,
+            scan_pages: 65_536,
+            scan_passes: 16,
+            drain_total: 204_800,
+            drain_owned: 4096,
+            fragbff: ScaleConfig::smoke(),
+        }
+    }
+
+    /// Small shapes for CI: big enough that each case runs for
+    /// milliseconds (sub-millisecond cases time mostly scheduler noise,
+    /// which would make the regression gate flake), small enough that
+    /// the whole suite finishes in a couple of seconds.
+    pub fn smoke() -> Self {
+        CoreSizes {
+            queue_occupancy: 2048,
+            queue_churn: 131_072,
+            storm_pages: 512,
+            storm_accesses: 1_048_576,
+            scan_pages: 16_384,
+            scan_passes: 8,
+            drain_total: 25_600,
+            drain_owned: 1024,
+            fragbff: ScaleConfig {
+                nodes: 100,
+                arrivals: 1000,
+                seed: 42,
+                sample_every: 0,
+            }
+            .autosample(),
+        }
+    }
+}
+
+/// Steady-state event-queue churn at a fixed occupancy: seed the queue,
+/// then pop the head and schedule a successor a short delta ahead (with an
+/// occasional far-future timer, the overflow-ladder shape), then drain.
+/// Returns total push+pop operations.
+pub fn queue_churn(backend: QueueBackend, occupancy: usize, churn: usize) -> u64 {
+    let mut q: EventQueue<u64> = match backend {
+        QueueBackend::Calendar => EventQueue::with_capacity(occupancy),
+        QueueBackend::Heap => EventQueue::reference_heap(),
+    };
+    let mut lcg: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lcg >> 11
+    };
+    let mut ops = 0u64;
+    for i in 0..occupancy {
+        q.push(SimTime(next() % 1_000_000_000), i as u64);
+        ops += 1;
+    }
+    for i in 0..churn {
+        let (t, _) = black_box(q.pop()).expect("queue under-run");
+        let delta = if i % 64 == 0 {
+            5_000_000_000 + next() % 60_000_000_000
+        } else {
+            next() % 2_000_000
+        };
+        q.push(t + SimTime::from_nanos(delta), i as u64);
+        ops += 2;
+    }
+    while black_box(q.pop()).is_some() {
+        ops += 1;
+    }
+    ops
+}
+
+/// All-hit access storm on a warm directory (the common-case fast path).
+/// Returns accesses performed.
+pub fn dsm_hit_storm(pages: u32, accesses: u32) -> u64 {
+    let mut d = Dsm::new(DsmConfig::fragvisor());
+    for i in 0..pages {
+        d.ensure_page(PageId::new(i), NodeId::new(0), PageClass::Private);
+    }
+    for i in 0..accesses {
+        black_box(d.access(NodeId::new(0), PageId::new(i % pages), Access::Read));
+    }
+    u64::from(accesses)
+}
+
+/// Batched sequential scan: a remote reader sweeps the whole region
+/// `passes` times through [`Dsm::access_batch`]. The first pass is a
+/// fault train (one directory transition per page), the rest are pure
+/// hit runs resolved one aggregated pass at a time. Returns touches.
+pub fn dsm_batch_scan(pages: u32, passes: u32) -> u64 {
+    let mut d = Dsm::new(DsmConfig::fragvisor());
+    for i in 0..pages {
+        d.ensure_page(PageId::new(i), NodeId::new(0), PageClass::Private);
+    }
+    let mut touched = 0u64;
+    for _ in 0..passes {
+        let out = black_box(d.access_batch(
+            NodeId::new(1),
+            PageId::new(0),
+            pages,
+            Access::Read,
+            PageClass::Private,
+            None,
+        ));
+        touched += out.hits + out.faults.len() as u64;
+    }
+    touched
+}
+
+/// Drains a fixed-footprint node out of a much larger directory (the
+/// generation-stamp fast path). Returns pages moved.
+pub fn dsm_drain(total: u32, owned: u32) -> u64 {
+    let mut d = Dsm::new(DsmConfig::fragvisor());
+    for i in 0..owned {
+        d.ensure_page(PageId::new(i), NodeId::new(1), PageClass::Private);
+    }
+    for i in owned..total {
+        d.ensure_page(PageId::new(i), NodeId::new(0), PageClass::Private);
+        if i % 16 == 0 {
+            let _ = d.access(NodeId::new(2), PageId::new(i), Access::Read);
+        }
+    }
+    let moved = black_box(d.drain_node(NodeId::new(1), NodeId::new(0)));
+    assert_eq!(moved, u64::from(owned));
+    moved
+}
+
+/// Replays the FragBFF cluster study under MinFragmentation and returns
+/// simulator events processed (the `exp_fragbff_scale` headline metric,
+/// here at a bench-friendly scale).
+pub fn fragbff_replay(cfg: &ScaleConfig) -> u64 {
+    run_policy(cfg, POLICIES[0]).report.events_processed
+}

@@ -13,6 +13,7 @@
 //! (and the JSON/Markdown rendered from it) is byte-identical to [`all`].
 
 mod apps;
+mod corebench;
 mod extensions;
 mod fault_recovery;
 mod io;
@@ -25,6 +26,9 @@ mod scale;
 mod sched;
 
 pub use apps::{fig12_lemp, fig13_openlambda};
+pub use corebench::{
+    dsm_batch_scan, dsm_drain, dsm_hit_storm, fragbff_replay, queue_churn, CoreSizes, QueueBackend,
+};
 pub use extensions::{
     ablation_study, interference_study, memory_borrowing_study, provisioning_study,
     reliability_study,

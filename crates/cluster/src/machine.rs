@@ -202,6 +202,13 @@ pub struct Cluster {
     vm_nodes: BTreeMap<VmId, BTreeSet<u32>>,
     /// Cluster-wide free pCPUs, maintained incrementally.
     total_free: u64,
+    /// Monotone change clock: bumped by every mutation, with the new value
+    /// recorded in `node_touched` for the mutated node. Lets callers prove
+    /// "nothing on these nodes changed since clock `t`" in O(nodes asked)
+    /// — the consolidation scan of the data-center simulator rides this.
+    clock: u64,
+    /// Per-node last-mutation clock values.
+    node_touched: Vec<u64>,
 }
 
 /// Errors returned by the cluster allocator.
@@ -245,11 +252,14 @@ impl Cluster {
             by_free[m.free_cpus() as usize].insert((m.free_ram().as_u64(), i as u32));
         }
         let total_free = machines.iter().map(|m| u64::from(m.free_cpus())).sum();
+        let node_touched = vec![0; n];
         Cluster {
             machines,
             by_free,
             vm_nodes: BTreeMap::new(),
             total_free,
+            clock: 0,
+            node_touched,
         }
     }
 
@@ -289,11 +299,14 @@ impl Cluster {
         self.total_free -= u64::from(m.free_cpus());
     }
 
-    /// Re-inserts node `i` into the bucket index (after a mutation).
+    /// Re-inserts node `i` into the bucket index (after a mutation) and
+    /// stamps the change clock.
     fn reindex(&mut self, i: usize) {
         let m = &self.machines[i];
         self.by_free[m.free_cpus() as usize].insert((m.free_ram().as_u64(), i as u32));
         self.total_free += u64::from(m.free_cpus());
+        self.clock += 1;
+        self.node_touched[i] = self.clock;
     }
 
     /// Allocates `req` for `vm` on `node`; requests for a VM that already
@@ -400,6 +413,26 @@ impl Cluster {
             .get(&vm)
             .map(|nodes| nodes.iter().map(|&i| NodeId::new(i)).collect())
             .unwrap_or_default()
+    }
+
+    /// Like [`Cluster::nodes_of`], but iterates without allocating.
+    pub fn home_nodes(&self, vm: VmId) -> impl Iterator<Item = NodeId> + '_ {
+        self.vm_nodes
+            .get(&vm)
+            .into_iter()
+            .flat_map(|nodes| nodes.iter().map(|&i| NodeId::new(i)))
+    }
+
+    /// The current value of the change clock (see [`Cluster::node_touched`]).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The change-clock value of the last mutation that touched `node`.
+    /// `node_touched(n) <= t` proves node `n` is bit-for-bit unchanged
+    /// since the moment [`Cluster::clock`] read `t`.
+    pub fn node_touched(&self, node: NodeId) -> u64 {
+        self.node_touched[node.index()]
     }
 
     /// Best-fit placement query: among machines that fit `req`, the one

@@ -5,9 +5,22 @@
 //! The directory is built for speed on the simulator's hottest path: every
 //! remote access in every figure experiment walks [`Dsm::access`].
 //!
+//! * Page state lives in a dense **struct-of-arrays slab** ([`PageTable`])
+//!   indexed directly by page number — pages are dense per-VM, so the
+//!   SipHash lookup a `HashMap` would pay on every access becomes a bounds
+//!   check and an array read. The access-path fields (owner, mode, sharer
+//!   set, generation) and the cold fields (class, busy window) live in
+//!   separate arrays so a hit touches the minimum number of cache lines.
 //! * Sharer sets are [`NodeSet`] bitsets (one inline `u64` word for up to
 //!   64 nodes, spilling to a boxed word vector beyond) — membership is a
 //!   bit test, invalidation fan-out is a word scan.
+//! * Every page carries a **generation stamp**, bumped on each directory
+//!   transition. Per-node log entries record the stamp at which the node
+//!   gained its copy: a matching stamp *proves* the entry is still
+//!   current, so [`Dsm::drain_node`], [`Dsm::quarantine_node`] and log
+//!   compaction skip the per-page membership confirmation for untouched
+//!   pages and fall back to the sharer-set check only for pages that
+//!   transitioned since. (Stamps are `u64`: wraparound is unreachable.)
 //! * Per-node accounting is maintained *incrementally* on every
 //!   transition: exact `owned`/`cached` counters (so
 //!   [`Dsm::pages_owned_by`], [`Dsm::pages_cached_on`] and
@@ -16,8 +29,13 @@
 //!   compaction, so [`Dsm::drain_node`] walks only the pages the drained
 //!   node actually holds instead of the whole directory — while the fault
 //!   path pays a single `Vec::push`, not a tree insert.
+//! * Sequential scans resolve through [`Dsm::access_batch`], which runs a
+//!   whole run of consecutive pages through the directory in one pass and
+//!   aggregates the hit trace into a single
+//!   [`TraceEvent::DsmHitBatch`] per contiguous hit run.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
 
 use comm::NodeId;
 use sim_core::nodeset::NodeSet;
@@ -67,24 +85,211 @@ pub enum Mode {
     Shared,
 }
 
-/// Directory entry for one page.
+/// Owner sentinel marking an unallocated slab slot.
+const ABSENT: u32 = u32::MAX;
+
+/// log2 of [`CHUNK`].
+const CHUNK_BITS: u32 = 12;
+/// Slots per page-table chunk (one 16 MiB guest span per chunk).
+const CHUNK: usize = 1 << CHUNK_BITS;
+
+/// Sharer set returned for pages in never-allocated chunks.
+static EMPTY_SHARERS: NodeSet = NodeSet::new();
+
+/// One dense struct-of-arrays tile of the page-id space.
+///
+/// The hot arrays (`owner`, `mode`, `sharers`, `gen`) are what
+/// [`Dsm::access`] touches; `class` and `busy_until` are only read on
+/// faults and by the fault executor.
 #[derive(Debug, Clone)]
-struct PageEntry {
-    owner: NodeId,
-    mode: Mode,
-    /// Nodes holding a valid copy (always includes the owner), as a
-    /// compact bitset over node indices.
-    sharers: NodeSet,
-    class: PageClass,
-    /// Completion time of the last transaction touching this page.
-    busy_until: SimTime,
+struct Chunk {
+    owner: Vec<u32>,
+    mode: Vec<Mode>,
+    sharers: Vec<NodeSet>,
+    /// Generation stamp, bumped on every transition of the slot (including
+    /// release + re-allocation, so stamps are monotone per slot).
+    gen: Vec<u64>,
+    class: Vec<PageClass>,
+    busy_until: Vec<SimTime>,
 }
 
-impl PageEntry {
-    #[inline]
-    fn shares_with(&self, node: NodeId) -> bool {
-        self.sharers.contains(node.0)
+impl Chunk {
+    fn new() -> Box<Chunk> {
+        Box::new(Chunk {
+            owner: vec![ABSENT; CHUNK],
+            mode: vec![Mode::Exclusive; CHUNK],
+            sharers: std::iter::repeat_with(NodeSet::default)
+                .take(CHUNK)
+                .collect(),
+            gen: vec![0; CHUNK],
+            class: vec![PageClass::Private; CHUNK],
+            busy_until: vec![SimTime::ZERO; CHUNK],
+        })
     }
+}
+
+/// The two-level struct-of-arrays page table, indexed by page number:
+/// a vector of [`CHUNK`]-slot tiles, allocated the first time any page
+/// in their range is declared.
+///
+/// Chunking matters because workloads address sparse bands of the page
+/// space (the micro scenarios sit at page 2M by design): a flat slab
+/// sized to the highest id would zero tens of MiB per short-lived
+/// directory, dominating small experiments. A chunk lookup is one
+/// shift + bounds-checked load, so per-access cost stays O(1).
+///
+/// Presence is encoded in the `owner` array ([`ABSENT`] = no entry).
+/// Chunks are never reclaimed while the directory lives, and releasing a
+/// page resets its slot and bumps its generation, so stale log entries
+/// can never resurrect it — generation monotonicity survives release.
+#[derive(Debug, Clone, Default)]
+struct PageTable {
+    chunks: Vec<Option<Box<Chunk>>>,
+    /// Number of present entries.
+    live: usize,
+}
+
+impl PageTable {
+    #[inline]
+    fn chunk(&self, idx: usize) -> Option<&Chunk> {
+        self.chunks
+            .get(idx >> CHUNK_BITS)
+            .and_then(|c| c.as_deref())
+    }
+
+    /// The (allocated) chunk covering `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk was never allocated — mutation sites only run
+    /// on pages that passed a `present` check or a `grow_to`.
+    #[inline]
+    fn chunk_mut(&mut self, idx: usize) -> &mut Chunk {
+        self.chunks[idx >> CHUNK_BITS]
+            .as_deref_mut()
+            .expect("page-table chunk")
+    }
+
+    #[inline]
+    fn present(&self, idx: usize) -> bool {
+        self.chunk(idx)
+            .is_some_and(|c| c.owner[idx & (CHUNK - 1)] != ABSENT)
+    }
+
+    /// Ensures the chunk covering `idx` exists.
+    fn grow_to(&mut self, idx: usize) {
+        let ci = idx >> CHUNK_BITS;
+        if self.chunks.len() <= ci {
+            self.chunks.resize_with(ci + 1, || None);
+        }
+        if self.chunks[ci].is_none() {
+            self.chunks[ci] = Some(Chunk::new());
+        }
+    }
+
+    #[inline]
+    fn owner(&self, idx: usize) -> u32 {
+        self.chunk(idx)
+            .map_or(ABSENT, |c| c.owner[idx & (CHUNK - 1)])
+    }
+
+    #[inline]
+    fn set_owner(&mut self, idx: usize, v: u32) {
+        self.chunk_mut(idx).owner[idx & (CHUNK - 1)] = v;
+    }
+
+    #[inline]
+    fn mode(&self, idx: usize) -> Mode {
+        self.chunk(idx)
+            .map_or(Mode::Exclusive, |c| c.mode[idx & (CHUNK - 1)])
+    }
+
+    #[inline]
+    fn set_mode(&mut self, idx: usize, v: Mode) {
+        self.chunk_mut(idx).mode[idx & (CHUNK - 1)] = v;
+    }
+
+    #[inline]
+    fn sharers(&self, idx: usize) -> &NodeSet {
+        self.chunk(idx)
+            .map_or(&EMPTY_SHARERS, |c| &c.sharers[idx & (CHUNK - 1)])
+    }
+
+    #[inline]
+    fn sharers_mut(&mut self, idx: usize) -> &mut NodeSet {
+        &mut self.chunk_mut(idx).sharers[idx & (CHUNK - 1)]
+    }
+
+    #[inline]
+    fn set_sharers(&mut self, idx: usize, v: NodeSet) {
+        self.chunk_mut(idx).sharers[idx & (CHUNK - 1)] = v;
+    }
+
+    #[inline]
+    fn take_sharers(&mut self, idx: usize) -> NodeSet {
+        std::mem::take(&mut self.chunk_mut(idx).sharers[idx & (CHUNK - 1)])
+    }
+
+    #[inline]
+    fn gen(&self, idx: usize) -> u64 {
+        self.chunk(idx).map_or(0, |c| c.gen[idx & (CHUNK - 1)])
+    }
+
+    /// Bumps the slot's generation and returns the new value (the stamp
+    /// for a log entry recording this transition).
+    #[inline]
+    fn bump_gen(&mut self, idx: usize) -> u64 {
+        let g = &mut self.chunk_mut(idx).gen[idx & (CHUNK - 1)];
+        *g += 1;
+        *g
+    }
+
+    #[inline]
+    fn class(&self, idx: usize) -> PageClass {
+        self.chunk(idx)
+            .map_or(PageClass::Private, |c| c.class[idx & (CHUNK - 1)])
+    }
+
+    #[inline]
+    fn set_class(&mut self, idx: usize, v: PageClass) {
+        self.chunk_mut(idx).class[idx & (CHUNK - 1)] = v;
+    }
+
+    #[inline]
+    fn busy_until(&self, idx: usize) -> SimTime {
+        self.chunk(idx)
+            .map_or(SimTime::ZERO, |c| c.busy_until[idx & (CHUNK - 1)])
+    }
+
+    #[inline]
+    fn set_busy_until(&mut self, idx: usize, v: SimTime) {
+        self.chunk_mut(idx).busy_until[idx & (CHUNK - 1)] = v;
+    }
+
+    /// Indices of all present entries, ascending (verification paths only).
+    fn iter_present(&self) -> impl Iterator<Item = usize> + '_ {
+        self.chunks.iter().enumerate().flat_map(|(ci, c)| {
+            let base = ci << CHUNK_BITS;
+            c.as_deref()
+                .map(move |c| {
+                    (0..CHUNK)
+                        .filter(move |&i| c.owner[i] != ABSENT)
+                        .map(move |i| base | i)
+                })
+                .into_iter()
+                .flatten()
+        })
+    }
+}
+
+/// One append-only log record: `node` gained a copy of `page` while the
+/// page's generation was `stamp`. If the page's generation still equals
+/// `stamp`, the record is provably current (the page has not transitioned
+/// since), so consumers skip the membership confirmation.
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    page: PageId,
+    stamp: u64,
 }
 
 /// Incrementally-maintained accounting for one node, updated on every
@@ -110,14 +315,14 @@ struct NodeIndex {
     cached: u64,
     /// Append-only candidate index: every page this node gained a copy of
     /// since the last compaction (may contain stale entries + duplicates).
-    log: Vec<PageId>,
+    log: Vec<LogEntry>,
 }
 
 /// Logs below this length never compact (the sort isn't worth it).
 const COMPACT_MIN: usize = 64;
 
 /// The index slot for `node`, growing the table on first sight. A free
-/// function (not a method) so callers can hold a `pages` entry borrow and
+/// function (not a method) so callers can hold a page-table borrow and
 /// still update the node indices — the borrows are on disjoint fields.
 #[inline]
 fn slot(nodes: &mut Vec<NodeIndex>, node: NodeId) -> &mut NodeIndex {
@@ -126,6 +331,13 @@ fn slot(nodes: &mut Vec<NodeIndex>, node: NodeId) -> &mut NodeIndex {
         nodes.resize_with(i + 1, NodeIndex::default);
     }
     &mut nodes[i]
+}
+
+/// Sorts a log so the freshest record of each page comes first, then
+/// keeps exactly one record per page.
+fn sort_dedup(log: &mut Vec<LogEntry>) {
+    log.sort_unstable_by_key(|e| (e.page, Reverse(e.stamp)));
+    log.dedup_by_key(|e| e.page);
 }
 
 /// The protocol action a fault requires.
@@ -179,6 +391,18 @@ pub enum Resolution {
     Fault(FaultPlan),
 }
 
+/// Outcome of a batched run of accesses ([`Dsm::access_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Accesses that resolved without protocol traffic: valid local
+    /// mappings plus first-touch allocations.
+    pub hits: u64,
+    /// Plans for the accesses that faulted, in ascending page order. The
+    /// directory transitions are already applied; the executor costs each
+    /// plan exactly as it would a plan from [`Dsm::access`].
+    pub faults: Vec<FaultPlan>,
+}
+
 /// DSM configuration knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsmConfig {
@@ -221,13 +445,13 @@ impl DsmConfig {
 #[derive(Debug, Clone)]
 pub struct Dsm {
     config: DsmConfig,
-    pages: HashMap<PageId, PageEntry>,
+    pt: PageTable,
     /// Bulk-registered resident pages per home node: datasets that exist
     /// (and are checkpointed, migrated, etc.) but are never accessed
     /// individually by a program. Keeps multi-GiB guests cheap to model.
     bulk: BTreeMap<NodeId, u64>,
     /// Per-node incremental indices (`nodes[i]` is node `i`); grown on
-    /// demand. Kept in sync with `pages` on every transition so the
+    /// demand. Kept in sync with the page table on every transition so the
     /// accounting queries never scan the directory.
     nodes: Vec<NodeIndex>,
     stats: DsmStats,
@@ -243,19 +467,13 @@ impl Dsm {
     pub fn new(config: DsmConfig) -> Self {
         Dsm {
             config,
-            pages: HashMap::new(),
+            pt: PageTable::default(),
             bulk: BTreeMap::new(),
             nodes: Vec::new(),
             stats: DsmStats::default(),
             tracer: Tracer::disabled(),
             clock: SimTime::ZERO,
         }
-    }
-
-    /// The index slot for `node`, growing the table on first sight.
-    #[inline]
-    fn node_index(&mut self, node: NodeId) -> &mut NodeIndex {
-        slot(&mut self.nodes, node)
     }
 
     /// Attaches a trace sink; directory transitions emit typed events.
@@ -276,7 +494,9 @@ impl Dsm {
     /// Declares a page, backed on `home` (first-touch allocation). A page
     /// that already exists is left untouched.
     pub fn ensure_page(&mut self, page: PageId, home: NodeId, class: PageClass) {
-        if self.pages.contains_key(&page) {
+        let idx = page.index();
+        self.pt.grow_to(idx);
+        if self.pt.owner(idx) != ABSENT {
             return;
         }
         self.tracer.emit_with(|| TraceEvent::DsmAlloc {
@@ -284,54 +504,60 @@ impl Dsm {
             page: u64::from(page.0),
             home: home.0,
         });
-        self.pages.insert(
-            page,
-            PageEntry {
-                owner: home,
-                mode: Mode::Exclusive,
-                sharers: NodeSet::singleton(home.0),
-                class,
-                busy_until: SimTime::ZERO,
-            },
-        );
-        let ni = self.node_index(home);
+        self.pt.set_owner(idx, home.0);
+        self.pt.set_mode(idx, Mode::Exclusive);
+        self.pt.sharers_mut(idx).clear();
+        self.pt.sharers_mut(idx).insert(home.0);
+        self.pt.set_class(idx, class);
+        self.pt.set_busy_until(idx, SimTime::ZERO);
+        let stamp = self.pt.bump_gen(idx);
+        self.pt.live += 1;
+        let ni = slot(&mut self.nodes, home);
         ni.owned += 1;
         ni.cached += 1;
-        ni.log.push(page);
+        ni.log.push(LogEntry { page, stamp });
     }
 
     /// Returns whether the page is known to the directory.
     pub fn contains(&self, page: PageId) -> bool {
-        self.pages.contains_key(&page)
+        self.pt.present(page.index())
     }
 
     /// Current owner of a page, if allocated.
     pub fn owner(&self, page: PageId) -> Option<NodeId> {
-        self.pages.get(&page).map(|e| e.owner)
+        let idx = page.index();
+        self.pt
+            .present(idx)
+            .then(|| NodeId::new(self.pt.owner(idx)))
     }
 
     /// Current mode of a page, if allocated.
     pub fn mode(&self, page: PageId) -> Option<Mode> {
-        self.pages.get(&page).map(|e| e.mode)
+        let idx = page.index();
+        self.pt.present(idx).then(|| self.pt.mode(idx))
     }
 
     /// Class of a page, if allocated.
     pub fn class(&self, page: PageId) -> Option<PageClass> {
-        self.pages.get(&page).map(|e| e.class)
+        let idx = page.index();
+        self.pt.present(idx).then(|| self.pt.class(idx))
     }
 
     /// Whether `node` holds a valid copy of `page`.
     pub fn is_cached(&self, page: PageId, node: NodeId) -> bool {
-        self.pages.get(&page).is_some_and(|e| e.shares_with(node))
+        let idx = page.index();
+        self.pt.present(idx) && self.pt.sharers(idx).contains(node.0)
     }
 
     /// Completion time of the last transaction on this page; a new fault
     /// must queue behind it (directory serialization).
     pub fn busy_until(&self, page: PageId) -> SimTime {
-        self.pages
-            .get(&page)
-            .map(|e| e.busy_until)
-            .unwrap_or(SimTime::ZERO)
+        let idx = page.index();
+        if self.pt.present(idx) {
+            self.pt.busy_until(idx)
+        } else {
+            SimTime::ZERO
+        }
     }
 
     /// Records the completion time of an executed transaction.
@@ -340,8 +566,10 @@ impl Dsm {
     ///
     /// Panics if the page is unknown.
     pub fn set_busy(&mut self, page: PageId, until: SimTime) {
-        let e = self.pages.get_mut(&page).expect("set_busy on unknown page");
-        e.busy_until = e.busy_until.max(until);
+        let idx = page.index();
+        assert!(self.pt.present(idx), "set_busy on unknown page");
+        let b = self.pt.busy_until(idx).max(until);
+        self.pt.set_busy_until(idx, b);
     }
 
     /// Classifies an access by `node` to `page`, applying the directory
@@ -362,21 +590,18 @@ impl Dsm {
         access: Access,
         class_on_alloc: PageClass,
     ) -> Resolution {
-        let entry = match self.pages.get_mut(&page) {
-            Some(e) => e,
-            None => {
-                // First touch: allocate locally, no protocol traffic.
-                self.ensure_page(page, node, class_on_alloc);
-                self.stats.first_touches += 1;
-                return Resolution::Hit;
-            }
-        };
-        let class = entry.class;
+        let idx = page.index();
+        if !self.pt.present(idx) {
+            // First touch: allocate locally, no protocol traffic.
+            self.ensure_page(page, node, class_on_alloc);
+            self.stats.first_touches += 1;
+            return Resolution::Hit;
+        }
         let at = self.clock.as_nanos();
         let pg = u64::from(page.0);
-        let resolution = match access {
+        let plan = match access {
             Access::Read => {
-                if entry.shares_with(node) {
+                if self.pt.sharers(idx).contains(node.0) {
                     self.stats.hits += 1;
                     self.tracer.emit_with(|| TraceEvent::DsmHit {
                         at,
@@ -386,40 +611,10 @@ impl Dsm {
                     });
                     return Resolution::Hit;
                 }
-                // Fetch a shared copy from the owner.
-                let owner = entry.owner;
-                entry.mode = Mode::Shared;
-                entry.sharers.insert(node.0);
-                let ni = slot(&mut self.nodes, node);
-                ni.cached += 1;
-                ni.log.push(page);
-                self.stats.read_faults += 1;
-                self.stats.per_class.record(class, 1);
-                self.tracer.emit_with(|| TraceEvent::DsmFault {
-                    at,
-                    page: pg,
-                    node: node.0,
-                    kind: "read_remote",
-                });
-                self.tracer.emit_with(|| TraceEvent::DsmGrant {
-                    at,
-                    page: pg,
-                    node: node.0,
-                    exclusive: false,
-                });
-                let prefetched = self.prefetch_reads(node, page, owner);
-                Resolution::Fault(FaultPlan {
-                    page,
-                    kind: FaultKind::ReadRemote { owner },
-                    class,
-                    contextual: false,
-                    dirty_bit_msg: false,
-                    prefetched,
-                })
+                self.read_fault(node, page)
             }
             Access::Write => {
-                let is_owner = entry.owner == node;
-                if is_owner && entry.mode == Mode::Exclusive {
+                if self.pt.owner(idx) == node.0 && self.pt.mode(idx) == Mode::Exclusive {
                     self.stats.hits += 1;
                     self.tracer.emit_with(|| TraceEvent::DsmHit {
                         at,
@@ -429,120 +624,267 @@ impl Dsm {
                     });
                     return Resolution::Hit;
                 }
-                let contextual = self.config.contextual && class == PageClass::PageTable;
-                let dirty_bit_msg = self.config.dirty_bit_tracking;
-                let plan = if is_owner {
-                    // Owner upgrades a shared page: invalidate other copies.
-                    let mut invalidate = Vec::new();
-                    for s in entry.sharers.iter() {
-                        if s == node.0 {
-                            continue;
-                        }
-                        invalidate.push(NodeId::new(s));
-                        slot(&mut self.nodes, NodeId::new(s)).cached -= 1;
-                    }
-                    self.stats.invalidations += invalidate.len() as u64;
-                    self.tracer.emit_with(|| TraceEvent::DsmFault {
-                        at,
-                        page: pg,
-                        node: node.0,
-                        kind: "upgrade",
-                    });
-                    for &s in &invalidate {
-                        self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
-                            at,
-                            page: pg,
-                            node: s.0,
-                        });
-                    }
-                    FaultPlan {
-                        page,
-                        kind: FaultKind::Upgrade { invalidate },
-                        class,
-                        contextual,
-                        dirty_bit_msg,
-                        prefetched: Vec::new(),
-                    }
-                } else {
-                    let owner = entry.owner;
-                    let mut invalidate = Vec::new();
-                    let mut node_had_copy = false;
-                    for s in entry.sharers.iter() {
-                        if s == node.0 {
-                            node_had_copy = true;
-                            continue;
-                        }
-                        if s == owner.0 {
-                            continue;
-                        }
-                        invalidate.push(NodeId::new(s));
-                        slot(&mut self.nodes, NodeId::new(s)).cached -= 1;
-                    }
-                    // The old owner gives up its copy along with ownership;
-                    // the writer gains ownership (and a copy, unless its
-                    // shared copy upgrades in place).
-                    let o = slot(&mut self.nodes, owner);
-                    o.owned -= 1;
-                    o.cached -= 1;
-                    let ni = slot(&mut self.nodes, node);
-                    ni.owned += 1;
-                    if !node_had_copy {
-                        ni.cached += 1;
-                        ni.log.push(page);
-                    }
-                    self.stats.invalidations += (invalidate.len() + 1) as u64;
-                    self.tracer.emit_with(|| TraceEvent::DsmFault {
-                        at,
-                        page: pg,
-                        node: node.0,
-                        kind: "write_remote",
-                    });
-                    for &s in &invalidate {
-                        self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
-                            at,
-                            page: pg,
-                            node: s.0,
-                        });
-                    }
-                    self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
-                        at,
-                        page: pg,
-                        node: owner.0,
-                    });
-                    self.tracer.emit_with(|| TraceEvent::DsmOwnerTransfer {
-                        at,
-                        page: pg,
-                        from: owner.0,
-                        to: node.0,
-                    });
-                    FaultPlan {
-                        page,
-                        kind: FaultKind::WriteRemote { owner, invalidate },
-                        class,
-                        contextual,
-                        dirty_bit_msg,
-                        prefetched: Vec::new(),
-                    }
-                };
-                entry.owner = node;
-                entry.mode = Mode::Exclusive;
-                entry.sharers.clear();
-                entry.sharers.insert(node.0);
-                self.stats.write_faults += 1;
-                self.stats.per_class.record(class, 1);
-                self.tracer.emit_with(|| TraceEvent::DsmGrant {
-                    at,
-                    page: pg,
-                    node: node.0,
-                    exclusive: true,
-                });
-                Resolution::Fault(plan)
+                self.write_fault(node, page)
             }
         };
         // Fault paths may have appended to the faulting node's page log;
-        // bound it (amortized) now that the entry borrow is released.
+        // bound it (amortized) now that the transition is applied.
         self.maybe_compact(node);
-        resolution
+        Resolution::Fault(plan)
+    }
+
+    /// Resolves a run of `len` consecutive pages starting at `start`, all
+    /// accessed by `node` with the same `access`, in one directory pass —
+    /// the sequential-scan shape the workloads emit.
+    ///
+    /// Semantically identical to calling [`Dsm::access_classified`] on
+    /// each page in ascending order (same transitions, same statistics,
+    /// same fault plans in the same order), except that contiguous runs of
+    /// hits emit one aggregated [`TraceEvent::DsmHitBatch`] instead of a
+    /// `DsmHit` per page.
+    ///
+    /// `home_on_alloc` controls first-touch behaviour for unknown pages:
+    /// `None` allocates on the accessing node and counts a first touch
+    /// (exactly [`Dsm::access`]'s behaviour); `Some(home)` pre-allocates
+    /// on `home` and then resolves the access against it (exactly the
+    /// hypervisor's ensure-then-access sequence, faulting when
+    /// `home != node`).
+    pub fn access_batch(
+        &mut self,
+        node: NodeId,
+        start: PageId,
+        len: u32,
+        access: Access,
+        class_on_alloc: PageClass,
+        home_on_alloc: Option<NodeId>,
+    ) -> BatchOutcome {
+        let mut hits = 0u64;
+        let mut faults = Vec::new();
+        // Current aggregated hit run: (first page, length).
+        let mut run: Option<(u64, u64)> = None;
+        let write = access == Access::Write;
+        let at = self.clock.as_nanos();
+        for i in 0..len {
+            let page = PageId::new(start.0 + i);
+            let idx = page.index();
+            if !self.pt.present(idx) {
+                // Keep trace order identical to the sequential path: the
+                // DsmAlloc lands after the preceding hits' batch event.
+                self.flush_hit_run(&mut run, node, write, at);
+                match home_on_alloc {
+                    None => {
+                        self.ensure_page(page, node, class_on_alloc);
+                        self.stats.first_touches += 1;
+                        hits += 1;
+                        continue;
+                    }
+                    Some(home) => self.ensure_page(page, home, class_on_alloc),
+                }
+            }
+            let hit = match access {
+                Access::Read => self.pt.sharers(idx).contains(node.0),
+                Access::Write => {
+                    self.pt.owner(idx) == node.0 && self.pt.mode(idx) == Mode::Exclusive
+                }
+            };
+            if hit {
+                self.stats.hits += 1;
+                hits += 1;
+                run = match run {
+                    Some((s, l)) => Some((s, l + 1)),
+                    None => Some((u64::from(page.0), 1)),
+                };
+                continue;
+            }
+            self.flush_hit_run(&mut run, node, write, at);
+            let plan = match access {
+                Access::Read => self.read_fault(node, page),
+                Access::Write => self.write_fault(node, page),
+            };
+            self.maybe_compact(node);
+            faults.push(plan);
+        }
+        self.flush_hit_run(&mut run, node, write, at);
+        BatchOutcome { hits, faults }
+    }
+
+    /// Emits the pending aggregated hit-run event, if any.
+    fn flush_hit_run(&mut self, run: &mut Option<(u64, u64)>, node: NodeId, write: bool, at: u64) {
+        if let Some((page, len)) = run.take() {
+            self.tracer.emit_with(|| TraceEvent::DsmHitBatch {
+                at,
+                page,
+                len,
+                node: node.0,
+                write,
+            });
+        }
+    }
+
+    /// Applies the read-miss transition (fetch a shared copy from the
+    /// owner) and returns the plan. The caller has established that the
+    /// page is present and `node` holds no copy.
+    fn read_fault(&mut self, node: NodeId, page: PageId) -> FaultPlan {
+        let idx = page.index();
+        let at = self.clock.as_nanos();
+        let pg = u64::from(page.0);
+        let class = self.pt.class(idx);
+        let owner = NodeId::new(self.pt.owner(idx));
+        self.pt.set_mode(idx, Mode::Shared);
+        self.pt.sharers_mut(idx).insert(node.0);
+        let stamp = self.pt.bump_gen(idx);
+        let ni = slot(&mut self.nodes, node);
+        ni.cached += 1;
+        ni.log.push(LogEntry { page, stamp });
+        self.stats.read_faults += 1;
+        self.stats.per_class.record(class, 1);
+        self.tracer.emit_with(|| TraceEvent::DsmFault {
+            at,
+            page: pg,
+            node: node.0,
+            kind: "read_remote",
+        });
+        self.tracer.emit_with(|| TraceEvent::DsmGrant {
+            at,
+            page: pg,
+            node: node.0,
+            exclusive: false,
+        });
+        let prefetched = self.prefetch_reads(node, page, owner);
+        FaultPlan {
+            page,
+            kind: FaultKind::ReadRemote { owner },
+            class,
+            contextual: false,
+            dirty_bit_msg: false,
+            prefetched,
+        }
+    }
+
+    /// Applies the write-miss transition (upgrade or ownership transfer)
+    /// and returns the plan. The caller has established that the page is
+    /// present and `node` does not hold it exclusively.
+    fn write_fault(&mut self, node: NodeId, page: PageId) -> FaultPlan {
+        let idx = page.index();
+        let at = self.clock.as_nanos();
+        let pg = u64::from(page.0);
+        let class = self.pt.class(idx);
+        let contextual = self.config.contextual && class == PageClass::PageTable;
+        let dirty_bit_msg = self.config.dirty_bit_tracking;
+        let is_owner = self.pt.owner(idx) == node.0;
+        let plan = if is_owner {
+            // Owner upgrades a shared page: invalidate other copies.
+            let mut invalidate = Vec::new();
+            for s in self.pt.sharers(idx).iter() {
+                if s == node.0 {
+                    continue;
+                }
+                invalidate.push(NodeId::new(s));
+                slot(&mut self.nodes, NodeId::new(s)).cached -= 1;
+            }
+            self.stats.invalidations += invalidate.len() as u64;
+            self.tracer.emit_with(|| TraceEvent::DsmFault {
+                at,
+                page: pg,
+                node: node.0,
+                kind: "upgrade",
+            });
+            for &s in &invalidate {
+                self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                    at,
+                    page: pg,
+                    node: s.0,
+                });
+            }
+            FaultPlan {
+                page,
+                kind: FaultKind::Upgrade { invalidate },
+                class,
+                contextual,
+                dirty_bit_msg,
+                prefetched: Vec::new(),
+            }
+        } else {
+            let owner = NodeId::new(self.pt.owner(idx));
+            let mut invalidate = Vec::new();
+            let mut node_had_copy = false;
+            for s in self.pt.sharers(idx).iter() {
+                if s == node.0 {
+                    node_had_copy = true;
+                    continue;
+                }
+                if s == owner.0 {
+                    continue;
+                }
+                invalidate.push(NodeId::new(s));
+                slot(&mut self.nodes, NodeId::new(s)).cached -= 1;
+            }
+            // The old owner gives up its copy along with ownership;
+            // the writer gains ownership (and a copy, unless its
+            // shared copy upgrades in place).
+            let o = slot(&mut self.nodes, owner);
+            o.owned -= 1;
+            o.cached -= 1;
+            self.stats.invalidations += (invalidate.len() + 1) as u64;
+            self.tracer.emit_with(|| TraceEvent::DsmFault {
+                at,
+                page: pg,
+                node: node.0,
+                kind: "write_remote",
+            });
+            for &s in &invalidate {
+                self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                    at,
+                    page: pg,
+                    node: s.0,
+                });
+            }
+            self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                at,
+                page: pg,
+                node: owner.0,
+            });
+            self.tracer.emit_with(|| TraceEvent::DsmOwnerTransfer {
+                at,
+                page: pg,
+                from: owner.0,
+                to: node.0,
+            });
+            let ni = slot(&mut self.nodes, node);
+            ni.owned += 1;
+            if !node_had_copy {
+                ni.cached += 1;
+                // Stamped below, once the transition lands.
+                ni.log.push(LogEntry { page, stamp: 0 });
+            }
+            FaultPlan {
+                page,
+                kind: FaultKind::WriteRemote { owner, invalidate },
+                class,
+                contextual,
+                dirty_bit_msg,
+                prefetched: Vec::new(),
+            }
+        };
+        self.pt.set_owner(idx, node.0);
+        self.pt.set_mode(idx, Mode::Exclusive);
+        self.pt.sharers_mut(idx).clear();
+        self.pt.sharers_mut(idx).insert(node.0);
+        let stamp = self.pt.bump_gen(idx);
+        if let Some(last) = self.nodes[node.index()].log.last_mut() {
+            if last.page == page && last.stamp == 0 {
+                last.stamp = stamp;
+            }
+        }
+        self.stats.write_faults += 1;
+        self.stats.per_class.record(class, 1);
+        self.tracer.emit_with(|| TraceEvent::DsmGrant {
+            at,
+            page: pg,
+            node: node.0,
+            exclusive: true,
+        });
+        plan
     }
 
     /// Registers `pages` resident pages homed on `home` without creating
@@ -571,17 +913,19 @@ impl Dsm {
         let mut out = Vec::new();
         for i in 1..=n {
             let next = PageId::new(page.0 + i);
-            let Some(e) = self.pages.get_mut(&next) else {
-                break;
-            };
-            if e.owner != owner || e.shares_with(node) {
+            let idx = next.index();
+            if !self.pt.present(idx) {
                 break;
             }
-            e.mode = Mode::Shared;
-            e.sharers.insert(node.0);
+            if self.pt.owner(idx) != owner.0 || self.pt.sharers(idx).contains(node.0) {
+                break;
+            }
+            self.pt.set_mode(idx, Mode::Shared);
+            self.pt.sharers_mut(idx).insert(node.0);
+            let stamp = self.pt.bump_gen(idx);
             let ni = slot(&mut self.nodes, node);
             ni.cached += 1;
-            ni.log.push(next);
+            ni.log.push(LogEntry { page: next, stamp });
             self.tracer.emit_with(|| TraceEvent::DsmPrefetch {
                 at,
                 page: u64::from(next.0),
@@ -629,7 +973,10 @@ impl Dsm {
     /// footprint: sort + dedup, then drop entries the directory no longer
     /// confirms. Amortized O(1) per log push — a compaction of length L
     /// is paid for by the ≥ L/2 pushes (or invalidations) since the last
-    /// one.
+    /// one. Generation stamps make the confirmation a single compare for
+    /// pages that have not transitioned since the entry was logged, and
+    /// surviving entries are re-stamped (their membership was just
+    /// proven), keeping the fast path effective for the next pass.
     fn maybe_compact(&mut self, node: NodeId) {
         let Some(ni) = self.nodes.get_mut(node.index()) else {
             return;
@@ -638,15 +985,26 @@ impl Dsm {
             return;
         }
         let mut log = std::mem::take(&mut ni.log);
-        log.sort_unstable();
-        log.dedup();
-        log.retain(|p| self.pages.get(p).is_some_and(|e| e.shares_with(node)));
+        sort_dedup(&mut log);
+        let pt = &self.pt;
+        log.retain_mut(|e| {
+            let idx = e.page.index();
+            if !pt.present(idx) {
+                return false;
+            }
+            if pt.gen(idx) == e.stamp || pt.sharers(idx).contains(node.0) {
+                e.stamp = pt.gen(idx);
+                true
+            } else {
+                false
+            }
+        });
         self.nodes[node.index()].log = log;
     }
 
     /// Total pages allocated in the directory (including bulk).
     pub fn total_pages(&self) -> u64 {
-        self.pages.len() as u64 + self.bulk.values().sum::<u64>()
+        self.pt.live as u64 + self.bulk.values().sum::<u64>()
     }
 
     /// Evicts `node` from the directory: pages it owns move to `new_home`
@@ -660,7 +1018,9 @@ impl Dsm {
     /// the rest of the directory has grown. The log is sorted + deduped
     /// first and each surviving page is handled in ascending page order
     /// (stale entries — copies the node lost since logging — are skipped),
-    /// so drain traces are deterministic.
+    /// so drain traces are deterministic. Entries whose generation stamp
+    /// still matches the page's generation are provably current and skip
+    /// the membership check entirely.
     ///
     /// A full drain emits up to three trace events per owned page
     /// (invalidate, owner-transfer, grant); see `DESIGN.md` on bounding
@@ -684,26 +1044,31 @@ impl Dsm {
         // loop below can index both without re-borrowing.
         slot(&mut self.nodes, new_home);
         let mut log = std::mem::take(&mut self.nodes[node.index()]).log;
-        log.sort_unstable();
-        log.dedup();
-        for page in log {
-            let Some(e) = self.pages.get_mut(&page) else {
+        sort_dedup(&mut log);
+        for e in log {
+            let page = e.page;
+            let idx = page.index();
+            if !self.pt.present(idx) {
                 continue;
-            };
+            }
             let pg = u64::from(page.0);
-            if e.owner == node {
+            // Stamp still current => the node provably holds the page
+            // exactly as granted; otherwise confirm via the sharer set.
+            let current = self.pt.gen(idx) == e.stamp;
+            if self.pt.owner(idx) == node.0 {
                 // Master-copy transfer to new_home.
-                e.owner = new_home;
-                e.sharers.remove(node.0);
-                let gained_copy = e.sharers.insert(new_home.0);
+                self.pt.set_owner(idx, new_home.0);
+                self.pt.sharers_mut(idx).remove(node.0);
+                let gained_copy = self.pt.sharers_mut(idx).insert(new_home.0);
+                let stamp = self.pt.bump_gen(idx);
                 let nh = &mut self.nodes[new_home.index()];
                 nh.owned += 1;
                 if gained_copy {
                     nh.cached += 1;
-                    nh.log.push(page);
+                    nh.log.push(LogEntry { page, stamp });
                 }
                 moved += 1;
-                let exclusive = e.mode == Mode::Exclusive;
+                let exclusive = self.pt.mode(idx) == Mode::Exclusive;
                 self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
                     at,
                     page: pg,
@@ -721,8 +1086,12 @@ impl Dsm {
                     node: new_home.0,
                     exclusive,
                 });
-            } else if e.sharers.remove(node.0) {
+            } else if current || self.pt.sharers_mut(idx).remove(node.0) {
                 // A shared copy the node still held: drop it.
+                if current {
+                    self.pt.sharers_mut(idx).remove(node.0);
+                }
+                self.pt.bump_gen(idx);
                 self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
                     at,
                     page: pg,
@@ -759,17 +1128,28 @@ impl Dsm {
         // Full compaction doubles as candidate discovery: afterwards the
         // log holds exactly the pages the node shares or owns.
         let mut log = std::mem::take(&mut self.nodes[node.index()].log);
-        log.sort_unstable();
-        log.dedup();
-        log.retain(|p| self.pages.get(p).is_some_and(|e| e.shares_with(node)));
+        sort_dedup(&mut log);
+        let pt = &self.pt;
+        log.retain_mut(|e| {
+            let idx = e.page.index();
+            if !pt.present(idx) {
+                return false;
+            }
+            if pt.gen(idx) == e.stamp || pt.sharers(idx).contains(node.0) {
+                e.stamp = pt.gen(idx);
+                true
+            } else {
+                false
+            }
+        });
         let mut ranked: Vec<(u8, PageId)> = log
             .iter()
-            .filter_map(|&p| {
-                let e = &self.pages[&p];
-                if e.owner != node {
+            .filter_map(|e| {
+                let idx = e.page.index();
+                if pt.owner(idx) != node.0 {
                     return None;
                 }
-                rank(e.class).map(|r| (r, p))
+                rank(pt.class(idx)).map(|r| (r, e.page))
             })
             .collect();
         self.nodes[node.index()].log = log;
@@ -789,10 +1169,11 @@ impl Dsm {
     /// that the master copy is never lost and lands exactly once.
     pub fn evict_page(&mut self, page: PageId, to: NodeId) -> bool {
         let at = self.clock.as_nanos();
-        let Some(e) = self.pages.get_mut(&page) else {
+        let idx = page.index();
+        if !self.pt.present(idx) {
             return false;
-        };
-        let from = e.owner;
+        }
+        let from = NodeId::new(self.pt.owner(idx));
         if from == to {
             return false;
         }
@@ -803,10 +1184,11 @@ impl Dsm {
             from: from.0,
             to: to.0,
         });
-        e.owner = to;
-        e.sharers.remove(from.0);
-        let gained_copy = e.sharers.insert(to.0);
-        let exclusive = e.mode == Mode::Exclusive;
+        self.pt.set_owner(idx, to.0);
+        self.pt.sharers_mut(idx).remove(from.0);
+        let gained_copy = self.pt.sharers_mut(idx).insert(to.0);
+        let stamp = self.pt.bump_gen(idx);
+        let exclusive = self.pt.mode(idx) == Mode::Exclusive;
         self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
             at,
             page: pg,
@@ -831,7 +1213,7 @@ impl Dsm {
         t.owned += 1;
         if gained_copy {
             t.cached += 1;
-            t.log.push(page);
+            t.log.push(LogEntry { page, stamp });
         }
         self.stats.evictions += 1;
         self.maybe_compact(to);
@@ -849,9 +1231,15 @@ impl Dsm {
     /// released page may legally re-allocate.
     pub fn release_page(&mut self, page: PageId, policy: &'static str) -> Option<PageClass> {
         let at = self.clock.as_nanos();
-        let e = self.pages.remove(&page)?;
+        let idx = page.index();
+        if !self.pt.present(idx) {
+            return None;
+        }
         let pg = u64::from(page.0);
-        for s in e.sharers.iter() {
+        let owner = self.pt.owner(idx);
+        let class = self.pt.class(idx);
+        let sharers = self.pt.take_sharers(idx);
+        for s in sharers.iter() {
             self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
                 at,
                 page: pg,
@@ -859,7 +1247,7 @@ impl Dsm {
             });
             let ni = slot(&mut self.nodes, NodeId::new(s));
             ni.cached -= 1;
-            if e.owner.0 == s {
+            if owner == s {
                 ni.owned -= 1;
             }
             // Stale log entries are left behind; compaction and drain
@@ -868,11 +1256,17 @@ impl Dsm {
         self.tracer.emit_with(|| TraceEvent::PageRelease {
             at,
             page: pg,
-            node: e.owner.0,
+            node: owner,
             policy,
         });
+        // Reset the slot; the generation bump ensures stale log entries
+        // can never be mistaken for current after a re-allocation.
+        self.pt.set_owner(idx, ABSENT);
+        self.pt.set_busy_until(idx, SimTime::ZERO);
+        self.pt.bump_gen(idx);
+        self.pt.live -= 1;
         self.stats.releases += 1;
-        Some(e.class)
+        Some(class)
     }
 
     /// Quarantines a *crashed* node: every page whose master copy lived on
@@ -892,7 +1286,7 @@ impl Dsm {
     /// exactly-one-owner against this sequence.
     ///
     /// Like drain, this is O(pages the dead node holds), driven by its
-    /// page log.
+    /// page log (with the same generation fast path).
     pub fn quarantine_node(&mut self, dead: NodeId, restore_home: NodeId) -> u64 {
         if dead == restore_home {
             return 0;
@@ -908,19 +1302,21 @@ impl Dsm {
         }
         slot(&mut self.nodes, restore_home);
         let mut log = std::mem::take(&mut self.nodes[dead.index()]).log;
-        log.sort_unstable();
-        log.dedup();
-        for page in log {
-            let Some(e) = self.pages.get_mut(&page) else {
+        sort_dedup(&mut log);
+        for e in log {
+            let page = e.page;
+            let idx = page.index();
+            if !self.pt.present(idx) {
                 continue;
-            };
+            }
             let pg = u64::from(page.0);
-            if e.owner == dead {
+            let current = self.pt.gen(idx) == e.stamp;
+            if self.pt.owner(idx) == dead.0 {
                 // The master copy died with the node. Invalidate every
                 // copy (the dead node's and any survivor's — they are
                 // stale relative to the restored image), then grant the
                 // restored page exclusively at restore_home.
-                let holders: Vec<u32> = e.sharers.iter().collect();
+                let holders: Vec<u32> = self.pt.sharers(idx).iter().collect();
                 for holder in holders {
                     self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
                         at,
@@ -934,14 +1330,15 @@ impl Dsm {
                         self.nodes[holder as usize].cached -= 1;
                     }
                 }
-                let had_copy = e.shares_with(restore_home);
-                e.owner = restore_home;
-                e.mode = Mode::Exclusive;
-                e.sharers = NodeSet::singleton(restore_home.0);
+                let had_copy = self.pt.sharers(idx).contains(restore_home.0);
+                self.pt.set_owner(idx, restore_home.0);
+                self.pt.set_mode(idx, Mode::Exclusive);
+                self.pt.set_sharers(idx, NodeSet::singleton(restore_home.0));
+                let stamp = self.pt.bump_gen(idx);
                 let nh = &mut self.nodes[restore_home.index()];
                 nh.owned += 1;
                 if !had_copy {
-                    nh.log.push(page);
+                    nh.log.push(LogEntry { page, stamp });
                 }
                 nh.cached += 1;
                 restored += 1;
@@ -957,8 +1354,12 @@ impl Dsm {
                     node: restore_home.0,
                     exclusive: true,
                 });
-            } else if e.sharers.remove(dead.0) {
+            } else if current || self.pt.sharers_mut(idx).remove(dead.0) {
                 // A shared copy the dead node held: drop it.
+                if current {
+                    self.pt.sharers_mut(idx).remove(dead.0);
+                }
+                self.pt.bump_gen(idx);
                 self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
                     at,
                     page: pg,
@@ -985,14 +1386,16 @@ impl Dsm {
     pub fn corrupt_grant_exclusive(&mut self, page: PageId, node: NodeId) {
         let at = self.clock.as_nanos();
         let pg = u64::from(page.0);
-        let e = self
-            .pages
-            .get_mut(&page)
-            .expect("corrupt_grant_exclusive on unknown page");
-        let from = e.owner;
-        e.owner = node;
-        e.mode = Mode::Exclusive;
-        let had_copy = !e.sharers.insert(node.0);
+        let idx = page.index();
+        assert!(
+            self.pt.present(idx),
+            "corrupt_grant_exclusive on unknown page"
+        );
+        let from = NodeId::new(self.pt.owner(idx));
+        self.pt.set_owner(idx, node.0);
+        self.pt.set_mode(idx, Mode::Exclusive);
+        let had_copy = !self.pt.sharers_mut(idx).insert(node.0);
+        let stamp = self.pt.bump_gen(idx);
         // Even a deliberate corruption keeps the accounting indices in
         // sync with the (corrupt) directory state: the old owner demotes
         // to a shared holder, the grantee becomes the owner.
@@ -1004,7 +1407,7 @@ impl Dsm {
             ni.owned += 1;
             if !had_copy {
                 ni.cached += 1;
-                ni.log.push(page);
+                ni.log.push(LogEntry { page, stamp });
             }
         }
         self.tracer.emit_with(|| TraceEvent::DsmOwnerTransfer {
@@ -1037,17 +1440,17 @@ impl Dsm {
     /// have exactly one sharer; the incremental per-node indices match a
     /// fresh scan of the directory (see [`Dsm::verify_indices`]).
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (&page, e) in &self.pages {
-            if !e.shares_with(e.owner) {
-                return Err(format!("{page}: owner {} not a sharer", e.owner));
+        for idx in self.pt.iter_present() {
+            let page = PageId::new(idx as u32);
+            let owner = self.pt.owner(idx);
+            let sharers = self.pt.sharers(idx);
+            if !sharers.contains(owner) {
+                return Err(format!("{page}: owner node{owner} not a sharer"));
             }
-            if e.mode == Mode::Exclusive && e.sharers.len() != 1 {
-                return Err(format!(
-                    "{page}: exclusive with {} sharers",
-                    e.sharers.len()
-                ));
+            if self.pt.mode(idx) == Mode::Exclusive && sharers.len() != 1 {
+                return Err(format!("{page}: exclusive with {} sharers", sharers.len()));
             }
-            if e.sharers.is_empty() {
+            if sharers.is_empty() {
                 return Err(format!("{page}: no sharers"));
             }
         }
@@ -1057,24 +1460,46 @@ impl Dsm {
     /// Rebuilds the per-node accounting from a fresh O(directory) scan and
     /// compares it with the incrementally-maintained counters, then checks
     /// the log-coverage invariant (every page a node holds appears in its
-    /// log). O(pages x sharers) — for tests and debug assertions, never
-    /// the hot path.
+    /// log, and no log entry carries a stamp from the future). O(pages x
+    /// sharers) — for tests and debug assertions, never the hot path.
     pub fn verify_indices(&self) -> Result<(), String> {
         let mut owned = vec![0u64; self.nodes.len()];
         let mut cached = vec![0u64; self.nodes.len()];
         let logged: Vec<BTreeSet<PageId>> = self
             .nodes
             .iter()
-            .map(|n| n.log.iter().copied().collect())
+            .map(|n| n.log.iter().map(|e| e.page).collect())
             .collect();
-        for (&page, e) in &self.pages {
-            for s in e.sharers.iter() {
+        for (i, n) in self.nodes.iter().enumerate() {
+            for e in &n.log {
+                let idx = e.page.index();
+                let cur = self.pt.gen(idx);
+                if e.stamp > cur {
+                    return Err(format!(
+                        "node{i}: log entry for {} stamped {} beyond generation {}",
+                        e.page, e.stamp, cur
+                    ));
+                }
+                if e.stamp == cur && cur > 0 {
+                    // A current stamp must prove membership.
+                    if !self.pt.present(idx) || !self.pt.sharers(idx).contains(i as u32) {
+                        return Err(format!(
+                            "node{i}: current-stamp log entry for {} but no copy held",
+                            e.page
+                        ));
+                    }
+                }
+            }
+        }
+        for idx in self.pt.iter_present() {
+            let page = PageId::new(idx as u32);
+            for s in self.pt.sharers(idx).iter() {
                 let i = s as usize;
                 if i >= self.nodes.len() {
                     return Err(format!("{page}: sharer node{s} has no index slot"));
                 }
                 cached[i] += 1;
-                if e.owner.0 == s {
+                if self.pt.owner(idx) == s {
                     owned[i] += 1;
                 }
                 if !logged[i].contains(&page) {
@@ -1548,5 +1973,157 @@ mod tests {
         }
         // Now n1 is exclusive owner: writes hit.
         assert_eq!(d.access(n(1), p(1), Access::Write), Resolution::Hit);
+    }
+
+    /// Runs the same mixed scan through `access_batch` and through a
+    /// sequential `access_classified` loop and asserts identical stats,
+    /// directory state, and fault plans.
+    fn assert_batch_matches_sequential(access: Access) {
+        let mut seq = dsm();
+        let mut bat = dsm();
+        for d in [&mut seq, &mut bat] {
+            // A mixed landscape: pages 0..32 on n0, 32..40 missing (first
+            // touch), 40..48 on n1, and n1 already shares 4..8.
+            for i in 0..32 {
+                d.ensure_page(p(i), n(0), PageClass::Private);
+            }
+            for i in 40..48 {
+                d.ensure_page(p(i), n(1), PageClass::AppShared);
+            }
+            for i in 4..8 {
+                let _ = d.access(n(1), p(i), Access::Read);
+            }
+        }
+        let mut seq_hits = 0u64;
+        let mut seq_faults = Vec::new();
+        for i in 0..48 {
+            match seq.access_classified(n(1), p(i), access, PageClass::KernelData) {
+                Resolution::Hit => seq_hits += 1,
+                Resolution::Fault(f) => seq_faults.push(f),
+            }
+        }
+        let out = bat.access_batch(n(1), p(0), 48, access, PageClass::KernelData, None);
+        assert_eq!(out.hits, seq_hits);
+        assert_eq!(out.faults, seq_faults);
+        assert_eq!(bat.stats(), seq.stats());
+        for i in 0..48 {
+            assert_eq!(bat.owner(p(i)), seq.owner(p(i)), "{i}");
+            assert_eq!(bat.mode(p(i)), seq.mode(p(i)), "{i}");
+            for node in 0..3 {
+                assert_eq!(bat.is_cached(p(i), n(node)), seq.is_cached(p(i), n(node)));
+            }
+        }
+        bat.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_read_matches_sequential() {
+        assert_batch_matches_sequential(Access::Read);
+    }
+
+    #[test]
+    fn batch_write_matches_sequential() {
+        assert_batch_matches_sequential(Access::Write);
+    }
+
+    #[test]
+    fn batch_with_home_matches_ensure_then_access() {
+        // `Some(home)` reproduces the hypervisor's ensure-then-access
+        // sequence: unknown pages allocate at `home` and then fault.
+        let mut seq = dsm();
+        let mut bat = dsm();
+        for i in 0..16 {
+            seq.ensure_page(p(i), n(0), PageClass::Private);
+            match seq.access_classified(n(1), p(i), Access::Read, PageClass::Private) {
+                Resolution::Fault(_) => {}
+                Resolution::Hit => panic!("remote read must fault"),
+            }
+        }
+        let out = bat.access_batch(n(1), p(0), 16, Access::Read, PageClass::Private, Some(n(0)));
+        assert_eq!(out.hits, 0);
+        assert_eq!(out.faults.len(), 16);
+        assert_eq!(bat.stats(), seq.stats());
+        bat.check_invariants().unwrap();
+        // A second pass is all hits in one run.
+        let out = bat.access_batch(n(1), p(0), 16, Access::Read, PageClass::Private, Some(n(0)));
+        assert_eq!(out.hits, 16);
+        assert!(out.faults.is_empty());
+    }
+
+    #[test]
+    fn batch_aggregates_hit_runs_into_one_trace_event() {
+        use sim_core::trace::Tracer;
+        let tracer = Tracer::ring(8192);
+        let mut d = dsm();
+        d.attach_tracer(tracer.clone());
+        for i in 0..64 {
+            d.ensure_page(p(i), n(0), PageClass::Private);
+        }
+        d.set_clock(SimTime::from_micros(3));
+        let before = tracer.snapshot().len();
+        let out = d.access_batch(n(0), p(0), 64, Access::Read, PageClass::Private, None);
+        assert_eq!(out.hits, 64);
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), before + 1, "one aggregated event for 64 hits");
+        match events.last().unwrap() {
+            TraceEvent::DsmHitBatch {
+                page,
+                len,
+                node,
+                write,
+                ..
+            } => {
+                assert_eq!((*page, *len, *node, *write), (0, 64, 0, false));
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+        sim_core::audit::assert_clean(&events);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_first_touch_allocates_on_accessor() {
+        let mut d = dsm();
+        let out = d.access_batch(n(2), p(10), 8, Access::Write, PageClass::Private, None);
+        assert_eq!(out.hits, 8);
+        assert!(out.faults.is_empty());
+        assert_eq!(d.stats().first_touches, 8);
+        for i in 10..18 {
+            assert_eq!(d.owner(p(i)), Some(n(2)));
+        }
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn generation_stamps_survive_release_and_reuse_churn() {
+        // Churn a small page set hard enough that logs fill with stale
+        // entries whose stamps lag the pages' generations, then drain and
+        // quarantine: the generation fast path must never resurrect a
+        // dropped copy or miss a held one (verify_indices checks both).
+        let mut d = dsm();
+        for round in 0u32..6 {
+            for i in 0..32 {
+                d.ensure_page(p(i), n(i % 3), PageClass::Private);
+                let _ = d.access(n((i + 1) % 3), p(i), Access::Read);
+                let _ = d.access(n((i + round) % 3), p(i), Access::Write);
+            }
+            for i in (0..32).step_by(5) {
+                let _ = d.release_page(p(i), "balloon");
+            }
+        }
+        d.verify_indices().unwrap();
+        let moved = d.drain_node(n(1), n(0));
+        assert!(moved > 0);
+        d.check_invariants().unwrap();
+        let restored = d.quarantine_node(n(2), n(0));
+        assert!(restored > 0);
+        d.check_invariants().unwrap();
+        for node in 0..3 {
+            assert_eq!(
+                d.pages_cached_on(n(node)) > 0,
+                node == 0,
+                "only the restore target holds pages"
+            );
+        }
     }
 }

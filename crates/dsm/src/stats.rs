@@ -9,7 +9,7 @@ use crate::protocol::PageClass;
 ///
 /// Fault *rates* (the x-axis of the paper's Figure 1) are computed by
 /// dividing these counters by a measurement span.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DsmStats {
     /// Accesses satisfied by a valid local mapping.
     pub hits: u64,

@@ -132,9 +132,16 @@ pub fn concurrent_writes(
     let nodes = dist.nodes_needed(vcpus).max(1);
     let mut b = VmBuilder::new(profile, nodes).ram(ByteSize::gib(2));
     let mut counters = Vec::new();
+    // Writes coalesce into batches (fewer engine events, same write
+    // schedule) whenever the page sees no cross-node write sharing: either
+    // the whole VM sits on one node, or the vCPU's page group is private.
+    let single_node = placements.iter().all(|p| p.node == placements[0].node);
     for (i, p) in placements.into_iter().enumerate() {
         let page = PageId::new(MICRO_BASE + page_groups[i]);
-        let (prog, counter) = ConcurrentWriter::new(page, deadline, SimTime::from_nanos(100));
+        let private = page_groups.iter().filter(|&&g| g == page_groups[i]).count() == 1;
+        let batch = if single_node || private { 64 } else { 1 };
+        let (prog, counter) =
+            ConcurrentWriter::batched(page, deadline, SimTime::from_nanos(100), batch);
         counters.push(counter);
         b = b.vcpu(p, Box::new(prog));
     }

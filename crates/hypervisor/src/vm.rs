@@ -221,6 +221,9 @@ enum AfterCpu {
 struct VcpuState {
     node: NodeId,
     pcpu: u32,
+    /// Slot of `(node, pcpu)` in the world's pCPU slab; refreshed whenever
+    /// the placement changes so the compute hot path never hashes.
+    pcpu_slot: u32,
     program: Box<dyn Program>,
     status: VcpuStatus,
     net_inbox: VecDeque<GuestMsg>,
@@ -307,10 +310,8 @@ pub enum Event {
     VcpuStep(VcpuId),
     /// A pCPU completion prediction expires.
     CpuDone {
-        /// Machine hosting the pCPU.
-        node: NodeId,
-        /// pCPU index.
-        pcpu: u32,
+        /// Slot of the pCPU in the world's pCPU slab.
+        slot: u32,
         /// Prediction epoch (stale epochs are ignored).
         epoch: u64,
     },
@@ -430,7 +431,21 @@ pub struct VmWorld {
     pub fabric: Fabric,
     /// Guest memory.
     pub mem: VmMemory,
-    pcpus: HashMap<(NodeId, u32), PsCpu>,
+    /// Physical CPUs, slab-indexed; `pcpu_slots` maps `(node, pcpu)` to a
+    /// slot and `pcpu_keys` maps back. Slots are stable for the lifetime of
+    /// the world, so vCPUs and queued `CpuDone` events can carry them and
+    /// the per-event hot path indexes a `Vec` instead of hashing a key.
+    pcpus: Vec<PsCpu>,
+    pcpu_keys: Vec<(NodeId, u32)>,
+    pcpu_slots: HashMap<(NodeId, u32), u32>,
+    /// Reusable buffer for completed task ids (one allocation per run, not
+    /// one per completion event).
+    done_scratch: Vec<u64>,
+    /// Number of vCPUs in a terminal state (`Done`, or `Failed` with no
+    /// failure detector to revive them). Maintained at every status
+    /// transition into a terminal state so the per-event `finished()`
+    /// check is O(1) instead of a scan over all vCPUs.
+    terminal_vcpus: usize,
     vcpus: Vec<VcpuState>,
     net: Option<VirtioNet>,
     blk: Option<VirtioBlk>,
@@ -479,11 +494,15 @@ impl VmWorld {
     /// going until they finish. Without one there is no recovery path and
     /// `Failed` counts as terminal.
     pub fn finished(&self) -> bool {
-        let terminal = |v: &VcpuState| {
-            v.status == VcpuStatus::Done
-                || (self.failure.is_none() && v.status == VcpuStatus::Failed)
-        };
-        self.vcpus.iter().all(terminal) && self.client.as_ref().is_none_or(|c| c.model.is_done())
+        debug_assert_eq!(self.terminal_vcpus, {
+            let terminal = |v: &VcpuState| {
+                v.status == VcpuStatus::Done
+                    || (self.failure.is_none() && v.status == VcpuStatus::Failed)
+            };
+            self.vcpus.iter().filter(|v| terminal(v)).count()
+        });
+        self.terminal_vcpus == self.vcpus.len()
+            && self.client.as_ref().is_none_or(|c| c.model.is_done())
     }
 
     /// Crash time of `node`, if its scripted crash has fired.
@@ -517,7 +536,8 @@ impl VmWorld {
     pub fn attach_tracer(&mut self, tracer: Tracer) {
         self.fabric.attach_tracer(tracer.clone());
         self.mem.dsm.attach_tracer(tracer.clone());
-        for (&(node, pcpu), cpu) in self.pcpus.iter_mut() {
+        for (slot, cpu) in self.pcpus.iter_mut().enumerate() {
+            let (node, pcpu) = self.pcpu_keys[slot];
             cpu.attach_tracer(tracer.clone(), cpu_trace_id(node, pcpu));
         }
         self.tracer = tracer;
@@ -536,20 +556,27 @@ impl VmWorld {
         }
     }
 
-    fn pcpu(&mut self, node: NodeId, pcpu: u32) -> &mut PsCpu {
-        self.pcpus
-            .get_mut(&(node, pcpu))
-            .expect("placement refers to an unknown pCPU")
+    /// Slot of `(node, pcpu)`, creating an idle un-loaded pCPU if absent.
+    fn alloc_pcpu(&mut self, node: NodeId, pcpu: u32) -> u32 {
+        if let Some(&slot) = self.pcpu_slots.get(&(node, pcpu)) {
+            return slot;
+        }
+        let slot = self.pcpus.len() as u32;
+        let mut cpu = PsCpu::new(1.0);
+        cpu.attach_tracer(self.tracer.clone(), cpu_trace_id(node, pcpu));
+        self.pcpus.push(cpu);
+        self.pcpu_keys.push((node, pcpu));
+        self.pcpu_slots.insert((node, pcpu), slot);
+        slot
     }
 
     /// Schedules the (new) completion prediction for a pCPU.
-    fn reschedule_cpu(&mut self, ctx: &mut Ctx<'_, Event>, node: NodeId, pcpu: u32) {
-        if let Some(c) = self.pcpu(node, pcpu).next_completion() {
+    fn reschedule_cpu(&mut self, ctx: &mut Ctx<'_, Event>, slot: u32) {
+        if let Some(c) = self.pcpus[slot as usize].next_completion() {
             ctx.schedule_at(
                 c.at,
                 Event::CpuDone {
-                    node,
-                    pcpu,
+                    slot,
                     epoch: c.epoch,
                 },
             );
@@ -857,6 +884,7 @@ impl VmWorld {
             Op::Done => {
                 let v = &mut self.vcpus[vcpu.index()];
                 v.status = VcpuStatus::Done;
+                self.terminal_vcpus += 1;
                 v.finish = Some(now);
                 self.stats.vcpu_finish[vcpu.index()] = Some(now);
                 false
@@ -872,15 +900,15 @@ impl VmWorld {
         work: SimTime,
         after: AfterCpu,
     ) {
-        let (node, pcpu) = {
+        let slot = {
             let v = &mut self.vcpus[vcpu.index()];
             v.status = VcpuStatus::Computing;
             v.after_cpu = after;
-            (v.node, v.pcpu)
+            v.pcpu_slot
         };
         let now = ctx.now;
-        let _ = self.pcpu(node, pcpu).add(now, vcpu.0 as u64, work);
-        self.reschedule_cpu(ctx, node, pcpu);
+        let _ = self.pcpus[slot as usize].add(now, vcpu.0 as u64, work);
+        self.reschedule_cpu(ctx, slot);
     }
 
     /// Continues a program after a synchronous operation ending at `t`.
@@ -1220,13 +1248,13 @@ impl VmWorld {
         match v.status {
             VcpuStatus::Done | VcpuStatus::Migrating => return false,
             VcpuStatus::Computing => {
-                let (node, pcpu) = (v.node, v.pcpu);
+                let slot = v.pcpu_slot;
                 v.status = VcpuStatus::Migrating;
                 v.resume_status = VcpuStatus::Ready;
                 v.missed_step = false;
-                let rem = self.pcpu(node, pcpu).cancel(ctx.now, vcpu.0 as u64);
+                let rem = self.pcpus[slot as usize].cancel(ctx.now, vcpu.0 as u64);
                 self.vcpus[vcpu.index()].stashed_work = Some(rem);
-                self.reschedule_cpu(ctx, node, pcpu);
+                self.reschedule_cpu(ctx, slot);
             }
             other => {
                 // Blocked/sleeping/ready vCPUs migrate in place; wakeups
@@ -1278,16 +1306,25 @@ impl VmWorld {
                 .as_ref()
                 .filter(|f| f.recovered[to.node.index()])
                 .map(|f| f.cfg.restore_to);
+            // Until recovery re-places the vCPU, the crashed placement may
+            // have no pCPU; an out-of-range slot keeps any (buggy) use loud.
+            let slot = match restored_to {
+                Some(target) => self.ensure_pcpu(target, to.pcpu),
+                None => u32::MAX,
+            };
             let v = &mut self.vcpus[vcpu.index()];
             debug_assert_eq!(v.status, VcpuStatus::Migrating);
             v.node = restored_to.unwrap_or(to.node);
             v.pcpu = to.pcpu;
+            v.pcpu_slot = slot;
             v.status = VcpuStatus::Failed;
             v.stashed_work = None;
+            if self.failure.is_none() {
+                self.terminal_vcpus += 1;
+            }
             v.missed_step = false;
             v.missed_charge = None;
-            if let Some(target) = restored_to {
-                self.ensure_pcpu(target, to.pcpu);
+            if restored_to.is_some() {
                 ctx.schedule_now(Event::VcpuRestore { vcpu });
             }
             return;
@@ -1297,17 +1334,13 @@ impl VmWorld {
             vcpu: vcpu.0,
             node: to.node.0,
         });
-        let tracer = self.tracer.clone();
-        self.pcpus.entry((to.node, to.pcpu)).or_insert_with(|| {
-            let mut cpu = PsCpu::new(1.0);
-            cpu.attach_tracer(tracer, cpu_trace_id(to.node, to.pcpu));
-            cpu
-        });
+        let slot = self.alloc_pcpu(to.node, to.pcpu);
         let (stashed, resume, missed_step, missed_charge) = {
             let v = &mut self.vcpus[vcpu.index()];
             debug_assert_eq!(v.status, VcpuStatus::Migrating);
             v.node = to.node;
             v.pcpu = to.pcpu;
+            v.pcpu_slot = slot;
             (
                 v.stashed_work.take(),
                 v.resume_status,
@@ -1318,13 +1351,13 @@ impl VmWorld {
         if self.profile.helper_thread_load > 0.0 {
             let load = self.profile.helper_thread_load;
             let now = ctx.now;
-            self.pcpu(to.node, to.pcpu).set_background_load(now, load);
+            self.pcpus[slot as usize].set_background_load(now, load);
         }
         if let Some(rem) = stashed {
             self.vcpus[vcpu.index()].status = VcpuStatus::Computing;
             let now = ctx.now;
-            let _ = self.pcpu(to.node, to.pcpu).add(now, vcpu.0 as u64, rem);
-            self.reschedule_cpu(ctx, to.node, to.pcpu);
+            let _ = self.pcpus[slot as usize].add(now, vcpu.0 as u64, rem);
+            self.reschedule_cpu(ctx, slot);
             return;
         }
         if let Some(work) = missed_charge {
@@ -1347,18 +1380,17 @@ impl VmWorld {
         // is still queued and will arrive at the new placement.
     }
 
-    /// Lazily creates (and instruments) a pCPU on `node`.
-    fn ensure_pcpu(&mut self, node: NodeId, pcpu: u32) {
-        let tracer = self.tracer.clone();
-        let helper_load = self.profile.helper_thread_load;
-        self.pcpus.entry((node, pcpu)).or_insert_with(|| {
-            let mut cpu = PsCpu::new(1.0);
-            cpu.attach_tracer(tracer, cpu_trace_id(node, pcpu));
-            if helper_load > 0.0 {
-                cpu.set_background_load(SimTime::ZERO, helper_load);
-            }
-            cpu
-        });
+    /// Lazily creates (and instruments) a pCPU on `node`; returns its slot.
+    fn ensure_pcpu(&mut self, node: NodeId, pcpu: u32) -> u32 {
+        if let Some(&slot) = self.pcpu_slots.get(&(node, pcpu)) {
+            return slot;
+        }
+        let slot = self.alloc_pcpu(node, pcpu);
+        if self.profile.helper_thread_load > 0.0 {
+            let load = self.profile.helper_thread_load;
+            self.pcpus[slot as usize].set_background_load(SimTime::ZERO, load);
+        }
+        slot
     }
 
     /// A scripted node crash fires: the slice's vCPUs halt and their
@@ -1380,21 +1412,29 @@ impl VmWorld {
             .iter()
             .enumerate()
             .filter(|&(_, v)| v.node == node && v.status == VcpuStatus::Computing)
-            .map(|(i, v)| (i, v.pcpu))
+            .map(|(i, v)| (i, v.pcpu_slot))
             .collect();
         let now = ctx.now;
-        for &(i, pcpu) in &computing {
+        for &(i, slot) in &computing {
             // Stash the remainder: recovery re-executes it after restore
             // (the rollback cost itself is accounted analytically).
-            let rem = self.pcpu(node, pcpu).cancel(now, i as u64);
+            let rem = self.pcpus[slot as usize].cancel(now, i as u64);
             self.vcpus[i].stashed_work = Some(rem);
-            self.reschedule_cpu(ctx, node, pcpu);
+            self.reschedule_cpu(ctx, slot);
         }
         // Every live vCPU on the slice halts. Migrating vCPUs survive:
         // their register state already left with the dump.
         for v in self.vcpus.iter_mut() {
-            if v.node == node && !matches!(v.status, VcpuStatus::Done | VcpuStatus::Migrating) {
+            if v.node == node
+                && !matches!(
+                    v.status,
+                    VcpuStatus::Done | VcpuStatus::Migrating | VcpuStatus::Failed
+                )
+            {
                 v.status = VcpuStatus::Failed;
+                if self.failure.is_none() {
+                    self.terminal_vcpus += 1;
+                }
             }
         }
     }
@@ -1510,9 +1550,10 @@ impl VmWorld {
             // (same pCPU-k-for-vCPU-k convention as a proactive drain)
             // rather than piling onto an already-busy core.
             let pcpu = i as u32;
+            let slot = self.ensure_pcpu(target, pcpu);
             self.vcpus[i].node = target;
             self.vcpus[i].pcpu = pcpu;
-            self.ensure_pcpu(target, pcpu);
+            self.vcpus[i].pcpu_slot = slot;
             ctx.schedule_at(
                 resume_at,
                 Event::VcpuRestore {
@@ -1547,7 +1588,7 @@ impl VmWorld {
                 continue;
             }
             let vcpu = VcpuId::from_usize(i);
-            self.ensure_pcpu(target, pcpu);
+            let _ = self.ensure_pcpu(target, pcpu);
             if !self.request_migration(ctx, vcpu, Placement { node: target, pcpu }) {
                 self.note_migration_refused(ctx.now, vcpu, node, target);
             }
@@ -1660,16 +1701,16 @@ impl World for VmWorld {
                     self.step_vcpu(ctx, v);
                 }
             }
-            Event::CpuDone { node, pcpu, epoch } => {
-                let done = {
-                    let now = ctx.now;
-                    self.pcpu(node, pcpu).on_completion_event(now, epoch)
-                };
+            Event::CpuDone { slot, epoch } => {
+                let mut done = std::mem::take(&mut self.done_scratch);
+                done.clear();
+                self.pcpus[slot as usize].on_completion_event_into(ctx.now, epoch, &mut done);
                 if done.is_empty() {
+                    self.done_scratch = done;
                     return;
                 }
-                self.reschedule_cpu(ctx, node, pcpu);
-                for task in done {
+                self.reschedule_cpu(ctx, slot);
+                for &task in &done {
                     let vcpu = VcpuId::new(task as u32);
                     let after = {
                         let v = &mut self.vcpus[vcpu.index()];
@@ -1707,6 +1748,7 @@ impl World for VmWorld {
                     }
                     self.step_vcpu(ctx, vcpu);
                 }
+                self.done_scratch = done;
             }
             Event::ChargeCpu { vcpu, work } => {
                 let state = &mut self.vcpus[vcpu.index()];
@@ -1902,10 +1944,10 @@ impl World for VmWorld {
                     // Re-execute the burst that was in flight at the crash
                     // (after_cpu is still armed on the vCPU).
                     v.status = VcpuStatus::Computing;
-                    let (node, pcpu) = (v.node, v.pcpu);
+                    let slot = v.pcpu_slot;
                     let now = ctx.now;
-                    let _ = self.pcpu(node, pcpu).add(now, vcpu.0 as u64, rem);
-                    self.reschedule_cpu(ctx, node, pcpu);
+                    let _ = self.pcpus[slot as usize].add(now, vcpu.0 as u64, rem);
+                    self.reschedule_cpu(ctx, slot);
                 } else {
                     v.status = VcpuStatus::Ready;
                     self.step_vcpu(ctx, vcpu);
@@ -2093,17 +2135,21 @@ impl VmBuilder {
             c
         });
 
-        // pCPUs and helper threads.
-        let mut pcpus: HashMap<(NodeId, u32), PsCpu> = HashMap::new();
+        // pCPUs and helper threads, slab-indexed in placement order.
+        let mut pcpus: Vec<PsCpu> = Vec::with_capacity(self.placements.len());
+        let mut pcpu_keys: Vec<(NodeId, u32)> = Vec::with_capacity(self.placements.len());
+        let mut pcpu_slots: HashMap<(NodeId, u32), u32> =
+            HashMap::with_capacity(self.placements.len());
         for p in &self.placements {
-            pcpus
-                .entry((p.node, p.pcpu))
-                .or_insert_with(|| PsCpu::new(1.0));
-        }
-        if self.profile.helper_thread_load > 0.0 {
-            for cpu in pcpus.values_mut() {
-                cpu.set_background_load(SimTime::ZERO, self.profile.helper_thread_load);
-            }
+            pcpu_slots.entry((p.node, p.pcpu)).or_insert_with(|| {
+                let mut cpu = PsCpu::new(1.0);
+                if self.profile.helper_thread_load > 0.0 {
+                    cpu.set_background_load(SimTime::ZERO, self.profile.helper_thread_load);
+                }
+                pcpus.push(cpu);
+                pcpu_keys.push((p.node, p.pcpu));
+                (pcpus.len() - 1) as u32
+            });
         }
 
         let root_rng = DetRng::new(self.seed);
@@ -2115,6 +2161,7 @@ impl VmBuilder {
             .map(|(i, (p, program))| VcpuState {
                 node: p.node,
                 pcpu: p.pcpu,
+                pcpu_slot: pcpu_slots[&(p.node, p.pcpu)],
                 program,
                 status: VcpuStatus::Ready,
                 net_inbox: VecDeque::new(),
@@ -2140,6 +2187,10 @@ impl VmBuilder {
             fabric,
             mem,
             pcpus,
+            pcpu_keys,
+            pcpu_slots,
+            done_scratch: Vec::new(),
+            terminal_vcpus: 0,
             vcpus,
             net,
             blk,
@@ -2155,7 +2206,10 @@ impl VmBuilder {
             tracer: Tracer::disabled(),
             stats,
         };
-        let mut engine = Engine::new();
+        // Steady-state occupancy is a handful of events per vCPU (steps,
+        // timer ticks, in-flight messages); reserving up front keeps the
+        // queue from rehashing during boot storms.
+        let mut engine = Engine::with_capacity(world.vcpus.len() * 8 + 64);
         engine.schedule_at(SimTime::ZERO, Event::Start);
         VmSim { engine, world }
     }
@@ -2181,9 +2235,24 @@ impl VmSim {
     pub fn run(&mut self) -> SimTime {
         while !self.world.finished() {
             if !self.engine.step(&mut self.world) {
+                let blocked: Vec<String> = self
+                    .world
+                    .vcpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| {
+                        // The same terminal predicate `finished()` uses: a
+                        // Failed vCPU still counts as blocked while a
+                        // failure injector could yet recover it.
+                        v.status != VcpuStatus::Done
+                            && !(self.world.failure.is_none() && v.status == VcpuStatus::Failed)
+                    })
+                    .map(|(i, v)| format!("vCPU{i} on node{} in {:?}", v.node.0, v.status))
+                    .collect();
                 panic!(
                     "event queue drained but the VM is not finished \
-                     (deadlocked workload?)"
+                     (deadlocked workload?): [{}]",
+                    blocked.join(", ")
                 );
             }
         }

@@ -15,7 +15,7 @@
 //! decimated ([`DatacenterSim::sample_every`]) so report memory stays
 //! linear.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use cluster::{Cluster, FragmentationReport, MachineSpec, ResourceRequest, VmId};
 use comm::NodeId;
@@ -120,6 +120,22 @@ enum DcEvent {
     Departure(VmId),
 }
 
+/// Consolidation bookkeeping for one live Aggregate VM.
+///
+/// Consolidation reads and writes only the VM's home nodes, so a no-move
+/// outcome is proven to repeat — and the whole scan can be skipped —
+/// while those nodes stay untouched on the cluster's change clock. The
+/// home set itself only changes through consolidation moves (or the VM's
+/// own departure), which keeps the cached copy exact between calls.
+#[derive(Debug)]
+struct LiveAggregate {
+    /// Cluster change-clock reading at the last no-move consolidation
+    /// (0 = not yet verified, always rescanned).
+    quiescent_at: u64,
+    /// The VM's home nodes, cached so the skip check avoids the ledger.
+    homes: Vec<NodeId>,
+}
+
 /// Reference request for fragmentation snapshots (the modal 4-vCPU VM).
 fn frag_reference() -> ResourceRequest {
     ResourceRequest::new(4, sim_core::units::ByteSize::gib(4))
@@ -131,9 +147,11 @@ pub struct DatacenterSim {
     fit: FitAlgo,
     fragbff: FragBff,
     trace: ArrivalTrace,
-    /// Arrival indices of currently-live Aggregate VMs, so consolidation
-    /// is O(live aggregates) instead of O(trace length).
-    live_aggregates: BTreeSet<usize>,
+    /// Currently-live Aggregate VMs (by arrival index), so consolidation
+    /// is O(live aggregates) instead of O(trace length). Each entry tracks
+    /// the state needed to prove a consolidation no-op without touching
+    /// the cluster ledger.
+    live_aggregates: BTreeMap<usize, LiveAggregate>,
     delayed: VecDeque<usize>,
     /// Smallest vCPU request waiting in `delayed` (`u32::MAX` when empty):
     /// a departure skips the whole retry pass when even that much free
@@ -191,7 +209,7 @@ impl DatacenterSim {
             fit,
             fragbff: FragBff::new(consolidation),
             trace,
-            live_aggregates: BTreeSet::new(),
+            live_aggregates: BTreeMap::new(),
             delayed: VecDeque::new(),
             delayed_min_cpus: u32::MAX,
             delayed_logged,
@@ -226,7 +244,8 @@ impl DatacenterSim {
 
     /// Runs the full trace; returns the report.
     pub fn run(mut self) -> SimReport {
-        let mut queue: EventQueue<DcEvent> = EventQueue::new();
+        // Every arrival is live at load and each spawns one departure.
+        let mut queue: EventQueue<DcEvent> = EventQueue::with_capacity(self.trace.len() * 2);
         for (i, a) in self.trace.arrivals.iter().enumerate() {
             queue.push(a.at, DcEvent::Arrival(i));
         }
@@ -276,6 +295,16 @@ impl DatacenterSim {
                     if self.delayed_min_cpus <= self.cluster.total_free_cpus() {
                         let retries: Vec<usize> = self.delayed.drain(..).collect();
                         self.delayed_min_cpus = u32::MAX;
+                        // Shapes that already failed this pass. Placement
+                        // is a pure function of the cluster state and the
+                        // `(cpus, ram)` request, and a failed attempt
+                        // leaves the cluster untouched — so until some
+                        // placement succeeds (changing the state), an
+                        // identical request must fail identically and the
+                        // attempt can be skipped. The skip reproduces the
+                        // failure path exactly (counter bump + re-queue),
+                        // keeping reports byte-identical.
+                        let mut failed_shapes: BTreeSet<(u32, u64)> = BTreeSet::new();
                         for (k, &i) in retries.iter().enumerate() {
                             let free = self.cluster.total_free_cpus();
                             if free == 0 {
@@ -289,13 +318,26 @@ impl DatacenterSim {
                                 break;
                             }
                             report.retry_attempts += 1;
-                            let cpus = self.trace.arrivals[i].cpus;
+                            let a = self.trace.arrivals[i];
+                            let cpus = a.cpus;
                             if cpus > free {
                                 self.delayed.push_back(i);
                                 self.delayed_min_cpus = self.delayed_min_cpus.min(cpus);
                                 continue;
                             }
+                            let shape = (cpus, a.ram.as_u64());
+                            if failed_shapes.contains(&shape) {
+                                self.delayed.push_back(i);
+                                self.delayed_min_cpus = self.delayed_min_cpus.min(cpus);
+                                continue;
+                            }
+                            let queued_before = self.delayed.len();
                             self.try_place(i, now, &mut queue, &mut report, true);
+                            if self.delayed.len() > queued_before {
+                                failed_shapes.insert(shape);
+                            } else {
+                                failed_shapes.clear();
+                            }
                         }
                     }
                     self.consolidate_live(now, &mut report);
@@ -335,7 +377,13 @@ impl DatacenterSim {
         }
         if self.enable_aggregate {
             if let Some(assignment) = self.fragbff.place_aggregate(&mut self.cluster, vm, req) {
-                self.live_aggregates.insert(i);
+                self.live_aggregates.insert(
+                    i,
+                    LiveAggregate {
+                        quiescent_at: 0,
+                        homes: assignment.parts.iter().map(|&(n, _)| n).collect(),
+                    },
+                );
                 report.aggregates += 1;
                 report.wait_times.push((vm, now.saturating_sub(a.at)));
                 if report.observed_vm.is_none() && self.observe_cpus == Some(a.cpus) {
@@ -367,12 +415,28 @@ impl DatacenterSim {
     }
 
     fn consolidate_live(&mut self, now: SimTime, report: &mut SimReport) {
-        let candidates: Vec<usize> = self.live_aggregates.iter().copied().collect();
-        for i in candidates {
+        // `retain` visits candidates in ascending arrival order (as the
+        // old explicit loop did); the map is taken out of `self` so the
+        // closure can borrow the cluster freely. Nothing inserts into
+        // `live_aggregates` while the pass runs.
+        let mut live = std::mem::take(&mut self.live_aggregates);
+        live.retain(|&i, agg| {
             let vm = VmId::from_usize(i);
+            // Skip the scan when every home node is untouched since the
+            // VM's last no-move consolidation: the outcome is a pure
+            // function of home-node state, so it would repeat verbatim.
+            if agg.quiescent_at != 0
+                && agg
+                    .homes
+                    .iter()
+                    .all(|&n| self.cluster.node_touched(n) <= agg.quiescent_at)
+            {
+                return true;
+            }
             let cmds = self.fragbff.consolidate(&mut self.cluster, vm);
             if cmds.is_empty() {
-                continue;
+                agg.quiescent_at = self.cluster.clock();
+                return true;
             }
             report.migrations += cmds.len() as u64;
             report.events.push(PlacementEvent {
@@ -380,11 +444,16 @@ impl DatacenterSim {
                 vm,
                 kind: PlacementKind::Migrated(cmds),
             });
-            // Fully consolidated VMs go back to plain BFF bookkeeping.
-            if self.cluster.nodes_of(vm).len() == 1 {
-                self.live_aggregates.remove(&i);
-            }
-        }
+            // The moves changed the home set; refresh the cache. Fully
+            // consolidated VMs go back to plain BFF bookkeeping, the rest
+            // stay unverified (a clamped partial move can leave further
+            // moves for the next pass, as the unconditional rescan did).
+            agg.homes.clear();
+            agg.homes.extend(self.cluster.home_nodes(vm));
+            agg.quiescent_at = 0;
+            agg.homes.len() > 1
+        });
+        self.live_aggregates = live;
     }
 
     fn maybe_sample(&mut self, now: SimTime, report: &mut SimReport) {

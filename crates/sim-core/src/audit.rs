@@ -191,6 +191,46 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                     );
                 }
             }
+            TraceEvent::DsmHitBatch {
+                at,
+                page,
+                len,
+                node,
+                write,
+            } => {
+                // Semantically `len` individual hits on consecutive pages:
+                // replay the same per-page checks the DsmHit arm applies.
+                for pg in page..page + len {
+                    if swapped.contains(&pg) {
+                        flag(
+                            i,
+                            at,
+                            "reclaim-swapped-access",
+                            format!("node {node} hit swapped-out page {pg} before its swap-in"),
+                        );
+                    }
+                    let Some(p) = pages.get(&pg) else { continue };
+                    if !p.sharers.contains(&node) {
+                        flag(
+                            i,
+                            at,
+                            "dsm-stale-read",
+                            format!("node {node} hit page {pg} without a valid copy"),
+                        );
+                    }
+                    if write && (p.owner != node || !p.exclusive) {
+                        flag(
+                            i,
+                            at,
+                            "dsm-stale-write",
+                            format!(
+                                "node {node} write-hit page {pg} (owner {}, exclusive {})",
+                                p.owner, p.exclusive
+                            ),
+                        );
+                    }
+                }
+            }
             TraceEvent::DsmFault { at, page, node, .. } => {
                 // The transition itself arrives as invalidate/transfer/grant
                 // events; the fault is context for debugging — except that

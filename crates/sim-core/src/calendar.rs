@@ -1,0 +1,255 @@
+//! A calendar (bucketed ladder) event queue.
+//!
+//! [`CalendarQueue`] is the default backend behind
+//! [`EventQueue`](crate::engine::EventQueue). It keeps the earliest "day"
+//! of events in a small binary heap (`active`) and spreads later days over
+//! a ring of width-`2^shift`-nanosecond buckets, with a heap-ordered
+//! `overflow` ladder for events beyond the bucket window (heartbeat
+//! timers, far-future departures). Push and pop are O(1) amortised once
+//! the queue is dense, versus O(log n) for a monolithic heap.
+//!
+//! # Ordering contract
+//!
+//! Pops are ordered by `(at, seq)` — exactly the order a
+//! `BinaryHeap<Scheduled<E>>` produces. The proof is short: every event
+//! whose day is `<= cur_day` lives in `active`, and every event in a
+//! bucket or in `overflow` has a strictly later day, hence a strictly
+//! later timestamp than anything in `active`. `active` is itself a heap
+//! on `(at, seq)`, so its minimum is the global minimum. Same-`at` events
+//! always share a day and therefore meet in `active`, where `seq`
+//! (insertion order) breaks the tie. The differential proptest in
+//! `tests/proptest_queue.rs` checks this against the reference heap.
+//!
+//! # Adaptivity
+//!
+//! The queue starts life as a plain heap (everything in `active`): small
+//! queues — a VM's per-vCPU timers — never pay calendar bookkeeping. Once
+//! occupancy reaches [`CALENDARIZE_AT`] the queue sizes its buckets from
+//! the observed span and density and re-tunes (rarely, with an op-count
+//! guard) when a day overloads or the overflow ladder dominates. Resizing
+//! never reorders pops: `(at, seq)` keys are unique and totally ordered,
+//! so the pop sequence is independent of the bucket geometry.
+
+use std::collections::BinaryHeap;
+
+use crate::engine::Scheduled;
+
+/// Occupancy at which a fresh queue switches from pure-heap to calendar
+/// mode. Below this a `BinaryHeap` is already cheap and the calendar's
+/// bookkeeping would be pure overhead.
+const CALENDARIZE_AT: usize = 2048;
+/// Bucket-count bounds (powers of two). The lower bound keeps the
+/// occupancy bitmap scan trivial; the upper bound caps rebuild cost and
+/// worst-case bitmap scans (16 Ki buckets = 256 words).
+const MIN_BUCKETS: usize = 1024;
+const MAX_BUCKETS: usize = 16_384;
+/// Width sizing aims for roughly this many events per day at re-tune
+/// time, keeping the `active` heap shallow.
+const TARGET_PER_DAY: u64 = 8;
+/// A loaded day larger than this triggers a re-tune towards narrower
+/// buckets (subject to the op-count guard).
+const OVERLOAD_DAY: usize = 512;
+
+pub(crate) struct CalendarQueue<E> {
+    /// Heap holding every event with `day <= cur_day`; its minimum is the
+    /// global minimum. Non-empty whenever `len > 0`.
+    active: BinaryHeap<Scheduled<E>>,
+    /// Day ring: bucket `day & (nbuckets-1)` holds day `day` while
+    /// `cur_day < day <= cur_day + nbuckets`. Each bucket holds exactly
+    /// one day's events at a time.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: Vec<u64>,
+    /// Events beyond the bucket window, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// log2 of the bucket width in nanoseconds; `day = at >> shift`.
+    shift: u32,
+    /// The day currently drained via `active`.
+    cur_day: u64,
+    len: usize,
+    /// Largest timestamp ever pushed (for span estimation at re-tune).
+    max_at: u64,
+    /// Pushes + pops since the last rebuild; re-tunes are allowed only
+    /// after `len` ops so rebuild cost stays amortised O(1).
+    ops_since_tune: usize,
+    calendarized: bool,
+}
+
+impl<E> CalendarQueue<E> {
+    pub(crate) fn new() -> Self {
+        CalendarQueue {
+            active: BinaryHeap::new(),
+            buckets: Vec::new(),
+            occupied: Vec::new(),
+            overflow: BinaryHeap::new(),
+            shift: 0,
+            cur_day: 0,
+            len: 0,
+            max_at: 0,
+            ops_since_tune: 0,
+            calendarized: false,
+        }
+    }
+
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::new();
+        q.active.reserve(cap);
+        q
+    }
+
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.active.reserve(additional);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn push(&mut self, s: Scheduled<E>) {
+        self.len += 1;
+        self.ops_since_tune += 1;
+        self.max_at = self.max_at.max(s.at.0);
+        if !self.calendarized {
+            self.active.push(s);
+            if self.len >= CALENDARIZE_AT {
+                self.retune();
+                self.calendarized = true;
+            }
+            return;
+        }
+        self.route(s);
+        if self.active.is_empty() {
+            // Keep the invariant "len > 0 implies active non-empty" so
+            // `peek`/`pop` stay O(1) reads of `active`.
+            self.advance();
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<E>> {
+        let s = self.active.pop()?;
+        self.len -= 1;
+        self.ops_since_tune += 1;
+        if self.len > 0 && self.active.is_empty() {
+            self.advance();
+        }
+        Some(s)
+    }
+
+    pub(crate) fn peek(&self) -> Option<&Scheduled<E>> {
+        self.active.peek()
+    }
+
+    /// Routes an event to `active`, its day bucket, or `overflow`.
+    /// Does not touch `len` (used by both `push` and rebuilds).
+    fn route(&mut self, s: Scheduled<E>) {
+        let day = s.at.0 >> self.shift;
+        let nb = self.buckets.len() as u64;
+        if day <= self.cur_day {
+            self.active.push(s);
+        } else if day - self.cur_day <= nb {
+            let idx = (day & (nb - 1)) as usize;
+            self.buckets[idx].push(s);
+            self.occupied[idx >> 6] |= 1 << (idx & 63);
+        } else {
+            self.overflow.push(s);
+        }
+    }
+
+    /// Moves the cursor to the next non-empty day and loads it into
+    /// `active`. Requires `len > 0` and `active` empty.
+    fn advance(&mut self) {
+        debug_assert!(self.calendarized && self.active.is_empty() && self.len > 0);
+        let nb = self.buckets.len() as u64;
+        let bucket_pos = self.scan_ring();
+        let bucket_day = bucket_pos.map(|p| self.buckets[p][0].at.0 >> self.shift);
+        let over_day = self.overflow.peek().map(|s| s.at.0 >> self.shift);
+        let next_day = match (bucket_day, over_day) {
+            (Some(b), Some(o)) => b.min(o),
+            (Some(b), None) => b,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("len > 0 but no event found"),
+        };
+        self.cur_day = next_day;
+        let mut loaded = 0;
+        if bucket_day == Some(next_day) {
+            let p = bucket_pos.expect("bucket day implies a position");
+            let v = std::mem::take(&mut self.buckets[p]);
+            self.occupied[p >> 6] &= !(1 << (p & 63));
+            loaded = v.len();
+            self.active = BinaryHeap::from(v);
+        }
+        // Pull overflow events that the new cursor brings into the window.
+        while let Some(top) = self.overflow.peek() {
+            if top.at.0 >> self.shift > self.cur_day + nb {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked");
+            self.route(s);
+        }
+        debug_assert!(!self.active.is_empty());
+        // Geometry drifted badly: a single day holds a big chunk of the
+        // queue (width too coarse) or most events sit in the overflow
+        // ladder (window too narrow). Re-tune at most once per `len` ops.
+        if self.ops_since_tune > self.len
+            && (loaded > OVERLOAD_DAY || self.overflow.len() > self.len / 2)
+        {
+            self.retune();
+        }
+    }
+
+    /// First occupied bucket position in ring order after the cursor
+    /// (i.e. the position holding the smallest day in the window).
+    fn scan_ring(&self) -> Option<usize> {
+        let nb = self.buckets.len();
+        let start = (self.cur_day as usize + 1) & (nb - 1);
+        let words = self.occupied.len();
+        let w0 = start >> 6;
+        let b0 = start & 63;
+        let first = self.occupied[w0] & (!0u64 << b0);
+        if first != 0 {
+            return Some((w0 << 6) | first.trailing_zeros() as usize);
+        }
+        for step in 1..=words {
+            let w = (w0 + step) % words;
+            let bits = if w == w0 {
+                self.occupied[w0] & !(!0u64 << b0)
+            } else {
+                self.occupied[w]
+            };
+            if bits != 0 {
+                return Some((w << 6) | bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Recomputes bucket width/count from the observed span and density,
+    /// then redistributes every event. Pop order is unaffected (the keys
+    /// are unique and totally ordered); only the geometry changes.
+    fn retune(&mut self) {
+        self.ops_since_tune = 0;
+        let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.len);
+        all.extend(self.active.drain());
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.extend(self.overflow.drain());
+        debug_assert_eq!(all.len(), self.len);
+
+        let min_at = all.iter().map(|s| s.at.0).min().unwrap_or(0);
+        let span = self.max_at.saturating_sub(min_at);
+        let width = (span / self.len.max(1) as u64)
+            .saturating_mul(TARGET_PER_DAY)
+            .max(1)
+            .next_power_of_two();
+        self.shift = width.trailing_zeros().min(40);
+        let nb = self.len.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        self.buckets = std::iter::repeat_with(Vec::new).take(nb).collect();
+        self.occupied = vec![0u64; nb / 64];
+        self.cur_day = min_at >> self.shift;
+        for s in all {
+            self.route(s);
+        }
+        debug_assert!(self.len == 0 || !self.active.is_empty());
+    }
+}

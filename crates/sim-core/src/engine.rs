@@ -5,10 +5,16 @@
 //! [`Ctx`] through which they may schedule further events. Ties are broken
 //! by insertion order (a monotonically increasing sequence number), which —
 //! together with [`crate::rng::DetRng`] — makes runs fully deterministic.
+//!
+//! The queue runs on a calendar/ladder structure by default
+//! ([`crate::calendar`]); the original `BinaryHeap` survives as
+//! [`EventQueue::reference_heap`] for A/B comparison and differential
+//! testing. Both produce the same pop order by construction.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::calendar::CalendarQueue;
 use crate::time::SimTime;
 
 /// A world that reacts to events of type `Self::Event`.
@@ -56,15 +62,24 @@ impl<E> Ctx<'_, E> {
     }
 }
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    ev: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) ev: E,
+}
+
+impl<E> Scheduled<E> {
+    /// The pop-priority key: earliest time first, then insertion order.
+    /// All comparison impls derive from this tuple so the payload can
+    /// never leak into the ordering.
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 
@@ -78,18 +93,29 @@ impl<E> PartialOrd for Scheduled<E> {
 
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the `BinaryHeap` (a max-heap) pops the earliest event;
-        // equal times fall back to insertion order for determinism.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // Reverse so a `BinaryHeap` (a max-heap) pops the smallest key.
+        other.key().cmp(&self.key())
     }
 }
 
+/// The queue backend: the calendar structure by default, with the
+/// original `BinaryHeap` kept as a reference implementation for A/B
+/// benchmarking and differential tests.
+enum QueueImpl<E> {
+    Calendar(CalendarQueue<E>),
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
 /// A time-ordered queue of pending events.
+///
+/// # Ordering contract (public)
+///
+/// Events pop in ascending `(time, insertion order)`: among events with
+/// equal timestamps, the one pushed first pops first (FIFO). Simulations
+/// rely on this for determinism; both backends uphold it and the
+/// differential proptest in `tests/proptest_queue.rs` enforces it.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    imp: QueueImpl<E>,
     seq: u64,
 }
 
@@ -100,11 +126,38 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue (calendar backend).
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            imp: QueueImpl::Calendar(CalendarQueue::new()),
             seq: 0,
+        }
+    }
+
+    /// Creates an empty queue pre-sized for `cap` pending events, so bulk
+    /// loads (e.g. a datacenter trace's arrivals) skip heap regrowth.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            imp: QueueImpl::Calendar(CalendarQueue::with_capacity(cap)),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue on the reference `BinaryHeap` backend.
+    /// Pop order is identical to [`EventQueue::new`]; this exists for A/B
+    /// benchmarking and differential testing.
+    pub fn reference_heap() -> Self {
+        EventQueue {
+            imp: QueueImpl::Heap(BinaryHeap::new()),
+            seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        match &mut self.imp {
+            QueueImpl::Calendar(c) => c.reserve(additional),
+            QueueImpl::Heap(h) => h.reserve(additional),
         }
     }
 
@@ -112,27 +165,42 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, ev: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, ev });
+        let s = Scheduled { at, seq, ev };
+        match &mut self.imp {
+            QueueImpl::Calendar(c) => c.push(s),
+            QueueImpl::Heap(h) => h.push(s),
+        }
     }
 
-    /// Pops the earliest event, if any.
+    /// Pops the earliest event, if any (FIFO among equal timestamps).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.ev))
+        match &mut self.imp {
+            QueueImpl::Calendar(c) => c.pop(),
+            QueueImpl::Heap(h) => h.pop(),
+        }
+        .map(|s| (s.at, s.ev))
     }
 
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        match &self.imp {
+            QueueImpl::Calendar(c) => c.peek(),
+            QueueImpl::Heap(h) => h.peek(),
+        }
+        .map(|s| s.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            QueueImpl::Calendar(c) => c.len(),
+            QueueImpl::Heap(h) => h.len(),
+        }
     }
 
     /// Returns true if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -155,6 +223,27 @@ impl<E> Engine<E> {
         Engine {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Creates an engine whose queue is pre-sized for `cap` pending
+    /// events (see [`EventQueue::with_capacity`]).
+    pub fn with_capacity(cap: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(cap),
+            delivered: 0,
+        }
+    }
+
+    /// Creates an engine on the reference `BinaryHeap` queue backend (see
+    /// [`EventQueue::reference_heap`]) — for A/B benchmarking only; pop
+    /// order is identical to [`Engine::new`].
+    pub fn reference_heap() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::reference_heap(),
             delivered: 0,
         }
     }
@@ -298,6 +387,84 @@ mod tests {
         eng.run_to_completion(&mut w);
         let order: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    /// The public FIFO contract: same-time pushes pop in insertion order,
+    /// on both backends, including after events in between.
+    #[test]
+    fn fifo_tie_break_is_a_public_contract() {
+        for mut q in [EventQueue::new(), EventQueue::reference_heap()] {
+            let t = SimTime::from_micros(7);
+            q.push(t, "first");
+            q.push(SimTime::from_micros(3), "early");
+            q.push(t, "second");
+            q.push(t, "third");
+            assert_eq!(q.pop(), Some((SimTime::from_micros(3), "early")));
+            assert_eq!(q.pop(), Some((t, "first")));
+            assert_eq!(q.pop(), Some((t, "second")));
+            assert_eq!(q.pop(), Some((t, "third")));
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    /// Push enough events to flip the calendar out of pure-heap mode and
+    /// spread them far enough apart to exercise buckets and the overflow
+    /// ladder; pops must come out sorted by (time, seq).
+    #[test]
+    fn calendar_mode_pops_sorted_under_wide_spread() {
+        let mut q = EventQueue::with_capacity(8192);
+        // Deterministic scatter: times jump around a multi-second span
+        // with same-time bursts every 16th push.
+        let mut t: u64 = 0;
+        for i in 0..8192u64 {
+            if i % 16 != 0 {
+                t = (t.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i)) % 5_000_000_000;
+            }
+            q.push(SimTime(t), i);
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        let mut prev_payload_at: Option<(SimTime, u64)> = None;
+        while let Some((at, payload)) = q.pop() {
+            assert!(at >= last.0, "time went backwards at pop {n}");
+            if let Some((pat, pseq)) = prev_payload_at {
+                if pat == at {
+                    assert!(payload > pseq, "FIFO violated within a tie");
+                }
+            }
+            prev_payload_at = Some((at, payload));
+            last = (at, payload);
+            n += 1;
+        }
+        assert_eq!(n, 8192);
+    }
+
+    /// Mini differential check: interleaved pushes and pops on the
+    /// calendar backend match the reference heap pop-for-pop (the full
+    /// randomized version lives in `tests/proptest_queue.rs`).
+    #[test]
+    fn interleaved_push_pop_matches_reference_heap() {
+        let mut cal = EventQueue::new();
+        let mut heap = EventQueue::reference_heap();
+        let mut t: u64 = 1;
+        for round in 0..64u64 {
+            for i in 0..100u64 {
+                t = (t.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(i)) % 1_000_000_000;
+                let payload = round * 1000 + i;
+                cal.push(SimTime(t), payload);
+                heap.push(SimTime(t), payload);
+            }
+            for _ in 0..60 {
+                assert_eq!(cal.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            assert_eq!(c, h);
+            if c.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

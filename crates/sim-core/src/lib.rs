@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+mod calendar;
 pub mod engine;
 pub mod fault;
 pub mod ids;

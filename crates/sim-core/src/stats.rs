@@ -173,7 +173,7 @@ impl TimeSeries {
 }
 
 /// An event counter with byte accounting, convertible to rates.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Meter {
     /// Number of events observed.
     pub events: u64,
@@ -221,7 +221,7 @@ impl Meter {
 }
 
 /// A small labelled collection of meters, keyed by a caller-chosen tag.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeterSet<K: Ord> {
     meters: BTreeMap<K, Meter>,
 }

@@ -53,6 +53,22 @@ pub enum TraceEvent {
         /// `true` for writes (which require exclusive ownership).
         write: bool,
     },
+    /// A run of consecutive same-node accesses hit valid local mappings
+    /// (no protocol action). Emitted by the batched access path in place
+    /// of `len` individual [`TraceEvent::DsmHit`] events; semantically
+    /// equivalent to hits on pages `page..page+len` in ascending order.
+    DsmHitBatch {
+        /// Clock hint (ns).
+        at: u64,
+        /// First page id of the run.
+        page: u64,
+        /// Number of consecutive pages hit.
+        len: u64,
+        /// Accessing node.
+        node: u32,
+        /// `true` for writes (which require exclusive ownership).
+        write: bool,
+    },
     /// An access faulted; the directory transition was applied eagerly.
     DsmFault {
         /// Clock hint (ns).
@@ -407,6 +423,7 @@ impl TraceEvent {
         match *self {
             DsmAlloc { at, .. }
             | DsmHit { at, .. }
+            | DsmHitBatch { at, .. }
             | DsmFault { at, .. }
             | DsmInvalidate { at, .. }
             | DsmOwnerTransfer { at, .. }
@@ -456,6 +473,15 @@ impl TraceEvent {
                 write,
             } => format!(
                 r#"{{"ev":"dsm_hit","at":{at},"page":{page},"node":{node},"write":{write}}}"#
+            ),
+            DsmHitBatch {
+                at,
+                page,
+                len,
+                node,
+                write,
+            } => format!(
+                r#"{{"ev":"dsm_hit_batch","at":{at},"page":{page},"len":{len},"node":{node},"write":{write}}}"#
             ),
             DsmFault {
                 at,

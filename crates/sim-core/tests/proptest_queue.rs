@@ -1,0 +1,109 @@
+//! Differential property test: the calendar event queue must pop exactly
+//! the same `(time, payload)` sequence as the reference `BinaryHeap`
+//! backend over arbitrary push/pop interleavings — including same-time
+//! bursts (zero-delta events), far-future pushes that land in the
+//! overflow ladder, and enough volume to flip the calendar out of its
+//! pure-heap startup mode.
+//!
+//! This is the contract that makes swapping the backend safe: `(at, seq)`
+//! keys are unique and totally ordered, so any correct implementation
+//! produces one specific pop sequence.
+
+use proptest::prelude::*;
+use sim_core::engine::EventQueue;
+use sim_core::time::SimTime;
+
+/// One step of an interleaving: push an event at a time offset, or pop.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Push at `base + delta` where `delta` may be zero (tie burst) or
+    /// huge (overflow ladder territory).
+    Push(u64),
+    Pop,
+    /// Pop `n` times in a row (drains deep into bucket advances).
+    PopMany(u8),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        // Dense near-term pushes: deltas within a few bucket widths.
+        (0u64..1_000_000).prop_map(Step::Push),
+        // Zero-delta events (exact ties with the running base time).
+        Just(Step::Push(0)),
+        // Far-future pushes: seconds-to-minutes ahead, exercising the
+        // overflow ladder and window redistribution on advance.
+        (1_000_000_000u64..120_000_000_000).prop_map(Step::Push),
+        (0u64..1_000_000).prop_map(Step::Push),
+        Just(Step::Pop),
+        (1u8..40).prop_map(Step::PopMany),
+    ]
+}
+
+/// Runs an interleaving against both backends and asserts pop-for-pop
+/// equality. `base` advances with every push so schedules drift forward
+/// like real simulations do.
+fn run_differential(steps: &[Step]) -> Result<(), TestCaseError> {
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: EventQueue<u64> = EventQueue::reference_heap();
+    let mut base: u64 = 0;
+    let mut payload: u64 = 0;
+    for s in steps {
+        match s {
+            Step::Push(delta) => {
+                // Every 7th push repeats the previous timestamp exactly,
+                // forcing FIFO tie-breaks independent of `delta`.
+                if !payload.is_multiple_of(7) {
+                    base = base.wrapping_add(*delta) % 600_000_000_000;
+                }
+                cal.push(SimTime(base), payload);
+                heap.push(SimTime(base), payload);
+                payload += 1;
+            }
+            Step::Pop => {
+                prop_assert_eq!(cal.pop(), heap.pop());
+                prop_assert_eq!(cal.len(), heap.len());
+            }
+            Step::PopMany(n) => {
+                for _ in 0..*n {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+            }
+        }
+        prop_assert_eq!(cal.peek_time(), heap.peek_time());
+    }
+    // Drain both to the end.
+    loop {
+        let (c, h) = (cal.pop(), heap.pop());
+        prop_assert_eq!(c, h);
+        if c.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random interleavings pop identically on both backends.
+    #[test]
+    fn calendar_matches_heap(steps in proptest::collection::vec(step(), 1..400)) {
+        run_differential(&steps)?;
+    }
+
+    /// Push-heavy interleavings that cross the calendarization threshold
+    /// (several thousand live events) and then drain completely.
+    #[test]
+    fn calendar_matches_heap_at_scale(
+        deltas in proptest::collection::vec(0u64..50_000_000, 3000..4000),
+        far in proptest::collection::vec(1_000_000_000u64..300_000_000_000, 0..64),
+    ) {
+        let mut steps: Vec<Step> = deltas.into_iter().map(Step::Push).collect();
+        // Sprinkle far-future events at deterministic positions.
+        for (i, f) in far.into_iter().enumerate() {
+            steps.insert((i * 53) % steps.len(), Step::Push(f));
+        }
+        steps.push(Step::PopMany(200));
+        run_differential(&steps)?;
+    }
+}
