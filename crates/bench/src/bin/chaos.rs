@@ -1,0 +1,6 @@
+//! Chaos-soak harness; see `DESIGN.md` §14. Fails (panics) on any audit
+//! violation or replay divergence. `CHAOS_SMOKE=1` runs the 8-seed CI cut.
+
+fn main() {
+    bench_harness::experiments::chaos_soak().print();
+}

@@ -1,0 +1,5 @@
+//! Extension experiment beyond the paper's figures; see `DESIGN.md` §14.
+
+fn main() {
+    bench_harness::experiments::partition_study().print();
+}

@@ -112,6 +112,7 @@ fn run(p: &Point) -> Outcome {
         }
     }
     let cfg = FailureConfig {
+        monitor: NodeId::new(0),
         heartbeat_interval: SimTime::from_millis(p.heartbeat_ms),
         miss_threshold: 3,
         restore_to: NodeId::new(0),

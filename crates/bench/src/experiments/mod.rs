@@ -13,6 +13,7 @@
 //! (and the JSON/Markdown rendered from it) is byte-identical to [`all`].
 
 mod apps;
+mod chaos;
 mod corebench;
 mod extensions;
 mod fault_recovery;
@@ -20,12 +21,14 @@ mod io;
 mod memelastic;
 mod micro;
 mod npb;
+mod partition;
 mod qos;
 mod resilience;
 mod scale;
 mod sched;
 
 pub use apps::{fig12_lemp, fig13_openlambda};
+pub use chaos::chaos_soak;
 pub use corebench::{
     dsm_batch_scan, dsm_drain, dsm_hit_storm, fragbff_replay, queue_churn, CoreSizes, QueueBackend,
 };
@@ -38,6 +41,7 @@ pub use io::{fig06_net_delegation, fig07_storage_delegation};
 pub use memelastic::memory_pressure_study;
 pub use micro::{fig01_sharing_study, fig04_dsm_fault_overhead, fig05_concurrent_writes};
 pub use npb::{fig08_npb_overcommit, fig09_npb_giantvm, fig10_guest_opts};
+pub use partition::partition_study;
 pub use qos::qos_fabric_study;
 pub use resilience::fig11_checkpoint;
 pub use scale::{

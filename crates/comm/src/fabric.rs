@@ -123,10 +123,14 @@ pub struct Message {
     pub class: MsgClass,
     /// Scheduling urgency (see [`Urgency`]).
     pub urgency: Urgency,
+    /// The sender's cluster epoch, if it tags its traffic (Control and
+    /// DSM messages do once a failure detector runs). Receivers fence
+    /// stale senders on it; the fabric itself carries it opaquely.
+    pub epoch: Option<u64>,
 }
 
 impl Message {
-    /// A message with [`Urgency::Normal`].
+    /// A message with [`Urgency::Normal`] and no epoch tag.
     pub fn new(src: NodeId, dst: NodeId, size: ByteSize, class: MsgClass) -> Self {
         Message {
             src,
@@ -134,6 +138,7 @@ impl Message {
             size,
             class,
             urgency: Urgency::Normal,
+            epoch: None,
         }
     }
 
@@ -141,6 +146,12 @@ impl Message {
     /// strict-priority tier.
     pub fn urgent(mut self) -> Self {
         self.urgency = Urgency::Critical;
+        self
+    }
+
+    /// Tags the message with the sender's cluster epoch.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = Some(epoch);
         self
     }
 
@@ -481,7 +492,12 @@ impl Fabric {
         let mut attempt: u32 = 0;
         loop {
             let dst_dead = inj.crashed(dst.0, t);
-            let verdict = if dst_dead {
+            // A send crossing an active partition cut is lost with
+            // certainty. `severed` is a pure plan lookup, and a severed
+            // send never reaches `disrupt`, so partitions neither consume
+            // nor shift the degradation draw stream.
+            let severed = !dst_dead && inj.severed(src.0, dst.0, t);
+            let verdict = if dst_dead || severed {
                 Disruption {
                     drop: true,
                     ..Disruption::default()
@@ -510,11 +526,12 @@ impl Fabric {
                 return Ok(delivery);
             }
             self.dropped += 1;
-            if !dst_dead {
+            if !dst_dead && !severed {
                 // Genuine link loss. A send to a crashed node emits no
-                // drop event: the `NodeCrash` already explains it, and
-                // the audit's loss-free-plan detector rule keys off
-                // `FabricDrop`/`LinkDegrade` presence.
+                // drop event (the `NodeCrash` already explains it), and
+                // neither does a severed send (the `PartitionStart`
+                // does); the audit's loss-free-plan detector rule keys
+                // off `FabricDrop`/`LinkDegrade` presence.
                 self.tracer.emit_with(|| TraceEvent::FabricDrop {
                     at: t.as_nanos(),
                     src: src.0,
@@ -523,7 +540,7 @@ impl Fabric {
                 });
             }
             if !retriable {
-                return Err(if dst_dead {
+                return Err(if dst_dead || severed {
                     FabricError::Timeout { src, dst, class }
                 } else {
                     FabricError::Dropped { src, dst, class }
@@ -755,6 +772,51 @@ mod tests {
         assert_eq!(f.messages_sent(), 3);
         f.reset_stats();
         assert_eq!(f.messages_sent(), 0);
+    }
+
+    #[test]
+    fn partitioned_sends_time_out_without_drop_events() {
+        use sim_core::fault::FaultPlan;
+        let mut f = Fabric::homogeneous(4, test_profile());
+        f.inject_faults(FaultPlan::scripted(1).partition(
+            vec![2, 3],
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        ));
+        let tracer = Tracer::ring(256);
+        f.attach_tracer(tracer.clone());
+        // Bulk traffic across the cut fails terminally (no point retrying
+        // at the caller's backoff scale).
+        let err = f
+            .send(SimTime::ZERO, msg(0, 2, 4096, MsgClass::Dsm))
+            .unwrap_err();
+        assert!(matches!(err, FabricError::Timeout { .. }));
+        // Priority traffic retries, then times out; retries were charged.
+        let err = f
+            .send(SimTime::ZERO, msg(0, 3, 64, MsgClass::Control))
+            .unwrap_err();
+        assert!(matches!(err, FabricError::Timeout { .. }));
+        assert!(f.retry_attempts() > 0);
+        // Traffic wholly on either side of the cut still flows.
+        assert!(f.send(SimTime::ZERO, msg(2, 3, 64, MsgClass::Dsm)).is_ok());
+        assert!(f.send(SimTime::ZERO, msg(0, 1, 64, MsgClass::Dsm)).is_ok());
+        // After the heal, cross-cut traffic flows again.
+        assert!(f
+            .send(SimTime::from_millis(10), msg(0, 2, 64, MsgClass::Dsm))
+            .is_ok());
+        // Severed losses are explained by the partition, not FabricDrop
+        // (which would disarm the audit's false-dead detector rule).
+        let events = tracer.snapshot();
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FabricDrop { .. })));
+    }
+
+    #[test]
+    fn epoch_tag_rides_the_message() {
+        let m = msg(0, 1, 64, MsgClass::Control).with_epoch(7);
+        assert_eq!(m.epoch, Some(7));
+        assert_eq!(msg(0, 1, 64, MsgClass::Control).epoch, None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! The directory is built for speed on the simulator's hottest path: every
 //! remote access in every figure experiment walks [`Dsm::access`].
 //!
-//! * Page state lives in a dense **struct-of-arrays slab** ([`PageTable`])
+//! * Page state lives in a dense **struct-of-arrays slab** (`PageTable`)
 //!   indexed directly by page number — pages are dense per-VM, so the
 //!   SipHash lookup a `HashMap` would pay on every access becomes a bounds
 //!   check and an array read. The access-path fields (owner, mode, sharer
@@ -111,6 +111,9 @@ struct Chunk {
     gen: Vec<u64>,
     class: Vec<PageClass>,
     busy_until: Vec<SimTime>,
+    /// Cluster epoch at the last ownership grant: a copy granted before a
+    /// fence is provably stale relative to any re-grant after it.
+    epoch: Vec<u64>,
 }
 
 impl Chunk {
@@ -124,6 +127,7 @@ impl Chunk {
             gen: vec![0; CHUNK],
             class: vec![PageClass::Private; CHUNK],
             busy_until: vec![SimTime::ZERO; CHUNK],
+            epoch: vec![0; CHUNK],
         })
     }
 }
@@ -266,6 +270,16 @@ impl PageTable {
         self.chunk_mut(idx).busy_until[idx & (CHUNK - 1)] = v;
     }
 
+    #[inline]
+    fn epoch(&self, idx: usize) -> u64 {
+        self.chunk(idx).map_or(0, |c| c.epoch[idx & (CHUNK - 1)])
+    }
+
+    #[inline]
+    fn set_epoch(&mut self, idx: usize, v: u64) {
+        self.chunk_mut(idx).epoch[idx & (CHUNK - 1)] = v;
+    }
+
     /// Indices of all present entries, ascending (verification paths only).
     fn iter_present(&self) -> impl Iterator<Item = usize> + '_ {
         self.chunks.iter().enumerate().flat_map(|(ci, c)| {
@@ -389,6 +403,11 @@ pub enum Resolution {
     Hit,
     /// The access faults; the executor must play out the plan.
     Fault(FaultPlan),
+    /// The accessing node is fenced at a stale epoch: the directory
+    /// refused the access without mutating any state. The caller charges
+    /// a stall; the guest's effect is discarded (split-brain minority
+    /// semantics — the write can never corrupt re-granted pages).
+    Rejected,
 }
 
 /// Outcome of a batched run of accesses ([`Dsm::access_batch`]).
@@ -401,6 +420,9 @@ pub struct BatchOutcome {
     /// directory transitions are already applied; the executor costs each
     /// plan exactly as it would a plan from [`Dsm::access`].
     pub faults: Vec<FaultPlan>,
+    /// Accesses rejected because the node is fenced at a stale epoch
+    /// (all-or-nothing: a fenced node's whole batch is rejected).
+    pub rejected: u64,
 }
 
 /// DSM configuration knobs.
@@ -460,6 +482,15 @@ pub struct Dsm {
     /// (transitions apply eagerly); the fault executor updates this via
     /// [`Dsm::set_clock`] so traces carry the triggering access's time.
     clock: SimTime,
+    /// Cluster epoch: bumped by the failure detector on every declaration
+    /// ([`Dsm::bump_epoch`]); grants stamp it onto pages.
+    cluster_epoch: u64,
+    /// Per-node believed epoch, grown on demand. A node absent from the
+    /// table is implicitly current (it syncs on every bump).
+    node_epoch: Vec<u64>,
+    /// Nodes fenced at a stale epoch: every access they issue is rejected
+    /// until [`Dsm::rejoin_node`] resyncs them.
+    fenced: Vec<bool>,
 }
 
 impl Dsm {
@@ -473,6 +504,9 @@ impl Dsm {
             stats: DsmStats::default(),
             tracer: Tracer::disabled(),
             clock: SimTime::ZERO,
+            cluster_epoch: 0,
+            node_epoch: Vec::new(),
+            fenced: Vec::new(),
         }
     }
 
@@ -489,6 +523,133 @@ impl Dsm {
     /// The configuration in force.
     pub fn config(&self) -> DsmConfig {
         self.config
+    }
+
+    /// The current cluster epoch.
+    pub fn cluster_epoch(&self) -> u64 {
+        self.cluster_epoch
+    }
+
+    /// The epoch `node` believes in. Lags [`Dsm::cluster_epoch`] exactly
+    /// while the node is fenced.
+    pub fn node_epoch(&self, node: NodeId) -> u64 {
+        self.node_epoch
+            .get(node.index())
+            .copied()
+            .unwrap_or(self.cluster_epoch)
+    }
+
+    /// Whether `node` is fenced at a stale epoch (every access rejected).
+    pub fn is_fenced(&self, node: NodeId) -> bool {
+        self.fenced.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// The cluster epoch stamped at the page's last grant, if allocated.
+    pub fn page_epoch(&self, page: PageId) -> Option<u64> {
+        let idx = page.index();
+        self.pt.present(idx).then(|| self.pt.epoch(idx))
+    }
+
+    /// Bumps the cluster epoch for the declaration of `dead`: every live
+    /// node syncs to the new epoch, `dead` is fenced at the epoch it last
+    /// believed in, and an [`TraceEvent::EpochBump`] is emitted. Returns
+    /// the new epoch.
+    ///
+    /// Called by the failure detector on every `NodeDeclaredDead`
+    /// (crashed *and* partitioned nodes alike — the detector cannot tell
+    /// them apart, which is the whole point of fencing). Idempotent per
+    /// declaration, not per node: declaring two nodes dead bumps twice.
+    pub fn bump_epoch(&mut self, dead: NodeId) -> u64 {
+        let prev = self.cluster_epoch;
+        self.cluster_epoch += 1;
+        let epoch = self.cluster_epoch;
+        let di = dead.index();
+        if self.fenced.len() <= di {
+            self.fenced.resize(di + 1, false);
+        }
+        if self.node_epoch.len() <= di {
+            self.node_epoch.resize(di + 1, prev);
+        }
+        for (i, e) in self.node_epoch.iter_mut().enumerate() {
+            if i != di && !self.fenced.get(i).copied().unwrap_or(false) {
+                *e = epoch;
+            }
+        }
+        // The dead node keeps whatever epoch it last synced to.
+        self.fenced[di] = true;
+        self.stats.epoch_bumps += 1;
+        self.tracer.emit_with(|| TraceEvent::EpochBump {
+            at: self.clock.as_nanos(),
+            epoch,
+            dead: dead.0,
+        });
+        epoch
+    }
+
+    /// Rejoins a fenced node after its partition healed: any copy it
+    /// still holds is discarded (it cannot know what changed behind the
+    /// fence), its epoch resyncs to the cluster epoch, and it returns to
+    /// service as a donor. Emits one [`TraceEvent::DsmInvalidate`] per
+    /// discarded copy and a closing [`TraceEvent::NodeRejoin`]. Returns
+    /// `(epoch, discarded)`.
+    ///
+    /// A node that was quarantined at declaration holds nothing, so
+    /// `discarded` is usually 0; the discard sweep covers the window
+    /// where a heal lands between fence and quarantine.
+    pub fn rejoin_node(&mut self, node: NodeId) -> (u64, u64) {
+        let i = node.index();
+        let epoch = self.cluster_epoch;
+        let was_fenced = self.is_fenced(node);
+        if i < self.fenced.len() {
+            self.fenced[i] = false;
+        }
+        if self.node_epoch.len() <= i {
+            self.node_epoch.resize(i + 1, epoch);
+        }
+        self.node_epoch[i] = epoch;
+        let mut discarded = 0u64;
+        if was_fenced && i < self.nodes.len() {
+            let at = self.clock.as_nanos();
+            let mut log = std::mem::take(&mut self.nodes[i].log);
+            sort_dedup(&mut log);
+            for e in log {
+                let idx = e.page.index();
+                if !self.pt.present(idx) || !self.pt.sharers(idx).contains(node.0) {
+                    continue;
+                }
+                if self.pt.owner(idx) == node.0 {
+                    // Never discard a master copy: if the heal landed
+                    // before quarantine re-homed the node's pages, the
+                    // only valid data still lives here. Keep its log
+                    // entry so drain/quarantine can still find it.
+                    let stamp = self.pt.gen(idx);
+                    self.nodes[i].log.push(LogEntry {
+                        page: e.page,
+                        stamp,
+                    });
+                    continue;
+                }
+                self.pt.sharers_mut(idx).remove(node.0);
+                self.pt.bump_gen(idx);
+                self.nodes[i].cached -= 1;
+                discarded += 1;
+                let pg = u64::from(e.page.0);
+                self.tracer.emit_with(|| TraceEvent::DsmInvalidate {
+                    at,
+                    page: pg,
+                    node: node.0,
+                });
+            }
+        }
+        self.stats.rejoins += 1;
+        self.tracer.emit_with(|| TraceEvent::NodeRejoin {
+            at: self.clock.as_nanos(),
+            node: node.0,
+            epoch,
+            discarded,
+        });
+        debug_assert!(self.verify_indices().is_ok(), "{:?}", self.verify_indices());
+        (epoch, discarded)
     }
 
     /// Declares a page, backed on `home` (first-touch allocation). A page
@@ -510,6 +671,7 @@ impl Dsm {
         self.pt.sharers_mut(idx).insert(home.0);
         self.pt.set_class(idx, class);
         self.pt.set_busy_until(idx, SimTime::ZERO);
+        self.pt.set_epoch(idx, self.cluster_epoch);
         let stamp = self.pt.bump_gen(idx);
         self.pt.live += 1;
         let ni = slot(&mut self.nodes, home);
@@ -590,6 +752,11 @@ impl Dsm {
         access: Access,
         class_on_alloc: PageClass,
     ) -> Resolution {
+        if self.is_fenced(node) {
+            // A fenced node mutates nothing — not even a first touch.
+            self.reject_stale(node, page);
+            return Resolution::Rejected;
+        }
         let idx = page.index();
         if !self.pt.present(idx) {
             // First touch: allocate locally, no protocol traffic.
@@ -658,6 +825,18 @@ impl Dsm {
         class_on_alloc: PageClass,
         home_on_alloc: Option<NodeId>,
     ) -> BatchOutcome {
+        if self.is_fenced(node) {
+            // All-or-nothing: the whole batch is rejected, one event per
+            // page, exactly as the sequential path would emit.
+            for i in 0..len {
+                self.reject_stale(node, PageId::new(start.0 + i));
+            }
+            return BatchOutcome {
+                hits: 0,
+                faults: Vec::new(),
+                rejected: u64::from(len),
+            };
+        }
         let mut hits = 0u64;
         let mut faults = Vec::new();
         // Current aggregated hit run: (first page, length).
@@ -705,7 +884,11 @@ impl Dsm {
             faults.push(plan);
         }
         self.flush_hit_run(&mut run, node, write, at);
-        BatchOutcome { hits, faults }
+        BatchOutcome {
+            hits,
+            faults,
+            rejected: 0,
+        }
     }
 
     /// Emits the pending aggregated hit-run event, if any.
@@ -721,6 +904,19 @@ impl Dsm {
         }
     }
 
+    /// Records (stats + trace) the rejection of one access from a fenced
+    /// node. No directory state is touched.
+    fn reject_stale(&mut self, node: NodeId, page: PageId) {
+        self.stats.stale_rejections += 1;
+        self.tracer.emit_with(|| TraceEvent::StaleEpochRejected {
+            at: self.clock.as_nanos(),
+            node: node.0,
+            page: u64::from(page.0),
+            node_epoch: self.node_epoch(node),
+            cluster_epoch: self.cluster_epoch,
+        });
+    }
+
     /// Applies the read-miss transition (fetch a shared copy from the
     /// owner) and returns the plan. The caller has established that the
     /// page is present and `node` holds no copy.
@@ -732,6 +928,7 @@ impl Dsm {
         let owner = NodeId::new(self.pt.owner(idx));
         self.pt.set_mode(idx, Mode::Shared);
         self.pt.sharers_mut(idx).insert(node.0);
+        self.pt.set_epoch(idx, self.cluster_epoch);
         let stamp = self.pt.bump_gen(idx);
         let ni = slot(&mut self.nodes, node);
         ni.cached += 1;
@@ -870,6 +1067,7 @@ impl Dsm {
         self.pt.set_mode(idx, Mode::Exclusive);
         self.pt.sharers_mut(idx).clear();
         self.pt.sharers_mut(idx).insert(node.0);
+        self.pt.set_epoch(idx, self.cluster_epoch);
         let stamp = self.pt.bump_gen(idx);
         if let Some(last) = self.nodes[node.index()].log.last_mut() {
             if last.page == page && last.stamp == 0 {
@@ -1334,6 +1532,7 @@ impl Dsm {
                 self.pt.set_owner(idx, restore_home.0);
                 self.pt.set_mode(idx, Mode::Exclusive);
                 self.pt.set_sharers(idx, NodeSet::singleton(restore_home.0));
+                self.pt.set_epoch(idx, self.cluster_epoch);
                 let stamp = self.pt.bump_gen(idx);
                 let nh = &mut self.nodes[restore_home.index()];
                 nh.owned += 1;
@@ -1422,6 +1621,36 @@ impl Dsm {
             node: node.0,
             exclusive: true,
         });
+    }
+
+    /// Deliberately applies a write from an epoch-fenced node as if the
+    /// fence were not checked: the stale node takes exclusive ownership
+    /// without the surviving copies being invalidated — exactly the
+    /// split-brain a partition would cause without epoch fencing.
+    ///
+    /// Exists only so tests can prove the trace auditor catches unfenced
+    /// stale-epoch mutations; never call it from protocol code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown or `node` is not fenced.
+    #[doc(hidden)]
+    pub fn corrupt_stale_epoch_write(&mut self, page: PageId, node: NodeId) {
+        assert!(
+            self.is_fenced(node),
+            "corrupt_stale_epoch_write needs a fenced node"
+        );
+        let at = self.clock.as_nanos();
+        let pg = u64::from(page.0);
+        // The mutation the fence should have blocked, announced the way
+        // the real write path would announce it.
+        self.tracer.emit_with(|| TraceEvent::DsmFault {
+            at,
+            page: pg,
+            node: node.0,
+            kind: "write_remote",
+        });
+        self.corrupt_grant_exclusive(page, node);
     }
 
     /// Protocol statistics.
@@ -1570,7 +1799,7 @@ mod tests {
             Resolution::Fault(plan) => {
                 assert_eq!(plan.kind, FaultKind::ReadRemote { owner: n(0) });
             }
-            Resolution::Hit => panic!("expected fault"),
+            r => panic!("expected fault, got {r:?}"),
         }
         assert_eq!(d.mode(p(1)), Some(Mode::Shared));
         assert!(d.is_cached(p(1), n(0)));
@@ -1595,7 +1824,7 @@ mod tests {
                     }
                 );
             }
-            Resolution::Hit => panic!("expected upgrade fault"),
+            r => panic!("expected upgrade fault, got {r:?}"),
         }
         assert_eq!(d.mode(p(1)), Some(Mode::Exclusive));
         assert!(!d.is_cached(p(1), n(1)));
@@ -1617,7 +1846,7 @@ mod tests {
                 }
                 k => panic!("unexpected {k:?}"),
             },
-            Resolution::Hit => panic!("expected fault"),
+            r => panic!("expected fault, got {r:?}"),
         }
         assert_eq!(d.owner(p(1)), Some(n(3)));
         assert_eq!(d.mode(p(1)), Some(Mode::Exclusive));
@@ -2000,6 +2229,7 @@ mod tests {
             match seq.access_classified(n(1), p(i), access, PageClass::KernelData) {
                 Resolution::Hit => seq_hits += 1,
                 Resolution::Fault(f) => seq_faults.push(f),
+                Resolution::Rejected => panic!("nothing is fenced here"),
             }
         }
         let out = bat.access_batch(n(1), p(0), 48, access, PageClass::KernelData, None);
@@ -2036,7 +2266,7 @@ mod tests {
             seq.ensure_page(p(i), n(0), PageClass::Private);
             match seq.access_classified(n(1), p(i), Access::Read, PageClass::Private) {
                 Resolution::Fault(_) => {}
-                Resolution::Hit => panic!("remote read must fault"),
+                r => panic!("remote read must fault, got {r:?}"),
             }
         }
         let out = bat.access_batch(n(1), p(0), 16, Access::Read, PageClass::Private, Some(n(0)));
@@ -2125,5 +2355,96 @@ mod tests {
                 "only the restore target holds pages"
             );
         }
+    }
+
+    #[test]
+    fn fenced_node_is_rejected_without_touching_the_directory() {
+        use sim_core::trace::Tracer;
+        let tracer = Tracer::ring(1024);
+        let mut d = dsm();
+        d.attach_tracer(tracer.clone());
+        d.ensure_page(p(0), n(0), PageClass::Private);
+        let _ = d.access(n(1), p(0), Access::Read);
+        assert_eq!(d.cluster_epoch(), 0);
+        assert_eq!(d.bump_epoch(n(1)), 1);
+        assert!(d.is_fenced(n(1)));
+        assert_eq!(d.node_epoch(n(1)), 0, "fenced at the pre-bump epoch");
+        assert_eq!(d.node_epoch(n(0)), 1, "survivors track the new epoch");
+        // Reads, writes, and first touches are all refused...
+        assert_eq!(d.access(n(1), p(0), Access::Read), Resolution::Rejected);
+        assert_eq!(d.access(n(1), p(0), Access::Write), Resolution::Rejected);
+        assert_eq!(d.access(n(1), p(9), Access::Write), Resolution::Rejected);
+        assert!(!d.contains(p(9)), "no first-touch allocation while fenced");
+        // ...including batched ones.
+        let out = d.access_batch(n(1), p(0), 4, Access::Write, PageClass::Private, Some(n(0)));
+        assert_eq!((out.hits, out.faults.len(), out.rejected), (0, 0, 4));
+        assert_eq!(d.stats().stale_rejections, 7);
+        // The directory never moved: n0 still owns, n1 still shares p0.
+        assert_eq!(d.owner(p(0)), Some(n(0)));
+        assert!(d.is_cached(p(0), n(1)));
+        let events = tracer.snapshot();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::StaleEpochRejected { .. }))
+                .count(),
+            7
+        );
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejoin_discards_stale_copies_and_restores_access() {
+        let mut d = dsm();
+        d.ensure_page(p(0), n(0), PageClass::Private);
+        d.ensure_page(p(1), n(1), PageClass::Private);
+        let _ = d.access(n(1), p(0), Access::Read); // Stale shared copy.
+        d.bump_epoch(n(1));
+        assert_eq!(d.access(n(1), p(0), Access::Read), Resolution::Rejected);
+        let (epoch, discarded) = d.rejoin_node(n(1));
+        assert_eq!(epoch, 1);
+        assert_eq!(discarded, 1, "the shared copy of p0 is dropped");
+        assert!(!d.is_fenced(n(1)));
+        assert_eq!(d.node_epoch(n(1)), 1);
+        assert!(!d.is_cached(p(0), n(1)));
+        assert_eq!(d.owner(p(1)), Some(n(1)), "owned pages stay put");
+        // Access is live again and re-fetches the discarded copy.
+        assert!(matches!(
+            d.access(n(1), p(0), Access::Read),
+            Resolution::Fault(_)
+        ));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grants_are_stamped_with_the_granting_epoch() {
+        let mut d = dsm();
+        d.ensure_page(p(0), n(0), PageClass::Private);
+        assert_eq!(d.page_epoch(p(0)), Some(0));
+        d.bump_epoch(n(2));
+        let _ = d.access(n(1), p(0), Access::Write);
+        assert_eq!(d.page_epoch(p(0)), Some(1), "transfer restamps");
+        d.ensure_page(p(1), n(0), PageClass::Private);
+        assert_eq!(d.page_epoch(p(1)), Some(1), "alloc stamps current epoch");
+        d.bump_epoch(n(1));
+        let restored = d.quarantine_node(n(1), n(0));
+        assert_eq!(restored, 1, "p0 re-homed");
+        assert_eq!(d.page_epoch(p(0)), Some(2), "quarantine restamps");
+    }
+
+    #[test]
+    fn unfenced_stale_write_is_caught_by_the_auditor() {
+        use sim_core::trace::Tracer;
+        let tracer = Tracer::ring(1024);
+        let mut d = dsm();
+        d.attach_tracer(tracer.clone());
+        d.ensure_page(p(0), n(0), PageClass::Private);
+        let _ = d.access(n(1), p(0), Access::Read);
+        d.bump_epoch(n(1));
+        // Apply the minority write WITHOUT the fence check: n1 grabs
+        // exclusive ownership while n0 still believes it owns the page.
+        d.corrupt_stale_epoch_write(p(0), n(1));
+        let v = sim_core::audit::audit(&tracer.snapshot());
+        assert!(v.iter().any(|v| v.rule == "epoch-stale-mutation"), "{v:?}");
     }
 }

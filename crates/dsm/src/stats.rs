@@ -27,6 +27,12 @@ pub struct DsmStats {
     pub evictions: u64,
     /// Pages discarded outright by memory reclaim (balloon / deflate).
     pub releases: u64,
+    /// Accesses rejected because the issuing node was epoch-fenced.
+    pub stale_rejections: u64,
+    /// Cluster-epoch bumps (one per node declared dead).
+    pub epoch_bumps: u64,
+    /// Fenced nodes readmitted at the current epoch.
+    pub rejoins: u64,
     /// Faults per page class.
     pub per_class: MeterSet<PageClass>,
 }

@@ -28,11 +28,22 @@ use sim_core::units::Bandwidth;
 /// Heartbeat failure detector + recovery parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureConfig {
+    /// Node hosting the failure detector (probes every other slice).
+    ///
+    /// Seeded fault plans ([`sim_core::fault::FaultPlan::seeded`] /
+    /// `chaotic`) take the same monitor index and spare it from crashes
+    /// and partitions: a cut-off monitor would mass-declare the peers it
+    /// can no longer reach, and the quorum protocol that real clusters
+    /// use to survive that is out of scope here (see DESIGN.md §14).
+    pub monitor: NodeId,
     /// Interval between heartbeat probe rounds from the monitor slice.
     pub heartbeat_interval: SimTime,
     /// Consecutive missed probes before a slice is declared dead.
     pub miss_threshold: u32,
     /// Node that adopts the dead slice's pages and vCPUs.
+    ///
+    /// If this node is itself dead (or dies mid-restore), recovery falls
+    /// back to the lowest-numbered live node.
     pub restore_to: NodeId,
     /// Disk holding the checkpoint image (restore bandwidth).
     pub restore_disk: Bandwidth,
@@ -46,6 +57,7 @@ pub struct FailureConfig {
 impl Default for FailureConfig {
     fn default() -> Self {
         FailureConfig {
+            monitor: NodeId::new(0),
             heartbeat_interval: SimTime::from_millis(5),
             miss_threshold: 3,
             restore_to: NodeId::new(0),

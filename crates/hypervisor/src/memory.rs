@@ -224,6 +224,14 @@ impl VmMemory {
         // The directory is untimed; stamp its trace events with the
         // triggering access's time.
         self.dsm.set_clock(now);
+        // An epoch-fenced node gets nothing — no swap-in, no first-touch
+        // allocation, no directory transition. The access stalls like a
+        // send to a dead peer and the guest retries after the stall.
+        if self.dsm.is_fenced(node) {
+            // Resolves to Rejected and emits the StaleEpochRejected event.
+            let _ = self.dsm.access(node, page, access);
+            return now + DEAD_STALL;
+        }
         let mut t = now;
         if let Some(el) = self.elastic.as_deref_mut() {
             // A swapped-out page comes back from the swap tier before the
@@ -257,6 +265,10 @@ impl VmMemory {
         let done = match self.dsm.access(node, page, access) {
             Resolution::Hit => t,
             Resolution::Fault(plan) => self.execute_fault(t, node, &plan, fabric),
+            // The node was fenced between the check above and the access
+            // (impossible today — fencing happens between events — but
+            // harmless to handle the same way).
+            Resolution::Rejected => t + DEAD_STALL,
         };
         self.sample_pressure(done, node, fabric)
     }
@@ -375,6 +387,9 @@ impl VmMemory {
             for plan in &out.faults {
                 t = self.execute_fault(t, node, plan, fabric);
             }
+            // Fenced-node batches resolve to per-page rejections; each
+            // stalls like its sequential counterpart.
+            t += SimTime::from_nanos(DEAD_STALL.as_nanos() * out.rejected);
         }
         t
     }

@@ -46,6 +46,15 @@ pub struct VmStats {
     pub pages_quarantined: u64,
     /// DSM master copies moved by proactive drains.
     pub pages_drained: u64,
+    /// Scripted partition windows that opened.
+    pub partitions: u64,
+    /// Cluster-epoch bumps (one per declared-dead node).
+    pub epoch_bumps: u64,
+    /// Fenced nodes readmitted after a partition healed.
+    pub rejoins: u64,
+    /// Recoveries that fell back from the configured restore target to
+    /// another live node.
+    pub restore_fallbacks: u64,
     /// vCPU migrations refused during drains.
     pub migrations_refused: u64,
     /// Faults that triggered a synchronous memory-reclaim round.
@@ -85,6 +94,10 @@ impl VmStats {
             lost_work: SimTime::ZERO,
             pages_quarantined: 0,
             pages_drained: 0,
+            partitions: 0,
+            epoch_bumps: 0,
+            rejoins: 0,
+            restore_fallbacks: 0,
             migrations_refused: 0,
             pressure_stalls: 0,
             pages_evicted: 0,

@@ -241,6 +241,11 @@ struct VcpuState {
     missed_step: bool,
     /// A deferred CPU charge fired while migrating.
     missed_charge: Option<SimTime>,
+    /// When the pending `VcpuRestore` is due. A cascading recovery (the
+    /// restore target itself dying mid-restore) re-places the vCPU and
+    /// re-arms this; the superseded restore event sees a mismatched time
+    /// and is ignored.
+    restore_at: Option<SimTime>,
     finish: Option<SimTime>,
     rng: DetRng,
 }
@@ -258,41 +263,47 @@ struct FailureState {
     misses: Vec<u32>,
     /// Nodes already declared dead (no further probing).
     suspected: Vec<bool>,
-    /// Nodes whose recovery has already run.
-    recovered: Vec<bool>,
+    /// Where each node's recovery landed (None = not yet recovered).
+    /// Usually `cfg.restore_to`; differs when the preferred target was
+    /// dead or partitioned and recovery fell back to another node.
+    restored_to: Vec<Option<NodeId>>,
     /// Scripted crash time per node (detection-latency accounting and
     /// the probing horizon).
     crash_at: Vec<Option<SimTime>>,
-    /// Latest scripted crash; probing stops once every scripted crash
-    /// has been detected and `now` is past this point.
-    last_crash: SimTime,
+    /// Latest scripted disturbance (crash or partition heal); probing
+    /// stops once every scripted crash has been detected and `now` is
+    /// past this point.
+    last_disturbance: SimTime,
 }
 
 impl FailureState {
     fn new(cfg: FailureConfig, nodes: usize, plan: Option<&FaultPlan>) -> Self {
         let mut crash_at = vec![None; nodes];
-        let mut last_crash = SimTime::ZERO;
+        let mut last_disturbance = SimTime::ZERO;
         if let Some(plan) = plan {
             for c in plan.crashes() {
                 if let Some(slot) = crash_at.get_mut(c.node as usize) {
                     *slot = Some(c.at);
-                    last_crash = last_crash.max(c.at);
                 }
             }
+            // Partitions extend the probing horizon past their heal so a
+            // cut-off node is still being probed (and declared) while the
+            // window is open.
+            last_disturbance = plan.last_disturbance();
         }
         FailureState {
             cfg,
             misses: vec![0; nodes],
             suspected: vec![false; nodes],
-            recovered: vec![false; nodes],
+            restored_to: vec![None; nodes],
             crash_at,
-            last_crash,
+            last_disturbance,
         }
     }
 
-    /// True while the detector still has scripted crashes to catch.
+    /// True while the detector still has scripted disturbances to catch.
     fn probing_needed(&self, now: SimTime) -> bool {
-        now <= self.last_crash
+        now <= self.last_disturbance
             || self
                 .crash_at
                 .iter()
@@ -421,6 +432,16 @@ pub enum Event {
     VcpuRestore {
         /// The vCPU to resume.
         vcpu: VcpuId,
+    },
+    /// A scripted network partition from the fault plan opens.
+    PartitionBegin {
+        /// Index of the window in the plan's partition list.
+        idx: usize,
+    },
+    /// A scripted network partition heals.
+    PartitionEnd {
+        /// Index of the window in the plan's partition list.
+        idx: usize,
     },
 }
 
@@ -1304,8 +1325,7 @@ impl VmWorld {
             let restored_to = self
                 .failure
                 .as_ref()
-                .filter(|f| f.recovered[to.node.index()])
-                .map(|f| f.cfg.restore_to);
+                .and_then(|f| f.restored_to[to.node.index()]);
             // Until recovery re-places the vCPU, the crashed placement may
             // have no pCPU; an out-of-range slot keeps any (buggy) use loud.
             let slot = match restored_to {
@@ -1325,6 +1345,7 @@ impl VmWorld {
             v.missed_step = false;
             v.missed_charge = None;
             if restored_to.is_some() {
+                v.restore_at = Some(ctx.now);
                 ctx.schedule_now(Event::VcpuRestore { vcpu });
             }
             return;
@@ -1439,20 +1460,20 @@ impl VmWorld {
         }
     }
 
-    /// One heartbeat round: the monitor (node 0) probes every slice it
+    /// One heartbeat round: the monitor slice probes every other slice it
     /// has not yet declared dead; consecutive misses past the threshold
-    /// trigger recovery.
+    /// trigger an epoch bump (fencing the dead node) and recovery.
     fn heartbeat_round(&mut self, ctx: &mut Ctx<'_, Event>) {
         let Some(f) = self.failure.as_ref() else {
             return;
         };
         let interval = f.cfg.heartbeat_interval;
         let threshold = f.cfg.miss_threshold;
-        let monitor = NodeId::new(0);
+        let monitor = f.cfg.monitor;
         let phys_nodes = self.fabric.nodes() - usize::from(self.client.is_some());
         let mut declare: Vec<NodeId> = Vec::new();
-        for n in 1..phys_nodes {
-            if self.failure.as_ref().is_none_or(|f| f.suspected[n]) {
+        for n in 0..phys_nodes {
+            if n == monitor.index() || self.failure.as_ref().is_none_or(|f| f.suspected[n]) {
                 continue;
             }
             let dst = NodeId::from_usize(n);
@@ -1490,12 +1511,43 @@ impl VmWorld {
             if let Some(crash) = self.crashed[dst.index()] {
                 self.stats.detection_latency += ctx.now - crash;
             }
+            // Fence the declared node at a fresh cluster epoch before any
+            // recovery touches the directory: from here on its accesses
+            // are rejected, even if it is merely partitioned and alive.
+            self.mem.dsm.set_clock(ctx.now);
+            self.mem.dsm.bump_epoch(dst);
+            self.stats.epoch_bumps += 1;
             ctx.schedule_now(Event::RecoverNode { node: dst });
         }
         let f = self.failure.as_ref().expect("checked above");
         if f.probing_needed(ctx.now) {
             ctx.schedule_in(interval, Event::Heartbeat);
         }
+    }
+
+    /// Picks the node a dead slice restores to: the configured
+    /// `restore_to` when it is live and reachable, otherwise the
+    /// lowest-numbered node that is neither dead, currently partitioned,
+    /// nor the dead node itself.
+    fn restore_target(&self, dead: NodeId, now: SimTime) -> Option<NodeId> {
+        let f = self.failure.as_ref()?;
+        let phys_nodes = self.fabric.nodes() - usize::from(self.client.is_some());
+        let eligible = |n: NodeId| {
+            n != dead
+                && n.index() < phys_nodes
+                && self.crashed[n.index()].is_none()
+                && !self
+                    .fabric
+                    .fault_plan()
+                    .is_some_and(|p| p.is_partitioned(n.0, now))
+        };
+        let preferred = f.cfg.restore_to;
+        if eligible(preferred) {
+            return Some(preferred);
+        }
+        (0..phys_nodes)
+            .map(NodeId::from_usize)
+            .find(|&n| eligible(n))
     }
 
     /// Recovers a declared-dead slice: quarantine its DSM pages, restore
@@ -1505,12 +1557,19 @@ impl VmWorld {
         let Some(f) = self.failure.as_ref() else {
             return;
         };
-        if f.recovered[node.index()] {
+        if f.restored_to[node.index()].is_some() {
             return;
         }
         let cfg = f.cfg;
-        let target = cfg.restore_to;
-        self.failure.as_mut().expect("checked above").recovered[node.index()] = true;
+        let Some(target) = self.restore_target(node, ctx.now) else {
+            // No live node left to restore onto; recovery is stuck until
+            // something heals (a later partition-end retries).
+            return;
+        };
+        if target != cfg.restore_to {
+            self.stats.restore_fallbacks += 1;
+        }
+        self.failure.as_mut().expect("checked above").restored_to[node.index()] = Some(target);
         // 1. Every page homed on the dead slice is declared lost and
         //    re-granted exclusively at the restore node (the checkpoint
         //    image is the new truth — survivors' stale copies included).
@@ -1554,6 +1613,7 @@ impl VmWorld {
             self.vcpus[i].node = target;
             self.vcpus[i].pcpu = pcpu;
             self.vcpus[i].pcpu_slot = slot;
+            self.vcpus[i].restore_at = Some(resume_at);
             ctx.schedule_at(
                 resume_at,
                 Event::VcpuRestore {
@@ -1566,6 +1626,83 @@ impl VmWorld {
             "DSM invariants violated after recovery: {:?}",
             self.mem.dsm.check_invariants()
         );
+    }
+
+    /// A scripted partition window opens: record the cut-off minority in
+    /// the trace. The fabric already severs their traffic; the detector
+    /// will miss probes and fence them like any other dead slice.
+    fn partition_begin(&mut self, ctx: &mut Ctx<'_, Event>, idx: usize) {
+        let nodes: Vec<u32> = self
+            .fabric
+            .fault_plan()
+            .and_then(|p| p.partitions().get(idx))
+            .map(|w| w.nodes.clone())
+            .unwrap_or_default();
+        if nodes.is_empty() {
+            return;
+        }
+        self.stats.partitions += 1;
+        for node in nodes {
+            self.tracer.emit_with(|| TraceEvent::PartitionStart {
+                at: ctx.now.as_nanos(),
+                node,
+            });
+        }
+    }
+
+    /// A partition heals: every cut-off node that was declared dead in
+    /// the meantime rejoins — it discards its stale page copies, resyncs
+    /// to the current cluster epoch, and is probed (and trusted) again.
+    /// A node that *crashed* while cut off stays fenced; its recovery is
+    /// re-run instead so the vCPUs that failed after the first recovery
+    /// pass are restored too.
+    fn partition_end(&mut self, ctx: &mut Ctx<'_, Event>, idx: usize) {
+        let nodes: Vec<u32> = self
+            .fabric
+            .fault_plan()
+            .and_then(|p| p.partitions().get(idx))
+            .map(|w| w.nodes.clone())
+            .unwrap_or_default();
+        for node in nodes {
+            self.tracer.emit_with(|| TraceEvent::PartitionHeal {
+                at: ctx.now.as_nanos(),
+                node,
+            });
+            let dst = NodeId::new(node);
+            // Still inside another overlapping window: not healed yet.
+            if self
+                .fabric
+                .fault_plan()
+                .is_some_and(|p| p.is_partitioned(node, ctx.now))
+            {
+                continue;
+            }
+            let declared = self
+                .failure
+                .as_ref()
+                .is_some_and(|f| f.suspected[dst.index()]);
+            if !declared {
+                continue;
+            }
+            if self.crashed[dst.index()].is_some() {
+                // Dead for real. Re-run recovery for the vCPUs that
+                // failed after the partition-time recovery pass (and for
+                // a recovery that found no eligible restore target).
+                if let Some(f) = self.failure.as_mut() {
+                    f.restored_to[dst.index()] = None;
+                }
+                ctx.schedule_now(Event::RecoverNode { node: dst });
+                continue;
+            }
+            self.mem.dsm.set_clock(ctx.now);
+            let (_epoch, _discarded) = self.mem.dsm.rejoin_node(dst);
+            self.stats.rejoins += 1;
+            if let Some(f) = self.failure.as_mut() {
+                f.suspected[dst.index()] = false;
+                f.misses[dst.index()] = 0;
+                f.restored_to[dst.index()] = None;
+            }
+        }
     }
 
     /// A predicted failure: proactively drain the suspect slice (vCPU
@@ -1691,6 +1828,18 @@ impl World for VmWorld {
                 }
                 if let Some(interval) = heartbeat {
                     ctx.schedule_in(interval, Event::Heartbeat);
+                }
+                // Scripted partition windows open and heal on schedule;
+                // the fabric itself severs traffic, these events only
+                // bookend the window (trace + rejoin bookkeeping).
+                let windows: Vec<(SimTime, SimTime)> = self
+                    .fabric
+                    .fault_plan()
+                    .map(|p| p.partitions().iter().map(|w| (w.from, w.until)).collect())
+                    .unwrap_or_default();
+                for (idx, (from, until)) in windows.into_iter().enumerate() {
+                    ctx.schedule_at(from, Event::PartitionBegin { idx });
+                    ctx.schedule_at(until, Event::PartitionEnd { idx });
                 }
             }
             Event::VcpuStep(v) => {
@@ -1935,11 +2084,22 @@ impl World for VmWorld {
             Event::Heartbeat => self.heartbeat_round(ctx),
             Event::PredictFailure { node } => self.predict_failure(ctx, node),
             Event::RecoverNode { node } => self.recover_node(ctx, node),
+            Event::PartitionBegin { idx } => self.partition_begin(ctx, idx),
+            Event::PartitionEnd { idx } => self.partition_end(ctx, idx),
             Event::VcpuRestore { vcpu } => {
                 let v = &mut self.vcpus[vcpu.index()];
                 if v.status != VcpuStatus::Failed {
                     return;
                 }
+                // A cascading recovery superseded this restore (the
+                // target died mid-restore and the vCPU was re-placed
+                // with a later due time), or the restore landed on a
+                // node that has since crashed: stay Failed and wait for
+                // the newer restore.
+                if v.restore_at != Some(ctx.now) || self.crashed[v.node.index()].is_some() {
+                    return;
+                }
+                v.restore_at = None;
                 if let Some(rem) = v.stashed_work.take() {
                     // Re-execute the burst that was in flight at the crash
                     // (after_cpu is still armed on the vCPU).
@@ -2174,6 +2334,7 @@ impl VmBuilder {
                 resume_status: VcpuStatus::Ready,
                 missed_step: false,
                 missed_charge: None,
+                restore_at: None,
                 finish: None,
                 rng: root_rng.derive(i as u64),
             })

@@ -38,6 +38,7 @@ fn build_vm(plan: FaultPlan, detector: Option<FailureConfig>) -> VmSim {
 
 fn detector() -> FailureConfig {
     FailureConfig {
+        monitor: NodeId::new(0),
         heartbeat_interval: ms(1),
         miss_threshold: 3,
         restore_to: NodeId::new(0),
@@ -230,6 +231,177 @@ proptest! {
         let plan = FaultPlan::seeded(seed, 4, ms(100));
         let run = |plan: FaultPlan| {
             let mut sim = build_vm(plan, Some(detector()));
+            let tracer = sim.enable_tracing(1 << 20);
+            let done = sim.run();
+            let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");
+            (tracer.to_jsonl(), done, violations)
+        };
+        let (trace_a, done_a, violations) = run(plan.clone());
+        let (trace_b, done_b, _) = run(plan);
+        prop_assert_eq!(done_a, done_b);
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
+    }
+}
+
+/// A 4-node VM whose vCPUs all hammer the same shared page window, so a
+/// cut-off minority that kept writing unfenced would corrupt survivors.
+fn partition_vm(plan: FaultPlan, cfg: FailureConfig) -> VmSim {
+    use dsm::{Access, PageId};
+    use hypervisor::program::{Op, Scripted};
+    let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 4)
+        .with_fault_plan(plan)
+        .with_failure_detector(cfg);
+    for i in 0..4 {
+        let mut ops = Vec::new();
+        for round in 0..30u32 {
+            ops.push(Op::Compute(ms(2)));
+            ops.push(Op::Touch {
+                page: PageId::new(100 + (round % 8)),
+                access: Access::Write,
+            });
+        }
+        b = b.vcpu(Placement::new(i, 0), Box::new(Scripted::new(ops)));
+    }
+    b.build()
+}
+
+#[test]
+fn partitioned_minority_is_fenced_heals_and_rejoins() {
+    // Node 2 is cut off from 10 ms to 45 ms. The detector declares it
+    // dead (~14 ms), fencing it at a new epoch; its writes from then on
+    // are rejected, not applied. At the heal it rejoins, re-fetches, and
+    // finishes its program.
+    let plan = FaultPlan::scripted(21).partition(vec![2], ms(10), ms(45));
+    let mut sim = partition_vm(plan, detector());
+    let tracer = sim.enable_tracing(1 << 20);
+    let done = sim.run();
+
+    let s = &sim.world.stats;
+    assert_eq!(s.partitions, 1);
+    assert_eq!(s.node_crashes, 0, "a partition is not a crash");
+    assert!(s.detections >= 1);
+    assert_eq!(s.epoch_bumps, 1);
+    assert_eq!(s.rejoins, 1);
+    for f in &s.vcpu_finish {
+        assert!(f.is_some(), "every vCPU finishes after the heal");
+    }
+    assert!(done > ms(60), "makespan {done}");
+
+    let events = tracer.snapshot();
+    let rejected = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::StaleEpochRejected { node: 2, .. }))
+        .count();
+    assert!(rejected > 0, "the minority kept writing after the fence");
+    assert!(events.iter().any(|e| matches!(
+        e,
+        TraceEvent::EpochBump {
+            epoch: 1,
+            dead: 2,
+            ..
+        }
+    )));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        TraceEvent::NodeRejoin {
+            node: 2,
+            epoch: 1,
+            ..
+        }
+    )));
+    // Fence before the first rejection, rejection before the rejoin.
+    let bump_at = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::EpochBump { at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("EpochBump traced");
+    let first_reject = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::StaleEpochRejected { at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("StaleEpochRejected traced");
+    let rejoin_at = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::NodeRejoin { at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("NodeRejoin traced");
+    assert!(bump_at <= first_reject && first_reject < rejoin_at);
+
+    // Zero rejected writes were applied: the audit's epoch rules and the
+    // single-owner invariant both come up clean.
+    sim.world
+        .mem
+        .dsm
+        .check_invariants()
+        .expect("dsm invariants");
+    let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");
+    assert!(violations.is_empty(), "audit violations: {violations:?}");
+}
+
+#[test]
+fn partition_scenario_replays_bit_for_bit() {
+    let run = || {
+        let plan = FaultPlan::scripted(21).partition(vec![2], ms(10), ms(45));
+        let mut sim = partition_vm(plan, detector());
+        let tracer = sim.enable_tracing(1 << 20);
+        let done = sim.run();
+        (tracer.to_jsonl(), done)
+    };
+    let (a, done_a) = run();
+    let (b, done_b) = run();
+    assert_eq!(done_a, done_b);
+    assert_eq!(a, b, "same plan must give byte-identical traces");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn restore_target_crash_mid_restore_falls_back_to_spare() {
+    // Monitor on node 3. Node 2 dies at 10 ms and restores to node 0 —
+    // which dies at 14 ms, mid-restore. Recovery must fall back to the
+    // next live node (1) and still finish every vCPU.
+    let plan = FaultPlan::scripted(9).crash(2, ms(10)).crash(0, ms(14));
+    let mut cfg = detector();
+    cfg.monitor = NodeId::new(3);
+    let mut sim = partition_vm(plan, cfg);
+    let tracer = sim.enable_tracing(1 << 20);
+    let done = sim.run();
+
+    let s = &sim.world.stats;
+    assert_eq!(s.node_crashes, 2);
+    assert_eq!(s.detections, 2);
+    assert!(s.restore_fallbacks >= 1, "node 0's recovery must fall back");
+    for f in &s.vcpu_finish {
+        assert!(f.is_some(), "every vCPU finishes on the fallback node");
+    }
+    assert_eq!(sim.world.placement_of(VcpuId::new(2)).node, NodeId::new(1));
+    assert_eq!(sim.world.placement_of(VcpuId::new(0)).node, NodeId::new(1));
+    assert!(done > ms(60), "makespan {done}");
+    sim.world
+        .mem
+        .dsm
+        .check_invariants()
+        .expect("dsm invariants");
+    let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");
+    assert!(violations.is_empty(), "audit violations: {violations:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any chaotic plan (crashes × partitions × loss, monitor spared)
+    /// replays byte-for-byte and audits clean.
+    #[test]
+    fn chaotic_plans_replay_and_audit_clean(seed in 0u64..1_000_000) {
+        let plan = FaultPlan::chaotic(seed, 4, ms(100), 0);
+        let run = |plan: FaultPlan| {
+            let mut sim = partition_vm(plan, detector());
             let tracer = sim.enable_tracing(1 << 20);
             let done = sim.run();
             let violations = sim_core::audit::audit_tracer(&tracer).expect("full trace");

@@ -31,6 +31,15 @@
 //!   be owned by the dead node and hold no surviving stale copies when it
 //!   is re-homed), and the failure detector never declares a live node
 //!   dead on a trace with no message loss.
+//! * **Epoch fencing** — the cluster epoch only moves forward, a node
+//!   fenced by an `EpochBump` never has a directory mutation applied on
+//!   its behalf (no grant, transfer, fault, or write-hit) until it
+//!   rejoins, every `NodeRejoin` is preceded by a fence, and a
+//!   `StaleEpochRejected` only ever names a node that actually is
+//!   fenced. Nodes seen inside a `PartitionStart` window are exempt from
+//!   the false-dead and quarantine-live-node rules: declaring an
+//!   unreachable-but-live node dead is precisely what the fencing
+//!   protocol makes safe.
 //! * **Memory reclaim** — no page is lost by reclaim: a borrow eviction
 //!   (`PageEvict`) must move the master copy from its actual owner (the
 //!   single-owner rule then audits the transfer itself); a discard
@@ -131,6 +140,14 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
     // Pages currently demoted to the swap tier: any reuse must be
     // preceded by a PageSwapIn.
     let mut swapped: BTreeSet<u64> = BTreeSet::new();
+    // Epoch-fencing shadow state: nodes ever seen inside a partition
+    // window (exempt from false-dead/quarantine-live rules), the nodes
+    // currently fenced at a stale epoch, and the highest cluster epoch
+    // observed (jumps forward are tolerated — bumps may have fallen out
+    // of a truncated ring — but regressions never are).
+    let mut partitioned_ever: BTreeSet<u32> = BTreeSet::new();
+    let mut fenced: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut cluster_epoch: u64 = 0;
 
     let mut flag = |index: usize, at: u64, rule: &'static str, detail: String| {
         violations.push(Violation {
@@ -190,6 +207,14 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                         ),
                     );
                 }
+                if write && fenced.contains_key(&node) {
+                    flag(
+                        i,
+                        at,
+                        "epoch-stale-mutation",
+                        format!("fenced node {node} write-hit page {page}"),
+                    );
+                }
             }
             TraceEvent::DsmHitBatch {
                 at,
@@ -229,6 +254,14 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                             ),
                         );
                     }
+                    if write && fenced.contains_key(&node) {
+                        flag(
+                            i,
+                            at,
+                            "epoch-stale-mutation",
+                            format!("fenced node {node} write-hit page {pg}"),
+                        );
+                    }
                 }
             }
             TraceEvent::DsmFault { at, page, node, .. } => {
@@ -242,6 +275,14 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                         at,
                         "reclaim-swapped-access",
                         format!("node {node} faulted swapped-out page {page} before its swap-in"),
+                    );
+                }
+                if fenced.contains_key(&node) {
+                    flag(
+                        i,
+                        at,
+                        "epoch-stale-mutation",
+                        format!("fenced node {node} faulted page {page} instead of being rejected"),
                     );
                 }
             }
@@ -273,6 +314,14 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                         ),
                     );
                 }
+                if fenced.contains_key(&to) {
+                    flag(
+                        i,
+                        at,
+                        "epoch-stale-mutation",
+                        format!("page {page} ownership transferred to fenced node {to}"),
+                    );
+                }
                 p.owner = to;
             }
             TraceEvent::DsmGrant {
@@ -281,6 +330,14 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 node,
                 exclusive,
             } => {
+                if fenced.contains_key(&node) {
+                    flag(
+                        i,
+                        at,
+                        "epoch-stale-mutation",
+                        format!("page {page} granted to fenced node {node}"),
+                    );
+                }
                 let Some(p) = pages.get_mut(&page) else {
                     continue;
                 };
@@ -570,7 +627,10 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
             }
             TraceEvent::NodeDeclaredDead { at, node, .. } => {
                 let actually_dead = crashed.get(&node).is_some_and(|&dead_at| dead_at <= at);
-                if !actually_dead && !lossy {
+                // A partitioned node is unreachable-but-live: declaring it
+                // dead is the detector doing its job (fencing makes the
+                // declaration safe), so partitioned nodes are exempt.
+                if !actually_dead && !lossy && !partitioned_ever.contains(&node) {
                     flag(
                         i,
                         at,
@@ -583,10 +643,12 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 }
             }
             TraceEvent::PageQuarantine { at, page, dead, to } => {
-                // Quarantine only makes sense against a crashed node; the
-                // check is skipped when no crash survives in the (possibly
-                // truncated) trace window.
-                if !crashed.is_empty() && !crashed.contains_key(&dead) {
+                // Quarantine only makes sense against a crashed or
+                // partitioned node; the check is skipped when neither kind
+                // of fault survives in the (possibly truncated) window.
+                let any_fault = !crashed.is_empty() || !partitioned_ever.is_empty();
+                let dead_faulted = crashed.contains_key(&dead) || partitioned_ever.contains(&dead);
+                if any_fault && !dead_faulted {
                     flag(
                         i,
                         at,
@@ -696,17 +758,74 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                     );
                 }
             }
+            TraceEvent::PartitionStart { node, .. } => {
+                partitioned_ever.insert(node);
+            }
+            TraceEvent::EpochBump { at, epoch, dead } => {
+                if epoch <= cluster_epoch {
+                    flag(
+                        i,
+                        at,
+                        "epoch-regression",
+                        format!(
+                            "cluster epoch bumped to {epoch} at or below the \
+                             current epoch {cluster_epoch}"
+                        ),
+                    );
+                }
+                cluster_epoch = cluster_epoch.max(epoch);
+                fenced.insert(dead, epoch);
+            }
+            TraceEvent::StaleEpochRejected { at, node, page, .. } => {
+                // The rejection itself is the safety mechanism working; a
+                // rejection naming a node that is *not* fenced means the
+                // directory fenced the wrong node.
+                if !fenced.contains_key(&node) {
+                    flag(
+                        i,
+                        at,
+                        "epoch-reject-unfenced",
+                        format!("unfenced node {node} rejected on page {page}"),
+                    );
+                }
+            }
+            TraceEvent::NodeRejoin {
+                at, node, epoch, ..
+            } => {
+                if fenced.remove(&node).is_none() {
+                    flag(
+                        i,
+                        at,
+                        "rejoin-without-fence",
+                        format!("node {node} rejoined without ever being fenced"),
+                    );
+                }
+                if epoch < cluster_epoch {
+                    flag(
+                        i,
+                        at,
+                        "rejoin-stale-epoch",
+                        format!(
+                            "node {node} rejoined at epoch {epoch} below the \
+                             cluster epoch {cluster_epoch}"
+                        ),
+                    );
+                }
+                cluster_epoch = cluster_epoch.max(epoch);
+            }
             TraceEvent::Ipi { .. }
             | TraceEvent::Checkpoint { .. }
             | TraceEvent::HeartbeatMiss { .. }
             | TraceEvent::NodeRestore { .. }
             | TraceEvent::VcpuMigrateRefused { .. }
             | TraceEvent::PressureChange { .. }
-            | TraceEvent::BalloonInflate { .. } => {
+            | TraceEvent::BalloonInflate { .. }
+            | TraceEvent::PartitionHeal { .. } => {
                 // Debugging context only: heartbeat misses below the
                 // threshold, completed restores, refused migrations,
-                // pressure transitions and balloon inflations carry no
-                // shadow state of their own.
+                // pressure transitions, balloon inflations and partition
+                // heals carry no shadow state of their own (a heal does
+                // not unfence — only a NodeRejoin does).
             }
         }
     }
@@ -845,6 +964,142 @@ mod tests {
         ];
         let v = audit(&events);
         assert!(v.iter().any(|v| v.rule == "dsm-stale-read"), "{v:?}");
+    }
+
+    #[test]
+    fn grant_to_fenced_node_is_flagged() {
+        let events = [
+            E::DsmAlloc {
+                at: 0,
+                page: 1,
+                home: 0,
+            },
+            E::PartitionStart { at: 5, node: 2 },
+            E::EpochBump {
+                at: 10,
+                epoch: 1,
+                dead: 2,
+            },
+            // A grant to the fenced minority node is exactly the stale
+            // mutation fencing exists to prevent.
+            E::DsmGrant {
+                at: 20,
+                page: 1,
+                node: 2,
+                exclusive: true,
+            },
+        ];
+        let v = audit(&events);
+        assert!(v.iter().any(|v| v.rule == "epoch-stale-mutation"), "{v:?}");
+    }
+
+    #[test]
+    fn rejoin_clears_the_fence_and_needs_one() {
+        let fenced_then_rejoined = [
+            E::PartitionStart { at: 5, node: 2 },
+            E::EpochBump {
+                at: 10,
+                epoch: 1,
+                dead: 2,
+            },
+            E::PartitionHeal { at: 30, node: 2 },
+            E::NodeRejoin {
+                at: 30,
+                node: 2,
+                epoch: 1,
+                discarded: 0,
+            },
+            // Post-rejoin activity is legal again.
+            E::DsmAlloc {
+                at: 40,
+                page: 1,
+                home: 2,
+            },
+            E::DsmHit {
+                at: 41,
+                page: 1,
+                node: 2,
+                write: true,
+            },
+        ];
+        assert!(audit(&fenced_then_rejoined).is_empty());
+        let unfenced_rejoin = [E::NodeRejoin {
+            at: 10,
+            node: 3,
+            epoch: 1,
+            discarded: 0,
+        }];
+        let v = audit(&unfenced_rejoin);
+        assert!(v.iter().any(|v| v.rule == "rejoin-without-fence"), "{v:?}");
+    }
+
+    #[test]
+    fn epoch_regression_and_unfenced_rejection_are_flagged() {
+        let regress = [
+            E::EpochBump {
+                at: 10,
+                epoch: 3,
+                dead: 1,
+            },
+            E::EpochBump {
+                at: 20,
+                epoch: 3,
+                dead: 2,
+            },
+        ];
+        let v = audit(&regress);
+        assert!(v.iter().any(|v| v.rule == "epoch-regression"), "{v:?}");
+        let bogus_reject = [E::StaleEpochRejected {
+            at: 10,
+            node: 4,
+            page: 9,
+            node_epoch: 0,
+            cluster_epoch: 1,
+        }];
+        let v = audit(&bogus_reject);
+        assert!(v.iter().any(|v| v.rule == "epoch-reject-unfenced"), "{v:?}");
+    }
+
+    #[test]
+    fn partitioned_node_may_be_declared_dead_and_quarantined() {
+        let events = [
+            E::DsmAlloc {
+                at: 0,
+                page: 7,
+                home: 2,
+            },
+            E::PartitionStart { at: 5, node: 2 },
+            // Loss-free plan, node 2 never crashed — but it is
+            // partitioned, so neither rule fires.
+            E::NodeDeclaredDead {
+                at: 10,
+                node: 2,
+                misses: 3,
+            },
+            E::EpochBump {
+                at: 10,
+                epoch: 1,
+                dead: 2,
+            },
+            E::DsmInvalidate {
+                at: 11,
+                page: 7,
+                node: 2,
+            },
+            E::PageQuarantine {
+                at: 11,
+                page: 7,
+                dead: 2,
+                to: 0,
+            },
+            E::DsmGrant {
+                at: 11,
+                page: 7,
+                node: 0,
+                exclusive: true,
+            },
+        ];
+        assert!(audit(&events).is_empty(), "{:?}", audit(&events));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! together with [`crate::rng::DetRng`] — makes runs fully deterministic.
 //!
 //! The queue runs on a calendar/ladder structure by default
-//! ([`crate::calendar`]); the original `BinaryHeap` survives as
+//! (`crate::calendar`); the original `BinaryHeap` survives as
 //! [`EventQueue::reference_heap`] for A/B comparison and differential
 //! testing. Both produce the same pop order by construction.
 

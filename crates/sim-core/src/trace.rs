@@ -414,6 +414,59 @@ pub enum TraceEvent {
         /// Pages reclaimed by this inflation.
         pages: u64,
     },
+    /// A partition window opened and cut this node off from the rest of
+    /// the fabric (one event per isolated node).
+    PartitionStart {
+        /// Window start (ns).
+        at: u64,
+        /// An isolated node.
+        node: u32,
+    },
+    /// The partition window closed; this node can reach the fabric again
+    /// (one event per formerly isolated node). A fenced node must still
+    /// rejoin ([`TraceEvent::NodeRejoin`]) before touching the directory.
+    PartitionHeal {
+        /// Heal time (ns).
+        at: u64,
+        /// The reconnected node.
+        node: u32,
+    },
+    /// The failure detector bumped the cluster epoch while declaring a
+    /// node dead; the declared node is fenced at the previous epoch.
+    EpochBump {
+        /// Declaration time (ns).
+        at: u64,
+        /// The new cluster epoch.
+        epoch: u64,
+        /// The node fenced by this bump.
+        dead: u32,
+    },
+    /// The directory rejected an access from a fenced node carrying a
+    /// stale epoch: no directory state was mutated.
+    StaleEpochRejected {
+        /// Rejection time (ns).
+        at: u64,
+        /// The fenced node that issued the access.
+        node: u32,
+        /// The page it tried to touch.
+        page: u64,
+        /// The epoch the node still believes in.
+        node_epoch: u64,
+        /// The cluster epoch it was checked against.
+        cluster_epoch: u64,
+    },
+    /// A fenced node rejoined at the current epoch after a heal: its
+    /// stale copies were discarded and it is donor-eligible again.
+    NodeRejoin {
+        /// Rejoin time (ns).
+        at: u64,
+        /// The rejoining node.
+        node: u32,
+        /// The epoch the node resynced to.
+        epoch: u64,
+        /// Stale page copies discarded during resync.
+        discarded: u64,
+    },
 }
 
 impl TraceEvent {
@@ -451,7 +504,12 @@ impl TraceEvent {
             | PageRelease { at, .. }
             | PageSwapOut { at, .. }
             | PageSwapIn { at, .. }
-            | BalloonInflate { at, .. } => at,
+            | BalloonInflate { at, .. }
+            | PartitionStart { at, .. }
+            | PartitionHeal { at, .. }
+            | EpochBump { at, .. }
+            | StaleEpochRejected { at, .. }
+            | NodeRejoin { at, .. } => at,
             FabricLinkReset { .. } => 0,
         }
     }
@@ -666,6 +724,32 @@ impl TraceEvent {
             BalloonInflate { at, node, pages } => {
                 format!(r#"{{"ev":"balloon_inflate","at":{at},"node":{node},"pages":{pages}}}"#)
             }
+            PartitionStart { at, node } => {
+                format!(r#"{{"ev":"partition_start","at":{at},"node":{node}}}"#)
+            }
+            PartitionHeal { at, node } => {
+                format!(r#"{{"ev":"partition_heal","at":{at},"node":{node}}}"#)
+            }
+            EpochBump { at, epoch, dead } => {
+                format!(r#"{{"ev":"epoch_bump","at":{at},"epoch":{epoch},"dead":{dead}}}"#)
+            }
+            StaleEpochRejected {
+                at,
+                node,
+                page,
+                node_epoch,
+                cluster_epoch,
+            } => format!(
+                r#"{{"ev":"stale_epoch_rejected","at":{at},"node":{node},"page":{page},"node_epoch":{node_epoch},"cluster_epoch":{cluster_epoch}}}"#
+            ),
+            NodeRejoin {
+                at,
+                node,
+                epoch,
+                discarded,
+            } => format!(
+                r#"{{"ev":"node_rejoin","at":{at},"node":{node},"epoch":{epoch},"discarded":{discarded}}}"#
+            ),
         }
     }
 }

@@ -279,6 +279,46 @@ fn corrupted_dsm_directory_is_reported() {
     );
 }
 
+/// Applying a fenced node's write as if the epoch fence were not checked
+/// (the split-brain a partition would cause without fencing) must be
+/// caught by the auditor — both as a stale-epoch mutation and as a
+/// second exclusive owner.
+#[test]
+fn unfenced_stale_epoch_write_is_reported() {
+    use dsm::{Access, PageClass, PageId};
+    let mut sim = scenarios::lemp(
+        LempConfig::paper(100, 2),
+        HypervisorProfile::fragvisor(),
+        &Distribution::OneVcpuPerNode,
+        5,
+    );
+    let tracer = sim.enable_tracing(1 << 14);
+    sim.run_until(SimTime::from_millis(100));
+
+    // Nodes 0 and 1 share a page; node 1 is then fenced at a new epoch
+    // (as the detector would after declaring it dead across a partition).
+    let dsm = &mut sim.world.mem.dsm;
+    let page = PageId::new(u32::MAX - 11); // Outside any allocated region.
+    dsm.ensure_page(page, NodeId::new(0), PageClass::AppShared);
+    let _ = dsm.access(NodeId::new(1), page, Access::Read);
+    dsm.bump_epoch(NodeId::new(1));
+    // The write the fence should have blocked is applied anyway: two
+    // nodes now believe they hold exclusive, writable data.
+    dsm.corrupt_stale_epoch_write(page, NodeId::new(1));
+
+    let violations = sim_core::audit::audit(&tracer.snapshot());
+    assert!(
+        violations.iter().any(|v| v.rule == "epoch-stale-mutation"),
+        "auditor missed the unfenced stale-epoch write: {violations:?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == "dsm-second-exclusive-owner"),
+        "auditor missed the split-brain double owner: {violations:?}"
+    );
+}
+
 /// The umbrella crate re-exports compose: giantvm's profile runs through
 /// fragvisor's scenario builders.
 #[test]
