@@ -23,7 +23,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use bench_harness::experiments::{
-    dsm_batch_scan, dsm_drain, dsm_hit_storm, fragbff_replay, queue_churn, CoreSizes, QueueBackend,
+    dsm_batch_scan, dsm_drain, dsm_hit_storm, fleet_run, fragbff_replay, queue_churn, vm_dispatch,
+    CoreSizes, QueueBackend,
 };
 
 /// One measured case: name plus millions of elements per second.
@@ -77,6 +78,20 @@ fn run_suite(sizes: &CoreSizes, reps: u32) -> Vec<Measurement> {
             dsm_drain(s.drain_total, s.drain_owned)
         }),
         measure("fragbff_replay", reps, move || fragbff_replay(&s.fragbff)),
+        measure("vm_dispatch", reps, move || {
+            vm_dispatch(s.dispatch_vcpus, s.dispatch_cycles)
+        }),
+        measure("fleet_serial", reps, move || {
+            fleet_run(s.fleet_shards, s.fleet_tenants, s.fleet_rounds, 1)
+        }),
+        measure("fleet_parallel", reps, move || {
+            fleet_run(
+                s.fleet_shards,
+                s.fleet_tenants,
+                s.fleet_rounds,
+                s.fleet_jobs,
+            )
+        }),
     ]
 }
 

@@ -1,0 +1,33 @@
+//! Fleet-scale extension experiment; see `DESIGN.md` §15.
+//!
+//! ```text
+//! exp_fleet [--jobs N]        # FLEET_SMOKE=1 selects the CI shape
+//! ```
+//!
+//! Runs the three fleet scenarios serially and with `N` shard workers,
+//! asserting byte-identity between the two (the process aborts on any
+//! divergence, which is what the CI smoke job relies on).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut jobs = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --jobs needs a number");
+                    return ExitCode::FAILURE;
+                };
+                jobs = v;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    bench_harness::experiments::fleet_study(jobs).print();
+    ExitCode::SUCCESS
+}

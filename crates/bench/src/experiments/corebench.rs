@@ -12,6 +12,10 @@ use std::hint::black_box;
 
 use comm::NodeId;
 use dsm::{Access, Dsm, DsmConfig, PageClass, PageId};
+use hypervisor::fleet::{scenario, FleetConfig, FleetSim, TenantSpec};
+use hypervisor::program::{Op, ProgCtx, Program};
+use hypervisor::vm::{Placement, VmBuilder};
+use hypervisor::HypervisorProfile;
 use sim_core::engine::EventQueue;
 use sim_core::time::SimTime;
 
@@ -48,6 +52,18 @@ pub struct CoreSizes {
     pub drain_owned: u32,
     /// FragBFF replay configuration.
     pub fragbff: ScaleConfig,
+    /// vCPUs in the dispatch-cycle case.
+    pub dispatch_vcpus: u32,
+    /// Compute cycles per vCPU in the dispatch-cycle case.
+    pub dispatch_cycles: u32,
+    /// Shards in the fleet cases.
+    pub fleet_shards: u32,
+    /// Tenants per shard in the fleet cases.
+    pub fleet_tenants: u32,
+    /// RPC rounds per tenant in the fleet cases.
+    pub fleet_rounds: u32,
+    /// Worker threads for the parallel fleet case.
+    pub fleet_jobs: usize,
 }
 
 impl CoreSizes {
@@ -63,6 +79,12 @@ impl CoreSizes {
             drain_total: 204_800,
             drain_owned: 4096,
             fragbff: ScaleConfig::smoke(),
+            dispatch_vcpus: 8,
+            dispatch_cycles: 200_000,
+            fleet_shards: 4,
+            fleet_tenants: 250,
+            fleet_rounds: 4,
+            fleet_jobs: 4,
         }
     }
 
@@ -87,6 +109,12 @@ impl CoreSizes {
                 sample_every: 0,
             }
             .autosample(),
+            dispatch_vcpus: 4,
+            dispatch_cycles: 50_000,
+            fleet_shards: 2,
+            fleet_tenants: 16,
+            fleet_rounds: 2,
+            fleet_jobs: 2,
         }
     }
 }
@@ -188,4 +216,62 @@ pub fn dsm_drain(total: u32, owned: u32) -> u64 {
 /// here at a bench-friendly scale).
 pub fn fragbff_replay(cfg: &ScaleConfig) -> u64 {
     run_policy(cfg, POLICIES[0]).report.events_processed
+}
+
+/// A program that issues `cycles` short compute bursts and halts — the
+/// leanest possible workload, so the VM dispatch cycle (VcpuStep →
+/// `Program::next` → op match → pCPU charge → CpuDone) dominates.
+struct DispatchLoop {
+    remaining: u32,
+}
+
+impl Program for DispatchLoop {
+    fn next(&mut self, _cx: &mut ProgCtx<'_>) -> Op {
+        if self.remaining == 0 {
+            return Op::Done;
+        }
+        self.remaining -= 1;
+        Op::Compute(SimTime::from_nanos(500))
+    }
+
+    fn label(&self) -> &str {
+        "dispatch-loop"
+    }
+}
+
+/// Pure VM dispatch-cycle churn: `vcpus` vCPUs on dedicated pCPUs each
+/// burn `cycles` tiny compute bursts. No DSM, no I/O, no sharing — the
+/// measured rate is the per-event hypervisor dispatch overhead. Returns
+/// engine events delivered.
+pub fn vm_dispatch(vcpus: u32, cycles: u32) -> u64 {
+    let mut b = VmBuilder::new(HypervisorProfile::fragvisor(), 1);
+    for i in 0..vcpus {
+        b = b.vcpu(
+            Placement::new(0, i),
+            Box::new(DispatchLoop { remaining: cycles }),
+        );
+    }
+    let mut sim = b.build();
+    black_box(sim.run());
+    sim.engine.delivered()
+}
+
+/// Runs a uniform all-to-all fleet of `shards * tenants_per_shard`
+/// tenants on `jobs` worker threads and returns total engine events
+/// delivered across shards. `fleet_serial` / `fleet_parallel` pairs of
+/// this case give the sharded engine's wall-clock speedup, and either one
+/// exercises the whole conservative window-barrier merge path.
+pub fn fleet_run(shards: u32, tenants_per_shard: u32, rounds: u32, jobs: usize) -> u64 {
+    let cfg = FleetConfig::new(shards, tenants_per_shard);
+    let total = cfg.tenants();
+    let specs: Vec<TenantSpec> = scenario::uniform(total)
+        .into_iter()
+        .map(|peer| {
+            let mut s = TenantSpec::new(peer);
+            s.rounds = rounds;
+            s
+        })
+        .collect();
+    let report = black_box(FleetSim::new(cfg, specs).run(jobs));
+    report.events
 }

@@ -1,0 +1,277 @@
+//! Fleet-scale study: thousands of Aggregate VMs under the sharded
+//! conservative-DES engine (`hypervisor::fleet`; see `DESIGN.md` §15).
+//!
+//! Three traffic scenarios run at datacenter shape (4 shards × 250
+//! tenants = 1,000 Aggregate VMs, two vCPUs each):
+//!
+//! * **uniform** — all-to-all RPC, every request crosses shards;
+//! * **noisy neighbor** — every 16th tenant floods tenant 0's shard;
+//! * **incast** — the whole fleet converges on one ingress line.
+//!
+//! Each scenario runs twice, serially (`jobs = 1`) and sharded
+//! (`jobs = N`), and the study **asserts byte-identity** between the two
+//! reports: same digest, same window count, same event count, same
+//! virtual finish time, same per-tenant samples. That is the engine's
+//! headline contract — parallelism must be observationally invisible —
+//! and the CI smoke job (`FLEET_SMOKE=1 exp_fleet --jobs 2`) enforces it
+//! on every push.
+//!
+//! Wall-clock speedup is reported honestly: it is bounded by
+//! `min(jobs, physical cores)`, so on a single-core runner the sharded
+//! run's value is showing near-zero coordination overhead, not speedup.
+
+use std::time::Instant;
+
+use hypervisor::fleet::{scenario, FleetConfig, FleetReport, FleetSim, TenantSpec};
+
+use crate::report::{f2, Table};
+
+/// Experiment shape: fleet geometry plus workload intensity.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetShape {
+    /// Shards (one `VmWorld` each).
+    pub shards: u32,
+    /// Tenants per shard (two vCPUs each).
+    pub tenants_per_shard: u32,
+    /// Request/reply rounds per tenant.
+    pub rounds: u32,
+    /// Noisy-neighbor fan: every `fan`-th tenant targets tenant 0.
+    pub noisy_fan: u32,
+}
+
+impl FleetShape {
+    /// Datacenter shape: 1,000 tenants (2,000 vCPUs) over 4 shards.
+    pub fn full() -> Self {
+        FleetShape {
+            shards: 4,
+            tenants_per_shard: 250,
+            rounds: 4,
+            noisy_fan: 16,
+        }
+    }
+
+    /// CI smoke shape (`FLEET_SMOKE=1`): small enough for every push,
+    /// still cross-shard and multi-window.
+    pub fn smoke() -> Self {
+        FleetShape {
+            shards: 2,
+            tenants_per_shard: 8,
+            rounds: 3,
+            noisy_fan: 4,
+        }
+    }
+
+    /// Shape selection honouring the `FLEET_SMOKE` environment variable.
+    pub fn from_env() -> Self {
+        if std::env::var_os("FLEET_SMOKE").is_some() {
+            Self::smoke()
+        } else {
+            Self::full()
+        }
+    }
+}
+
+/// Builds the fleet for one peer map.
+fn build(shape: &FleetShape, peers: Vec<u32>) -> FleetSim {
+    let cfg = FleetConfig::new(shape.shards, shape.tenants_per_shard);
+    let specs: Vec<TenantSpec> = peers
+        .into_iter()
+        .map(|peer| {
+            let mut s = TenantSpec::new(peer);
+            s.rounds = shape.rounds;
+            s
+        })
+        .collect();
+    FleetSim::new(cfg, specs)
+}
+
+/// Nearest-rank percentile of a sorted sample.
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// One scenario's measurements: the (byte-identical) report plus wall
+/// clocks for the serial and sharded runs.
+struct ScenarioRun {
+    report: FleetReport,
+    serial: f64,
+    sharded: f64,
+}
+
+/// Runs one scenario serially and sharded, asserting byte-identity.
+///
+/// # Panics
+///
+/// Panics if the `jobs = 1` and `jobs = N` runs diverge in any
+/// observable — that would be a conservative-synchronization bug, and CI
+/// treats it as a hard failure.
+fn run_scenario(sim: &FleetSim, jobs: usize) -> ScenarioRun {
+    let t0 = Instant::now();
+    let serial_report = sim.run(1);
+    let serial = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let report = sim.run(jobs);
+    let sharded = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_report.digest, report.digest,
+        "serial and jobs={jobs} runs diverged (digest)"
+    );
+    assert_eq!(
+        serial_report.windows, report.windows,
+        "window count diverged"
+    );
+    assert_eq!(serial_report.events, report.events, "event count diverged");
+    assert_eq!(serial_report.finish, report.finish, "finish time diverged");
+    for (a, b) in serial_report.tenants.iter().zip(report.tenants.iter()) {
+        assert_eq!(
+            (a.tenant, &a.samples),
+            (b.tenant, &b.samples),
+            "per-tenant samples diverged"
+        );
+    }
+    ScenarioRun {
+        report,
+        serial,
+        sharded,
+    }
+}
+
+/// Fleet study table: per-scenario tail latency, byte-identity, and
+/// serial-vs-sharded wall clock at the given worker count.
+pub fn fleet_study(jobs: usize) -> Table {
+    let shape = FleetShape::from_env();
+    fleet_study_at(&shape, jobs)
+}
+
+/// [`fleet_study`] at an explicit shape (tests use the smoke shape).
+pub fn fleet_study_at(shape: &FleetShape, jobs: usize) -> Table {
+    let total = shape.shards * shape.tenants_per_shard;
+    let mut t = Table::new(
+        "Fleet",
+        &format!(
+            "{} Aggregate VMs over {} shards, {} RPC rounds each \
+             (serial vs --jobs {jobs}, byte-identity asserted)",
+            total, shape.shards, shape.rounds
+        ),
+        &[
+            "scenario",
+            "windows",
+            "fleet msgs",
+            "events",
+            "p50 (us)",
+            "p99 (us)",
+            "p999 (us)",
+            "max (us)",
+            "serial (ms)",
+            "sharded (ms)",
+        ],
+    );
+    let scenarios: Vec<(&str, Vec<u32>)> = vec![
+        ("uniform", scenario::uniform(total)),
+        (
+            "noisy neighbor",
+            scenario::noisy_neighbor(total, shape.noisy_fan),
+        ),
+        ("incast", scenario::incast(total)),
+    ];
+    let mut serial_total = 0.0;
+    let mut sharded_total = 0.0;
+    for (name, peers) in scenarios {
+        let sim = build(shape, peers);
+        let run = run_scenario(&sim, jobs);
+        let mut samples: Vec<u64> = run
+            .report
+            .tenants
+            .iter()
+            .flat_map(|t| t.samples.iter().copied())
+            .collect();
+        samples.sort_unstable();
+        serial_total += run.serial;
+        sharded_total += run.sharded;
+        t.row(vec![
+            name.to_string(),
+            run.report.windows.to_string(),
+            run.report.fleet_msgs.to_string(),
+            run.report.events.to_string(),
+            f2(pct(&samples, 0.50) as f64 / 1000.0),
+            f2(pct(&samples, 0.99) as f64 / 1000.0),
+            f2(pct(&samples, 0.999) as f64 / 1000.0),
+            f2(samples.last().copied().unwrap_or(0) as f64 / 1000.0),
+            f2(run.serial * 1000.0),
+            f2(run.sharded * 1000.0),
+        ]);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    t.note(format!(
+        "jobs={jobs} on {cores} core(s): every scenario's serial and sharded \
+         runs were byte-identical (digest, windows, events, finish, and all \
+         per-tenant samples). Aggregate wall clock {:.0} ms serial vs \
+         {:.0} ms sharded ({:.2}x); speedup is bounded by min(jobs, cores), \
+         and with fewer cores than jobs the sharded run only pays the \
+         window barriers (costliest under incast, whose serialized virtual \
+         time crosses the most windows).",
+        serial_total * 1000.0,
+        sharded_total * 1000.0,
+        serial_total / sharded_total.max(1e-9),
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CI contract in miniature: all three scenarios at the smoke
+    /// shape are byte-identical between serial and 2-way sharded runs,
+    /// and every client finishes all its rounds.
+    #[test]
+    fn smoke_shape_scenarios_are_byte_identical_and_complete() {
+        let shape = FleetShape::smoke();
+        let total = shape.shards * shape.tenants_per_shard;
+        for peers in [
+            scenario::uniform(total),
+            scenario::noisy_neighbor(total, shape.noisy_fan),
+            scenario::incast(total),
+        ] {
+            let sim = build(&shape, peers);
+            let run = run_scenario(&sim, 2);
+            for ts in &run.report.tenants {
+                assert_eq!(
+                    ts.samples.len(),
+                    shape.rounds as usize,
+                    "tenant {} finished {} of {} rounds",
+                    ts.tenant,
+                    ts.samples.len(),
+                    shape.rounds
+                );
+            }
+        }
+    }
+
+    /// Incast must show a heavier tail than uniform: one ingress line
+    /// serializes the entire fleet's requests.
+    #[test]
+    fn incast_tail_dominates_uniform_tail() {
+        let shape = FleetShape::smoke();
+        let total = shape.shards * shape.tenants_per_shard;
+        let max_of = |peers: Vec<u32>| {
+            let report = build(&shape, peers).run(1);
+            report
+                .tenants
+                .iter()
+                .flat_map(|t| t.samples.iter().copied())
+                .max()
+                .unwrap_or(0)
+        };
+        let uniform = max_of(scenario::uniform(total));
+        let incast = max_of(scenario::incast(total));
+        assert!(
+            incast > uniform,
+            "incast max {incast} ns should exceed uniform max {uniform} ns"
+        );
+    }
+}

@@ -17,6 +17,7 @@ mod chaos;
 mod corebench;
 mod extensions;
 mod fault_recovery;
+mod fleet;
 mod io;
 mod memelastic;
 mod micro;
@@ -30,13 +31,15 @@ mod sched;
 pub use apps::{fig12_lemp, fig13_openlambda};
 pub use chaos::chaos_soak;
 pub use corebench::{
-    dsm_batch_scan, dsm_drain, dsm_hit_storm, fragbff_replay, queue_churn, CoreSizes, QueueBackend,
+    dsm_batch_scan, dsm_drain, dsm_hit_storm, fleet_run, fragbff_replay, queue_churn, vm_dispatch,
+    CoreSizes, QueueBackend,
 };
 pub use extensions::{
     ablation_study, interference_study, memory_borrowing_study, provisioning_study,
     reliability_study,
 };
 pub use fault_recovery::fault_recovery_study;
+pub use fleet::{fleet_study, fleet_study_at, FleetShape};
 pub use io::{fig06_net_delegation, fig07_storage_delegation};
 pub use memelastic::memory_pressure_study;
 pub use micro::{fig01_sharing_study, fig04_dsm_fault_overhead, fig05_concurrent_writes};

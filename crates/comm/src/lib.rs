@@ -22,11 +22,13 @@
 
 pub mod fabric;
 pub mod profile;
+pub mod staging;
 
 pub use fabric::{
     Delivery, Fabric, FabricError, Message, MsgClass, RetryPolicy, Scheduling, Urgency,
 };
 pub use profile::{ClassWeights, LinkProfile, StackProfile};
+pub use staging::{merge_windows, min_lookahead, IngressLine, StagedMsg};
 
 sim_core::define_id!(
     /// Identifier of a physical machine in the cluster fabric.

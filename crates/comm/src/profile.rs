@@ -182,6 +182,18 @@ impl LinkProfile {
         self.wire_latency + self.stack.per_message_latency() + self.bandwidth.transfer_time(size)
     }
 
+    /// Conservative-lookahead bound for parallel simulation: the minimum
+    /// time *any* message needs to cross this link — wire propagation plus
+    /// the fixed software-stack latency, with serialization excluded (a
+    /// zero-byte message is the infimum). Shards that exchange traffic
+    /// only over links whose lookahead is ≥ `W` can advance in lock-step
+    /// windows of width `W`: a message departing inside one window cannot
+    /// arrive before the next window opens, so exchanging staged messages
+    /// at window barriers never delivers into the past.
+    pub fn lookahead(&self) -> SimTime {
+        self.wire_latency + self.stack.per_message_latency()
+    }
+
     /// Round-trip latency for a `req`-sized request answered by a
     /// `resp`-sized response, on idle links.
     pub fn round_trip(&self, req: ByteSize, resp: ByteSize) -> SimTime {

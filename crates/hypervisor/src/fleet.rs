@@ -1,0 +1,784 @@
+//! The sharded parallel fleet engine: thousands of Aggregate VMs under
+//! one deterministic conservative-DES merge.
+//!
+//! A *fleet* is `shards` independent [`VmWorld`](crate::vm::VmWorld)s, each hosting
+//! `tenants_per_shard` tenants (an RPC client vCPU plus a server vCPU per
+//! tenant) on a small cluster of nodes. Tenants exchange cross-shard RPCs
+//! over a shared datacenter link ([`FleetConfig::fleet_link`]); intra-shard
+//! traffic rides the shard's own fabric as usual.
+//!
+//! # Conservative windows
+//!
+//! Shards advance in lock-step windows of width `W =`
+//! [`LinkProfile::lookahead`] of the cross-shard link. A message staged by
+//! [`Op::FleetSend`] in window `k` departs at some `t ≥ start_k`, so its
+//! earliest possible arrival `t + W ≥ start_k + W = end_k` falls in window
+//! `k+1` or later — no shard can ever receive a message for a time it has
+//! already simulated, which is exactly the conservative synchronization
+//! invariant (null-message-free, because the window *is* the lookahead).
+//!
+//! # Deterministic merge
+//!
+//! At each barrier the coordinator collects every shard's outbox, sorts
+//! the union by the unique key `(depart, src_shard, src_seq)`
+//! ([`StagedMsg::key`]), and feeds it in that order through a single
+//! [`IngressLine`] that serializes deliveries per destination tenant and
+//! applies the tenant's weighted-fair stretch. Because the merge order,
+//! the ingress-line state, and the per-shard injection order are all
+//! functions of simulation state only — never of host thread timing — a
+//! run with `jobs = 1` and a run with `jobs = N` produce byte-identical
+//! results ([`FleetReport::digest`]).
+//!
+//! # Parallelism
+//!
+//! Worker threads own disjoint shard subsets (round-robin by shard id)
+//! for the whole run; worlds are built *inside* their worker so no
+//! non-`Send` state ever crosses a thread boundary. The coordinator and
+//! workers exchange plain-data messages over channels once per window.
+
+use std::sync::mpsc;
+use std::thread;
+
+use comm::{ClassWeights, IngressLine, LinkProfile, MsgClass, StagedMsg};
+use dsm::Access;
+use guest::memory::Region;
+use sim_core::time::SimTime;
+use sim_core::units::ByteSize;
+use sim_core::Fnv1a;
+
+use crate::profile::HypervisorProfile;
+use crate::program::{GuestMsg, Op, ProgCtx, Program};
+use crate::vm::{Event, Placement, VmBuilder, VmSim};
+use crate::VcpuId;
+
+/// Tag carried by request messages (client → server vCPU).
+const TAG_REQ: u64 = 0;
+/// Tag carried by reply messages (server → client vCPU).
+const TAG_REP: u64 = 1;
+
+/// One tenant's shape: who it talks to and how hard it works.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSpec {
+    /// Global tenant id of the peer this tenant's client sends RPCs to.
+    pub peer: u32,
+    /// Number of request/reply rounds the client performs.
+    pub rounds: u32,
+    /// Request/reply payload size in bytes.
+    pub bytes: u64,
+    /// Server-side compute per request.
+    pub service: SimTime,
+    /// Client-side think time between rounds (jittered ±25%).
+    pub think: SimTime,
+    /// Guest pages the server writes per request (0 = no DSM traffic).
+    pub pages: u64,
+    /// Traffic class: its weighted-fair share stretches this tenant's
+    /// deliveries when the destination's ingress line is backlogged.
+    pub class: MsgClass,
+}
+
+impl TenantSpec {
+    /// A balanced default tenant talking to `peer`.
+    pub fn new(peer: u32) -> Self {
+        TenantSpec {
+            peer,
+            rounds: 4,
+            bytes: 4096,
+            service: SimTime::from_micros(20),
+            think: SimTime::from_micros(40),
+            pages: 4,
+            class: MsgClass::Io,
+        }
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shards (each one [`VmWorld`](crate::vm::VmWorld)).
+    pub shards: u32,
+    /// Tenants hosted per shard (two vCPUs each).
+    pub tenants_per_shard: u32,
+    /// Cluster nodes per shard.
+    pub nodes_per_shard: u32,
+    /// pCPUs per node; tenants overcommit the shared slab beyond
+    /// `nodes_per_shard * pcpus_per_node` vCPUs.
+    pub pcpus_per_node: u32,
+    /// Cost model for each shard's hypervisor.
+    pub profile: HypervisorProfile,
+    /// The cross-shard datacenter link; its [`LinkProfile::lookahead`] is
+    /// the conservative window width.
+    pub fleet_link: LinkProfile,
+    /// Weighted-fair shares applied per tenant class at ingress.
+    pub weights: ClassWeights,
+    /// Determinism seed (each shard derives its own stream).
+    pub seed: u64,
+    /// Event-queue calendarization threshold for shard engines
+    /// (`None` = the default high-water mark).
+    pub calendar_threshold: Option<usize>,
+    /// Safety cap on window barriers before declaring the fleet hung.
+    pub max_windows: u64,
+}
+
+impl FleetConfig {
+    /// A fleet of `shards` shards with `tenants_per_shard` tenants each,
+    /// on FragVisor-profile shards joined by a 1G datacenter link.
+    pub fn new(shards: u32, tenants_per_shard: u32) -> Self {
+        FleetConfig {
+            shards,
+            tenants_per_shard,
+            nodes_per_shard: 4,
+            pcpus_per_node: 4,
+            profile: HypervisorProfile::fragvisor(),
+            fleet_link: LinkProfile::ethernet_1g(),
+            weights: ClassWeights::default_qos(),
+            seed: 0xF1EE7,
+            calendar_threshold: Some(256),
+            max_windows: 20_000_000,
+        }
+    }
+
+    /// Total tenants in the fleet.
+    pub fn tenants(&self) -> u32 {
+        self.shards * self.tenants_per_shard
+    }
+}
+
+/// Per-tenant output: the client's observed request latencies.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Global tenant id.
+    pub tenant: u32,
+    /// One latency sample (ns) per completed round, in completion order.
+    pub samples: Vec<u64>,
+}
+
+/// The result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-tenant latency samples, in tenant order.
+    pub tenants: Vec<TenantStats>,
+    /// Order-sensitive digest over every shard's final state, combined in
+    /// shard order; byte-identical across `jobs` settings.
+    pub digest: u64,
+    /// Window barriers crossed.
+    pub windows: u64,
+    /// Events delivered across all shard engines.
+    pub events: u64,
+    /// Cross-shard messages merged.
+    pub fleet_msgs: u64,
+    /// Virtual completion time (max over shards).
+    pub finish: SimTime,
+}
+
+/// A fleet of Aggregate VMs ready to run.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    config: FleetConfig,
+    tenants: Vec<TenantSpec>,
+}
+
+/// Coordinator → worker: one window's marching orders.
+enum Cmd {
+    /// Advance every owned shard to `end`, injecting `deliveries` first
+    /// (already filtered to this worker, in global merge order).
+    Window {
+        end: SimTime,
+        deliveries: Vec<Delivery>,
+    },
+    /// The fleet is done: report final shard state.
+    Finish,
+}
+
+/// A merged cross-shard message scheduled into a destination shard.
+struct Delivery {
+    shard: u32,
+    at: SimTime,
+    vcpu: u32,
+    conn: u64,
+    bytes: u64,
+}
+
+/// Worker → coordinator messages.
+enum Report {
+    /// One shard finished a window.
+    Window {
+        shard: u32,
+        staged: Vec<StagedMsg>,
+        clients_done: bool,
+    },
+    /// One shard's final state (sent on [`Cmd::Finish`]).
+    Done(Box<ShardResult>),
+}
+
+struct ShardResult {
+    shard: u32,
+    digest: u64,
+    events: u64,
+    finish: SimTime,
+    /// `(global tenant id, client samples)`, in local tenant order.
+    tenants: Vec<(u32, Vec<u64>)>,
+}
+
+impl FleetSim {
+    /// Builds a fleet; `tenants[t]` describes global tenant `t`, which
+    /// lives on shard `t / tenants_per_shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec list does not cover exactly
+    /// `shards * tenants_per_shard` tenants or a peer id is out of range.
+    pub fn new(config: FleetConfig, tenants: Vec<TenantSpec>) -> Self {
+        assert_eq!(
+            tenants.len(),
+            config.tenants() as usize,
+            "one TenantSpec per tenant"
+        );
+        assert!(
+            tenants.iter().all(|t| t.peer < config.tenants()),
+            "peer id out of range"
+        );
+        FleetSim { config, tenants }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the fleet on `jobs` worker threads (clamped to `[1, shards]`)
+    /// and returns the merged report. The report — including its digest —
+    /// is independent of `jobs`: the serial run and every parallel run
+    /// execute the same windowed algorithm in the same merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet exceeds [`FleetConfig::max_windows`] barriers
+    /// without every client finishing (a deadlocked tenant graph), or if
+    /// a worker thread panics.
+    #[allow(clippy::panic)] // documented contract: a hung fleet is a caller bug
+    pub fn run(&self, jobs: usize) -> FleetReport {
+        let cfg = &self.config;
+        let shards = cfg.shards as usize;
+        let jobs = jobs.clamp(1, shards.max(1));
+        let window = cfg.fleet_link.lookahead();
+        assert!(!window.is_zero(), "cross-shard link needs nonzero latency");
+
+        let (report_tx, report_rx) = mpsc::channel::<Report>();
+        let mut out: Option<FleetReport> = None;
+        thread::scope(|scope| {
+            // Spin up workers; each builds and owns its shards for the
+            // whole run (worlds hold non-Send state, so they never move).
+            let mut cmd_txs: Vec<mpsc::Sender<Cmd>> = Vec::with_capacity(jobs);
+            let owner_of: Vec<usize> = (0..shards).map(|s| s % jobs).collect();
+            for w in 0..jobs {
+                let (tx, rx) = mpsc::channel::<Cmd>();
+                cmd_txs.push(tx);
+                let owned: Vec<u32> = (0..shards as u32)
+                    .filter(|s| *s as usize % jobs == w)
+                    .collect();
+                let tx_back = report_tx.clone();
+                scope.spawn(move || self.worker(owned, rx, tx_back));
+            }
+            drop(report_tx);
+
+            // Coordinator: window barrier loop.
+            let mut ingress = IngressLine::new(cfg.fleet_link);
+            let mut pending: Vec<Vec<Delivery>> = (0..jobs).map(|_| Vec::new()).collect();
+            let mut windows = 0u64;
+            let mut fleet_msgs = 0u64;
+            loop {
+                windows += 1;
+                assert!(
+                    windows <= cfg.max_windows,
+                    "fleet exceeded {} windows without finishing \
+                     (deadlocked tenant graph?)",
+                    cfg.max_windows
+                );
+                let end = SimTime::from_nanos(window.as_nanos() * windows);
+                for (w, tx) in cmd_txs.iter().enumerate() {
+                    let deliveries = std::mem::take(&mut pending[w]);
+                    tx.send(Cmd::Window { end, deliveries })
+                        .expect("worker alive");
+                }
+
+                // Collect exactly one report per shard, slotting by shard
+                // id so arrival order (host timing) cannot matter.
+                let mut staged: Vec<Vec<StagedMsg>> = (0..shards).map(|_| Vec::new()).collect();
+                let mut all_done = true;
+                for _ in 0..shards {
+                    match report_rx.recv().expect("worker alive") {
+                        Report::Window {
+                            shard,
+                            staged: s,
+                            clients_done,
+                        } => {
+                            all_done &= clients_done;
+                            staged[shard as usize] = s;
+                        }
+                        Report::Done(_) => unreachable!("Done before Finish"),
+                    }
+                }
+
+                // Deterministic merge: global (depart, src_shard, src_seq)
+                // order, then per-destination ingress serialization.
+                // A fleet with every client Done has no in-flight
+                // messages (a pending request or reply implies a blocked,
+                // unfinished client), so `all_done` plus an empty merge is
+                // a safe quiescence test.
+                let merged = comm::merge_windows(staged);
+                let quiescent = merged.is_empty();
+                fleet_msgs += merged.len() as u64;
+                for m in merged {
+                    let spec = &self.tenants[m.src as usize];
+                    let weight = cfg.weights.weight(spec.class).max(1);
+                    let stretch = (cfg.weights.total() / weight).max(1);
+                    let at = ingress.admit(m.dst, m.depart, ByteSize::bytes(m.bytes), stretch);
+                    let dst_shard = m.dst / cfg.tenants_per_shard;
+                    let local = m.dst % cfg.tenants_per_shard;
+                    // Requests land on the server vCPU, replies on the
+                    // client vCPU.
+                    let vcpu = 2 * local + u32::from(m.tag == TAG_REQ);
+                    pending[owner_of[dst_shard as usize]].push(Delivery {
+                        shard: dst_shard,
+                        at,
+                        vcpu,
+                        conn: u64::from(m.src),
+                        bytes: m.bytes,
+                    });
+                }
+
+                if all_done && quiescent {
+                    break;
+                }
+            }
+
+            for tx in &cmd_txs {
+                tx.send(Cmd::Finish).expect("worker alive");
+            }
+            let mut results: Vec<Option<ShardResult>> = (0..shards).map(|_| None).collect();
+            for _ in 0..shards {
+                match report_rx.recv().expect("worker alive") {
+                    Report::Done(r) => {
+                        let slot = r.shard as usize;
+                        results[slot] = Some(*r);
+                    }
+                    Report::Window { .. } => unreachable!("Window after Finish"),
+                }
+            }
+
+            // Combine in shard order: the digest is a pure function of
+            // simulation state.
+            let mut digest = Fnv1a::new();
+            let mut tenants = Vec::with_capacity(self.tenants.len());
+            let mut events = 0u64;
+            let mut finish = SimTime::ZERO;
+            for r in results.into_iter().map(|r| r.expect("every shard reports")) {
+                digest.write_u64(r.digest);
+                events += r.events;
+                finish = finish.max(r.finish);
+                for (tenant, samples) in r.tenants {
+                    tenants.push(TenantStats { tenant, samples });
+                }
+            }
+            out = Some(FleetReport {
+                tenants,
+                digest: digest.finish(),
+                windows,
+                events,
+                fleet_msgs,
+                finish,
+            });
+        });
+        out.expect("coordinator ran")
+    }
+
+    /// Worker loop: build owned shards, then alternate
+    /// inject-run-drain per window until told to finish.
+    fn worker(&self, owned: Vec<u32>, rx: mpsc::Receiver<Cmd>, tx: mpsc::Sender<Report>) {
+        let cfg = &self.config;
+        let mut sims: Vec<VmSim> = owned.iter().map(|&s| self.build_shard(s)).collect();
+        let mut seqs: Vec<u64> = vec![0; owned.len()];
+        let index_of = |shard: u32| owned.iter().position(|&s| s == shard).expect("owned shard");
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Cmd::Window { end, deliveries } => {
+                    for d in deliveries {
+                        let sim = &mut sims[index_of(d.shard)];
+                        sim.engine.external_ctx().schedule_at(
+                            d.at,
+                            Event::FleetDeliver {
+                                vcpu: VcpuId::new(d.vcpu),
+                                msg: GuestMsg::Net {
+                                    conn: d.conn,
+                                    bytes: d.bytes,
+                                },
+                            },
+                        );
+                    }
+                    for (i, sim) in sims.iter_mut().enumerate() {
+                        let shard = owned[i];
+                        sim.run_until(end);
+                        let staged = sim
+                            .world
+                            .drain_fleet_outbox()
+                            .into_iter()
+                            .map(|m| {
+                                let local = m.src_vcpu.0 / 2;
+                                let seq = seqs[i];
+                                seqs[i] += 1;
+                                StagedMsg {
+                                    depart: m.depart,
+                                    src_shard: shard,
+                                    src_seq: seq,
+                                    src: shard * cfg.tenants_per_shard + local,
+                                    dst: m.dst,
+                                    bytes: m.bytes,
+                                    tag: m.tag,
+                                }
+                            })
+                            .collect();
+                        let clients_done = (0..cfg.tenants_per_shard)
+                            .all(|t| sim.world.stats.vcpu_finish[2 * t as usize].is_some());
+                        tx.send(Report::Window {
+                            shard,
+                            staged,
+                            clients_done,
+                        })
+                        .expect("coordinator alive");
+                    }
+                }
+                Cmd::Finish => {
+                    for (i, sim) in sims.iter_mut().enumerate() {
+                        let shard = owned[i];
+                        tx.send(Report::Done(Box::new(shard_result(cfg, shard, sim))))
+                            .expect("coordinator alive");
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Builds one shard: a small cluster hosting this shard's tenants,
+    /// two vCPUs each, round-robin over the shared pCPU slab.
+    fn build_shard(&self, shard: u32) -> VmSim {
+        let cfg = &self.config;
+        let nodes = cfg.nodes_per_shard;
+        let base = shard * cfg.tenants_per_shard;
+        let mut b = VmBuilder::new(cfg.profile, nodes as usize)
+            .seed(cfg.seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(u64::from(shard) + 1)));
+        if let Some(t) = cfg.calendar_threshold {
+            b = b.with_calendar_threshold(t);
+        }
+        for local in 0..cfg.tenants_per_shard {
+            let tenant = base + local;
+            let spec = self.tenants[tenant as usize];
+            // Client and server land on different nodes so every RPC's
+            // DSM traffic crosses the shard fabric.
+            for role in 0..2u32 {
+                let v = 2 * local + role;
+                let node = v % nodes;
+                let pcpu = (v / nodes) % cfg.pcpus_per_node;
+                let prog: Box<dyn Program> = if role == 0 {
+                    Box::new(FleetClient::new(spec))
+                } else {
+                    Box::new(FleetServer::new(tenant, spec))
+                };
+                b = b.vcpu(Placement::new(node, pcpu), prog);
+            }
+        }
+        let mut sim = b.build();
+        sim.world.enable_fleet();
+        sim
+    }
+}
+
+/// Digest + stats for one finished shard.
+fn shard_result(cfg: &FleetConfig, shard: u32, sim: &mut VmSim) -> ShardResult {
+    let mut h = Fnv1a::new();
+    h.write_u64(u64::from(shard));
+    h.write_u64(sim.engine.delivered());
+    h.write_u64(sim.engine.now().as_nanos());
+    h.write_u64(sim.world.mem.dsm.state_digest());
+    let stats = &sim.world.stats;
+    for f in &stats.vcpu_finish {
+        h.write_u64(f.map_or(u64::MAX, SimTime::as_nanos));
+    }
+    for s in &stats.samples {
+        h.write_u64(s.len() as u64);
+        for &x in s {
+            h.write_u64(x);
+        }
+    }
+    let base = shard * cfg.tenants_per_shard;
+    let tenants = (0..cfg.tenants_per_shard)
+        .map(|local| (base + local, stats.samples[2 * local as usize].clone()))
+        .collect();
+    ShardResult {
+        shard,
+        digest: h.finish(),
+        events: sim.engine.delivered(),
+        finish: stats.makespan(),
+        tenants,
+    }
+}
+
+/// Client phase machine: think → send → recv → observe, `rounds` times.
+#[derive(Debug, Clone, Copy)]
+enum ClientPhase {
+    Think,
+    Send,
+    Recv,
+    Observe,
+}
+
+/// The per-tenant RPC client: issues one request per round to the peer
+/// tenant's server and records the observed round-trip latency.
+struct FleetClient {
+    spec: TenantSpec,
+    phase: ClientPhase,
+    round: u32,
+    t0: SimTime,
+}
+
+impl FleetClient {
+    fn new(spec: TenantSpec) -> Self {
+        FleetClient {
+            spec,
+            phase: ClientPhase::Think,
+            round: 0,
+            t0: SimTime::ZERO,
+        }
+    }
+}
+
+impl Program for FleetClient {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        match self.phase {
+            ClientPhase::Think => {
+                if self.round >= self.spec.rounds {
+                    return Op::Done;
+                }
+                self.phase = ClientPhase::Send;
+                // ±25% jitter keeps tenants out of lock-step without
+                // perturbing the mean load.
+                let base = self.spec.think.as_nanos();
+                let jitter = cx.rng.range(0, base / 2 + 1);
+                Op::Compute(SimTime::from_nanos(base * 3 / 4 + jitter))
+            }
+            ClientPhase::Send => {
+                self.t0 = cx.now;
+                self.phase = ClientPhase::Recv;
+                Op::FleetSend {
+                    dst: self.spec.peer,
+                    bytes: self.spec.bytes,
+                    tag: TAG_REQ,
+                }
+            }
+            ClientPhase::Recv => {
+                self.phase = ClientPhase::Observe;
+                Op::NetRecv
+            }
+            ClientPhase::Observe => {
+                self.round += 1;
+                self.phase = ClientPhase::Think;
+                Op::Observe {
+                    value_ns: (cx.now - self.t0).as_nanos(),
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "fleet-client"
+    }
+}
+
+/// Server phase machine: recv → compute → touch → reply, forever.
+#[derive(Debug, Clone, Copy)]
+enum ServerPhase {
+    Recv,
+    Work,
+    Touch,
+    Reply,
+}
+
+/// The per-tenant RPC server: echoes each request back to its sender
+/// after a service burst and a page-write sweep over its heap region.
+struct FleetServer {
+    tenant: u32,
+    spec: TenantSpec,
+    phase: ServerPhase,
+    region: Option<Region>,
+    cursor: u64,
+    reply_to: u32,
+}
+
+impl FleetServer {
+    fn new(tenant: u32, spec: TenantSpec) -> Self {
+        FleetServer {
+            tenant,
+            spec,
+            phase: ServerPhase::Recv,
+            region: None,
+            cursor: 0,
+            reply_to: 0,
+        }
+    }
+}
+
+impl Program for FleetServer {
+    fn next(&mut self, cx: &mut ProgCtx<'_>) -> Op {
+        match self.phase {
+            ServerPhase::Recv => {
+                self.phase = ServerPhase::Work;
+                Op::NetRecv
+            }
+            ServerPhase::Work => {
+                if let Some(GuestMsg::Net { conn, .. }) = cx.delivered {
+                    self.reply_to = conn as u32;
+                }
+                self.phase = ServerPhase::Touch;
+                Op::Compute(self.spec.service)
+            }
+            ServerPhase::Touch => {
+                self.phase = ServerPhase::Reply;
+                if self.spec.pages == 0 {
+                    return self.next(cx);
+                }
+                let region = self.region.get_or_insert_with(|| {
+                    cx.alloc
+                        .alloc(&format!("tenant{}.heap", self.tenant), self.spec.pages * 8)
+                });
+                let touches = (0..self.spec.pages)
+                    .map(|i| {
+                        let p = region.page((self.cursor + i) % (self.spec.pages * 8));
+                        (p, Access::Write)
+                    })
+                    .collect();
+                self.cursor += self.spec.pages;
+                Op::TouchBatch(touches)
+            }
+            ServerPhase::Reply => {
+                self.phase = ServerPhase::Recv;
+                Op::FleetSend {
+                    dst: self.reply_to,
+                    bytes: self.spec.bytes,
+                    tag: TAG_REP,
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "fleet-server"
+    }
+}
+
+/// Peer maps for the standard fleet scenarios.
+pub mod scenario {
+    /// Uniform all-to-all: tenant `t` pairs with the tenant half the
+    /// fleet away, so every RPC crosses shards once `shards > 1`.
+    pub fn uniform(total: u32) -> Vec<u32> {
+        (0..total).map(|t| (t + total / 2) % total).collect()
+    }
+
+    /// Noisy neighbor: every `fan`-th tenant floods tenant 0's shard
+    /// neighborhood; the rest behave as in [`uniform`].
+    pub fn noisy_neighbor(total: u32, fan: u32) -> Vec<u32> {
+        (0..total)
+            .map(|t| {
+                if t != 0 && t % fan == 0 {
+                    0
+                } else {
+                    (t + total / 2) % total
+                }
+            })
+            .collect()
+    }
+
+    /// Incast: all tenants converge on tenant 0 (one hot ingress line).
+    pub fn incast(total: u32) -> Vec<u32> {
+        (0..total)
+            .map(|t| if t == 0 { total / 2 } else { 0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet(shards: u32, tenants_per_shard: u32, seed: u64) -> FleetSim {
+        let mut cfg = FleetConfig::new(shards, tenants_per_shard);
+        cfg.seed = seed;
+        let total = cfg.tenants();
+        let specs: Vec<TenantSpec> = scenario::uniform(total)
+            .into_iter()
+            .map(TenantSpec::new)
+            .collect();
+        FleetSim::new(cfg, specs)
+    }
+
+    #[test]
+    fn fleet_completes_and_samples_every_round() {
+        let report = small_fleet(2, 4, 7).run(1);
+        assert_eq!(report.tenants.len(), 8);
+        for t in &report.tenants {
+            assert_eq!(t.samples.len(), 4, "tenant {} rounds", t.tenant);
+            assert!(t.samples.iter().all(|&s| s > 0));
+        }
+        assert!(report.fleet_msgs >= 2 * 8 * 4); // request + reply per round
+        assert!(report.windows > 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_byte_identical() {
+        let fleet = small_fleet(4, 3, 11);
+        let serial = fleet.run(1);
+        let par2 = fleet.run(2);
+        let par4 = fleet.run(4);
+        assert_eq!(serial.digest, par2.digest);
+        assert_eq!(serial.digest, par4.digest);
+        assert_eq!(serial.windows, par4.windows);
+        assert_eq!(serial.events, par4.events);
+        assert_eq!(serial.finish, par4.finish);
+        for (a, b) in serial.tenants.iter().zip(&par4.tenants) {
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
+    #[test]
+    fn incast_serializes_on_the_hot_ingress_line() {
+        let mut cfg = FleetConfig::new(2, 4);
+        cfg.seed = 3;
+        let total = cfg.tenants();
+        let specs: Vec<TenantSpec> = scenario::incast(total)
+            .into_iter()
+            .map(TenantSpec::new)
+            .collect();
+        let incast = FleetSim::new(cfg, specs).run(2);
+        let uniform = small_fleet(2, 4, 3).run(2);
+        let max = |r: &FleetReport| {
+            r.tenants
+                .iter()
+                .flat_map(|t| t.samples.iter().copied())
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            max(&incast) > max(&uniform),
+            "incast tail {} should exceed uniform tail {}",
+            max(&incast),
+            max(&uniform)
+        );
+    }
+
+    #[test]
+    fn digest_depends_on_seed() {
+        let a = small_fleet(2, 2, 1).run(1);
+        let b = small_fleet(2, 2, 2).run(1);
+        assert_ne!(a.digest, b.digest);
+    }
+}

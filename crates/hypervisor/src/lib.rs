@@ -29,6 +29,7 @@ pub mod boot;
 pub mod checkpoint;
 pub mod elastic;
 pub mod failure;
+pub mod fleet;
 pub mod memory;
 pub mod profile;
 pub mod program;
@@ -41,6 +42,7 @@ pub use elastic::{
     ReclaimPolicy,
 };
 pub use failure::FailureConfig;
+pub use fleet::{FleetConfig, FleetReport, FleetSim, TenantSpec, TenantStats};
 pub use memory::VmMemory;
 pub use profile::HypervisorProfile;
 pub use program::{GuestMsg, Op, ProgCtx, Program};

@@ -114,6 +114,29 @@ pub enum Op {
     },
     /// Sleep for a duration (guest timer).
     Sleep(SimTime),
+    /// Send `bytes` to another Aggregate VM in the fleet (cross-tenant
+    /// RPC over the datacenter network). The message is staged on the
+    /// shard's fleet outbox and crosses shards at the next window barrier
+    /// (see `crate::fleet`); the receiver observes it as a
+    /// [`GuestMsg::Net`] whose `conn` is the sender's global tenant id.
+    /// Asynchronous for the sender (fire-and-forget, like
+    /// [`Op::NetSend`]). Outside a fleet the message vanishes (EIO).
+    FleetSend {
+        /// Global destination tenant id.
+        dst: u32,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Opaque application tag carried to the receiver.
+        tag: u64,
+    },
+    /// Record a workload-defined sample (e.g. a request latency the
+    /// program measured with `cx.now`) into this vCPU's sample series in
+    /// [`crate::VmStats`]. Free for the guest; fleet experiments
+    /// aggregate the series into per-tenant p50/p99/p999.
+    Observe {
+        /// Sampled value in nanoseconds.
+        value_ns: u64,
+    },
     /// The program is finished; the vCPU halts.
     Done,
 }

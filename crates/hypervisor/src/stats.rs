@@ -10,6 +10,12 @@ use crate::vm::VmError;
 pub struct VmStats {
     /// Completion time of each vCPU's program.
     pub vcpu_finish: Vec<Option<SimTime>>,
+    /// Workload-defined samples recorded per vCPU via [`Op::Observe`]
+    /// (e.g. request latencies in ns); fleet experiments map vCPUs back
+    /// to tenants and fold these into per-tenant percentiles.
+    ///
+    /// [`Op::Observe`]: crate::program::Op::Observe
+    pub samples: Vec<Vec<u64>>,
     /// End-to-end latency of client requests.
     pub request_latency: Histogram,
     /// Request latencies over time: `(completion time, latency in ms)`.
@@ -76,6 +82,7 @@ impl VmStats {
     pub fn new(vcpus: usize) -> Self {
         VmStats {
             vcpu_finish: vec![None; vcpus],
+            samples: vec![Vec::new(); vcpus],
             request_latency: Histogram::new(),
             latency_series: TimeSeries::new(),
             completed_requests: 0,

@@ -153,6 +153,12 @@ pub enum VmError {
         /// Target vCPU.
         vcpu: VcpuId,
     },
+    /// A `FleetSend` op ran on a VM outside a fleet (no outbox attached);
+    /// the message vanishes (EIO).
+    NoFleet {
+        /// The issuing vCPU.
+        vcpu: VcpuId,
+    },
 }
 
 impl std::fmt::Display for VmError {
@@ -170,6 +176,9 @@ impl std::fmt::Display for VmError {
             }
             VmError::IpiLost { src, vcpu } => {
                 write!(f, "IPI from node {} to vCPU{} was lost", src.0, vcpu.0)
+            }
+            VmError::NoFleet { vcpu } => {
+                write!(f, "vCPU{} issued FleetSend outside a fleet", vcpu.0)
             }
         }
     }
@@ -443,6 +452,34 @@ pub enum Event {
         /// Index of the window in the plan's partition list.
         idx: usize,
     },
+    /// A cross-tenant fleet message reaches its target vCPU. Injected by
+    /// the fleet engine (`crate::fleet`) after the window-barrier merge;
+    /// never scheduled by the world itself.
+    FleetDeliver {
+        /// Target vCPU.
+        vcpu: VcpuId,
+        /// The message to enqueue (`conn` is the sender's global tenant
+        /// id, `bytes` the payload size).
+        msg: GuestMsg,
+    },
+}
+
+/// A cross-tenant message staged on a world's fleet outbox by
+/// [`Op::FleetSend`]; the fleet engine drains these at each window
+/// barrier, maps `src_vcpu` back to its global tenant id, and routes the
+/// message to the destination shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetOutMsg {
+    /// Virtual time the send was issued.
+    pub depart: SimTime,
+    /// The sending vCPU (within this world).
+    pub src_vcpu: VcpuId,
+    /// Global destination tenant id.
+    pub dst: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Opaque application tag (kept for traces and audit).
+    pub tag: u64,
 }
 
 /// The simulated world of one (possibly aggregate) VM.
@@ -482,6 +519,9 @@ pub struct VmWorld {
     /// Crash time per node, set when the scripted crash fires.
     crashed: Vec<Option<SimTime>>,
     tracer: Tracer,
+    /// Cross-tenant messages staged by [`Op::FleetSend`] since the last
+    /// window barrier. `None` outside a fleet (sends then vanish as EIO).
+    fleet_outbox: Option<Vec<FleetOutMsg>>,
     /// Measurement output.
     pub stats: VmStats,
 }
@@ -577,6 +617,21 @@ impl VmWorld {
         }
     }
 
+    /// Attaches a fleet outbox: from here on [`Op::FleetSend`] stages
+    /// messages for the window-barrier exchange instead of erroring.
+    pub fn enable_fleet(&mut self) {
+        self.fleet_outbox = Some(Vec::new());
+    }
+
+    /// Drains the messages staged since the last window barrier, in issue
+    /// order. Empty when no fleet outbox is attached.
+    pub fn drain_fleet_outbox(&mut self) -> Vec<FleetOutMsg> {
+        match self.fleet_outbox.as_mut() {
+            Some(ob) => std::mem::take(ob),
+            None => Vec::new(),
+        }
+    }
+
     /// Slot of `(node, pcpu)`, creating an idle un-loaded pCPU if absent.
     fn alloc_pcpu(&mut self, node: NodeId, pcpu: u32) -> u32 {
         if let Some(&slot) = self.pcpu_slots.get(&(node, pcpu)) {
@@ -592,6 +647,7 @@ impl VmWorld {
     }
 
     /// Schedules the (new) completion prediction for a pCPU.
+    #[inline]
     fn reschedule_cpu(&mut self, ctx: &mut Ctx<'_, Event>, slot: u32) {
         if let Some(c) = self.pcpus[slot as usize].next_completion() {
             ctx.schedule_at(
@@ -902,6 +958,32 @@ impl VmWorld {
                 ctx.schedule_in(d, Event::WakeVcpu(vcpu));
                 false
             }
+            Op::FleetSend { dst, bytes, tag } => {
+                match self.fleet_outbox.as_mut() {
+                    Some(outbox) => outbox.push(FleetOutMsg {
+                        depart: now,
+                        src_vcpu: vcpu,
+                        dst,
+                        bytes,
+                        tag,
+                    }),
+                    None => {
+                        // Outside a fleet the message vanishes (EIO) and
+                        // the program keeps running.
+                        self.stats.errors.push(VmError::NoFleet { vcpu });
+                        self.stats.tx_drops += 1;
+                    }
+                }
+                // Fire-and-forget: the guest pays a syscall-ish doorbell
+                // cost; network latency is charged by the fleet engine's
+                // ingress line at the window barrier.
+                let t = now + SimTime::from_micros(1);
+                self.continue_at(ctx, vcpu, t)
+            }
+            Op::Observe { value_ns } => {
+                self.stats.samples[vcpu.index()].push(value_ns);
+                true
+            }
             Op::Done => {
                 let v = &mut self.vcpus[vcpu.index()];
                 v.status = VcpuStatus::Done;
@@ -914,6 +996,7 @@ impl VmWorld {
     }
 
     /// Starts a compute burst on the vCPU's pCPU.
+    #[inline]
     fn begin_compute(
         &mut self,
         ctx: &mut Ctx<'_, Event>,
@@ -928,11 +1011,20 @@ impl VmWorld {
             v.pcpu_slot
         };
         let now = ctx.now;
-        let _ = self.pcpus[slot as usize].add(now, vcpu.0 as u64, work);
-        self.reschedule_cpu(ctx, slot);
+        // `add` already returns the fresh completion prediction; using it
+        // directly saves re-deriving it through `next_completion`.
+        let c = self.pcpus[slot as usize].add(now, vcpu.0 as u64, work);
+        ctx.schedule_at(
+            c.at,
+            Event::CpuDone {
+                slot,
+                epoch: c.epoch,
+            },
+        );
     }
 
     /// Continues a program after a synchronous operation ending at `t`.
+    #[inline]
     fn continue_at(&mut self, ctx: &mut Ctx<'_, Event>, vcpu: VcpuId, t: SimTime) -> bool {
         if t <= ctx.now {
             true
@@ -2086,6 +2178,29 @@ impl World for VmWorld {
             Event::RecoverNode { node } => self.recover_node(ctx, node),
             Event::PartitionBegin { idx } => self.partition_begin(ctx, idx),
             Event::PartitionEnd { idx } => self.partition_end(ctx, idx),
+            Event::FleetDeliver { vcpu, msg } => {
+                // Network latency was already charged by the fleet
+                // engine's ingress line: the message lands directly in the
+                // guest's net inbox, waking a blocked receiver.
+                let v = &mut self.vcpus[vcpu.index()];
+                v.net_inbox.push_back(msg);
+                if matches!(v.status, VcpuStatus::BlockedNet | VcpuStatus::BlockedAny) {
+                    let msg = v.net_inbox.pop_front().expect("just pushed");
+                    v.delivered = Some(msg);
+                    v.status = VcpuStatus::Ready;
+                    self.step_vcpu(ctx, vcpu);
+                } else if v.status == VcpuStatus::Migrating
+                    && matches!(
+                        v.resume_status,
+                        VcpuStatus::BlockedNet | VcpuStatus::BlockedAny
+                    )
+                {
+                    let msg = v.net_inbox.pop_front().expect("just pushed");
+                    v.delivered = Some(msg);
+                    v.resume_status = VcpuStatus::Ready;
+                    v.missed_step = true;
+                }
+            }
             Event::VcpuRestore { vcpu } => {
                 let v = &mut self.vcpus[vcpu.index()];
                 if v.status != VcpuStatus::Failed {
@@ -2132,6 +2247,7 @@ pub struct VmBuilder {
     failure: Option<FailureConfig>,
     mem_cfg: Option<MemoryConfig>,
     seed: u64,
+    calendar_threshold: Option<usize>,
 }
 
 impl VmBuilder {
@@ -2151,7 +2267,17 @@ impl VmBuilder {
             failure: None,
             mem_cfg: None,
             seed: 0x5EED,
+            calendar_threshold: None,
         }
+    }
+
+    /// Overrides the event queue's calendarization threshold (see
+    /// [`sim_core::engine::EventQueue::with_calendar_threshold`]). Fleet
+    /// shards hosting many tenants set this low so the queue calendarizes
+    /// early instead of waiting for the default high-water mark.
+    pub fn with_calendar_threshold(mut self, threshold: usize) -> Self {
+        self.calendar_threshold = Some(threshold);
+        self
     }
 
     /// Configures the memory subsystem through a [`MemoryConfig`] (its
@@ -2365,12 +2491,16 @@ impl VmBuilder {
             failure,
             crashed,
             tracer: Tracer::disabled(),
+            fleet_outbox: None,
             stats,
         };
         // Steady-state occupancy is a handful of events per vCPU (steps,
         // timer ticks, in-flight messages); reserving up front keeps the
         // queue from rehashing during boot storms.
-        let mut engine = Engine::with_capacity(world.vcpus.len() * 8 + 64);
+        let mut engine = match self.calendar_threshold {
+            Some(t) => Engine::with_calendar_threshold(t),
+            None => Engine::with_capacity(world.vcpus.len() * 8 + 64),
+        };
         engine.schedule_at(SimTime::ZERO, Event::Start);
         VmSim { engine, world }
     }

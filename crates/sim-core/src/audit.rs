@@ -148,6 +148,12 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
     let mut partitioned_ever: BTreeSet<u32> = BTreeSet::new();
     let mut fenced: BTreeMap<u32, u64> = BTreeMap::new();
     let mut cluster_epoch: u64 = 0;
+    // Fleet shadow state: per (src,dst) tenant pair the last observed
+    // (depart, deliver) times, and per destination tenant the last arrival
+    // — the cross-shard barrier exchange must preserve both FIFOs, the
+    // inter-shard analogue of the per-(link,class,tier) FIFO above.
+    let mut fleet_pairs: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+    let mut fleet_ingress: BTreeMap<u32, u64> = BTreeMap::new();
 
     let mut flag = |index: usize, at: u64, rule: &'static str, detail: String| {
         violations.push(Violation {
@@ -813,6 +819,65 @@ pub fn audit(events: &[TraceEvent]) -> Vec<Violation> {
                 }
                 cluster_epoch = cluster_epoch.max(epoch);
             }
+            TraceEvent::FleetDeliver {
+                at,
+                src,
+                dst,
+                depart,
+                ..
+            } => {
+                if at < depart {
+                    flag(
+                        i,
+                        at,
+                        "fleet-time-travel",
+                        format!(
+                            "fleet message {src}->{dst} delivered at {at} \
+                             before its departure {depart}"
+                        ),
+                    );
+                }
+                let pair = fleet_pairs.entry((src, dst)).or_insert((0, 0));
+                if depart < pair.0 {
+                    flag(
+                        i,
+                        at,
+                        "fleet-pair-reorder",
+                        format!(
+                            "fleet message {src}->{dst} departed at {depart} \
+                             but a later departure ({}) was already delivered",
+                            pair.0
+                        ),
+                    );
+                }
+                if at < pair.1 {
+                    flag(
+                        i,
+                        at,
+                        "fleet-pair-fifo",
+                        format!(
+                            "fleet message {src}->{dst} delivered at {at} \
+                             before the pair's previous delivery at {}",
+                            pair.1
+                        ),
+                    );
+                }
+                *pair = (pair.0.max(depart), pair.1.max(at));
+                let ingress = fleet_ingress.entry(dst).or_insert(0);
+                if at < *ingress {
+                    flag(
+                        i,
+                        at,
+                        "fleet-ingress-order",
+                        format!(
+                            "fleet delivery to tenant {dst} at {at} precedes \
+                             the tenant's previous arrival at {ingress} — the \
+                             barrier exchange reordered its ingress line"
+                        ),
+                    );
+                }
+                *ingress = (*ingress).max(at);
+            }
             TraceEvent::Ipi { .. }
             | TraceEvent::Checkpoint { .. }
             | TraceEvent::HeartbeatMiss { .. }
@@ -1362,5 +1427,56 @@ mod tests {
             vcpu: 0,
             node: 1,
         }]);
+    }
+
+    fn fleet(at: u64, src: u32, dst: u32, depart: u64) -> E {
+        E::FleetDeliver {
+            at,
+            src_shard: src / 64,
+            dst_shard: dst / 64,
+            src,
+            dst,
+            depart,
+            bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn fleet_fifo_clean_exchange_passes() {
+        let events = [
+            fleet(100, 1, 70, 50),
+            fleet(120, 1, 70, 60),
+            fleet(125, 2, 70, 60),
+            fleet(90, 2, 130, 40),
+        ];
+        assert!(audit(&events).is_empty());
+    }
+
+    #[test]
+    fn fleet_delivery_before_departure_is_flagged() {
+        let v = audit(&[fleet(30, 1, 70, 50)]);
+        assert!(v.iter().any(|v| v.rule == "fleet-time-travel"), "{v:?}");
+    }
+
+    #[test]
+    fn fleet_pair_reorder_is_flagged() {
+        // Second message of the pair departed earlier than the first —
+        // the barrier exchange reordered the pair's FIFO.
+        let v = audit(&[fleet(100, 1, 70, 60), fleet(110, 1, 70, 50)]);
+        assert!(v.iter().any(|v| v.rule == "fleet-pair-reorder"), "{v:?}");
+    }
+
+    #[test]
+    fn fleet_pair_delivery_regression_is_flagged() {
+        let v = audit(&[fleet(100, 1, 70, 50), fleet(90, 1, 70, 60)]);
+        assert!(v.iter().any(|v| v.rule == "fleet-pair-fifo"), "{v:?}");
+    }
+
+    #[test]
+    fn fleet_ingress_reorder_is_flagged() {
+        // Two different senders to one tenant: arrivals at the tenant's
+        // ingress line must be non-decreasing.
+        let v = audit(&[fleet(100, 1, 70, 50), fleet(80, 2, 70, 55)]);
+        assert!(v.iter().any(|v| v.rule == "fleet-ingress-order"), "{v:?}");
     }
 }

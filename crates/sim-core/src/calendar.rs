@@ -24,7 +24,8 @@
 //!
 //! The queue starts life as a plain heap (everything in `active`): small
 //! queues — a VM's per-vCPU timers — never pay calendar bookkeeping. Once
-//! occupancy reaches [`CALENDARIZE_AT`] the queue sizes its buckets from
+//! occupancy reaches the calendarization threshold (default
+//! [`DEFAULT_CALENDARIZE_AT`], overridable per queue) it sizes buckets from
 //! the observed span and density and re-tunes (rarely, with an op-count
 //! guard) when a day overloads or the overflow ladder dominates. Resizing
 //! never reorders pops: `(at, seq)` keys are unique and totally ordered,
@@ -34,10 +35,12 @@ use std::collections::BinaryHeap;
 
 use crate::engine::Scheduled;
 
-/// Occupancy at which a fresh queue switches from pure-heap to calendar
-/// mode. Below this a `BinaryHeap` is already cheap and the calendar's
-/// bookkeeping would be pure overhead.
-const CALENDARIZE_AT: usize = 2048;
+/// Default occupancy at which a fresh queue switches from pure-heap to
+/// calendar mode. Below this a `BinaryHeap` is already cheap and the
+/// calendar's bookkeeping would be pure overhead. Construct with
+/// [`CalendarQueue::with_threshold`] to override (0 = always-calendar):
+/// figure-scale VMs and fleet-scale engines want different trip points.
+pub(crate) const DEFAULT_CALENDARIZE_AT: usize = 2048;
 /// Bucket-count bounds (powers of two). The lower bound keeps the
 /// occupancy bitmap scan trivial; the upper bound caps rebuild cost and
 /// worst-case bitmap scans (16 Ki buckets = 256 words).
@@ -73,10 +76,18 @@ pub(crate) struct CalendarQueue<E> {
     /// after `len` ops so rebuild cost stays amortised O(1).
     ops_since_tune: usize,
     calendarized: bool,
+    /// Occupancy at which the queue flips from pure-heap to calendar
+    /// mode ([`DEFAULT_CALENDARIZE_AT`] unless overridden; 0 means the
+    /// very first push calendarizes).
+    calendarize_at: usize,
 }
 
 impl<E> CalendarQueue<E> {
     pub(crate) fn new() -> Self {
+        Self::with_threshold(DEFAULT_CALENDARIZE_AT)
+    }
+
+    pub(crate) fn with_threshold(calendarize_at: usize) -> Self {
         CalendarQueue {
             active: BinaryHeap::new(),
             buckets: Vec::new(),
@@ -88,6 +99,7 @@ impl<E> CalendarQueue<E> {
             max_at: 0,
             ops_since_tune: 0,
             calendarized: false,
+            calendarize_at,
         }
     }
 
@@ -105,13 +117,14 @@ impl<E> CalendarQueue<E> {
         self.len
     }
 
+    #[inline]
     pub(crate) fn push(&mut self, s: Scheduled<E>) {
         self.len += 1;
         self.ops_since_tune += 1;
         self.max_at = self.max_at.max(s.at.0);
         if !self.calendarized {
             self.active.push(s);
-            if self.len >= CALENDARIZE_AT {
+            if self.len >= self.calendarize_at {
                 self.retune();
                 self.calendarized = true;
             }
@@ -125,6 +138,7 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    #[inline]
     pub(crate) fn pop(&mut self) -> Option<Scheduled<E>> {
         let s = self.active.pop()?;
         self.len -= 1;

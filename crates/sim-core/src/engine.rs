@@ -40,18 +40,21 @@ impl<E> Ctx<'_, E> {
     ///
     /// Panics if `at` is earlier than the current time — events cannot be
     /// scheduled in the past.
+    #[inline]
     pub fn schedule_at(&mut self, at: SimTime, ev: E) {
         assert!(at >= self.now, "event scheduled in the past");
         self.queue.push(at, ev);
     }
 
     /// Schedules `ev` after a relative delay `delay`.
+    #[inline]
     pub fn schedule_in(&mut self, delay: SimTime, ev: E) {
         self.queue.push(self.now + delay, ev);
     }
 
     /// Schedules `ev` at the current instant (delivered after the current
     /// handler returns and before any later event).
+    #[inline]
     pub fn schedule_now(&mut self, ev: E) {
         self.queue.push(self.now, ev);
     }
@@ -143,6 +146,19 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue that switches from pure-heap to calendar
+    /// mode at `threshold` pending events instead of the built-in default
+    /// (2048). `0` calendarizes on the very first push. Pop order is
+    /// identical regardless of the threshold; only the bookkeeping
+    /// crossover point moves, so figure-scale VMs and fleet-scale engines
+    /// can be tuned independently.
+    pub fn with_calendar_threshold(threshold: usize) -> Self {
+        EventQueue {
+            imp: QueueImpl::Calendar(CalendarQueue::with_threshold(threshold)),
+            seq: 0,
+        }
+    }
+
     /// Creates an empty queue on the reference `BinaryHeap` backend.
     /// Pop order is identical to [`EventQueue::new`]; this exists for A/B
     /// benchmarking and differential testing.
@@ -162,6 +178,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Pushes `ev` at absolute time `at`.
+    #[inline]
     pub fn push(&mut self, at: SimTime, ev: E) {
         let seq = self.seq;
         self.seq += 1;
@@ -173,6 +190,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest event, if any (FIFO among equal timestamps).
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         match &mut self.imp {
             QueueImpl::Calendar(c) => c.pop(),
@@ -182,6 +200,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Returns the timestamp of the earliest pending event.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
         match &self.imp {
             QueueImpl::Calendar(c) => c.peek(),
@@ -248,6 +267,16 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Creates an engine whose queue calendarizes at `threshold` pending
+    /// events (see [`EventQueue::with_calendar_threshold`]).
+    pub fn with_calendar_threshold(threshold: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_calendar_threshold(threshold),
+            delivered: 0,
+        }
+    }
+
     /// The current virtual time (timestamp of the last delivered event).
     pub fn now(&self) -> SimTime {
         self.now
@@ -279,6 +308,7 @@ impl<E> Engine<E> {
     }
 
     /// Delivers a single event; returns false when the queue is empty.
+    #[inline]
     pub fn step<W: World<Event = E>>(&mut self, world: &mut W) -> bool {
         match self.queue.pop() {
             Some((at, ev)) => {
@@ -437,6 +467,50 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 8192);
+    }
+
+    /// Threshold 0 calendarizes on the first push; pop order must still
+    /// match the reference heap exactly, including FIFO ties.
+    #[test]
+    fn always_calendar_threshold_matches_reference_heap() {
+        let mut cal = EventQueue::with_calendar_threshold(0);
+        let mut heap = EventQueue::reference_heap();
+        let mut t: u64 = 3;
+        for round in 0..32u64 {
+            for i in 0..50u64 {
+                if i % 8 != 0 {
+                    t = (t.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i)) % 2_000_000_000;
+                }
+                let payload = round * 1000 + i;
+                cal.push(SimTime(t), payload);
+                heap.push(SimTime(t), payload);
+            }
+            for _ in 0..30 {
+                assert_eq!(cal.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            assert_eq!(c, h);
+            if c.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// A non-default threshold trips exactly at the configured occupancy
+    /// and keeps the FIFO tie contract intact afterwards.
+    #[test]
+    fn custom_calendar_threshold_preserves_fifo() {
+        let mut q = EventQueue::with_calendar_threshold(4);
+        let t = SimTime::from_micros(9);
+        for i in 0..16u64 {
+            q.push(t, i);
+        }
+        for i in 0..16u64 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert_eq!(q.pop(), None);
     }
 
     /// Mini differential check: interleaved pushes and pops on the

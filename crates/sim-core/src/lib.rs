@@ -21,6 +21,8 @@
 //! * [`fault`] — seeded, replayable fault plans (node crashes, link
 //!   degradation, message drop/duplication) interpreted by the fabric and
 //!   the hypervisor's failure detector.
+//! * [`digest`] — a streaming FNV-1a hasher for byte-identity and
+//!   serial-vs-parallel determinism checks.
 //!
 //! The design rule for the whole workspace is that protocol crates (DSM,
 //! VirtIO, ...) are pure state machines returning *actions*, and only the
@@ -31,6 +33,7 @@
 
 pub mod audit;
 mod calendar;
+pub mod digest;
 pub mod engine;
 pub mod fault;
 pub mod ids;
@@ -42,6 +45,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
+pub use digest::Fnv1a;
 pub use engine::{Ctx, Engine, EventQueue, World};
 pub use fault::{CrashFault, Disruption, FaultInjector, FaultPlan, LinkFault};
 pub use nodeset::NodeSet;

@@ -137,6 +137,7 @@ impl PsCpu {
     /// # Panics
     ///
     /// Panics if `now` precedes the last update.
+    #[inline]
     pub fn advance(&mut self, now: SimTime) {
         assert!(now >= self.last, "PsCpu time went backwards");
         let elapsed = (now - self.last).as_nanos() as f64;
@@ -160,6 +161,7 @@ impl PsCpu {
     ///
     /// Panics if the task is already present.
     #[allow(clippy::panic)] // documented contract: adding a duplicate task is a caller bug
+    #[inline]
     pub fn add(&mut self, now: SimTime, task: u64, work: SimTime) -> Completion {
         self.advance(now);
         match self.tasks.binary_search_by_key(&task, |&(t, _)| t) {
@@ -173,6 +175,18 @@ impl PsCpu {
             task,
             work_ns: work.as_nanos(),
         });
+        // Solo-task fast path: a lone burst on an unloaded reference core
+        // finishes exactly `work` later. This is the steady state of every
+        // dedicated-pCPU vCPU, and skipping the general scan + division
+        // shaves a measurable slice off the per-dispatch cost. The result
+        // is bit-identical to the general path (`ceil(w / 1.0) == w`).
+        if self.tasks.len() == 1 && self.background == 0.0 && self.speed == 1.0 {
+            return Completion {
+                task,
+                at: now + work,
+                epoch: self.epoch,
+            };
+        }
         self.next_completion()
             .expect("just added a task; a completion must exist")
     }
@@ -205,6 +219,7 @@ impl PsCpu {
     }
 
     /// Predicts the next completion under the current load.
+    #[inline]
     pub fn next_completion(&self) -> Option<Completion> {
         let rate = self.per_task_speed();
         if rate <= 0.0 {

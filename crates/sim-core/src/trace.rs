@@ -467,6 +467,27 @@ pub enum TraceEvent {
         /// Stale page copies discarded during resync.
         discarded: u64,
     },
+    /// A cross-shard fleet message arrived at its destination tenant after
+    /// the window-barrier merge (see `hypervisor::fleet`). `depart` is its
+    /// departure time on the source shard; a conservative merge guarantees
+    /// `at ≥ depart + lookahead` and the auditor's `fleet-*` rules hold the
+    /// exchange to per-pair FIFO on top of that.
+    FleetDeliver {
+        /// Delivery time on the destination shard (ns).
+        at: u64,
+        /// Source shard.
+        src_shard: u32,
+        /// Destination shard.
+        dst_shard: u32,
+        /// Global source tenant.
+        src: u32,
+        /// Global destination tenant.
+        dst: u32,
+        /// Departure time on the source shard (ns).
+        depart: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -509,7 +530,8 @@ impl TraceEvent {
             | PartitionHeal { at, .. }
             | EpochBump { at, .. }
             | StaleEpochRejected { at, .. }
-            | NodeRejoin { at, .. } => at,
+            | NodeRejoin { at, .. }
+            | FleetDeliver { at, .. } => at,
             FabricLinkReset { .. } => 0,
         }
     }
@@ -749,6 +771,17 @@ impl TraceEvent {
                 discarded,
             } => format!(
                 r#"{{"ev":"node_rejoin","at":{at},"node":{node},"epoch":{epoch},"discarded":{discarded}}}"#
+            ),
+            FleetDeliver {
+                at,
+                src_shard,
+                dst_shard,
+                src,
+                dst,
+                depart,
+                bytes,
+            } => format!(
+                r#"{{"ev":"fleet_deliver","at":{at},"src_shard":{src_shard},"dst_shard":{dst_shard},"src":{src},"dst":{dst},"depart":{depart},"bytes":{bytes}}}"#
             ),
         }
     }
